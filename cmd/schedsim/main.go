@@ -1,0 +1,193 @@
+// Command schedsim runs one scheduling-policy simulation on a generated
+// monthly workload and prints the paper's headline measures.
+//
+// Usage:
+//
+//	schedsim -month 7/03 -policy DDS/lxf/dynB -L 1000 -load 0.9
+//
+// Policies: FCFS-backfill, LXF-backfill, SJF-backfill, LXFW-backfill,
+// Selective-backfill, Relaxed-backfill, Slack-backfill, Lookahead, and
+// search policies of the form ALGO/HEUR/BOUND with ALGO in {DDS, LDS},
+// HEUR in {fcfs, lxf} and BOUND either "dynB" or a fixed bound like
+// "100h".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"schedsearch"
+	"schedsearch/internal/core"
+	"schedsearch/internal/job"
+	"schedsearch/internal/metrics"
+	"schedsearch/internal/report"
+	"schedsearch/internal/sim"
+	"schedsearch/internal/trace"
+	"schedsearch/internal/workload"
+)
+
+func main() {
+	var (
+		month     = flag.String("month", "6/03", "month label (6/03 .. 3/04)")
+		policyArg = flag.String("policy", "DDS/lxf/dynB", "policy name")
+		nodeLimit = flag.Int("L", 1000, "search node limit per decision")
+		load      = flag.Float64("load", 0, "target offered load (0 = original)")
+		seed      = flag.Uint64("seed", 1, "workload generation seed")
+		scale     = flag.Float64("scale", 1, "job-count/duration scale factor")
+		requested = flag.Bool("requested", false, "schedulers use requested runtimes (R* = R)")
+		verbose   = flag.Bool("v", false, "print per-class wait grid")
+		swfIn     = flag.String("swf", "", "simulate this SWF trace file (plain or .gz) instead of a generated month")
+		timeline  = flag.Int("timeline", 0, "render a timeline of the first N measured jobs")
+		capacity  = flag.Int("capacity", 0, "machine size for -swf (default: trace header MaxNodes, else widest job)")
+	)
+	flag.Parse()
+
+	var err error
+	if *swfIn != "" {
+		err = runSWF(*swfIn, *capacity, *policyArg, *nodeLimit, *requested, *verbose, *timeline)
+	} else {
+		err = run(*month, *policyArg, *nodeLimit, *load, *seed, *scale, *requested, *verbose, *timeline)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "schedsim:", err)
+		os.Exit(1)
+	}
+}
+
+// runSWF simulates a policy over an external SWF trace.
+func runSWF(path string, capacity int, policyArg string, nodeLimit int, requested, verbose bool, timeline int) error {
+	jobs, header, err := trace.ReadSWFFile(path)
+	if err != nil {
+		return err
+	}
+	if len(jobs) == 0 {
+		return fmt.Errorf("%s: no usable jobs", path)
+	}
+	sort.Sort(job.BySubmit(jobs))
+	if capacity == 0 {
+		capacity = header.MaxNodes
+	}
+	for _, j := range jobs {
+		if j.Nodes > capacity {
+			capacity = j.Nodes
+		}
+	}
+	pol, err := schedsearch.ParsePolicy(policyArg, nodeLimit)
+	if err != nil {
+		return err
+	}
+	res, err := sim.Run(sim.Input{Capacity: capacity, Jobs: jobs, UseRequested: requested}, pol)
+	if err != nil {
+		return err
+	}
+	if err := metrics.CheckConservation(res); err != nil {
+		return err
+	}
+	s := metrics.Summarize(res)
+	fmt.Printf("trace %s: %d jobs on %d nodes\n", path, s.Jobs, capacity)
+	printSummary(res, s, pol)
+	if verbose {
+		printGrid(metrics.ComputeClassGrid(res))
+	}
+	printTimeline(res, timeline)
+	return nil
+}
+
+func run(month, policyArg string, nodeLimit int, load float64, seed uint64, scale float64, requested, verbose bool, timeline int) error {
+	suite := workload.NewSuite(workload.Config{Seed: seed, JobScale: scale})
+	in, m, err := suite.Input(month, workload.SimOptions{TargetLoad: load, UseRequested: requested})
+	if err != nil {
+		return err
+	}
+	pol, err := schedsearch.ParsePolicy(policyArg, nodeLimit)
+	if err != nil {
+		return err
+	}
+
+	res, err := sim.Run(in, pol)
+	if err != nil {
+		return err
+	}
+	if err := metrics.CheckConservation(res); err != nil {
+		return err
+	}
+	s := metrics.Summarize(res)
+
+	fmt.Printf("month %s: %d jobs, offered load %.2f (spec %.2f)\n",
+		m.Spec.Label, s.Jobs, effectiveLoad(m, load), m.Spec.Load)
+	printSummary(res, s, pol)
+	if verbose {
+		printGrid(metrics.ComputeClassGrid(res))
+	}
+	printTimeline(res, timeline)
+	return nil
+}
+
+// printTimeline renders the first n measured jobs as queue/run bars.
+func printTimeline(res *sim.Result, n int) {
+	if n <= 0 {
+		return
+	}
+	tl := report.NewTimeline()
+	added := 0
+	for _, r := range res.Records {
+		if !r.Measured {
+			continue
+		}
+		tl.Add(report.TimelineJob{
+			Label:  fmt.Sprintf("#%d n=%d", r.Job.ID, r.Job.Nodes),
+			Submit: r.Job.Submit,
+			Start:  r.Start,
+			End:    r.End,
+		})
+		added++
+		if added >= n {
+			break
+		}
+	}
+	fmt.Println()
+	tl.Write(os.Stdout)
+}
+
+func printSummary(res *sim.Result, s metrics.Summary, pol sim.Policy) {
+	fmt.Printf("policy %s\n", res.Policy)
+	fmt.Printf("  avg wait            %8.2f h\n", s.AvgWaitH)
+	fmt.Printf("  max wait            %8.2f h\n", s.MaxWaitH)
+	fmt.Printf("  98%%-ile wait        %8.2f h\n", s.P98WaitH)
+	fmt.Printf("  avg bounded slowdown %7.2f\n", s.AvgBoundedSlowdown)
+	fmt.Printf("  avg queue length    %8.2f\n", s.AvgQueueLen)
+	fmt.Printf("  decision points     %8d\n", res.Decisions)
+	if sch, ok := pol.(*core.Scheduler); ok {
+		st := sch.SearchStats
+		fmt.Printf("  search: %d decisions, %d nodes, %d schedules evaluated, budget hit %d times\n",
+			st.Decisions, st.Nodes, st.Leaves, st.BudgetHits)
+	}
+}
+
+func effectiveLoad(m *workload.Month, target float64) float64 {
+	if target > 0 {
+		return target
+	}
+	return m.AchievedLoad
+}
+
+func printGrid(g metrics.ClassGrid) {
+	fmt.Printf("\navg wait (h) by actual runtime x requested nodes:\n%12s", "")
+	for _, n := range g.NodeClasses {
+		fmt.Printf("%10s", n.String())
+	}
+	fmt.Println()
+	for t := range g.RuntimeClasses {
+		fmt.Printf("%12s", g.RuntimeClasses[t].String())
+		for n := range g.NodeClasses {
+			if g.Count[t][n] == 0 {
+				fmt.Printf("%10s", "-")
+			} else {
+				fmt.Printf("%10.2f", g.AvgWaitH[t][n])
+			}
+		}
+		fmt.Println()
+	}
+}

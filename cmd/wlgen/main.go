@@ -1,0 +1,74 @@
+// Command wlgen generates the synthetic NCSA IA-64 workload suite and
+// either prints its Table 3/Table 4-style summary or exports a month as
+// an SWF trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"schedsearch/internal/trace"
+	"schedsearch/internal/workload"
+)
+
+func main() {
+	var (
+		seed  = flag.Uint64("seed", 1, "generation seed")
+		scale = flag.Float64("scale", 1, "job-count/duration scale factor")
+		swf   = flag.String("swf", "", "write this month's jobs as SWF to stdout")
+	)
+	flag.Parse()
+
+	suite := workload.NewSuite(workload.Config{Seed: *seed, JobScale: *scale})
+	if *swf != "" {
+		if err := exportSWF(suite, *swf); err != nil {
+			fmt.Fprintln(os.Stderr, "wlgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("%-6s %6s %9s %9s   %s\n", "month", "jobs", "specLoad", "genLoad", "job-mix check (max |Δ| jobFrac, demandFrac, short, long)")
+	for _, m := range suite.RealMonths() {
+		st := m.Stats(suite.Capacity)
+		dj, dd, ds, dl := maxDeltas(m.Spec, st)
+		fmt.Printf("%-6s %6d %9.2f %9.3f   %.3f %.3f %.3f %.3f\n",
+			m.Spec.Label, st.TotalJobs, m.Spec.Load, st.Load, dj, dd, ds, dl)
+	}
+}
+
+func maxDeltas(spec workload.MonthSpec, st workload.MixStats) (dj, dd, ds, dl float64) {
+	abs := func(x float64) float64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	max := func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	for i := range spec.JobFrac {
+		dj = max(dj, abs(spec.JobFrac[i]-st.JobFrac[i]))
+		dd = max(dd, abs(spec.DemandFrac[i]-st.DemandFrac[i]))
+	}
+	for i := range spec.ShortFrac {
+		ds = max(ds, abs(spec.ShortFrac[i]-st.ShortFrac[i]))
+		dl = max(dl, abs(spec.LongFrac[i]-st.LongFrac[i]))
+	}
+	return
+}
+
+func exportSWF(suite *workload.Suite, label string) error {
+	m, err := suite.Month(label)
+	if err != nil {
+		return err
+	}
+	return trace.WriteSWF(os.Stdout, m.Jobs, trace.Header{
+		Computer: "synthetic NCSA IA-64 (Titan)",
+		Note:     "calibrated to Vasupongayya/Chiang/Massey, Cluster 2005, month " + label,
+		MaxNodes: suite.Capacity,
+	})
+}

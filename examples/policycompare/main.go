@@ -1,0 +1,65 @@
+// Policycompare: run the full cast of non-preemptive policies — the two
+// paper baselines, the published backfill variants of Section 3.2, and
+// the search-based scheduler — on one high-load month, and print a
+// league table. This is the experiment a site administrator would run
+// to pick a policy for their own (synthetic or SWF-imported) workload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"schedsearch"
+)
+
+func main() {
+	suite := schedsearch.NewSuite(schedsearch.SuiteConfig{Seed: 1, JobScale: 0.25})
+	opts := schedsearch.SimOptions{TargetLoad: 0.9} // the paper's high-load setting
+
+	names := []string{
+		"FCFS-backfill",
+		"LXF-backfill",
+		"SJF-backfill",
+		"LXFW-backfill",
+		"Selective-backfill",
+		"Relaxed-backfill",
+		"Slack-backfill",
+		"Lookahead",
+		"DDS/lxf/dynB",
+		"LDS/lxf/dynB",
+	}
+
+	type row struct {
+		name string
+		sum  schedsearch.Summary
+	}
+	var rows []row
+	for _, name := range names {
+		pol, err := schedsearch.ParsePolicy(name, 1000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum, _, err := schedsearch.RunMonth(suite, "9/03", opts, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, row{name: name, sum: sum})
+	}
+
+	// Rank by the paper's first-level goal (low max wait), then by
+	// average bounded slowdown.
+	sort.SliceStable(rows, func(i, k int) bool {
+		if rows[i].sum.MaxWaitH != rows[k].sum.MaxWaitH {
+			return rows[i].sum.MaxWaitH < rows[k].sum.MaxWaitH
+		}
+		return rows[i].sum.AvgBoundedSlowdown < rows[k].sum.AvgBoundedSlowdown
+	})
+
+	fmt.Printf("month 9/03 at rho=0.9 — %d jobs measured\n\n", rows[0].sum.Jobs)
+	fmt.Printf("%-20s %10s %10s %10s %8s\n", "policy", "avgWait(h)", "maxWait(h)", "p98Wait(h)", "avgBsld")
+	for _, r := range rows {
+		fmt.Printf("%-20s %10.2f %10.2f %10.2f %8.2f\n",
+			r.name, r.sum.AvgWaitH, r.sum.MaxWaitH, r.sum.P98WaitH, r.sum.AvgBoundedSlowdown)
+	}
+}

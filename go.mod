@@ -1,0 +1,3 @@
+module schedsearch
+
+go 1.22

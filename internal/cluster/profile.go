@@ -1,0 +1,247 @@
+// Package cluster models the space-shared machine: a pool of
+// interchangeable whole nodes and an availability profile — free
+// capacity as a step function of time — supporting earliest-fit queries
+// and undoable placements. The profile is the inner-loop data structure
+// of both the backfill policies and the search-based scheduler: a search
+// visiting 100K tree nodes performs one Place and one Undo per node.
+package cluster
+
+import "fmt"
+
+// Time and Duration are seconds, matching package job.
+type (
+	Time     = int64
+	Duration = int64
+)
+
+// Forever is the effective end of time for the profile: the last step
+// extends to Forever.
+const Forever Time = 1 << 60
+
+// step is one piece of the free-capacity step function: Free nodes are
+// available from At until the next step's At (the last step extends to
+// Forever).
+type step struct {
+	At   Time
+	Free int
+}
+
+// Profile is the free-capacity-over-time step function. The zero value
+// is not usable; construct with New.
+type Profile struct {
+	capacity int
+	steps    []step
+}
+
+// New returns a profile for a machine with the given node capacity,
+// fully free from the origin time onward.
+func New(capacity int, origin Time) *Profile {
+	if capacity < 1 {
+		panic("cluster: capacity must be positive")
+	}
+	return &Profile{
+		capacity: capacity,
+		steps:    []step{{At: origin, Free: capacity}},
+	}
+}
+
+// Capacity returns the machine's total node count.
+func (p *Profile) Capacity() int { return p.capacity }
+
+// Origin returns the earliest time the profile covers.
+func (p *Profile) Origin() Time { return p.steps[0].At }
+
+// FreeAt returns the free capacity at time t. t must be >= Origin.
+func (p *Profile) FreeAt(t Time) int {
+	return p.steps[p.find(t)].Free
+}
+
+// Len returns the number of steps (for diagnostics and benchmarks).
+func (p *Profile) Len() int { return len(p.steps) }
+
+// Clone returns an independent copy of the profile.
+func (p *Profile) Clone() *Profile {
+	c := &Profile{capacity: p.capacity, steps: make([]step, len(p.steps))}
+	copy(c.steps, p.steps)
+	return c
+}
+
+// find returns the index of the step covering time t: the greatest i
+// with steps[i].At <= t. t must be >= Origin.
+func (p *Profile) find(t Time) int {
+	// Binary search; profiles are small (tens to a few hundred steps),
+	// but earliest-fit scans start here so keep it exact.
+	lo, hi := 0, len(p.steps)-1
+	if t < p.steps[0].At {
+		panic(fmt.Sprintf("cluster: time %d precedes profile origin %d", t, p.steps[0].At))
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.steps[mid].At <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// EarliestFit returns the earliest time t >= after at which nodes free
+// capacity is at least n for the full duration d. For d == 0 it returns
+// the earliest time with free capacity >= n. n must be in [1, capacity].
+func (p *Profile) EarliestFit(after Time, n int, d Duration) Time {
+	if n < 1 || n > p.capacity {
+		panic(fmt.Sprintf("cluster: EarliestFit n=%d outside [1,%d]", n, p.capacity))
+	}
+	if d < 0 {
+		panic("cluster: EarliestFit negative duration")
+	}
+	if after < p.steps[0].At {
+		after = p.steps[0].At
+	}
+	i := p.find(after)
+	t := after
+	for {
+		// Advance to the first step at/after t with enough capacity.
+		for p.steps[i].Free < n {
+			i++
+			if i == len(p.steps) {
+				// Free capacity only ever returns to full capacity
+				// at the end, and n <= capacity, so this cannot
+				// happen: the last step is always feasible.
+				panic("cluster: EarliestFit ran off profile end")
+			}
+			t = p.steps[i].At
+		}
+		if t < p.steps[i].At {
+			t = p.steps[i].At
+		}
+		// Check [t, t+d) stays feasible.
+		end := t + d
+		j := i
+		ok := true
+		for j+1 < len(p.steps) && p.steps[j+1].At < end {
+			j++
+			if p.steps[j].Free < n {
+				// Infeasible at step j; restart from the next step
+				// after j with enough capacity.
+				i = j
+				t = p.steps[j].At
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return t
+		}
+	}
+}
+
+// Placement is the undo record for one Place call. It is valid only
+// until the next Place or Undo on the profile (placements undo in LIFO
+// order).
+type Placement struct {
+	lo, hi   int  // modified region [lo, hi) in the post-place steps
+	insLo    bool // a step was inserted at the start boundary
+	insHi    bool // a step was inserted at the end boundary
+	n        int  // nodes subtracted
+	origFree int  // free value the inserted end-boundary step restored
+}
+
+// Place reserves n nodes during [t, t+d), decreasing free capacity, and
+// returns an undo record. It panics if the interval is not fully
+// feasible (callers must place only at times returned by EarliestFit) or
+// if d == 0 (an empty reservation is meaningless).
+func (p *Profile) Place(t Time, n int, d Duration) Placement {
+	if d <= 0 {
+		panic("cluster: Place with non-positive duration")
+	}
+	if n < 1 || n > p.capacity {
+		panic(fmt.Sprintf("cluster: Place n=%d outside [1,%d]", n, p.capacity))
+	}
+	end := t + d
+	lo := p.find(t)
+	var pl Placement
+	pl.n = n
+
+	// Split at t if needed so the region starts exactly at t.
+	if p.steps[lo].At < t {
+		p.steps = append(p.steps, step{})
+		copy(p.steps[lo+2:], p.steps[lo+1:])
+		p.steps[lo+1] = step{At: t, Free: p.steps[lo].Free}
+		lo++
+		pl.insLo = true
+	}
+
+	// Find the end of the region: first step with At >= end.
+	hi := lo
+	for hi < len(p.steps) && p.steps[hi].At < end {
+		hi++
+	}
+	// Split at end if needed: the step hi-1 extends past end.
+	last := hi - 1
+	extendsPast := hi == len(p.steps) || p.steps[hi].At > end
+	if extendsPast {
+		pl.origFree = p.steps[last].Free
+		p.steps = append(p.steps, step{})
+		copy(p.steps[hi+1:], p.steps[hi:])
+		p.steps[hi] = step{At: end, Free: pl.origFree}
+		pl.insHi = true
+	}
+
+	for i := lo; i < hi; i++ {
+		if p.steps[i].Free < n {
+			panic(fmt.Sprintf("cluster: Place(%d, n=%d, d=%d) infeasible at step %d (free %d)",
+				t, n, d, i, p.steps[i].Free))
+		}
+		p.steps[i].Free -= n
+	}
+	pl.lo, pl.hi = lo, hi
+	return pl
+}
+
+// Undo reverts the most recent Place. Placements must be undone in
+// strict LIFO order; undoing out of order corrupts the profile.
+func (p *Profile) Undo(pl Placement) {
+	for i := pl.lo; i < pl.hi; i++ {
+		p.steps[i].Free += pl.n
+	}
+	// Remove inserted boundary steps (end first so indices stay valid).
+	if pl.insHi {
+		copy(p.steps[pl.hi:], p.steps[pl.hi+1:])
+		p.steps = p.steps[:len(p.steps)-1]
+	}
+	if pl.insLo {
+		copy(p.steps[pl.lo:], p.steps[pl.lo+1:])
+		p.steps = p.steps[:len(p.steps)-1]
+	}
+}
+
+// PlaceEarliest finds the earliest fit at or after `after` and places
+// the job there, returning the chosen start time and the undo record.
+func (p *Profile) PlaceEarliest(after Time, n int, d Duration) (Time, Placement) {
+	t := p.EarliestFit(after, n, d)
+	return t, p.Place(t, n, d)
+}
+
+// CheckInvariants verifies structural invariants; tests call it after
+// mutation sequences. It returns an error describing the first violation.
+func (p *Profile) CheckInvariants() error {
+	if len(p.steps) == 0 {
+		return fmt.Errorf("empty profile")
+	}
+	for i, s := range p.steps {
+		if s.Free < 0 || s.Free > p.capacity {
+			return fmt.Errorf("step %d free %d outside [0,%d]", i, s.Free, p.capacity)
+		}
+		if i > 0 && p.steps[i-1].At >= s.At {
+			return fmt.Errorf("steps not strictly increasing at %d: %d >= %d",
+				i, p.steps[i-1].At, s.At)
+		}
+	}
+	if p.steps[len(p.steps)-1].Free != p.capacity {
+		return fmt.Errorf("final step free %d != capacity %d",
+			p.steps[len(p.steps)-1].Free, p.capacity)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+// TestAnytimeBudgetMonotonicity: discrepancy search explores paths in a
+// fixed order, so a larger node budget explores a superset of schedules
+// and the committed best cost can only improve (the anytime property
+// the paper relies on to compare L values).
+func TestAnytimeBudgetMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		snap := randomSnapshot(rng, 3+rng.Intn(5))
+		for _, algo := range []Algorithm{LDS, DDS} {
+			var prev Cost
+			first := true
+			for _, limit := range []int{1, 5, 20, 100, 1000, 1 << 20} {
+				sch := New(algo, HeuristicLXF, DynamicBound(), limit)
+				sch.Decide(snap)
+				cur := sch.s.bestCost
+				if !first && prev.Less(cur) {
+					t.Fatalf("trial %d %s: best cost worsened %v -> %v when budget grew to %d",
+						trial, algo, prev, cur, limit)
+				}
+				prev = cur
+				first = false
+			}
+		}
+	}
+}
+
+// TestFullEnumerationAgreesAcrossAlgorithms: with unlimited budget both
+// algorithms see every schedule, so they must agree on the optimal cost.
+func TestFullEnumerationAgreesAcrossAlgorithms(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		snap := randomSnapshot(rng, 2+rng.Intn(5))
+		lds := New(LDS, HeuristicLXF, DynamicBound(), 1<<30)
+		dds := New(DDS, HeuristicLXF, DynamicBound(), 1<<30)
+		lds.Decide(snap)
+		dds.Decide(snap)
+		if lds.s.bestCost != dds.s.bestCost {
+			t.Fatalf("trial %d: LDS best %v != DDS best %v",
+				trial, lds.s.bestCost, dds.s.bestCost)
+		}
+		if lds.s.leaves != dds.s.leaves {
+			t.Fatalf("trial %d: LDS evaluated %d leaves, DDS %d",
+				trial, lds.s.leaves, dds.s.leaves)
+		}
+	}
+}
+
+// TestHeuristicOrderFCFS and ...LXF verify the branch orders.
+func TestHeuristicOrderFCFS(t *testing.T) {
+	jobs := []sim.WaitingJob{
+		{Job: job.Job{ID: 2, Submit: 100}},
+		{Job: job.Job{ID: 1, Submit: 50}},
+		{Job: job.Job{ID: 3, Submit: 100}},
+	}
+	orderJobs(jobs, HeuristicFCFS, 1000)
+	want := []int{1, 2, 3}
+	for i, w := range want {
+		if jobs[i].Job.ID != w {
+			t.Fatalf("position %d: job %d, want %d", i, jobs[i].Job.ID, w)
+		}
+	}
+}
+
+func TestHeuristicOrderLXF(t *testing.T) {
+	now := job.Time(10000)
+	jobs := []sim.WaitingJob{
+		{Job: job.Job{ID: 1, Submit: 0}, Estimate: 10000},   // bsld (10000+10000)/10000 = 2
+		{Job: job.Job{ID: 2, Submit: 9000}, Estimate: 100},  // bsld (1000+100)/100 = 11
+		{Job: job.Job{ID: 3, Submit: 5000}, Estimate: 5000}, // bsld 2
+	}
+	orderJobs(jobs, HeuristicLXF, now)
+	if jobs[0].Job.ID != 2 {
+		t.Fatalf("largest-slowdown job not first: %v", jobs[0].Job.ID)
+	}
+	// Ties (jobs 1 and 3 both bsld 2) break by earlier submit.
+	if jobs[1].Job.ID != 1 || jobs[2].Job.ID != 3 {
+		t.Fatalf("tie order: got %d then %d, want 1 then 3", jobs[1].Job.ID, jobs[2].Job.ID)
+	}
+}
+
+// TestSearchRespectsEstimates: the search must plan with the estimate,
+// not the (hidden) actual runtime.
+func TestSearchRespectsEstimates(t *testing.T) {
+	now := job.Time(1000)
+	// 4 free nodes. Job A (4 nodes) is running until now+100 per its
+	// ESTIMATE. Job B (4 nodes, est 50) cannot start now; the schedule
+	// must not claim it does.
+	snap := &sim.Snapshot{Now: now, Capacity: 4, FreeNodes: 0}
+	snap.Running = []sim.RunningJob{{ID: 9, Nodes: 4, Start: 0, PredictedEnd: now + 100}}
+	snap.Queue = []sim.WaitingJob{{
+		Job:      job.Job{ID: 1, Submit: now - 10, Nodes: 4, Runtime: 50, Request: 50},
+		Estimate: 50, QueuePos: 0,
+	}}
+	sch := New(DDS, HeuristicLXF, DynamicBound(), 100)
+	if starts := sch.Decide(snap); len(starts) != 0 {
+		t.Errorf("started %v on a fully busy machine", starts)
+	}
+}
+
+// TestSearchCommitsAllNowStarts: every job the best schedule starts at
+// `now` is returned, not just a prefix.
+func TestSearchCommitsAllNowStarts(t *testing.T) {
+	now := job.Time(1000)
+	snap := &sim.Snapshot{Now: now, Capacity: 8, FreeNodes: 8}
+	for i := 0; i < 4; i++ {
+		snap.Queue = append(snap.Queue, sim.WaitingJob{
+			Job:      job.Job{ID: i + 1, Submit: job.Time(i), Nodes: 2, Runtime: 600, Request: 600},
+			Estimate: 600, QueuePos: i,
+		})
+	}
+	sch := New(DDS, HeuristicLXF, DynamicBound(), 1000)
+	starts := sch.Decide(snap)
+	if len(starts) != 4 {
+		t.Errorf("started %d of 4 jobs that all fit now: %v", len(starts), starts)
+	}
+}

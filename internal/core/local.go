@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"schedsearch/internal/cluster"
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+	"schedsearch/internal/stats"
+)
+
+// LocalScheduler is the paper's first future-work direction: combining
+// complete search with local search. It evaluates whole queue orderings
+// (each evaluation costs one tree-node visit per queued job, so budgets
+// are comparable with the complete-search policies) and hill-climbs by
+// random pairwise swaps, optionally seeded with a truncated DDS pass
+// (the hybrid of Crawford 1993 the paper cites).
+type LocalScheduler struct {
+	Heuristic Heuristic
+	Bound     BoundSpec
+	// NodeLimit is the shared budget L in tree-node visits.
+	NodeLimit int
+	// Cost scores placements; nil means HierarchicalCost.
+	Cost CostFn
+	// Hybrid spends half the budget on a DDS pass and starts the climb
+	// from its best schedule instead of the heuristic ordering.
+	Hybrid bool
+	// Seed makes the random walk deterministic.
+	Seed uint64
+
+	// SearchStats accumulates effort counters across the run.
+	SearchStats Stats
+	// LastBestCost is the objective value of the schedule committed at
+	// the most recent decision (introspection and tests).
+	LastBestCost Cost
+
+	decisions uint64
+	s         searchState
+}
+
+// NewLocal returns a pure local-search scheduler.
+func NewLocal(h Heuristic, bound BoundSpec, nodeLimit int) *LocalScheduler {
+	return &LocalScheduler{Heuristic: h, Bound: bound, NodeLimit: nodeLimit, Seed: 1}
+}
+
+// NewHybrid returns the DDS-seeded local-search scheduler.
+func NewHybrid(h Heuristic, bound BoundSpec, nodeLimit int) *LocalScheduler {
+	ls := NewLocal(h, bound, nodeLimit)
+	ls.Hybrid = true
+	return ls
+}
+
+// Name implements sim.Policy.
+func (ls *LocalScheduler) Name() string {
+	algo := "LS"
+	if ls.Hybrid {
+		algo = "DDS+LS"
+	}
+	return fmt.Sprintf("%s/%s/%s", algo, ls.Heuristic, ls.Bound)
+}
+
+// Decide implements sim.Policy.
+func (ls *LocalScheduler) Decide(snap *sim.Snapshot) []int {
+	n := len(snap.Queue)
+	if n == 0 {
+		return nil
+	}
+	cost := ls.Cost
+	if cost == nil {
+		cost = HierarchicalCost
+	}
+	limit := ls.NodeLimit
+	if limit < 1 {
+		limit = 1
+	}
+	ls.decisions++
+	rng := stats.NewRNG(ls.Seed, ls.decisions)
+
+	// Current ordering: heuristic order by default, the best DDS path
+	// in hybrid mode (the DDS pass consumes half the budget).
+	s := &ls.s
+	s.reset(snap, ls.Heuristic, ls.Bound.At(snap), cost, limit)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	budget := int64(limit)
+	if ls.Hybrid && n > 1 {
+		s.limit = limit / 2
+		s.runDDS()
+		budget -= s.nodes
+		if len(s.bestPath) == n {
+			copy(order, s.bestPath)
+		}
+		ls.SearchStats.Nodes += s.nodes
+		ls.SearchStats.Leaves += s.leaves
+	}
+
+	eval := newOrderEvaluator(snap, s.ordered, cost, ls.Bound.At(snap))
+
+	c0, sn0 := eval.run(order)
+	bestCost := c0
+	bestStartNow := append([]bool(nil), sn0...) // eval reuses its slice
+	used := int64(n)
+	cur := append([]int(nil), order...)
+	curCost := bestCost
+
+	// Hill climbing by pairwise swaps: accept improvements, revert the
+	// rest. Each evaluation costs n node visits.
+	for used+int64(n) <= budget && n > 1 {
+		i, k := rng.IntN(n), rng.IntN(n)
+		if i == k {
+			k = (k + 1) % n
+		}
+		cur[i], cur[k] = cur[k], cur[i]
+		c, startNow := eval.run(cur)
+		used += int64(n)
+		if c.Less(curCost) {
+			curCost = c
+			if c.Less(bestCost) {
+				bestCost = c
+				copy(bestStartNow, startNow)
+			}
+		} else {
+			cur[i], cur[k] = cur[k], cur[i] // revert
+		}
+	}
+
+	ls.SearchStats.Decisions++
+	ls.SearchStats.Nodes += used
+	ls.SearchStats.Leaves += used / int64(n)
+	ls.LastBestCost = bestCost
+
+	var starts []int
+	for oi, now := range bestStartNow {
+		if now {
+			starts = append(starts, s.ordered[oi].QueuePos)
+		}
+	}
+	return starts
+}
+
+// orderEvaluator scores complete orderings against a fresh profile of
+// the running jobs, reusing buffers across evaluations.
+type orderEvaluator struct {
+	prof     *cluster.Profile
+	jobs     []sim.WaitingJob
+	cost     CostFn
+	bound    job.Duration
+	now      job.Time
+	startNow []bool
+	undo     []cluster.Placement
+}
+
+func newOrderEvaluator(snap *sim.Snapshot, ordered []sim.WaitingJob, cost CostFn, bound job.Duration) *orderEvaluator {
+	prof := cluster.New(snap.Capacity, snap.Now)
+	for _, r := range snap.Running {
+		end := r.PredictedEnd
+		if end <= snap.Now {
+			end = snap.Now + 1
+		}
+		prof.Place(snap.Now, r.Nodes, end-snap.Now)
+	}
+	return &orderEvaluator{
+		prof:     prof,
+		jobs:     ordered,
+		cost:     cost,
+		bound:    bound,
+		now:      snap.Now,
+		startNow: make([]bool, len(ordered)),
+		undo:     make([]cluster.Placement, 0, len(ordered)),
+	}
+}
+
+// run places the jobs in the given ordering (ordered indices) and
+// returns the schedule cost and per-ordered-index start-now flags. The
+// returned slice is reused by the next call.
+func (e *orderEvaluator) run(order []int) (Cost, []bool) {
+	var total Cost
+	e.undo = e.undo[:0]
+	for _, oi := range order {
+		w := e.jobs[oi]
+		est := w.Estimate
+		if est < 1 {
+			est = 1
+		}
+		start, pl := e.prof.PlaceEarliest(e.now, w.Job.Nodes, est)
+		e.undo = append(e.undo, pl)
+		total = total.Add(e.cost(w, start, e.now, e.bound))
+		e.startNow[oi] = start == e.now
+	}
+	for i := len(e.undo) - 1; i >= 0; i-- {
+		e.prof.Undo(e.undo[i])
+	}
+	return total, e.startNow
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+func TestLocalSchedulerBasics(t *testing.T) {
+	for _, mk := range []func() *LocalScheduler{
+		func() *LocalScheduler { return NewLocal(HeuristicLXF, DynamicBound(), 200) },
+		func() *LocalScheduler { return NewHybrid(HeuristicLXF, DynamicBound(), 200) },
+	} {
+		ls := mk()
+		if starts := ls.Decide(&sim.Snapshot{Now: 0, Capacity: 4, FreeNodes: 4}); len(starts) != 0 {
+			t.Errorf("%s: starts on empty queue: %v", ls.Name(), starts)
+		}
+		snap := fourJobSnapshot()
+		starts := ls.Decide(snap)
+		if len(starts) != 4 {
+			t.Errorf("%s: started %d of 4 trivially fitting jobs", ls.Name(), len(starts))
+		}
+		if ls.SearchStats.Decisions != 1 {
+			t.Errorf("%s: Decisions = %d, want 1 (empty-queue calls do not count)", ls.Name(), ls.SearchStats.Decisions)
+		}
+	}
+}
+
+func TestLocalSchedulerNames(t *testing.T) {
+	if got := NewLocal(HeuristicLXF, DynamicBound(), 100).Name(); got != "LS/lxf/dynB" {
+		t.Errorf("Name = %q", got)
+	}
+	if got := NewHybrid(HeuristicFCFS, FixedBound(50*job.Hour), 100).Name(); got != "DDS+LS/fcfs/fixB=50h" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+func TestLocalSchedulerDeterministic(t *testing.T) {
+	snap := randomSnapshot(rand.New(rand.NewSource(3)), 8)
+	a := NewLocal(HeuristicLXF, DynamicBound(), 500)
+	b := NewLocal(HeuristicLXF, DynamicBound(), 500)
+	sa := a.Decide(snap)
+	sb := b.Decide(snap)
+	if len(sa) != len(sb) {
+		t.Fatalf("nondeterministic: %v vs %v", sa, sb)
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("nondeterministic: %v vs %v", sa, sb)
+		}
+	}
+}
+
+func TestLocalSchedulerFeasibleStarts(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		snap := randomSnapshot(rng, 1+rng.Intn(10))
+		for _, ls := range []*LocalScheduler{
+			NewLocal(HeuristicLXF, DynamicBound(), 300),
+			NewHybrid(HeuristicLXF, DynamicBound(), 300),
+		} {
+			starts := ls.Decide(snap)
+			total := 0
+			seen := map[int]bool{}
+			for _, qi := range starts {
+				if qi < 0 || qi >= len(snap.Queue) || seen[qi] {
+					t.Fatalf("trial %d %s: bad starts %v", trial, ls.Name(), starts)
+				}
+				seen[qi] = true
+				total += snap.Queue[qi].Job.Nodes
+			}
+			if total > snap.FreeNodes {
+				t.Fatalf("trial %d %s: %d nodes started with %d free",
+					trial, ls.Name(), total, snap.FreeNodes)
+			}
+		}
+	}
+}
+
+// TestLocalSearchNeverWorseThanSeed: the committed schedule's cost is at
+// least as good as the seed ordering's cost, because the climb only
+// accepts improvements. We verify via the one-decision contract: with a
+// budget of exactly n (one evaluation), the result equals the heuristic
+// schedule; larger budgets may only improve the objective.
+func TestLocalSearchBudgetMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		snap := randomSnapshot(rng, 6)
+		n := len(snap.Queue)
+		costOf := func(budget int) Cost {
+			ls := NewLocal(HeuristicLXF, DynamicBound(), budget)
+			ls.Decide(snap)
+			return ls.LastBestCost
+		}
+		small := costOf(n)       // heuristic order only
+		large := costOf(100 * n) // plenty of climbing
+		if small.Less(large) {
+			t.Fatalf("trial %d: larger budget worsened cost: %v -> %v", trial, small, large)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package core implements the paper's contribution: goal-oriented,
+// search-based on-line job scheduling. At each decision point the
+// scheduler explores the tree of waiting-queue orderings with a complete
+// discrepancy-based search algorithm (LDS or DDS), evaluates each
+// complete ordering against a hierarchical objective — minimize total
+// excessive wait, then minimize average bounded slowdown — under a
+// node-visit budget L, and commits the job starts of the best schedule
+// found.
+package core
+
+import (
+	"fmt"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+// Cost is an additive, lexicographically ordered objective value for one
+// schedule. Level 0 is the paper's first-level goal (total excessive
+// wait, in seconds); level 1 is the second-level goal (sum of bounded
+// slowdowns — equivalent to the average, since every schedule at a
+// decision point covers the same job set). Lower is better.
+type Cost [2]float64
+
+// Add returns the element-wise sum.
+func (c Cost) Add(o Cost) Cost { return Cost{c[0] + o[0], c[1] + o[1]} }
+
+// Sub returns the element-wise difference.
+func (c Cost) Sub(o Cost) Cost { return Cost{c[0] - o[0], c[1] - o[1]} }
+
+// Less compares lexicographically with a small absolute epsilon per
+// level, implementing the paper's "schedule A is better than B" rule.
+func (c Cost) Less(o Cost) bool {
+	const eps = 1e-9
+	if c[0] < o[0]-eps {
+		return true
+	}
+	if c[0] > o[0]+eps {
+		return false
+	}
+	return c[1] < o[1]-eps
+}
+
+// CostFn scores the placement of one waiting job at a given start time.
+// The total cost of a schedule is the sum over its jobs. bound is the
+// target wait bound active at this decision point.
+type CostFn func(w sim.WaitingJob, start, now job.Time, bound job.Duration) Cost
+
+// HierarchicalCost is the paper's objective: level 0 accumulates the
+// job's wait in excess of the bound (seconds), level 1 accumulates the
+// job's bounded slowdown computed with the runtime estimate the
+// scheduler sees.
+func HierarchicalCost(w sim.WaitingJob, start, now job.Time, bound job.Duration) Cost {
+	excess := (start - w.Job.Submit) - bound
+	if excess < 0 {
+		excess = 0
+	}
+	return Cost{
+		float64(excess),
+		job.BoundedSlowdownAt(w.Job.Submit, w.Estimate, start),
+	}
+}
+
+// RuntimeScaledCost is the paper's future-work variant: the target wait
+// bound is scaled per job as a function of its runtime estimate, so
+// short jobs are held to tighter wait bounds. A job with estimate e gets
+// the bound min(bound, max(MinBound, Factor×e)).
+func RuntimeScaledCost(factor float64, minBound job.Duration) CostFn {
+	return func(w sim.WaitingJob, start, now job.Time, bound job.Duration) Cost {
+		b := job.Duration(factor * float64(w.Estimate))
+		if b < minBound {
+			b = minBound
+		}
+		if b > bound {
+			b = bound
+		}
+		return HierarchicalCost(w, start, now, b)
+	}
+}
+
+// BoundSpec selects the target wait bound of the first-level goal.
+type BoundSpec struct {
+	// Dynamic selects the paper's dynB bound: the wait time of the
+	// currently longest-waiting job in the queue. When false, the fixed
+	// bound Omega is used.
+	Dynamic bool
+	// Omega is the fixed target wait bound ω (ignored when Dynamic).
+	Omega job.Duration
+}
+
+// FixedBound returns a fixed target wait bound of ω.
+func FixedBound(omega job.Duration) BoundSpec { return BoundSpec{Omega: omega} }
+
+// DynamicBound returns the paper's dynB bound.
+func DynamicBound() BoundSpec { return BoundSpec{Dynamic: true} }
+
+// At resolves the bound for a decision point.
+func (b BoundSpec) At(snap *sim.Snapshot) job.Duration {
+	if !b.Dynamic {
+		return b.Omega
+	}
+	var longest job.Duration
+	for _, w := range snap.Queue {
+		if wait := snap.Now - w.Job.Submit; wait > longest {
+			longest = wait
+		}
+	}
+	return longest
+}
+
+// String names the bound in policy names ("dynB", "fixB=100h").
+func (b BoundSpec) String() string {
+	if b.Dynamic {
+		return "dynB"
+	}
+	return fmt.Sprintf("fixB=%dh", b.Omega/job.Hour)
+}

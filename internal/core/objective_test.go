@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+func TestCostLess(t *testing.T) {
+	cases := []struct {
+		a, b Cost
+		want bool
+	}{
+		{Cost{0, 5}, Cost{1, 0}, true},                 // lower excess wins regardless of slowdown
+		{Cost{1, 0}, Cost{0, 5}, false},                //
+		{Cost{2, 3}, Cost{2, 4}, true},                 // tie on excess: lower slowdown wins
+		{Cost{2, 4}, Cost{2, 3}, false},                //
+		{Cost{2, 3}, Cost{2, 3}, false},                // equal is not less
+		{Cost{2, 3}, Cost{2.0000000000001, 3.1}, true}, // epsilon tie on level 0
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("(%v).Less(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCostLessIsStrictOrder(t *testing.T) {
+	// Irreflexivity and asymmetry over random costs.
+	prop := func(a0, a1, b0, b1 float64) bool {
+		a, b := Cost{a0, a1}, Cost{b0, b1}
+		if a.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostAddSub(t *testing.T) {
+	a, b := Cost{1, 2}, Cost{3, 4}
+	if got := a.Add(b); got != (Cost{4, 6}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != (Cost{2, 2}) {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func waiting(id int, submit job.Time, nodes int, est job.Duration) sim.WaitingJob {
+	return sim.WaitingJob{
+		Job:      job.Job{ID: id, Submit: submit, Nodes: nodes, Runtime: est, Request: est},
+		Estimate: est,
+	}
+}
+
+func TestHierarchicalCost(t *testing.T) {
+	w := waiting(1, 0, 1, 3600)
+	// Started at t=7200 with bound 3600: one hour of excess.
+	c := HierarchicalCost(w, 7200, 7200, 3600)
+	if c[0] != 3600 {
+		t.Errorf("excess = %v, want 3600", c[0])
+	}
+	// Bounded slowdown: (wait + rt)/rt = (7200+3600)/3600 = 3.
+	if c[1] != 3 {
+		t.Errorf("bsld = %v, want 3", c[1])
+	}
+	// Within the bound: zero excess.
+	c = HierarchicalCost(w, 3000, 3000, 3600)
+	if c[0] != 0 {
+		t.Errorf("excess = %v, want 0", c[0])
+	}
+}
+
+func TestHierarchicalCostShortJobFloor(t *testing.T) {
+	// A 10-second job uses the 1-minute floor: bsld = 1 + wait/60s.
+	w := waiting(1, 0, 1, 10)
+	c := HierarchicalCost(w, 120, 120, 1<<40)
+	want := float64(120+60) / 60
+	if c[1] != want {
+		t.Errorf("bsld = %v, want %v", c[1], want)
+	}
+}
+
+func TestRuntimeScaledCost(t *testing.T) {
+	fn := RuntimeScaledCost(2.0, 600)
+	// Short job (est 300s): bound = max(600, 2*300) = 600, tighter than
+	// the global bound of 7200.
+	w := waiting(1, 0, 1, 300)
+	c := fn(w, 1000, 1000, 7200)
+	if c[0] != 400 { // wait 1000 - bound 600
+		t.Errorf("scaled excess = %v, want 400", c[0])
+	}
+	// Long job (est 10000s): 2*est = 20000 > global bound 7200, so the
+	// global bound applies.
+	w2 := waiting(2, 0, 1, 10000)
+	c2 := fn(w2, 8000, 8000, 7200)
+	if c2[0] != 800 {
+		t.Errorf("long-job excess = %v, want 800", c2[0])
+	}
+}
+
+func TestBoundSpecAt(t *testing.T) {
+	fixed := FixedBound(100 * job.Hour)
+	snap := &sim.Snapshot{Now: 5000}
+	snap.Queue = []sim.WaitingJob{waiting(1, 2000, 1, 60), waiting(2, 4000, 1, 60)}
+	if got := fixed.At(snap); got != 100*job.Hour {
+		t.Errorf("fixed bound = %d", got)
+	}
+	dyn := DynamicBound()
+	if got := dyn.At(snap); got != 3000 {
+		t.Errorf("dynamic bound = %d, want 3000 (longest current wait)", got)
+	}
+	// Empty queue: dynamic bound is zero.
+	if got := dyn.At(&sim.Snapshot{Now: 5000}); got != 0 {
+		t.Errorf("dynamic bound on empty queue = %d, want 0", got)
+	}
+}
+
+func TestBoundSpecString(t *testing.T) {
+	if got := DynamicBound().String(); got != "dynB" {
+		t.Errorf("String = %q", got)
+	}
+	if got := FixedBound(50 * job.Hour).String(); got != "fixB=50h" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestDynamicBoundProtectsLongestWaiter: under dynB, the schedule that
+// starts the longest-waiting job now always beats one that delays it,
+// all else equal — the mechanism that bounds maximum wait.
+func TestDynamicBoundProtectsLongestWaiter(t *testing.T) {
+	// Machine with 2 free nodes; an old 2-node job and two fresh 1-node
+	// jobs. Starting both fresh jobs now fills the machine and delays
+	// the old job past its (dynamic) bound; the search should start the
+	// old job instead.
+	now := job.Time(100 * 3600)
+	old := waiting(1, now-50*3600, 2, 10*3600) // waited 50h
+	f1 := waiting(2, now-60, 1, 10*3600)
+	f2 := waiting(3, now-30, 1, 10*3600)
+	snap := &sim.Snapshot{Now: now, Capacity: 2, FreeNodes: 2,
+		Queue: []sim.WaitingJob{old, f1, f2}}
+	for i := range snap.Queue {
+		snap.Queue[i].QueuePos = i
+	}
+	sch := New(DDS, HeuristicLXF, DynamicBound(), 10000)
+	starts := sch.Decide(snap)
+	if len(starts) != 1 || starts[0] != 0 {
+		t.Errorf("Decide = %v, want [0] (start the 50h-old 2-node job)", starts)
+	}
+}

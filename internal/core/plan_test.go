@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+func TestLastPlanCoversQueue(t *testing.T) {
+	snap := fourJobSnapshot()
+	sch := New(DDS, HeuristicLXF, DynamicBound(), 1000)
+	starts := sch.Decide(snap)
+	plan := sch.LastPlan()
+	if len(plan) != len(snap.Queue) {
+		t.Fatalf("plan has %d entries for a %d-job queue", len(plan), len(snap.Queue))
+	}
+	ids := map[int]bool{}
+	for _, p := range plan {
+		ids[p.JobID] = true
+		if p.Planned < snap.Now {
+			t.Errorf("job %d planned at %d, before now %d", p.JobID, p.Planned, snap.Now)
+		}
+	}
+	for _, w := range snap.Queue {
+		if !ids[w.Job.ID] {
+			t.Errorf("job %d missing from plan", w.Job.ID)
+		}
+	}
+	// Jobs the decision starts must be planned at exactly now.
+	byID := map[int]PlannedStart{}
+	for _, p := range plan {
+		byID[p.JobID] = p
+	}
+	for _, qi := range starts {
+		id := snap.Queue[qi].Job.ID
+		if byID[id].Planned != snap.Now {
+			t.Errorf("started job %d planned at %d, want now", id, byID[id].Planned)
+		}
+	}
+}
+
+func TestLastPlanReflectsContention(t *testing.T) {
+	// One free node, two one-node jobs with equal estimates: one starts
+	// now, the other is planned after the first completes.
+	now := job.Time(5000)
+	snap := &sim.Snapshot{Now: now, Capacity: 2, FreeNodes: 1}
+	snap.Running = []sim.RunningJob{{ID: 9, Nodes: 1, Start: 0, PredictedEnd: now + 10000}}
+	for i := 0; i < 2; i++ {
+		snap.Queue = append(snap.Queue, sim.WaitingJob{
+			Job:      job.Job{ID: i + 1, Submit: job.Time(i), Nodes: 1, Runtime: 600, Request: 600},
+			Estimate: 600, QueuePos: i,
+		})
+	}
+	sch := New(DDS, HeuristicLXF, DynamicBound(), 1000)
+	sch.Decide(snap)
+	plan := sch.LastPlan()
+	var nowCount, laterCount int
+	for _, p := range plan {
+		switch p.Planned {
+		case now:
+			nowCount++
+		case now + 600:
+			laterCount++
+		default:
+			t.Errorf("job %d planned at %d, want %d or %d", p.JobID, p.Planned, now, now+600)
+		}
+	}
+	if nowCount != 1 || laterCount != 1 {
+		t.Errorf("plan spread now=%d later=%d, want 1/1", nowCount, laterCount)
+	}
+}
+
+func TestLastPlanResetsBetweenDecisions(t *testing.T) {
+	sch := New(DDS, HeuristicLXF, DynamicBound(), 1000)
+	sch.Decide(fourJobSnapshot())
+	if len(sch.LastPlan()) != 4 {
+		t.Fatalf("plan size %d", len(sch.LastPlan()))
+	}
+	// A smaller queue must shrink the plan.
+	snap := fourJobSnapshot()
+	snap.Queue = snap.Queue[:2]
+	sch.Decide(snap)
+	if len(sch.LastPlan()) != 2 {
+		t.Errorf("plan size %d after 2-job decision", len(sch.LastPlan()))
+	}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+// randomSnapshot builds a random contended decision point.
+func randomSnapshot(rng *rand.Rand, queueLen int) *sim.Snapshot {
+	capacity := 8 + rng.Intn(24)
+	now := job.Time(50000)
+	snap := &sim.Snapshot{Now: now, Capacity: capacity, FreeNodes: capacity}
+	used := 0
+	for used < capacity && rng.Float64() < 0.6 {
+		n := 1 + rng.Intn(capacity-used)
+		snap.Running = append(snap.Running, sim.RunningJob{
+			ID: 100 + len(snap.Running), Nodes: n, Start: 0,
+			PredictedEnd: now + job.Duration(1+rng.Intn(7200)),
+		})
+		used += n
+	}
+	snap.FreeNodes = capacity - used
+	for i := 0; i < queueLen; i++ {
+		est := job.Duration(60 + rng.Intn(14400))
+		snap.Queue = append(snap.Queue, sim.WaitingJob{
+			Job: job.Job{
+				ID:      i + 1,
+				Submit:  now - job.Time(rng.Intn(40000)),
+				Nodes:   1 + rng.Intn(capacity),
+				Runtime: est, Request: est,
+			},
+			Estimate: est,
+			QueuePos: i,
+		})
+	}
+	return snap
+}
+
+// TestPruningPreservesOptimum: with an unlimited budget (full
+// enumeration), branch-and-bound pruning must find exactly the same
+// best cost as the exhaustive search, and prune a non-trivial amount of
+// the tree.
+func TestPruningPreservesOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	totalPruned := int64(0)
+	for trial := 0; trial < 40; trial++ {
+		snap := randomSnapshot(rng, 2+rng.Intn(5)) // up to 6! = 720 paths
+		for _, algo := range []Algorithm{LDS, DDS} {
+			plain := New(algo, HeuristicLXF, DynamicBound(), 1<<30)
+			pruned := New(algo, HeuristicLXF, DynamicBound(), 1<<30)
+			pruned.Prune = true
+
+			plainStarts := plain.Decide(snap)
+			prunedStarts := pruned.Decide(snap)
+
+			if plain.s.bestCost != pruned.s.bestCost {
+				t.Fatalf("trial %d %s: best cost %v with pruning, %v without",
+					trial, algo, pruned.s.bestCost, plain.s.bestCost)
+			}
+			if len(plainStarts) != len(prunedStarts) {
+				t.Fatalf("trial %d %s: starts %v with pruning, %v without",
+					trial, algo, prunedStarts, plainStarts)
+			}
+			for i := range plainStarts {
+				if plainStarts[i] != prunedStarts[i] {
+					t.Fatalf("trial %d %s: starts %v with pruning, %v without",
+						trial, algo, prunedStarts, plainStarts)
+				}
+			}
+			if pruned.SearchStats.Nodes > plain.SearchStats.Nodes {
+				t.Fatalf("trial %d %s: pruning visited MORE nodes (%d > %d)",
+					trial, algo, pruned.SearchStats.Nodes, plain.SearchStats.Nodes)
+			}
+			totalPruned += pruned.SearchStats.Pruned
+		}
+	}
+	if totalPruned == 0 {
+		t.Error("pruning never cut a subtree across 40 random trials")
+	}
+}
+
+// TestPruningDisabledByDefault: the paper-faithful configuration does
+// not prune.
+func TestPruningDisabledByDefault(t *testing.T) {
+	sch := New(DDS, HeuristicLXF, DynamicBound(), 1<<30)
+	sch.Decide(fourJobSnapshot())
+	if sch.SearchStats.Pruned != 0 {
+		t.Errorf("Pruned = %d without Prune", sch.SearchStats.Pruned)
+	}
+	if sch.SearchStats.Leaves != 24 {
+		t.Errorf("Leaves = %d, want full enumeration", sch.SearchStats.Leaves)
+	}
+}

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"schedsearch/internal/cluster"
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+// Algorithm selects the complete search algorithm.
+type Algorithm int
+
+const (
+	// LDS is limited discrepancy search (Harvey & Ginsberg 1995, with
+	// Korf's exact-k iteration improvement): iteration k explores all
+	// paths containing exactly k discrepancies, fewest first.
+	LDS Algorithm = iota
+	// DDS is depth-bounded discrepancy search (Walsh 1997): iteration
+	// i explores paths whose deepest discrepancy is exactly at depth i,
+	// with free branching above, biasing search toward discrepancies
+	// high in the tree.
+	DDS
+	// DFS is plain chronological depth-first enumeration — the naive
+	// baseline: within a budget it only ever varies the END of the
+	// heuristic schedule, which is why the paper uses discrepancy
+	// search instead (demonstrated by the ext-dfs experiment).
+	DFS
+)
+
+// String returns the paper's tag for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case LDS:
+		return "LDS"
+	case DDS:
+		return "DDS"
+	case DFS:
+		return "DFS"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Heuristic selects the branching heuristic that orders the branches at
+// every search-tree node (the left-most branch follows the heuristic;
+// every other branch is a discrepancy).
+type Heuristic int
+
+const (
+	// HeuristicFCFS orders jobs by arrival (first come first served).
+	HeuristicFCFS Heuristic = iota
+	// HeuristicLXF orders jobs by largest current bounded slowdown
+	// first.
+	HeuristicLXF
+)
+
+// String returns the paper's tag for the heuristic.
+func (h Heuristic) String() string {
+	switch h {
+	case HeuristicFCFS:
+		return "fcfs"
+	case HeuristicLXF:
+		return "lxf"
+	default:
+		return fmt.Sprintf("Heuristic(%d)", int(h))
+	}
+}
+
+// Stats aggregates search effort over a simulation run.
+type Stats struct {
+	// Decisions counts decision points where a search ran.
+	Decisions int
+	// Nodes counts search-tree nodes visited (job placements).
+	Nodes int64
+	// Leaves counts complete schedules evaluated.
+	Leaves int64
+	// Exhausted counts decisions where the whole tree was enumerated
+	// within the budget.
+	Exhausted int
+	// BudgetHits counts decisions cut off by the node limit.
+	BudgetHits int
+	// Pruned counts subtrees cut by branch-and-bound (zero unless
+	// Prune is enabled).
+	Pruned int64
+}
+
+// Scheduler is the search-based scheduling policy (sim.Policy). The
+// zero value is not valid; use New or populate all fields.
+type Scheduler struct {
+	Algorithm Algorithm
+	Heuristic Heuristic
+	Bound     BoundSpec
+	// NodeLimit is L, the maximum search-tree nodes visited per
+	// decision point. The heuristic (iteration-0) schedule is always
+	// completed even if it alone exceeds the limit, so the policy can
+	// always commit a schedule.
+	NodeLimit int
+	// Cost scores job placements; nil means the paper's
+	// HierarchicalCost.
+	Cost CostFn
+	// Prune enables branch-and-bound pruning (the paper's future-work
+	// suggestion): a subtree is cut as soon as the partial schedule's
+	// cost is already no better than the best complete schedule, which
+	// is admissible because per-job costs are non-negative and
+	// additive. Custom Cost functions returning negative components
+	// must leave this off. Off by default (paper-faithful search).
+	Prune bool
+
+	// SearchStats accumulates effort counters across the run.
+	SearchStats Stats
+
+	lastPlan []PlannedStart
+	s        searchState // reusable scratch
+}
+
+// New returns a search-based scheduler; the paper's best policy is
+// New(DDS, HeuristicLXF, DynamicBound(), 1000).
+func New(algo Algorithm, h Heuristic, bound BoundSpec, nodeLimit int) *Scheduler {
+	return &Scheduler{Algorithm: algo, Heuristic: h, Bound: bound, NodeLimit: nodeLimit}
+}
+
+// Name implements sim.Policy, producing the paper's naming scheme, e.g.
+// "DDS/lxf/dynB".
+func (sch *Scheduler) Name() string {
+	return fmt.Sprintf("%s/%s/%s", sch.Algorithm, sch.Heuristic, sch.Bound)
+}
+
+// Decide implements sim.Policy.
+func (sch *Scheduler) Decide(snap *sim.Snapshot) []int {
+	n := len(snap.Queue)
+	if n == 0 {
+		return nil
+	}
+	cost := sch.Cost
+	if cost == nil {
+		cost = HierarchicalCost
+	}
+	limit := sch.NodeLimit
+	if limit < 1 {
+		limit = 1
+	}
+
+	s := &sch.s
+	s.reset(snap, sch.Heuristic, sch.Bound.At(snap), cost, limit)
+	s.prune = sch.Prune
+	switch sch.Algorithm {
+	case LDS:
+		s.runLDS()
+	case DDS:
+		s.runDDS()
+	case DFS:
+		s.runDFS(0)
+	default:
+		panic(fmt.Sprintf("core: unknown algorithm %d", sch.Algorithm))
+	}
+
+	sch.SearchStats.Decisions++
+	sch.SearchStats.Nodes += s.nodes
+	sch.SearchStats.Leaves += s.leaves
+	sch.SearchStats.Pruned += s.pruned
+	if s.aborted {
+		sch.SearchStats.BudgetHits++
+	} else {
+		sch.SearchStats.Exhausted++
+	}
+
+	var starts []int
+	sch.lastPlan = sch.lastPlan[:0]
+	for oi, now := range s.bestStartNow {
+		if now {
+			starts = append(starts, s.ordered[oi].QueuePos)
+		}
+		sch.lastPlan = append(sch.lastPlan, PlannedStart{
+			JobID:   s.ordered[oi].Job.ID,
+			User:    s.ordered[oi].Job.User,
+			Nodes:   s.ordered[oi].Job.Nodes,
+			Planned: s.bestStart[oi],
+		})
+	}
+	return starts
+}
+
+// PlannedStart is one queued job's planned start time under the best
+// schedule found at the most recent decision — the "estimated start
+// time" a production scheduler would show users. Plans are advisory:
+// they are recomputed (and typically improve) at every later decision.
+type PlannedStart struct {
+	JobID   int
+	User    int
+	Nodes   int
+	Planned job.Time
+}
+
+// LastPlan returns the planned start of every job queued at the most
+// recent decision, in the heuristic's branch order. The slice is reused
+// by the next Decide.
+func (sch *Scheduler) LastPlan() []PlannedStart { return sch.lastPlan }
+
+// searchState holds the per-decision search machinery; it is reused
+// across decisions to avoid allocation churn.
+type searchState struct {
+	now    job.Time
+	bound  job.Duration
+	cost   CostFn
+	limit  int
+	nodes  int64
+	leaves int64
+
+	prof    *cluster.Profile
+	ordered []sim.WaitingJob // heuristic branch order
+	used    []bool
+
+	curCost      Cost
+	curPath      []int // ordered indices along the current partial path
+	curStartNow  []bool
+	curStart     []job.Time // planned start per ordered index (current path)
+	bestCost     Cost
+	bestStartNow []bool
+	bestStart    []job.Time // planned start per ordered index (best schedule)
+	bestPath     []int      // ordered indices of the best complete schedule
+	bestFound    bool
+	aborted      bool
+	prune        bool
+	pruned       int64
+
+	// leafHook, when set (tests only), observes every complete path in
+	// exploration order.
+	leafHook func(path []int, cost Cost)
+}
+
+func (s *searchState) reset(snap *sim.Snapshot, h Heuristic, bound job.Duration, cost CostFn, limit int) {
+	n := len(snap.Queue)
+	s.now = snap.Now
+	s.bound = bound
+	s.cost = cost
+	s.limit = limit
+	s.nodes = 0
+	s.leaves = 0
+	s.pruned = 0
+	s.prune = false
+	s.bestFound = false
+	s.aborted = false
+	s.curCost = Cost{}
+
+	s.ordered = append(s.ordered[:0], snap.Queue...)
+	orderJobs(s.ordered, h, snap.Now)
+
+	s.used = resizeBool(s.used, n)
+	s.curStartNow = resizeBool(s.curStartNow, n)
+	s.bestStartNow = resizeBool(s.bestStartNow, n)
+	s.curStart = resizeTimes(s.curStart, n)
+	s.bestStart = resizeTimes(s.bestStart, n)
+	s.curPath = s.curPath[:0]
+
+	// Build the availability profile from running jobs' predicted ends.
+	s.prof = cluster.New(snap.Capacity, snap.Now)
+	for _, r := range snap.Running {
+		end := r.PredictedEnd
+		if end <= snap.Now {
+			end = snap.Now + 1
+		}
+		s.prof.Place(snap.Now, r.Nodes, end-snap.Now)
+	}
+}
+
+func resizeBool(b []bool, n int) []bool {
+	b = b[:0]
+	for i := 0; i < n; i++ {
+		b = append(b, false)
+	}
+	return b
+}
+
+func resizeTimes(ts []job.Time, n int) []job.Time {
+	ts = ts[:0]
+	for i := 0; i < n; i++ {
+		ts = append(ts, 0)
+	}
+	return ts
+}
+
+// orderJobs sorts jobs into the heuristic's branch order with
+// deterministic tiebreaks.
+func orderJobs(jobs []sim.WaitingJob, h Heuristic, now job.Time) {
+	switch h {
+	case HeuristicFCFS:
+		sort.SliceStable(jobs, func(a, b int) bool {
+			if jobs[a].Job.Submit != jobs[b].Job.Submit {
+				return jobs[a].Job.Submit < jobs[b].Job.Submit
+			}
+			return jobs[a].Job.ID < jobs[b].Job.ID
+		})
+	case HeuristicLXF:
+		sort.SliceStable(jobs, func(a, b int) bool {
+			sa := job.BoundedSlowdownAt(jobs[a].Job.Submit, jobs[a].Estimate, now)
+			sb := job.BoundedSlowdownAt(jobs[b].Job.Submit, jobs[b].Estimate, now)
+			if sa != sb {
+				return sa > sb
+			}
+			if jobs[a].Job.Submit != jobs[b].Job.Submit {
+				return jobs[a].Job.Submit < jobs[b].Job.Submit
+			}
+			return jobs[a].Job.ID < jobs[b].Job.ID
+		})
+	default:
+		panic(fmt.Sprintf("core: unknown heuristic %d", h))
+	}
+}
+
+// overBudget reports whether the node budget is spent; the search keeps
+// going until at least one complete schedule exists, so a decision can
+// always be committed.
+func (s *searchState) overBudget() bool {
+	return s.nodes >= int64(s.limit) && s.bestFound
+}
+
+// visit places the b-th unused job (in heuristic order), recurses via
+// down, and undoes the placement. It returns false when the search
+// aborted on budget.
+func (s *searchState) visit(branch int, down func()) bool {
+	if s.overBudget() {
+		s.aborted = true
+		return false
+	}
+	// Locate the branch-th unused job.
+	oi := -1
+	seen := 0
+	for i := range s.ordered {
+		if s.used[i] {
+			continue
+		}
+		if seen == branch {
+			oi = i
+			break
+		}
+		seen++
+	}
+	if oi < 0 {
+		panic("core: branch index out of range")
+	}
+	s.nodes++
+
+	w := s.ordered[oi]
+	est := w.Estimate
+	if est < 1 {
+		est = 1
+	}
+	start, pl := s.prof.PlaceEarliest(s.now, w.Job.Nodes, est)
+	delta := s.cost(w, start, s.now, s.bound)
+	prevCost := s.curCost
+	s.curCost = s.curCost.Add(delta)
+	s.used[oi] = true
+	s.curStartNow[oi] = start == s.now
+	s.curStart[oi] = start
+	s.curPath = append(s.curPath, oi)
+
+	// Branch and bound: per-job costs are non-negative, so the partial
+	// cost lower-bounds every completion of this path.
+	if s.prune && s.bestFound && !s.curCost.Less(s.bestCost) {
+		s.pruned++
+	} else {
+		down()
+	}
+
+	s.curPath = s.curPath[:len(s.curPath)-1]
+	s.used[oi] = false
+	s.curCost = prevCost
+	s.prof.Undo(pl)
+	return !s.aborted
+}
+
+// leaf records the completed schedule if it beats the best so far.
+func (s *searchState) leaf() {
+	s.leaves++
+	if s.leafHook != nil {
+		s.leafHook(s.curPath, s.curCost)
+	}
+	if !s.bestFound || s.curCost.Less(s.bestCost) {
+		s.bestFound = true
+		s.bestCost = s.curCost
+		copy(s.bestStartNow, s.curStartNow)
+		copy(s.bestStart, s.curStart)
+		s.bestPath = append(s.bestPath[:0], s.curPath...)
+	}
+}
+
+// runLDS runs exact-k limited discrepancy search, k = 0, 1, ... until
+// the budget is spent or the tree is exhausted.
+func (s *searchState) runLDS() {
+	n := len(s.ordered)
+	maxK := n - 1 // at most one discrepancy per level with >= 2 branches
+	if maxK < 0 {
+		maxK = 0
+	}
+	for k := 0; k <= maxK && !s.aborted; k++ {
+		s.ldsDFS(0, k)
+	}
+}
+
+// ldsDFS explores, below the current partial path, all completions that
+// consume exactly rem further discrepancies.
+func (s *searchState) ldsDFS(depth, rem int) {
+	n := len(s.ordered)
+	if depth == n {
+		if rem == 0 {
+			s.leaf()
+		}
+		return
+	}
+	branches := n - depth
+	// Levels strictly below this one that can still host a discrepancy
+	// (a level needs at least two branches).
+	choiceBelow := n - 2 - depth
+	if choiceBelow < 0 {
+		choiceBelow = 0
+	}
+	for b := 0; b < branches; b++ {
+		if b == 0 {
+			if rem > choiceBelow {
+				continue // cannot consume all remaining discrepancies below
+			}
+			if !s.visit(0, func() { s.ldsDFS(depth+1, rem) }) {
+				return
+			}
+			continue
+		}
+		if rem == 0 {
+			break // every b > 0 would add a discrepancy
+		}
+		if !s.visit(b, func() { s.ldsDFS(depth+1, rem-1) }) {
+			return
+		}
+	}
+}
+
+// runDDS runs depth-bounded discrepancy search: iteration 0 is the pure
+// heuristic path; iteration i forces a discrepancy exactly at depth i,
+// allows any branch above, and follows the heuristic below.
+func (s *searchState) runDDS() {
+	n := len(s.ordered)
+	s.ddsDFS(0, 0)
+	for i := 1; i <= n-1 && !s.aborted; i++ {
+		s.ddsDFS(0, i)
+	}
+}
+
+// runDFS explores the whole tree in plain left-to-right depth-first
+// order (every branch allowed at every level).
+func (s *searchState) runDFS(level int) {
+	n := len(s.ordered)
+	if level == n {
+		s.leaf()
+		return
+	}
+	for b := 0; b < n-level; b++ {
+		if !s.visit(b, func() { s.runDFS(level + 1) }) {
+			return
+		}
+	}
+}
+
+// ddsDFS explores iteration iter of DDS from the given level. Level l
+// chooses the node at tree depth l+1, so iteration iter forces the
+// discrepancy at level iter-1. Iteration 0 is the leftmost path.
+func (s *searchState) ddsDFS(level, iter int) {
+	n := len(s.ordered)
+	if level == n {
+		s.leaf()
+		return
+	}
+	branches := n - level
+	var lo, hi int // allowed branch range [lo, hi)
+	switch {
+	case iter == 0 || level > iter-1:
+		lo, hi = 0, 1 // heuristic only
+	case level == iter-1:
+		lo, hi = 1, branches // forced discrepancy
+	default:
+		lo, hi = 0, branches // free branching above the forced depth
+	}
+	for b := lo; b < hi; b++ {
+		if !s.visit(b, func() { s.ddsDFS(level+1, iter) }) {
+			return
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+// TreeSize describes the search tree over orderings of n waiting jobs
+// (Figure 1(d) of the paper): n! complete paths and sum_{k=1..n}
+// n!/(n-k)! tree nodes excluding the root.
+type TreeSize struct {
+	Jobs  int
+	Paths int64
+	Nodes int64
+}
+
+// MaxTreeSizeJobs is the largest n whose node count fits in int64
+// comfortably with this formula (the paper tabulates up to n = 15; the
+// int64 limit is n = 20).
+const MaxTreeSizeJobs = 20
+
+// SizeOfTree returns the exact tree size for n waiting jobs. It panics
+// if n is negative or larger than MaxTreeSizeJobs.
+func SizeOfTree(n int) TreeSize {
+	if n < 0 || n > MaxTreeSizeJobs {
+		panic("core: SizeOfTree out of range")
+	}
+	// paths = n!; nodes = n + n(n-1) + ... + n! (one term per depth).
+	var paths int64 = 1
+	var nodes int64
+	var partial int64 = 1
+	for k := 1; k <= n; k++ {
+		paths *= int64(k)
+		partial *= int64(n - k + 1) // n, n(n-1), ...
+		nodes += partial
+	}
+	return TreeSize{Jobs: n, Paths: paths, Nodes: nodes}
+}
+
+// CountLDSPaths returns the number of complete paths containing exactly
+// k discrepancies in a tree of n jobs, where choosing any non-leftmost
+// branch at a level counts as one discrepancy. Level i (0-based) has
+// n-i branches, so it contributes a factor of (n-i-1) non-leftmost
+// choices if a discrepancy is placed there. The count is therefore the
+// elementary symmetric polynomial e_k(n-1, n-2, ..., 1).
+func CountLDSPaths(n, k int) int64 {
+	if k < 0 || k > n-1 {
+		if k == 0 && n >= 0 {
+			return 1
+		}
+		return 0
+	}
+	// dp over levels: dp[j] = #ways to place j discrepancies so far.
+	dp := make([]int64, k+1)
+	dp[0] = 1
+	for level := 0; level < n; level++ {
+		choices := int64(n - level - 1) // non-leftmost branches at this level
+		if choices <= 0 {
+			continue
+		}
+		for j := k; j >= 1; j-- {
+			dp[j] += dp[j-1] * choices
+		}
+	}
+	return dp[k]
+}
+
+// CountDDSPaths returns the number of complete paths explored by DDS
+// iteration i in a tree of n jobs: free branching above depth i, a
+// forced discrepancy at depth i, and heuristic-only branching below.
+// Iteration 0 explores exactly the heuristic path.
+func CountDDSPaths(n, i int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if i == 0 {
+		return 1
+	}
+	if i < 0 || i > n-1 {
+		return 0
+	}
+	// Levels 0..i-2 free: product of branch counts n, n-1, ...;
+	// level i-1 forced discrepancy: n-i choices... branch count at
+	// level l is n-l, so discrepancies at level i-1 number n-(i-1)-1 =
+	// n-i.
+	var paths int64 = 1
+	for l := 0; l <= i-2; l++ {
+		paths *= int64(n - l)
+	}
+	return paths * int64(n-i)
+}

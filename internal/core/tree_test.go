@@ -1,0 +1,120 @@
+package core
+
+import "testing"
+
+// TestSizeOfTreePaperValues checks the exact values in Figure 1(d).
+func TestSizeOfTreePaperValues(t *testing.T) {
+	cases := []struct {
+		n     int
+		paths int64
+		nodes int64
+	}{
+		{1, 1, 1},
+		{2, 2, 4},
+		{3, 6, 15},
+		{4, 24, 64},
+		{8, 40320, 109600},                 // paper: "110K"
+		{10, 3628800, 9864100},             // paper: "3,629K paths, 9,864K nodes"
+		{15, 1307674368000, 3554627472075}, // paper: "1,307,674M / 3,554,627M"
+	}
+	for _, c := range cases {
+		got := SizeOfTree(c.n)
+		if got.Paths != c.paths {
+			t.Errorf("SizeOfTree(%d).Paths = %d, want %d", c.n, got.Paths, c.paths)
+		}
+		if got.Nodes != c.nodes {
+			t.Errorf("SizeOfTree(%d).Nodes = %d, want %d", c.n, got.Nodes, c.nodes)
+		}
+	}
+}
+
+func TestSizeOfTreeZero(t *testing.T) {
+	got := SizeOfTree(0)
+	if got.Paths != 1 || got.Nodes != 0 {
+		t.Errorf("SizeOfTree(0) = %+v, want 1 path (empty), 0 nodes", got)
+	}
+}
+
+func TestSizeOfTreePanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{-1, MaxTreeSizeJobs + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SizeOfTree(%d) did not panic", n)
+				}
+			}()
+			SizeOfTree(n)
+		}()
+	}
+}
+
+// TestCountLDSPathsPaperValues: for n = 4, iterations 0,1,2 explore
+// 1, 6, 11 paths (Section 2.2).
+func TestCountLDSPathsPaperValues(t *testing.T) {
+	want := []int64{1, 6, 11, 6}
+	for k, w := range want {
+		if got := CountLDSPaths(4, k); got != w {
+			t.Errorf("CountLDSPaths(4, %d) = %d, want %d", k, got, w)
+		}
+	}
+	// All iterations together cover the full tree.
+	var sum int64
+	for k := 0; k <= 3; k++ {
+		sum += CountLDSPaths(4, k)
+	}
+	if sum != 24 {
+		t.Errorf("sum of LDS iteration paths = %d, want 24", sum)
+	}
+}
+
+// TestCountDDSPathsPaperValues: for n = 4, iterations 0,1,2 explore
+// 1, 3, 8 paths (Figure 1(a), (e), (f)).
+func TestCountDDSPathsPaperValues(t *testing.T) {
+	want := []int64{1, 3, 8, 12}
+	for i, w := range want {
+		if got := CountDDSPaths(4, i); got != w {
+			t.Errorf("CountDDSPaths(4, %d) = %d, want %d", i, got, w)
+		}
+	}
+	var sum int64
+	for i := 0; i <= 3; i++ {
+		sum += CountDDSPaths(4, i)
+	}
+	if sum != 24 {
+		t.Errorf("sum of DDS iteration paths = %d, want 24", sum)
+	}
+}
+
+// TestCountPathsSumToFactorial checks the partition property for a
+// range of n.
+func TestCountPathsSumToFactorial(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		want := SizeOfTree(n).Paths
+		var lds, dds int64
+		for k := 0; k <= n-1; k++ {
+			lds += CountLDSPaths(n, k)
+			dds += CountDDSPaths(n, k)
+		}
+		if lds != want {
+			t.Errorf("n=%d: LDS iterations cover %d paths, want %d", n, lds, want)
+		}
+		if dds != want {
+			t.Errorf("n=%d: DDS iterations cover %d paths, want %d", n, dds, want)
+		}
+	}
+}
+
+func TestCountPathsEdgeCases(t *testing.T) {
+	if got := CountLDSPaths(4, -1); got != 0 {
+		t.Errorf("CountLDSPaths(4, -1) = %d, want 0", got)
+	}
+	if got := CountLDSPaths(4, 4); got != 0 {
+		t.Errorf("CountLDSPaths(4, 4) = %d, want 0", got)
+	}
+	if got := CountDDSPaths(0, 0); got != 0 {
+		t.Errorf("CountDDSPaths(0, 0) = %d, want 0", got)
+	}
+	if got := CountDDSPaths(4, 7); got != 0 {
+		t.Errorf("CountDDSPaths(4, 7) = %d, want 0", got)
+	}
+}

@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"schedsearch/internal/core"
+	"schedsearch/internal/metrics"
+	"schedsearch/internal/policy"
+	"schedsearch/internal/report"
+	"schedsearch/internal/sim"
+	"schedsearch/internal/workload"
+)
+
+// CompareResult is a policy-by-month grid of the paper's measures, the
+// shared shape of Figures 3, 4 and 8.
+type CompareResult struct {
+	Months   []string
+	Policies []string
+	// Summaries[policy][month]
+	Summaries map[string]map[string]metrics.Summary
+	// Excess98 and ExcessMax hold the normalized excessive-wait
+	// summaries w.r.t. FCFS-backfill's 98th-percentile and maximum wait
+	// of the same month (the paper's E^98% and E^max), when computed.
+	Excess98  map[string]map[string]metrics.Excess
+	ExcessMax map[string]map[string]metrics.Excess
+}
+
+// Get returns the summary for (policy, month).
+func (r *CompareResult) Get(policyName, month string) metrics.Summary {
+	return r.Summaries[policyName][month]
+}
+
+// comparePolicies runs the grid and computes summaries plus, when
+// refPolicy is non-empty, the excessive-wait measures w.r.t. that
+// policy's per-month max and 98th-percentile wait.
+func comparePolicies(cfg Config, opt workload.SimOptions, specs []PolicySpec, refPolicy string) (*CompareResult, error) {
+	cfg = cfg.withDefaults()
+	results, err := runGrid(cfg, opt, specs)
+	if err != nil {
+		return nil, err
+	}
+	out := &CompareResult{
+		Months:    cfg.Months,
+		Summaries: map[string]map[string]metrics.Summary{},
+	}
+	for _, s := range specs {
+		out.Policies = append(out.Policies, s.Name)
+		out.Summaries[s.Name] = map[string]metrics.Summary{}
+	}
+	for _, m := range cfg.Months {
+		for _, s := range specs {
+			out.Summaries[s.Name][m] = metrics.Summarize(results[runKey{m, s.Name}])
+		}
+	}
+	if refPolicy != "" {
+		out.Excess98 = map[string]map[string]metrics.Excess{}
+		out.ExcessMax = map[string]map[string]metrics.Excess{}
+		for _, s := range specs {
+			out.Excess98[s.Name] = map[string]metrics.Excess{}
+			out.ExcessMax[s.Name] = map[string]metrics.Excess{}
+		}
+		for _, m := range cfg.Months {
+			ref := out.Summaries[refPolicy][m]
+			for _, s := range specs {
+				res := results[runKey{m, s.Name}]
+				out.Excess98[s.Name][m] = metrics.ExcessiveWait(res, ref.P98WaitH)
+				out.ExcessMax[s.Name][m] = metrics.ExcessiveWait(res, ref.MaxWaitH)
+			}
+		}
+	}
+	return out, nil
+}
+
+// headlineSpecs are FCFS-backfill, LXF-backfill and DDS/lxf/dynB with a
+// per-month node limit, the cast of Figures 3, 4 and 8.
+func headlineSpecs(cfg Config, limitFor func(month string) int) []PolicySpec {
+	return []PolicySpec{
+		{Name: "FCFS-backfill", New: func(string) sim.Policy { return policy.FCFSBackfill() }},
+		{Name: "LXF-backfill", New: func(string) sim.Policy { return policy.LXFBackfill() }},
+		{Name: "DDS/lxf/dynB", New: func(month string) sim.Policy {
+			return core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), limitFor(month))
+		}},
+	}
+}
+
+// writeMeasure renders one measure as a table (months as columns) and a
+// bar chart, mirroring one panel of a figure.
+func (r *CompareResult) writeMeasure(w io.Writer, title, unit string, get func(metrics.Summary) float64) {
+	t := report.NewTable(title, "policy", r.Months...)
+	chart := report.NewBarChart(title, unit, r.Policies...)
+	type gcell struct {
+		label string
+		vals  []float64
+	}
+	groups := make([]gcell, len(r.Months))
+	for mi, m := range r.Months {
+		groups[mi] = gcell{label: m, vals: make([]float64, len(r.Policies))}
+	}
+	for _, p := range r.Policies {
+		vals := make([]float64, len(r.Months))
+		for mi, m := range r.Months {
+			vals[mi] = get(r.Summaries[p][m])
+			groups[mi].vals[indexOf(r.Policies, p)] = vals[mi]
+		}
+		t.AddFloats(p, 2, vals...)
+	}
+	t.Write(w)
+	fmt.Fprintln(w)
+	for _, g := range groups {
+		chart.AddGroup(g.label, g.vals...)
+	}
+	chart.Write(w)
+	fmt.Fprintln(w)
+}
+
+// writeExcess renders one excessive-wait panel.
+func (r *CompareResult) writeExcess(w io.Writer, title string, src map[string]map[string]metrics.Excess, get func(metrics.Excess) float64) {
+	t := report.NewTable(title, "policy", r.Months...)
+	for _, p := range r.Policies {
+		vals := make([]float64, len(r.Months))
+		for mi, m := range r.Months {
+			vals[mi] = get(src[p][m])
+		}
+		t.AddFloats(p, 1, vals...)
+	}
+	t.Write(w)
+	fmt.Fprintln(w)
+}
+
+func indexOf(xs []string, x string) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+// RunFig3 regenerates Figure 3: FCFS-backfill vs LXF-backfill vs
+// DDS/lxf/dynB (L=1K) under the original load, with panels (a) average
+// wait, (b) maximum wait, (c) average bounded slowdown.
+func RunFig3(cfg Config, w io.Writer) error {
+	res, err := Fig3Result(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "=== Figure 3: original load, R*=T, L=1K ===")
+	res.writeMeasure(w, "(a) average wait", "h", func(s metrics.Summary) float64 { return s.AvgWaitH })
+	res.writeMeasure(w, "(b) maximum wait", "h", func(s metrics.Summary) float64 { return s.MaxWaitH })
+	res.writeMeasure(w, "(c) average bounded slowdown", "", func(s metrics.Summary) float64 { return s.AvgBoundedSlowdown })
+	return nil
+}
+
+// Fig3Result computes Figure 3's data.
+func Fig3Result(cfg Config) (*CompareResult, error) {
+	cfg = cfg.withDefaults()
+	limitFor := func(string) int { return cfg.limit(1000) }
+	return comparePolicies(cfg, workload.SimOptions{}, headlineSpecs(cfg, limitFor), "FCFS-backfill")
+}
+
+// RunFig4 regenerates Figure 4: the same comparison under high load
+// (rho = 0.9), with the additional excessive-wait and queue-length
+// panels. DDS/lxf/dynB uses L=8K for January 2004 and L=1K elsewhere,
+// as in the paper.
+func RunFig4(cfg Config, w io.Writer) error {
+	res, err := Fig4Result(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "=== Figure 4: high load (rho=0.9), R*=T, L=1K (8K for 1/04) ===")
+	res.writeMeasure(w, "(a) average wait", "h", func(s metrics.Summary) float64 { return s.AvgWaitH })
+	res.writeMeasure(w, "(b) maximum wait", "h", func(s metrics.Summary) float64 { return s.MaxWaitH })
+	res.writeMeasure(w, "(c) average bounded slowdown", "", func(s metrics.Summary) float64 { return s.AvgBoundedSlowdown })
+	res.writeMeasure(w, "(d) average queue length", "jobs", func(s metrics.Summary) float64 { return s.AvgQueueLen })
+	res.writeExcess(w, "(e) total excessive wait w.r.t. 98%-ile wait of FCFS-backfill (h)", res.Excess98, func(e metrics.Excess) float64 { return e.TotalH })
+	res.writeExcess(w, "(f) total excessive wait w.r.t. max wait of FCFS-backfill (h)", res.ExcessMax, func(e metrics.Excess) float64 { return e.TotalH })
+	res.writeExcess(w, "(g) # jobs with excessive wait w.r.t. max wait of FCFS-backfill", res.ExcessMax, func(e metrics.Excess) float64 { return float64(e.Count) })
+	res.writeExcess(w, "(h) avg excessive wait w.r.t. max wait of FCFS-backfill (h)", res.ExcessMax, func(e metrics.Excess) float64 { return e.AvgH })
+	return nil
+}
+
+// Fig4Result computes Figure 4's data.
+func Fig4Result(cfg Config) (*CompareResult, error) {
+	cfg = cfg.withDefaults()
+	limitFor := func(month string) int {
+		if month == "1/04" {
+			return cfg.limit(8000)
+		}
+		return cfg.limit(1000)
+	}
+	return comparePolicies(cfg, workload.SimOptions{TargetLoad: 0.9}, headlineSpecs(cfg, limitFor), "FCFS-backfill")
+}
+
+// RunFig8 regenerates Figure 8: the high-load comparison when schedulers
+// only see user-requested runtimes (R* = R), with L=4K everywhere.
+func RunFig8(cfg Config, w io.Writer) error {
+	res, err := Fig8Result(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "=== Figure 8: inaccurate requested runtimes (R*=R), rho=0.9, L=4K ===")
+	res.writeMeasure(w, "(a) average wait", "h", func(s metrics.Summary) float64 { return s.AvgWaitH })
+	res.writeMeasure(w, "(b) maximum wait", "h", func(s metrics.Summary) float64 { return s.MaxWaitH })
+	res.writeMeasure(w, "(c) average bounded slowdown", "", func(s metrics.Summary) float64 { return s.AvgBoundedSlowdown })
+	res.writeExcess(w, "(d) total excessive wait w.r.t. max wait of FCFS-backfill (h)", res.ExcessMax, func(e metrics.Excess) float64 { return e.TotalH })
+	return nil
+}
+
+// Fig8Result computes Figure 8's data.
+func Fig8Result(cfg Config) (*CompareResult, error) {
+	cfg = cfg.withDefaults()
+	limitFor := func(string) int { return cfg.limit(4000) }
+	opt := workload.SimOptions{TargetLoad: 0.9, UseRequested: true}
+	return comparePolicies(cfg, opt, headlineSpecs(cfg, limitFor), "FCFS-backfill")
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"schedsearch/internal/metrics"
+	"schedsearch/internal/report"
+)
+
+// ExportCSV regenerates the headline figures (2, 3, 4, 7) and writes
+// their data series as CSV files into dir, for plotting with external
+// tools. File names follow "<figure>_<panel>.csv"; rows are policies or
+// parameter settings, columns are months.
+func ExportCSV(cfg Config, dir string) error {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	write := func(name string, t *report.Table) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		t.WriteCSV(f)
+		return nil
+	}
+
+	// Figure 2.
+	fig2, err := Fig2Result(cfg)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("", "bound", fig2.Months...)
+	for _, oh := range fig2.OmegasH {
+		t.AddFloats(fmt.Sprintf("w=%dh", oh), 3, fig2.MaxWaitH[oh]...)
+	}
+	if err := write("fig2_max_wait.csv", t); err != nil {
+		return err
+	}
+	t = report.NewTable("", "bound", fig2.Months...)
+	for _, oh := range fig2.OmegasH {
+		t.AddFloats(fmt.Sprintf("w=%dh", oh), 3, fig2.AvgBsld[oh]...)
+	}
+	if err := write("fig2_avg_bsld.csv", t); err != nil {
+		return err
+	}
+
+	// Figures 3 and 4 share the comparison shape.
+	for _, fig := range []struct {
+		name string
+		get  func(Config) (*CompareResult, error)
+	}{
+		{"fig3", Fig3Result},
+		{"fig4", Fig4Result},
+	} {
+		res, err := fig.get(cfg)
+		if err != nil {
+			return err
+		}
+		panels := []struct {
+			file string
+			get  func(metrics.Summary) float64
+		}{
+			{fig.name + "_avg_wait.csv", func(s metrics.Summary) float64 { return s.AvgWaitH }},
+			{fig.name + "_max_wait.csv", func(s metrics.Summary) float64 { return s.MaxWaitH }},
+			{fig.name + "_avg_bsld.csv", func(s metrics.Summary) float64 { return s.AvgBoundedSlowdown }},
+		}
+		for _, p := range panels {
+			t := report.NewTable("", "policy", res.Months...)
+			for _, pol := range res.Policies {
+				vals := make([]float64, len(res.Months))
+				for mi, m := range res.Months {
+					vals[mi] = p.get(res.Summaries[pol][m])
+				}
+				t.AddFloats(pol, 3, vals...)
+			}
+			if err := write(p.file, t); err != nil {
+				return err
+			}
+		}
+		if res.ExcessMax != nil {
+			t := report.NewTable("", "policy", res.Months...)
+			for _, pol := range res.Policies {
+				vals := make([]float64, len(res.Months))
+				for mi, m := range res.Months {
+					vals[mi] = res.ExcessMax[pol][m].TotalH
+				}
+				t.AddFloats(pol, 3, vals...)
+			}
+			if err := write(fig.name+"_total_excess_max.csv", t); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Figure 7.
+	fig7, err := Fig7Result(cfg)
+	if err != nil {
+		return err
+	}
+	t = report.NewTable("", "policy", fig7.Months...)
+	for _, p := range fig7.Policies {
+		t.AddFloats(p, 3, fig7.AvgBsld[p]...)
+	}
+	if err := write("fig7_avg_bsld.csv", t); err != nil {
+		return err
+	}
+	t = report.NewTable("", "policy", fig7.Months...)
+	for _, p := range fig7.Policies {
+		t.AddFloats(p, 3, fig7.ExcessH[p]...)
+	}
+	return write("fig7_total_excess_max.csv", t)
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExportCSV(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Seed: 1, Scale: 0.08, LimitScale: 0.05, Months: []string{"6/03", "9/03"}}
+	if err := ExportCSV(cfg, dir); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"fig2_max_wait.csv", "fig2_avg_bsld.csv",
+		"fig3_avg_wait.csv", "fig3_max_wait.csv", "fig3_avg_bsld.csv", "fig3_total_excess_max.csv",
+		"fig4_avg_wait.csv", "fig4_max_wait.csv", "fig4_avg_bsld.csv", "fig4_total_excess_max.csv",
+		"fig7_avg_bsld.csv", "fig7_total_excess_max.csv",
+	}
+	for _, name := range want {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+		if len(lines) < 3 {
+			t.Fatalf("%s: only %d lines", name, len(lines))
+		}
+		header := strings.Split(lines[0], ",")
+		if len(header) != 3 { // label + two months
+			t.Fatalf("%s: header %q", name, lines[0])
+		}
+		if header[1] != "6/03" || header[2] != "9/03" {
+			t.Fatalf("%s: month columns %v", name, header[1:])
+		}
+		for _, l := range lines[1:] {
+			if strings.Count(l, ",") != 2 {
+				t.Fatalf("%s: malformed row %q", name, l)
+			}
+		}
+	}
+}
+
+func TestExportCSVBadDir(t *testing.T) {
+	cfg := Config{Seed: 1, Scale: 0.05, Months: []string{"6/03"}}
+	if err := ExportCSV(cfg, "/dev/null/nope"); err == nil {
+		t.Error("unwritable directory accepted")
+	}
+}

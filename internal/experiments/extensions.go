@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"schedsearch/internal/core"
+	"schedsearch/internal/job"
+	"schedsearch/internal/metrics"
+	"schedsearch/internal/policy"
+	"schedsearch/internal/predict"
+	"schedsearch/internal/report"
+	"schedsearch/internal/sim"
+	"schedsearch/internal/workload"
+)
+
+// The ext-* experiments implement the paper's future-work directions
+// (Section 7): runtime prediction, local/hybrid search, fairshare in
+// the objective, and branch-and-bound pruning. They are extensions —
+// nothing in Figures 2-8 uses them.
+
+func init() {
+	All = append(All,
+		Experiment{ID: "ext-predict", Title: "Extension: history-based runtime prediction (R*=pred)", Run: RunExtPredict},
+		Experiment{ID: "ext-local", Title: "Extension: local search and DDS-seeded hybrid search", Run: RunExtLocal},
+		Experiment{ID: "ext-fairshare", Title: "Extension: fairshare in the search objective", Run: RunExtFairshare},
+		Experiment{ID: "ext-prune", Title: "Extension: branch-and-bound pruning", Run: RunExtPrune},
+	)
+}
+
+// recordingEstimator wraps a predictor and accumulates accuracy
+// statistics by pairing each job's estimate (made at arrival) with its
+// actual runtime (seen at completion).
+type recordingEstimator struct {
+	inner    sim.Estimator
+	acc      predict.Accuracy
+	estimate map[int]job.Duration
+}
+
+func newRecordingEstimator(inner sim.Estimator) *recordingEstimator {
+	return &recordingEstimator{inner: inner, estimate: map[int]job.Duration{}}
+}
+
+func (r *recordingEstimator) Estimate(j job.Job) job.Duration {
+	e := r.inner.Estimate(j)
+	r.estimate[j.ID] = e
+	return e
+}
+
+func (r *recordingEstimator) Observe(j job.Job) {
+	if e, ok := r.estimate[j.ID]; ok {
+		r.acc.Record(e, j.Runtime)
+		delete(r.estimate, j.ID)
+	}
+	r.inner.Observe(j)
+}
+
+// RunExtPredict compares DDS/lxf/dynB planning with perfect runtimes
+// (R*=T), user requests (R*=R), and history-based predictions
+// (R*=pred), under high load with L=4K (the Figure 8 configuration plus
+// the prediction mode the paper proposes as future work).
+func RunExtPredict(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	suite := cfg.suite()
+	fmt.Fprintln(w, "=== Extension: runtime prediction, DDS/lxf/dynB, rho=0.9, L=4K ===")
+
+	type mode struct {
+		name string
+		opt  workload.SimOptions
+		pred bool
+	}
+	modes := []mode{
+		{name: "R*=T", opt: workload.SimOptions{TargetLoad: 0.9}},
+		{name: "R*=R", opt: workload.SimOptions{TargetLoad: 0.9, UseRequested: true}},
+		{name: "R*=pred", opt: workload.SimOptions{TargetLoad: 0.9}, pred: true},
+	}
+	ta := report.NewTable("(a) average wait (h)", "mode", cfg.Months...)
+	tb := report.NewTable("(b) maximum wait (h)", "mode", cfg.Months...)
+	tc := report.NewTable("(c) average bounded slowdown", "mode", cfg.Months...)
+	td := report.NewTable("(d) prediction accuracy (R*=pred only)", "measure", cfg.Months...)
+	var meanErr, meanRatio, underFrac []float64
+
+	for _, md := range modes {
+		var avgW, maxW, bsld []float64
+		for _, m := range cfg.Months {
+			in, _, err := suite.Input(m, md.opt)
+			if err != nil {
+				return err
+			}
+			var rec *recordingEstimator
+			if md.pred {
+				rec = newRecordingEstimator(predict.NewUserHistory())
+				in.Estimator = rec
+			}
+			pol := core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), cfg.limit(4000))
+			res, err := sim.Run(in, pol)
+			if err != nil {
+				return err
+			}
+			s := metrics.Summarize(res)
+			avgW = append(avgW, s.AvgWaitH)
+			maxW = append(maxW, s.MaxWaitH)
+			bsld = append(bsld, s.AvgBoundedSlowdown)
+			if rec != nil {
+				meanErr = append(meanErr, rec.acc.MeanAbsErrH())
+				meanRatio = append(meanRatio, rec.acc.MeanRatio())
+				underFrac = append(underFrac, rec.acc.UnderFrac())
+			}
+		}
+		ta.AddFloats(md.name, 2, avgW...)
+		tb.AddFloats(md.name, 1, maxW...)
+		tc.AddFloats(md.name, 1, bsld...)
+	}
+	td.AddFloats("mean abs error (h)", 2, meanErr...)
+	td.AddFloats("mean est/actual", 2, meanRatio...)
+	td.AddFloats("underprediction frac", 2, underFrac...)
+	for _, t := range []*report.Table{ta, tb, tc, td} {
+		t.Write(w)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunExtLocal compares complete search (DDS), pure local search (LS)
+// and the DDS-seeded hybrid (DDS+LS) at the same node budget.
+func RunExtLocal(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(w, "=== Extension: local and hybrid search, rho=0.9, L=2K ===")
+	specs := []PolicySpec{
+		{Name: "FCFS-backfill", New: func(string) sim.Policy { return policy.FCFSBackfill() }},
+		{Name: "DDS/lxf/dynB", New: func(string) sim.Policy {
+			return core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), cfg.limit(2000))
+		}},
+		{Name: "LS/lxf/dynB", New: func(string) sim.Policy {
+			return core.NewLocal(core.HeuristicLXF, core.DynamicBound(), cfg.limit(2000))
+		}},
+		{Name: "DDS+LS/lxf/dynB", New: func(string) sim.Policy {
+			return core.NewHybrid(core.HeuristicLXF, core.DynamicBound(), cfg.limit(2000))
+		}},
+	}
+	results, err := runGrid(cfg, workload.SimOptions{TargetLoad: 0.9}, specs)
+	if err != nil {
+		return err
+	}
+	ta := report.NewTable("(a) average bounded slowdown", "policy", cfg.Months...)
+	tb := report.NewTable("(b) total excess wait wrt FCFS-BF max (h)", "policy", cfg.Months...)
+	for _, s := range specs[1:] {
+		var bsld, excess []float64
+		for _, m := range cfg.Months {
+			ref := metrics.Summarize(results[runKey{m, "FCFS-backfill"}])
+			res := results[runKey{m, s.Name}]
+			bsld = append(bsld, metrics.Summarize(res).AvgBoundedSlowdown)
+			excess = append(excess, metrics.ExcessiveWait(res, ref.MaxWaitH).TotalH)
+		}
+		ta.AddFloats(s.Name, 1, bsld...)
+		tb.AddFloats(s.Name, 1, excess...)
+	}
+	ta.Write(w)
+	fmt.Fprintln(w)
+	tb.Write(w)
+	return nil
+}
+
+// RunExtFairshare contrasts DDS/lxf/dynB with its fairshare-wrapped
+// variant: heavy users (top half of demand) versus the rest.
+func RunExtFairshare(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	suite := cfg.suite()
+	fmt.Fprintln(w, "=== Extension: fairshare objective, rho=0.9, L=1K, alpha=4 ===")
+	t := report.NewTable("job-weighted avg bounded slowdown by user group", "policy/group", cfg.Months...)
+	var baseH, baseL, fsH, fsL []float64
+	var baseAll, fsAll []float64
+	for _, m := range cfg.Months {
+		in, _, err := suite.Input(m, workload.SimOptions{TargetLoad: 0.9})
+		if err != nil {
+			return err
+		}
+		base := core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), cfg.limit(1000))
+		resB, err := sim.Run(in, base)
+		if err != nil {
+			return err
+		}
+		fsPol := core.NewFairshare(core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), cfg.limit(1000)), 4)
+		resF, err := sim.Run(in, fsPol)
+		if err != nil {
+			return err
+		}
+		hb, lb := metrics.SplitByDemand(metrics.PerUser(resB))
+		hf, lf := metrics.SplitByDemand(metrics.PerUser(resF))
+		baseH = append(baseH, hb)
+		baseL = append(baseL, lb)
+		fsH = append(fsH, hf)
+		fsL = append(fsL, lf)
+		baseAll = append(baseAll, metrics.Summarize(resB).AvgBoundedSlowdown)
+		fsAll = append(fsAll, metrics.Summarize(resF).AvgBoundedSlowdown)
+	}
+	t.AddFloats("DDS/lxf/dynB heavy", 1, baseH...)
+	t.AddFloats("DDS/lxf/dynB light", 1, baseL...)
+	t.AddFloats("DDS/lxf/dynB all", 1, baseAll...)
+	t.AddFloats("+fairshare heavy", 1, fsH...)
+	t.AddFloats("+fairshare light", 1, fsL...)
+	t.AddFloats("+fairshare all", 1, fsAll...)
+	t.Write(w)
+	fmt.Fprintln(w, "\nfairshare discounts over-served (heavy) users' slowdown cost, so the")
+	fmt.Fprintln(w, "light group's service should improve at some cost to the heavy group.")
+	return nil
+}
+
+// RunExtPrune contrasts the paper-faithful search with branch-and-bound
+// pruning at the same node budget: pruned subtrees let the budget reach
+// deeper iterations, which should only improve the committed schedules.
+func RunExtPrune(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	suite := cfg.suite()
+	fmt.Fprintln(w, "=== Extension: branch-and-bound pruning, rho=0.9, L=1K ===")
+	t := report.NewTable("", "measure", cfg.Months...)
+	var offB, onB, offM, onM, prunedFrac []float64
+	for _, m := range cfg.Months {
+		in, _, err := suite.Input(m, workload.SimOptions{TargetLoad: 0.9})
+		if err != nil {
+			return err
+		}
+		plain := core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), cfg.limit(1000))
+		resP, err := sim.Run(in, plain)
+		if err != nil {
+			return err
+		}
+		pruned := core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), cfg.limit(1000))
+		pruned.Prune = true
+		resQ, err := sim.Run(in, pruned)
+		if err != nil {
+			return err
+		}
+		sp, sq := metrics.Summarize(resP), metrics.Summarize(resQ)
+		offB = append(offB, sp.AvgBoundedSlowdown)
+		onB = append(onB, sq.AvgBoundedSlowdown)
+		offM = append(offM, sp.MaxWaitH)
+		onM = append(onM, sq.MaxWaitH)
+		frac := 0.0
+		if pruned.SearchStats.Nodes > 0 {
+			frac = float64(pruned.SearchStats.Pruned) / float64(pruned.SearchStats.Nodes)
+		}
+		prunedFrac = append(prunedFrac, frac)
+	}
+	t.AddFloats("avg bsld (no prune)", 1, offB...)
+	t.AddFloats("avg bsld (prune)", 1, onB...)
+	t.AddFloats("max wait h (no prune)", 1, offM...)
+	t.AddFloats("max wait h (prune)", 1, onM...)
+	t.AddFloats("pruned/visited", 2, prunedFrac...)
+	t.Write(w)
+	return nil
+}

@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"schedsearch/internal/core"
+	"schedsearch/internal/job"
+	"schedsearch/internal/metrics"
+	"schedsearch/internal/policy"
+	"schedsearch/internal/report"
+	"schedsearch/internal/sim"
+	"schedsearch/internal/workload"
+)
+
+// Fig2Data holds the fixed-bound sensitivity study: per bound ω, the
+// per-month maximum wait and average bounded slowdown of DDS/lxf.
+type Fig2Data struct {
+	Months  []string
+	OmegasH []int
+	// MaxWaitH[omega][month index], AvgBsld likewise.
+	MaxWaitH map[int][]float64
+	AvgBsld  map[int][]float64
+}
+
+// Fig2Result computes Figure 2: DDS/lxf with fixed target bounds ω of
+// 50h, 100h and 300h under the original load, L=1K.
+func Fig2Result(cfg Config) (*Fig2Data, error) {
+	cfg = cfg.withDefaults()
+	omegas := []int{50, 100, 300}
+	var specs []PolicySpec
+	for _, oh := range omegas {
+		oh := oh
+		specs = append(specs, PolicySpec{
+			Name: fmt.Sprintf("w=%dh", oh),
+			New: func(string) sim.Policy {
+				return core.New(core.DDS, core.HeuristicLXF,
+					core.FixedBound(job.Duration(oh)*job.Hour), cfg.limit(1000))
+			},
+		})
+	}
+	results, err := runGrid(cfg, workload.SimOptions{}, specs)
+	if err != nil {
+		return nil, err
+	}
+	d := &Fig2Data{
+		Months:   cfg.Months,
+		OmegasH:  omegas,
+		MaxWaitH: map[int][]float64{},
+		AvgBsld:  map[int][]float64{},
+	}
+	for i, oh := range omegas {
+		d.MaxWaitH[oh] = make([]float64, len(cfg.Months))
+		d.AvgBsld[oh] = make([]float64, len(cfg.Months))
+		for mi, m := range cfg.Months {
+			s := metrics.Summarize(results[runKey{m, specs[i].Name}])
+			d.MaxWaitH[oh][mi] = s.MaxWaitH
+			d.AvgBsld[oh][mi] = s.AvgBoundedSlowdown
+		}
+	}
+	return d, nil
+}
+
+// RunFig2 renders Figure 2.
+func RunFig2(cfg Config, w io.Writer) error {
+	d, err := Fig2Result(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "=== Figure 2: sensitivity to fixed target bound (DDS/lxf, R*=T, original load, L=1K) ===")
+	ta := report.NewTable("(a) maximum wait (h)", "bound", d.Months...)
+	tb := report.NewTable("(b) average bounded slowdown", "bound", d.Months...)
+	for _, oh := range d.OmegasH {
+		label := fmt.Sprintf("w=%dh", oh)
+		ta.AddFloats(label, 1, d.MaxWaitH[oh]...)
+		tb.AddFloats(label, 1, d.AvgBsld[oh]...)
+	}
+	ta.Write(w)
+	fmt.Fprintln(w)
+	tb.Write(w)
+	return nil
+}
+
+// Fig5Data holds the per-job-class average-wait surfaces of the three
+// headline policies for one month.
+type Fig5Data struct {
+	Month string
+	// Grids[policy name]
+	Grids map[string]metrics.ClassGrid
+	Order []string
+}
+
+// Fig5Result computes Figure 5: the average wait of each (actual
+// runtime x requested nodes) job class under FCFS-backfill,
+// LXF-backfill and DDS/lxf/dynB for July 2003 at rho = 0.9.
+func Fig5Result(cfg Config) (*Fig5Data, error) {
+	cfg = cfg.withDefaults()
+	cfg.Months = []string{"7/03"}
+	limitFor := func(string) int { return cfg.limit(1000) }
+	specs := headlineSpecs(cfg, limitFor)
+	results, err := runGrid(cfg, workload.SimOptions{TargetLoad: 0.9}, specs)
+	if err != nil {
+		return nil, err
+	}
+	d := &Fig5Data{Month: "7/03", Grids: map[string]metrics.ClassGrid{}}
+	for _, s := range specs {
+		d.Order = append(d.Order, s.Name)
+		d.Grids[s.Name] = metrics.ComputeClassGrid(results[runKey{"7/03", s.Name}])
+	}
+	return d, nil
+}
+
+// RunFig5 renders Figure 5.
+func RunFig5(cfg Config, w io.Writer) error {
+	d, err := Fig5Result(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "=== Figure 5: avg wait (h) per job class (N x T), %s, rho=0.9, R*=T ===\n", d.Month)
+	for _, p := range d.Order {
+		g := d.Grids[p]
+		cols := make([]string, len(g.NodeClasses))
+		for i, nc := range g.NodeClasses {
+			cols[i] = nc.String()
+		}
+		t := report.NewTable(fmt.Sprintf("(%s)", p), "runtime \\ nodes", cols...)
+		for ti, tc := range g.RuntimeClasses {
+			cells := make([]string, len(cols))
+			for ni := range cols {
+				if g.Count[ti][ni] == 0 {
+					cells[ni] = "-"
+				} else {
+					cells[ni] = fmt.Sprintf("%.1f", g.AvgWaitH[ti][ni])
+				}
+			}
+			t.AddRow(tc.String(), cells...)
+		}
+		t.Write(w)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Fig6Data holds the node-budget study for January 2004 under high
+// load: DDS/lxf/dynB across L, plus the two backfill baselines.
+type Fig6Data struct {
+	Month    string
+	Limits   []int
+	ByLimit  map[int]metrics.Summary
+	ExcessBy map[int]metrics.Excess // w.r.t. FCFS-backfill max wait
+	FCFS     metrics.Summary
+	LXF      metrics.Summary
+	FCFSEx   metrics.Excess
+	LXFEx    metrics.Excess
+}
+
+// Fig6Result computes Figure 6: the impact of the node budget L (1K to
+// 100K) on DDS/lxf/dynB for January 2004 at rho = 0.9.
+func Fig6Result(cfg Config) (*Fig6Data, error) {
+	cfg = cfg.withDefaults()
+	cfg.Months = []string{"1/04"}
+	limits := []int{1000, 2000, 4000, 8000, 10000, 100000}
+
+	specs := []PolicySpec{
+		{Name: "FCFS-backfill", New: func(string) sim.Policy { return policy.FCFSBackfill() }},
+		{Name: "LXF-backfill", New: func(string) sim.Policy { return policy.LXFBackfill() }},
+	}
+	for _, l := range limits {
+		l := l
+		specs = append(specs, PolicySpec{
+			Name: fmt.Sprintf("DDS/lxf/dynB L=%d", l),
+			New: func(string) sim.Policy {
+				return core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), cfg.limit(l))
+			},
+		})
+	}
+	results, err := runGrid(cfg, workload.SimOptions{TargetLoad: 0.9}, specs)
+	if err != nil {
+		return nil, err
+	}
+	d := &Fig6Data{
+		Month:    "1/04",
+		Limits:   limits,
+		ByLimit:  map[int]metrics.Summary{},
+		ExcessBy: map[int]metrics.Excess{},
+	}
+	d.FCFS = metrics.Summarize(results[runKey{"1/04", "FCFS-backfill"}])
+	d.LXF = metrics.Summarize(results[runKey{"1/04", "LXF-backfill"}])
+	threshold := d.FCFS.MaxWaitH
+	d.FCFSEx = metrics.ExcessiveWait(results[runKey{"1/04", "FCFS-backfill"}], threshold)
+	d.LXFEx = metrics.ExcessiveWait(results[runKey{"1/04", "LXF-backfill"}], threshold)
+	for _, l := range limits {
+		key := runKey{"1/04", fmt.Sprintf("DDS/lxf/dynB L=%d", l)}
+		d.ByLimit[l] = metrics.Summarize(results[key])
+		d.ExcessBy[l] = metrics.ExcessiveWait(results[key], threshold)
+	}
+	return d, nil
+}
+
+// RunFig6 renders Figure 6.
+func RunFig6(cfg Config, w io.Writer) error {
+	d, err := Fig6Result(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "=== Figure 6: impact of node budget L on DDS/lxf/dynB, %s, rho=0.9, R*=T ===\n", d.Month)
+	cols := []string{"FCFS-BF", "LXF-BF"}
+	for _, l := range d.Limits {
+		cols = append(cols, fmt.Sprintf("L=%d", l))
+	}
+	t := report.NewTable("", "measure", cols...)
+	addRow := func(name string, fc, lx float64, get func(int) float64, prec int) {
+		cells := []string{fmt.Sprintf("%.*f", prec, fc), fmt.Sprintf("%.*f", prec, lx)}
+		for _, l := range d.Limits {
+			cells = append(cells, fmt.Sprintf("%.*f", prec, get(l)))
+		}
+		t.AddRow(name, cells...)
+	}
+	addRow("(a) total excess wait wrt FCFS-BF max (h)", d.FCFSEx.TotalH, d.LXFEx.TotalH,
+		func(l int) float64 { return d.ExcessBy[l].TotalH }, 1)
+	addRow("(b) max wait (h)", d.FCFS.MaxWaitH, d.LXF.MaxWaitH,
+		func(l int) float64 { return d.ByLimit[l].MaxWaitH }, 1)
+	addRow("(c) avg wait (h)", d.FCFS.AvgWaitH, d.LXF.AvgWaitH,
+		func(l int) float64 { return d.ByLimit[l].AvgWaitH }, 2)
+	addRow("(d) avg bounded slowdown", d.FCFS.AvgBoundedSlowdown, d.LXF.AvgBoundedSlowdown,
+		func(l int) float64 { return d.ByLimit[l].AvgBoundedSlowdown }, 1)
+	t.Write(w)
+	return nil
+}
+
+// Fig7Data compares search algorithms and branching heuristics.
+type Fig7Data struct {
+	Months   []string
+	Policies []string
+	AvgBsld  map[string][]float64
+	ExcessH  map[string][]float64 // total excess wait wrt FCFS-BF max
+}
+
+// Fig7Result computes Figure 7: DDS/fcfs/dynB vs DDS/lxf/dynB vs
+// LDS/lxf/dynB at L=2K under rho = 0.9 (FCFS-backfill is also run to
+// provide the excessive-wait threshold).
+func Fig7Result(cfg Config) (*Fig7Data, error) {
+	cfg = cfg.withDefaults()
+	mk := func(a core.Algorithm, h core.Heuristic) func(string) sim.Policy {
+		return func(string) sim.Policy {
+			return core.New(a, h, core.DynamicBound(), cfg.limit(2000))
+		}
+	}
+	specs := []PolicySpec{
+		{Name: "FCFS-backfill", New: func(string) sim.Policy { return policy.FCFSBackfill() }},
+		{Name: "DDS/fcfs/dynB", New: mk(core.DDS, core.HeuristicFCFS)},
+		{Name: "DDS/lxf/dynB", New: mk(core.DDS, core.HeuristicLXF)},
+		{Name: "LDS/lxf/dynB", New: mk(core.LDS, core.HeuristicLXF)},
+	}
+	results, err := runGrid(cfg, workload.SimOptions{TargetLoad: 0.9}, specs)
+	if err != nil {
+		return nil, err
+	}
+	d := &Fig7Data{
+		Months:   cfg.Months,
+		Policies: []string{"DDS/fcfs/dynB", "DDS/lxf/dynB", "LDS/lxf/dynB"},
+		AvgBsld:  map[string][]float64{},
+		ExcessH:  map[string][]float64{},
+	}
+	for _, p := range d.Policies {
+		d.AvgBsld[p] = make([]float64, len(cfg.Months))
+		d.ExcessH[p] = make([]float64, len(cfg.Months))
+	}
+	for mi, m := range cfg.Months {
+		ref := metrics.Summarize(results[runKey{m, "FCFS-backfill"}])
+		for _, p := range d.Policies {
+			res := results[runKey{m, p}]
+			d.AvgBsld[p][mi] = metrics.Summarize(res).AvgBoundedSlowdown
+			d.ExcessH[p][mi] = metrics.ExcessiveWait(res, ref.MaxWaitH).TotalH
+		}
+	}
+	return d, nil
+}
+
+// RunFig7 renders Figure 7.
+func RunFig7(cfg Config, w io.Writer) error {
+	d, err := Fig7Result(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "=== Figure 7: search algorithms and branching heuristics, rho=0.9, R*=T, L=2K ===")
+	ta := report.NewTable("(a) average bounded slowdown", "policy", d.Months...)
+	tb := report.NewTable("(b) total excess wait wrt FCFS-BF max (h)", "policy", d.Months...)
+	for _, p := range d.Policies {
+		ta.AddFloats(p, 1, d.AvgBsld[p]...)
+		tb.AddFloats(p, 1, d.ExcessH[p]...)
+	}
+	ta.Write(w)
+	fmt.Fprintln(w)
+	tb.Write(w)
+	return nil
+}

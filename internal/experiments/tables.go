@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"schedsearch/internal/core"
+	"schedsearch/internal/job"
+	"schedsearch/internal/report"
+	"schedsearch/internal/workload"
+)
+
+// RunTable2 prints the modeled system configuration (Table 2).
+func RunTable2(cfg Config, w io.Writer) error {
+	fmt.Fprintln(w, "=== Table 2: capacity and job limits on IA-64 ===")
+	t := report.NewTable("", "period", "capacity (#nodes)", "job limit N", "job limit R")
+	t.AddRow("6/03 - 11/03", "128", "128", "12h")
+	t.AddRow("12/03 - 3/04", "128", "128", "24h")
+	t.Write(w)
+	return nil
+}
+
+// RunTable3 prints the published Table 3 job-mix targets next to the
+// generated workload's values, per month.
+func RunTable3(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	suite := cfg.suite()
+	fmt.Fprintln(w, "=== Table 3: monthly job mix (paper spec vs generated) ===")
+	cols := []string{"total"}
+	for _, r := range job.Table3NodeRanges {
+		cols = append(cols, r.String())
+	}
+	for _, label := range cfg.Months {
+		m, err := suite.Month(label)
+		if err != nil {
+			return err
+		}
+		st := m.Stats(suite.Capacity)
+		t := report.NewTable(fmt.Sprintf("month %s", label), "measure", cols...)
+		addMix := func(name string, total float64, frac []float64, prec int) {
+			cells := []string{fmt.Sprintf("%.*f", prec, total)}
+			for _, f := range frac {
+				cells = append(cells, fmt.Sprintf("%.1f%%", f*100))
+			}
+			t.AddRow(name, cells...)
+		}
+		addMix("#jobs (spec)", float64(m.Spec.TotalJobs), m.Spec.JobFrac[:], 0)
+		addMix("#jobs (gen)", float64(st.TotalJobs), st.JobFrac[:], 0)
+		addMix("demand (spec)", m.Spec.Load, m.Spec.DemandFrac[:], 2)
+		addMix("demand (gen)", st.Load, st.DemandFrac[:], 2)
+		t.Write(w)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunTable4 prints the published Table 4 runtime-class fractions next to
+// the generated workload's values.
+func RunTable4(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	suite := cfg.suite()
+	fmt.Fprintln(w, "=== Table 4: runtime distribution, fraction of all jobs (paper spec vs generated) ===")
+	cols := make([]string, 0, len(job.Table4NodeClasses)+1)
+	for _, c := range job.Table4NodeClasses {
+		cols = append(cols, c.String())
+	}
+	cols = append(cols, "all")
+	for _, part := range []struct {
+		title string
+		spec  func(workload.MonthSpec) [5]float64
+		gen   func(workload.MixStats) [5]float64
+	}{
+		{"T <= 1 hour", func(s workload.MonthSpec) [5]float64 { return s.ShortFrac }, func(s workload.MixStats) [5]float64 { return s.ShortFrac }},
+		{"T > 5 hours", func(s workload.MonthSpec) [5]float64 { return s.LongFrac }, func(s workload.MixStats) [5]float64 { return s.LongFrac }},
+	} {
+		t := report.NewTable(part.title, "month", cols...)
+		for _, label := range cfg.Months {
+			m, err := suite.Month(label)
+			if err != nil {
+				return err
+			}
+			st := m.Stats(suite.Capacity)
+			addRow := func(tag string, fr [5]float64) {
+				cells := make([]string, 0, len(cols))
+				var sum float64
+				for _, f := range fr {
+					cells = append(cells, fmt.Sprintf("%.1f%%", f*100))
+					sum += f
+				}
+				cells = append(cells, fmt.Sprintf("%.1f%%", sum*100))
+				t.AddRow(tag, cells...)
+			}
+			addRow(label+" (spec)", part.spec(m.Spec))
+			addRow(label+" (gen)", part.gen(st))
+		}
+		t.Write(w)
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RunFig1d prints the search-tree size as a function of the number of
+// waiting jobs (Figure 1(d)): n! paths and sum_{k=1..n} n!/(n-k)! nodes.
+func RunFig1d(cfg Config, w io.Writer) error {
+	fmt.Fprintln(w, "=== Figure 1(d): tree size vs number of waiting jobs ===")
+	t := report.NewTable("", "#jobs", "#paths", "#nodes")
+	for _, n := range []int{1, 2, 3, 4, 8, 10, 15, 20} {
+		sz := core.SizeOfTree(n)
+		t.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", sz.Paths), fmt.Sprintf("%d", sz.Nodes))
+	}
+	t.Write(w)
+	fmt.Fprintln(w, "\nLDS/DDS iteration path counts for n = 4 (paper Section 2.2):")
+	t2 := report.NewTable("", "iteration", "LDS paths (exactly k discrepancies)", "DDS paths (discrepancy at depth i)")
+	for it := 0; it <= 3; it++ {
+		t2.AddRow(fmt.Sprintf("%d", it),
+			fmt.Sprintf("%d", core.CountLDSPaths(4, it)),
+			fmt.Sprintf("%d", core.CountDDSPaths(4, it)))
+	}
+	t2.Write(w)
+	return nil
+}

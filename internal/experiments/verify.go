@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"schedsearch/internal/metrics"
+)
+
+func init() {
+	All = append(All, Experiment{
+		ID:    "verify",
+		Title: "Verify the paper's headline claims programmatically",
+		Run:   RunVerify,
+	})
+}
+
+// Claim is one of the paper's falsifiable conclusions, checked against
+// a regenerated experiment.
+type Claim struct {
+	ID     string
+	Text   string
+	Holds  bool
+	Detail string
+}
+
+// VerifyClaims regenerates Figures 3 and 4 and checks the paper's
+// stated conclusions. Claims are phrased as month-aggregate statements
+// so they are robust to workload-synthesis noise at any scale.
+func VerifyClaims(cfg Config) ([]Claim, error) {
+	cfg = cfg.withDefaults()
+	fig3, err := Fig3Result(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fig4, err := Fig4Result(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return verifyFrom(fig3, fig4), nil
+}
+
+// verifyFrom evaluates the claims against precomputed comparisons
+// (shared with the replication harness).
+func verifyFrom(fig3, fig4 *CompareResult) []Claim {
+	collect := func(r *CompareResult, policy string, get func(metrics.Summary) float64) []float64 {
+		out := make([]float64, len(r.Months))
+		for i, m := range r.Months {
+			out[i] = get(r.Summaries[policy][m])
+		}
+		return out
+	}
+	meanOf := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	winsLE := func(a, b []float64) int {
+		n := 0
+		for i := range a {
+			if a[i] <= b[i]+1e-9 {
+				n++
+			}
+		}
+		return n
+	}
+	maxWait := func(s metrics.Summary) float64 { return s.MaxWaitH }
+	avgWait := func(s metrics.Summary) float64 { return s.AvgWaitH }
+	bsld := func(s metrics.Summary) float64 { return s.AvgBoundedSlowdown }
+
+	var claims []Claim
+	add := func(id, text string, holds bool, detail string) {
+		claims = append(claims, Claim{ID: id, Text: text, Holds: holds, Detail: detail})
+	}
+
+	nMonths := len(fig3.Months)
+
+	// Claim 1 (Section 3.2 / Figure 3): LXF-backfill improves the
+	// average slowdown of FCFS-backfill...
+	f3FcfsB, f3LxfB := collect(fig3, "FCFS-backfill", bsld), collect(fig3, "LXF-backfill", bsld)
+	add("lxf-beats-fcfs-averages",
+		"LXF-backfill has a lower mean avg bounded slowdown than FCFS-backfill (original load)",
+		meanOf(f3LxfB) < meanOf(f3FcfsB),
+		fmt.Sprintf("LXF %.1f vs FCFS %.1f", meanOf(f3LxfB), meanOf(f3FcfsB)))
+
+	// Claim 2: ...but has a worse maximum wait (the trade-off).
+	f3FcfsM, f3LxfM := collect(fig3, "FCFS-backfill", maxWait), collect(fig3, "LXF-backfill", maxWait)
+	add("lxf-worse-max-wait",
+		"LXF-backfill has a worse mean maximum wait than FCFS-backfill (original load)",
+		meanOf(f3LxfM) > meanOf(f3FcfsM),
+		fmt.Sprintf("LXF %.1f h vs FCFS %.1f h", meanOf(f3LxfM), meanOf(f3FcfsM)))
+
+	// Claim 3 (the headline, Figure 3): DDS/lxf/dynB beats LXF-backfill
+	// on max wait in (nearly) every month.
+	f3DdsM := collect(fig3, "DDS/lxf/dynB", maxWait)
+	w := winsLE(f3DdsM, f3LxfM)
+	add("dds-best-max-wait",
+		"DDS/lxf/dynB's max wait beats LXF-backfill's in >= 80% of months (original load)",
+		w*10 >= nMonths*8,
+		fmt.Sprintf("%d/%d months", w, nMonths))
+
+	// Claim 4: while tracking LXF-backfill's averages far below
+	// FCFS-backfill's.
+	f3DdsB := collect(fig3, "DDS/lxf/dynB", bsld)
+	add("dds-near-lxf-averages",
+		"DDS/lxf/dynB's mean avg bounded slowdown is much closer to LXF-backfill's than to FCFS-backfill's",
+		meanOf(f3DdsB)-meanOf(f3LxfB) < (meanOf(f3FcfsB)-meanOf(f3DdsB)),
+		fmt.Sprintf("DDS %.1f, LXF %.1f, FCFS %.1f", meanOf(f3DdsB), meanOf(f3LxfB), meanOf(f3FcfsB)))
+
+	// Claim 5 (Figure 4): the performance differences grow under high
+	// load (measured on the FCFS-LXF slowdown gap).
+	f4FcfsB, f4LxfB := collect(fig4, "FCFS-backfill", bsld), collect(fig4, "LXF-backfill", bsld)
+	add("high-load-widens-gap",
+		"the FCFS-vs-LXF slowdown gap is larger at rho=0.9 than at the original load",
+		meanOf(f4FcfsB)-meanOf(f4LxfB) > meanOf(f3FcfsB)-meanOf(f3LxfB),
+		fmt.Sprintf("gap %.1f at rho=0.9 vs %.1f at original", meanOf(f4FcfsB)-meanOf(f4LxfB), meanOf(f3FcfsB)-meanOf(f3LxfB)))
+
+	// Claim 6 (Figure 4f): DDS/lxf/dynB's total E^max is close to zero
+	// in most months while LXF-backfill's is large.
+	var ddsEx, lxfEx float64
+	ddsSmall := 0
+	for _, m := range fig4.Months {
+		ddsEx += fig4.ExcessMax["DDS/lxf/dynB"][m].TotalH
+		lxfEx += fig4.ExcessMax["LXF-backfill"][m].TotalH
+		if fig4.ExcessMax["DDS/lxf/dynB"][m].TotalH < 50 {
+			ddsSmall++
+		}
+	}
+	add("dds-near-zero-excess",
+		"DDS/lxf/dynB has near-zero total E^max in >= 70% of months and an order of magnitude less than LXF-backfill overall (rho=0.9)",
+		ddsSmall*10 >= nMonths*7 && ddsEx*5 < lxfEx,
+		fmt.Sprintf("small in %d/%d months; totals %.0f h vs LXF %.0f h", ddsSmall, nMonths, ddsEx, lxfEx))
+
+	// Claim 7 (Figure 4a): FCFS-backfill has the worst mean average
+	// wait under high load.
+	f4FcfsA := collect(fig4, "FCFS-backfill", avgWait)
+	f4LxfA := collect(fig4, "LXF-backfill", avgWait)
+	f4DdsA := collect(fig4, "DDS/lxf/dynB", avgWait)
+	add("fcfs-worst-avg-wait-high-load",
+		"FCFS-backfill has the worst mean average wait at rho=0.9",
+		meanOf(f4FcfsA) > meanOf(f4LxfA) && meanOf(f4FcfsA) > meanOf(f4DdsA),
+		fmt.Sprintf("FCFS %.2f, LXF %.2f, DDS %.2f h", meanOf(f4FcfsA), meanOf(f4LxfA), meanOf(f4DdsA)))
+
+	return claims
+}
+
+// RunVerify prints the claim checklist; it fails (returns an error) if
+// any claim does not hold, making it usable as a CI gate.
+func RunVerify(cfg Config, w io.Writer) error {
+	claims, err := VerifyClaims(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "=== Verifying the paper's headline claims ===")
+	failed := 0
+	for _, c := range claims {
+		status := "PASS"
+		if !c.Holds {
+			status = "FAIL"
+			failed++
+		}
+		fmt.Fprintf(w, "[%s] %-32s %s\n       measured: %s\n", status, c.ID, c.Text, c.Detail)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d claims failed", failed, len(claims))
+	}
+	fmt.Fprintf(w, "\nall %d claims hold\n", len(claims))
+	return nil
+}

@@ -1,0 +1,106 @@
+package job
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeRange is an inclusive range of requested node counts, used to
+// classify jobs the way the paper's tables and figures do.
+type NodeRange struct {
+	Lo, Hi int
+}
+
+// Contains reports whether n falls in the range.
+func (r NodeRange) Contains(n int) bool { return n >= r.Lo && n <= r.Hi }
+
+// String renders the range like the paper's column headers ("1", "3-4").
+func (r NodeRange) String() string {
+	if r.Lo == r.Hi {
+		return fmt.Sprintf("%d", r.Lo)
+	}
+	return fmt.Sprintf("%d-%d", r.Lo, r.Hi)
+}
+
+// RuntimeRange is a half-open range (Lo, Hi] of actual runtimes in
+// seconds; Lo = 0 means "from zero", Hi = MaxRuntime means unbounded.
+type RuntimeRange struct {
+	Lo, Hi Duration
+}
+
+// MaxRuntime is the sentinel upper bound for unbounded runtime ranges.
+const MaxRuntime Duration = math.MaxInt64 / 4
+
+// Contains reports whether t falls in (Lo, Hi].
+func (r RuntimeRange) Contains(t Duration) bool { return t > r.Lo && t <= r.Hi }
+
+// String renders the range using the paper's axis conventions.
+func (r RuntimeRange) String() string {
+	format := func(d Duration) string {
+		switch {
+		case d >= MaxRuntime:
+			return "inf"
+		case d%Hour == 0:
+			return fmt.Sprintf("%dh", d/Hour)
+		default:
+			return fmt.Sprintf("%dm", d/Minute)
+		}
+	}
+	if r.Lo == 0 {
+		return "<=" + format(r.Hi)
+	}
+	if r.Hi >= MaxRuntime {
+		return ">" + format(r.Lo)
+	}
+	return fmt.Sprintf("(%s,%s]", format(r.Lo), format(r.Hi))
+}
+
+// Table3NodeRanges are the eight requested-node ranges of the paper's
+// Table 3 (monthly job-mix overview).
+var Table3NodeRanges = []NodeRange{
+	{1, 1}, {2, 2}, {3, 4}, {5, 8}, {9, 16}, {17, 32}, {33, 64}, {65, 128},
+}
+
+// Table4NodeClasses are the five node classes of the paper's Table 4
+// (runtime-distribution overview).
+var Table4NodeClasses = []NodeRange{
+	{1, 1}, {2, 2}, {3, 8}, {9, 32}, {33, 128},
+}
+
+// Fig5NodeClasses are the five node classes of the paper's Figure 5
+// (per-class average wait surface).
+var Fig5NodeClasses = []NodeRange{
+	{1, 1}, {2, 8}, {9, 32}, {33, 64}, {65, 128},
+}
+
+// Fig5RuntimeClasses are the five actual-runtime classes of Figure 5:
+// up to 10 minutes, 1 hour, 4 hours, 8 hours, and beyond.
+var Fig5RuntimeClasses = []RuntimeRange{
+	{0, 10 * Minute},
+	{10 * Minute, Hour},
+	{Hour, 4 * Hour},
+	{4 * Hour, 8 * Hour},
+	{8 * Hour, MaxRuntime},
+}
+
+// ClassifyNodes returns the index of the range in ranges containing n,
+// or -1 if none does.
+func ClassifyNodes(ranges []NodeRange, n int) int {
+	for i, r := range ranges {
+		if r.Contains(n) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ClassifyRuntime returns the index of the range in ranges containing t,
+// or -1 if none does.
+func ClassifyRuntime(ranges []RuntimeRange, t Duration) int {
+	for i, r := range ranges {
+		if r.Contains(t) {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,96 @@
+package job
+
+import "testing"
+
+func TestNodeRangeString(t *testing.T) {
+	if got := (NodeRange{1, 1}).String(); got != "1" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (NodeRange{3, 4}).String(); got != "3-4" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTable3RangesPartitionCapacity(t *testing.T) {
+	// Every node count 1..128 falls in exactly one Table 3 range.
+	for n := 1; n <= 128; n++ {
+		count := 0
+		for _, r := range Table3NodeRanges {
+			if r.Contains(n) {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Errorf("node count %d falls in %d Table 3 ranges", n, count)
+		}
+	}
+}
+
+func TestTable4AndFig5ClassesPartitionCapacity(t *testing.T) {
+	for _, classes := range [][]NodeRange{Table4NodeClasses, Fig5NodeClasses} {
+		for n := 1; n <= 128; n++ {
+			if ClassifyNodes(classes, n) < 0 {
+				t.Errorf("node count %d unclassified", n)
+			}
+		}
+	}
+}
+
+func TestFig5RuntimeClassesPartition(t *testing.T) {
+	for _, rt := range []Duration{1, 60, 10 * Minute, 10*Minute + 1, Hour, 4 * Hour, 8 * Hour, 24 * Hour, 1000 * Hour} {
+		count := 0
+		for _, r := range Fig5RuntimeClasses {
+			if r.Contains(rt) {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Errorf("runtime %d falls in %d Figure 5 classes", rt, count)
+		}
+	}
+}
+
+func TestClassifyNodes(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int
+	}{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {8, 3}, {16, 4}, {32, 5}, {64, 6}, {128, 7},
+	}
+	for _, c := range cases {
+		if got := ClassifyNodes(Table3NodeRanges, c.n); got != c.want {
+			t.Errorf("ClassifyNodes(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	if got := ClassifyNodes(Table3NodeRanges, 0); got != -1 {
+		t.Errorf("ClassifyNodes(0) = %d, want -1", got)
+	}
+	if got := ClassifyNodes(Table3NodeRanges, 500); got != -1 {
+		t.Errorf("ClassifyNodes(500) = %d, want -1", got)
+	}
+}
+
+func TestClassifyRuntimeBoundaries(t *testing.T) {
+	// (Lo, Hi] semantics: exactly 10 minutes belongs to the first class.
+	if got := ClassifyRuntime(Fig5RuntimeClasses, 10*Minute); got != 0 {
+		t.Errorf("10m class = %d, want 0", got)
+	}
+	if got := ClassifyRuntime(Fig5RuntimeClasses, 10*Minute+1); got != 1 {
+		t.Errorf("10m+1s class = %d, want 1", got)
+	}
+	if got := ClassifyRuntime(Fig5RuntimeClasses, 0); got != -1 {
+		t.Errorf("0s class = %d, want -1 (exclusive lower bound)", got)
+	}
+}
+
+func TestRuntimeRangeString(t *testing.T) {
+	if got := (RuntimeRange{0, 10 * Minute}).String(); got != "<=10m" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (RuntimeRange{8 * Hour, MaxRuntime}).String(); got != ">8h" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (RuntimeRange{Hour, 4 * Hour}).String(); got != "(1h,4h]" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,226 @@
+// Package metrics computes the performance measures the paper evaluates
+// policies with (Section 4): average and maximum wait, average bounded
+// slowdown, the 98th-percentile wait, the normalized excessive-wait
+// family (total, count and average of per-job wait in excess of a
+// threshold), and per-job-class average-wait grids (Figure 5). All
+// measures are computed over the measured jobs only.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+// Hours converts a duration in seconds to hours.
+func Hours(d job.Duration) float64 { return float64(d) / float64(job.Hour) }
+
+// Summary holds the headline measures of one simulation run.
+type Summary struct {
+	Policy string
+	Jobs   int
+	// AvgWaitH, MaxWaitH and P98WaitH are in hours.
+	AvgWaitH float64
+	MaxWaitH float64
+	P98WaitH float64
+	// AvgBoundedSlowdown uses the paper's 1-minute runtime floor and
+	// actual runtimes.
+	AvgBoundedSlowdown float64
+	MaxBoundedSlowdown float64
+	// AvgQueueLen is copied from the simulation result.
+	AvgQueueLen float64
+	// UtilizedLoad is the fraction of the machine's capacity delivered
+	// to jobs (of any measurement status) during the measurement
+	// window: busy node-seconds clipped to the window over capacity x
+	// window length.
+	UtilizedLoad float64
+}
+
+// Summarize computes the headline measures from a simulation result.
+func Summarize(res *sim.Result) Summary {
+	s := Summary{Policy: res.Policy, AvgQueueLen: res.AvgQueueLen}
+	s.UtilizedLoad = Utilization(res)
+	waits := make([]float64, 0, len(res.Records))
+	var sumWait, sumBsld, maxBsld float64
+	for _, r := range res.Records {
+		if !r.Measured {
+			continue
+		}
+		w := Hours(job.Wait(r.Job, r.Start))
+		waits = append(waits, w)
+		sumWait += w
+		b := job.BoundedSlowdown(r.Job, r.Start)
+		sumBsld += b
+		if b > maxBsld {
+			maxBsld = b
+		}
+	}
+	s.Jobs = len(waits)
+	if s.Jobs == 0 {
+		return s
+	}
+	sort.Float64s(waits)
+	s.AvgWaitH = sumWait / float64(s.Jobs)
+	s.MaxWaitH = waits[len(waits)-1]
+	s.P98WaitH = percentileSorted(waits, 98)
+	s.AvgBoundedSlowdown = sumBsld / float64(s.Jobs)
+	s.MaxBoundedSlowdown = maxBsld
+	return s
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(rank)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Utilization returns the fraction of capacity delivered to jobs during
+// the result's measurement window (all jobs count — warm-up jobs also
+// occupy the machine).
+func Utilization(res *sim.Result) float64 {
+	if res.Capacity <= 0 || res.MeasureEnd <= res.MeasureStart {
+		return 0
+	}
+	var busy float64
+	for _, r := range res.Records {
+		lo, hi := r.Start, r.End
+		if lo < res.MeasureStart {
+			lo = res.MeasureStart
+		}
+		if hi > res.MeasureEnd {
+			hi = res.MeasureEnd
+		}
+		if hi > lo {
+			busy += float64(r.Job.Nodes) * float64(hi-lo)
+		}
+	}
+	return busy / (float64(res.Capacity) * float64(res.MeasureEnd-res.MeasureStart))
+}
+
+// Excess summarizes the normalized excessive wait of a run with respect
+// to a threshold (the paper's E^t measures): per-job wait in excess of
+// the threshold, over jobs that have any.
+type Excess struct {
+	// ThresholdH is the threshold t in hours.
+	ThresholdH float64
+	// TotalH is the total excessive wait in hours over all jobs.
+	TotalH float64
+	// Count is the number of jobs with an excessive wait.
+	Count int
+	// AvgH is TotalH / Count (0 when Count is 0).
+	AvgH float64
+}
+
+// ExcessiveWait computes the excessive-wait summary of a run w.r.t. a
+// threshold in hours.
+func ExcessiveWait(res *sim.Result, thresholdH float64) Excess {
+	e := Excess{ThresholdH: thresholdH}
+	for _, r := range res.Records {
+		if !r.Measured {
+			continue
+		}
+		ex := Hours(job.Wait(r.Job, r.Start)) - thresholdH
+		if ex > 0 {
+			e.TotalH += ex
+			e.Count++
+		}
+	}
+	if e.Count > 0 {
+		e.AvgH = e.TotalH / float64(e.Count)
+	}
+	return e
+}
+
+// ClassGrid is the Figure 5 surface: average wait (hours) per
+// (runtime-class, node-class) cell, with the per-cell job counts.
+type ClassGrid struct {
+	NodeClasses    []job.NodeRange
+	RuntimeClasses []job.RuntimeRange
+	// AvgWaitH[t][n] indexes runtime class t and node class n.
+	AvgWaitH [][]float64
+	Count    [][]int
+}
+
+// ComputeClassGrid builds the per-class average-wait grid of a run using
+// the Figure 5 class boundaries (actual runtime and requested nodes).
+func ComputeClassGrid(res *sim.Result) ClassGrid {
+	g := ClassGrid{
+		NodeClasses:    job.Fig5NodeClasses,
+		RuntimeClasses: job.Fig5RuntimeClasses,
+	}
+	nt, nn := len(g.RuntimeClasses), len(g.NodeClasses)
+	sums := make([][]float64, nt)
+	g.AvgWaitH = make([][]float64, nt)
+	g.Count = make([][]int, nt)
+	for t := range sums {
+		sums[t] = make([]float64, nn)
+		g.AvgWaitH[t] = make([]float64, nn)
+		g.Count[t] = make([]int, nn)
+	}
+	for _, r := range res.Records {
+		if !r.Measured {
+			continue
+		}
+		t := job.ClassifyRuntime(g.RuntimeClasses, r.Job.Runtime)
+		n := job.ClassifyNodes(g.NodeClasses, r.Job.Nodes)
+		if t < 0 || n < 0 {
+			continue
+		}
+		sums[t][n] += Hours(job.Wait(r.Job, r.Start))
+		g.Count[t][n]++
+	}
+	for t := 0; t < nt; t++ {
+		for n := 0; n < nn; n++ {
+			if g.Count[t][n] > 0 {
+				g.AvgWaitH[t][n] = sums[t][n] / float64(g.Count[t][n])
+			}
+		}
+	}
+	return g
+}
+
+// CheckConservation verifies basic sanity of a simulation result: every
+// job starts no earlier than submission and ends exactly runtime after
+// start. It returns the first violation, or nil.
+func CheckConservation(res *sim.Result) error {
+	for _, r := range res.Records {
+		if err := checkRecord(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkRecord(r sim.Record) error {
+	if r.Start < r.Job.Submit {
+		return &ValidationError{Record: r, Reason: "started before submission"}
+	}
+	rt := r.Job.Runtime
+	if rt < 1 {
+		rt = 1
+	}
+	if r.End != r.Start+rt {
+		return &ValidationError{Record: r, Reason: "end != start + runtime"}
+	}
+	return nil
+}
+
+// ValidationError reports a malformed simulation record.
+type ValidationError struct {
+	Record sim.Record
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("metrics: job %d: %s", e.Record.Job.ID, e.Reason)
+}

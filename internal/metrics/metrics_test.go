@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+func rec(id int, submit job.Time, nodes int, runtime job.Duration, start job.Time, measured bool) sim.Record {
+	return sim.Record{
+		Job:      job.Job{ID: id, Submit: submit, Nodes: nodes, Runtime: runtime, Request: runtime},
+		Start:    start,
+		End:      start + runtime,
+		Measured: measured,
+	}
+}
+
+func TestSummarizeBasics(t *testing.T) {
+	res := &sim.Result{
+		Policy:      "test",
+		AvgQueueLen: 2.5,
+		Records: []sim.Record{
+			rec(1, 0, 1, job.Hour, 0, true),            // wait 0
+			rec(2, 0, 1, job.Hour, 2*job.Hour, true),   // wait 2h, bsld 3
+			rec(3, 0, 1, job.Hour, 10*job.Hour, false), // warm-up: excluded
+		},
+	}
+	s := Summarize(res)
+	if s.Jobs != 2 {
+		t.Fatalf("Jobs = %d, want 2 (unmeasured excluded)", s.Jobs)
+	}
+	if s.AvgWaitH != 1 {
+		t.Errorf("AvgWaitH = %v, want 1", s.AvgWaitH)
+	}
+	if s.MaxWaitH != 2 {
+		t.Errorf("MaxWaitH = %v, want 2", s.MaxWaitH)
+	}
+	if s.AvgBoundedSlowdown != 2 { // (1 + 3) / 2
+		t.Errorf("AvgBoundedSlowdown = %v, want 2", s.AvgBoundedSlowdown)
+	}
+	if s.MaxBoundedSlowdown != 3 {
+		t.Errorf("MaxBoundedSlowdown = %v, want 3", s.MaxBoundedSlowdown)
+	}
+	if s.AvgQueueLen != 2.5 {
+		t.Errorf("AvgQueueLen = %v, want 2.5 (copied)", s.AvgQueueLen)
+	}
+	if s.Policy != "test" {
+		t.Errorf("Policy = %q", s.Policy)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(&sim.Result{Policy: "x"})
+	if s.Jobs != 0 || s.AvgWaitH != 0 || s.MaxWaitH != 0 {
+		t.Errorf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeP98(t *testing.T) {
+	// 100 jobs with waits 1..100 hours: p98 = 98.02 (linear interp on
+	// closest ranks over 0..99).
+	res := &sim.Result{}
+	for i := 1; i <= 100; i++ {
+		res.Records = append(res.Records,
+			rec(i, 0, 1, job.Hour, job.Time(i)*job.Hour, true))
+	}
+	s := Summarize(res)
+	if math.Abs(s.P98WaitH-98.02) > 0.001 {
+		t.Errorf("P98WaitH = %v, want 98.02", s.P98WaitH)
+	}
+}
+
+func TestExcessiveWait(t *testing.T) {
+	res := &sim.Result{Records: []sim.Record{
+		rec(1, 0, 1, job.Hour, 0, true),            // wait 0h
+		rec(2, 0, 1, job.Hour, 10*job.Hour, true),  // wait 10h, excess 4
+		rec(3, 0, 1, job.Hour, 20*job.Hour, true),  // wait 20h, excess 14
+		rec(4, 0, 1, job.Hour, 30*job.Hour, false), // unmeasured
+	}}
+	e := ExcessiveWait(res, 6)
+	if e.Count != 2 {
+		t.Fatalf("Count = %d, want 2", e.Count)
+	}
+	if math.Abs(e.TotalH-18) > 1e-9 {
+		t.Errorf("TotalH = %v, want 18", e.TotalH)
+	}
+	if math.Abs(e.AvgH-9) > 1e-9 {
+		t.Errorf("AvgH = %v, want 9", e.AvgH)
+	}
+	if e.ThresholdH != 6 {
+		t.Errorf("ThresholdH = %v", e.ThresholdH)
+	}
+}
+
+func TestExcessiveWaitZeroWRTOwnMax(t *testing.T) {
+	// By definition the excessive wait of a run w.r.t. its own maximum
+	// wait is zero (the paper's FCFS-backfill property).
+	res := &sim.Result{Records: []sim.Record{
+		rec(1, 0, 1, job.Hour, 5*job.Hour, true),
+		rec(2, 0, 1, job.Hour, 9*job.Hour, true),
+	}}
+	s := Summarize(res)
+	e := ExcessiveWait(res, s.MaxWaitH)
+	if e.Count != 0 || e.TotalH != 0 {
+		t.Errorf("excess w.r.t. own max = %+v, want zero", e)
+	}
+}
+
+func TestComputeClassGrid(t *testing.T) {
+	res := &sim.Result{Records: []sim.Record{
+		// 5-minute 1-node job waited 1h: class (<=10m, 1).
+		rec(1, 0, 1, 5*job.Minute, job.Hour, true),
+		// Another in the same class waited 3h.
+		rec(2, 0, 1, 5*job.Minute, 3*job.Hour, true),
+		// 12-hour 128-node job waited 10h: class (>8h, 65-128).
+		rec(3, 0, 128, 12*job.Hour, 10*job.Hour, true),
+	}}
+	g := ComputeClassGrid(res)
+	if g.Count[0][0] != 2 {
+		t.Fatalf("Count[0][0] = %d, want 2", g.Count[0][0])
+	}
+	if g.AvgWaitH[0][0] != 2 {
+		t.Errorf("AvgWaitH[0][0] = %v, want 2", g.AvgWaitH[0][0])
+	}
+	last := len(g.RuntimeClasses) - 1
+	lastN := len(g.NodeClasses) - 1
+	if g.Count[last][lastN] != 1 || g.AvgWaitH[last][lastN] != 10 {
+		t.Errorf("wide-long cell = %d jobs, %v h", g.Count[last][lastN], g.AvgWaitH[last][lastN])
+	}
+	// Total classified jobs equals measured jobs.
+	total := 0
+	for ti := range g.Count {
+		for ni := range g.Count[ti] {
+			total += g.Count[ti][ni]
+		}
+	}
+	if total != 3 {
+		t.Errorf("grid total = %d, want 3", total)
+	}
+}
+
+func TestCheckConservation(t *testing.T) {
+	good := &sim.Result{Records: []sim.Record{rec(1, 0, 1, 100, 50, true)}}
+	if err := CheckConservation(good); err != nil {
+		t.Errorf("valid result rejected: %v", err)
+	}
+	early := &sim.Result{Records: []sim.Record{rec(1, 100, 1, 100, 50, true)}}
+	if err := CheckConservation(early); err == nil {
+		t.Error("start-before-submit accepted")
+	}
+	bad := &sim.Result{Records: []sim.Record{{
+		Job:   job.Job{ID: 1, Nodes: 1, Runtime: 100, Request: 100},
+		Start: 0, End: 50, Measured: true,
+	}}}
+	if err := CheckConservation(bad); err == nil {
+		t.Error("end != start+runtime accepted")
+	}
+}
+
+func TestHours(t *testing.T) {
+	if got := Hours(2 * job.Hour); got != 2 {
+		t.Errorf("Hours = %v", got)
+	}
+	if got := Hours(30 * job.Minute); got != 0.5 {
+		t.Errorf("Hours = %v", got)
+	}
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"sort"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+// UserSummary aggregates a run's measures for one user, supporting the
+// fairshare extension's evaluation.
+type UserSummary struct {
+	User int
+	Jobs int
+	// DemandNodeH is the user's total processor demand in node-hours.
+	DemandNodeH float64
+	AvgWaitH    float64
+	AvgBsld     float64
+	MaxWaitH    float64
+}
+
+// PerUser summarizes the measured jobs of a run per user, sorted by
+// descending demand (heaviest users first). Jobs with user 0 (unknown)
+// are skipped.
+func PerUser(res *sim.Result) []UserSummary {
+	acc := map[int]*UserSummary{}
+	for _, r := range res.Records {
+		if !r.Measured || r.Job.User == 0 {
+			continue
+		}
+		u := acc[r.Job.User]
+		if u == nil {
+			u = &UserSummary{User: r.Job.User}
+			acc[r.Job.User] = u
+		}
+		u.Jobs++
+		u.DemandNodeH += float64(r.Job.Demand()) / float64(job.Hour)
+		w := Hours(job.Wait(r.Job, r.Start))
+		u.AvgWaitH += w
+		if w > u.MaxWaitH {
+			u.MaxWaitH = w
+		}
+		u.AvgBsld += job.BoundedSlowdown(r.Job, r.Start)
+	}
+	out := make([]UserSummary, 0, len(acc))
+	for _, u := range acc {
+		u.AvgWaitH /= float64(u.Jobs)
+		u.AvgBsld /= float64(u.Jobs)
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].DemandNodeH != out[k].DemandNodeH {
+			return out[i].DemandNodeH > out[k].DemandNodeH
+		}
+		return out[i].User < out[k].User
+	})
+	return out
+}
+
+// SplitByDemand partitions the per-user summaries into the heavy users
+// contributing the top half of demand and the rest, returning the
+// job-weighted average bounded slowdown of each group. It quantifies
+// what a fairshare objective trades: heavy-group service against
+// light-group service.
+func SplitByDemand(users []UserSummary) (heavyBsld, lightBsld float64) {
+	var total float64
+	for _, u := range users {
+		total += u.DemandNodeH
+	}
+	var acc float64
+	var hSum, hJobs, lSum, lJobs float64
+	for _, u := range users {
+		if acc < total/2 {
+			hSum += u.AvgBsld * float64(u.Jobs)
+			hJobs += float64(u.Jobs)
+		} else {
+			lSum += u.AvgBsld * float64(u.Jobs)
+			lJobs += float64(u.Jobs)
+		}
+		acc += u.DemandNodeH
+	}
+	if hJobs > 0 {
+		heavyBsld = hSum / hJobs
+	}
+	if lJobs > 0 {
+		lightBsld = lSum / lJobs
+	}
+	return heavyBsld, lightBsld
+}

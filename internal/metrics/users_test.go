@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+func urec(id, user int, nodes int, runtime job.Duration, start job.Time) sim.Record {
+	return sim.Record{
+		Job:      job.Job{ID: id, User: user, Nodes: nodes, Runtime: runtime, Request: runtime},
+		Start:    start,
+		End:      start + runtime,
+		Measured: true,
+	}
+}
+
+func TestPerUserAggregation(t *testing.T) {
+	res := &sim.Result{Records: []sim.Record{
+		urec(1, 7, 4, job.Hour, 0),          // user 7: wait 0
+		urec(2, 7, 4, job.Hour, 2*job.Hour), // user 7: wait 2h
+		urec(3, 8, 1, job.Hour, job.Hour),   // user 8: wait 1h
+		{Job: job.Job{ID: 4, User: 0, Nodes: 1, Runtime: 60, Request: 60}, Measured: true}, // unknown: skipped
+		{Job: job.Job{ID: 5, User: 9, Nodes: 1, Runtime: 60, Request: 60}, Measured: false},
+	}}
+	users := PerUser(res)
+	if len(users) != 2 {
+		t.Fatalf("%d users, want 2", len(users))
+	}
+	// Heaviest first: user 7 has 8 node-hours, user 8 has 1.
+	if users[0].User != 7 || users[1].User != 8 {
+		t.Fatalf("order: %v", users)
+	}
+	u7 := users[0]
+	if u7.Jobs != 2 || u7.AvgWaitH != 1 || u7.MaxWaitH != 2 {
+		t.Errorf("user 7 summary: %+v", u7)
+	}
+	if math.Abs(u7.DemandNodeH-8) > 1e-9 {
+		t.Errorf("user 7 demand %v, want 8 node-hours", u7.DemandNodeH)
+	}
+}
+
+func TestSplitByDemand(t *testing.T) {
+	users := []UserSummary{
+		{User: 1, Jobs: 2, DemandNodeH: 100, AvgBsld: 10},
+		{User: 2, Jobs: 2, DemandNodeH: 10, AvgBsld: 2},
+		{User: 3, Jobs: 6, DemandNodeH: 5, AvgBsld: 4},
+	}
+	heavy, light := SplitByDemand(users)
+	if heavy != 10 {
+		t.Errorf("heavy = %v, want 10 (user 1 alone covers half the demand)", heavy)
+	}
+	// light: users 2 and 3, job-weighted: (2*2 + 4*6)/8 = 3.5.
+	if math.Abs(light-3.5) > 1e-9 {
+		t.Errorf("light = %v, want 3.5", light)
+	}
+}
+
+func TestSplitByDemandEmpty(t *testing.T) {
+	h, l := SplitByDemand(nil)
+	if h != 0 || l != 0 {
+		t.Errorf("empty split = %v/%v", h, l)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	res := &sim.Result{
+		Capacity:     4,
+		MeasureStart: 100,
+		MeasureEnd:   200,
+		Records: []sim.Record{
+			// Fully inside the window: 2 nodes x 50s.
+			{Job: job.Job{ID: 1, Nodes: 2, Runtime: 50, Request: 50}, Start: 100, End: 150},
+			// Straddles the start: only [100, 120) counts, 1 node.
+			{Job: job.Job{ID: 2, Nodes: 1, Runtime: 70, Request: 70}, Start: 50, End: 120},
+			// Entirely outside: contributes nothing.
+			{Job: job.Job{ID: 3, Nodes: 4, Runtime: 50, Request: 50}, Start: 300, End: 350},
+		},
+	}
+	// busy = 2*50 + 1*20 = 120 over 4*100 = 400 -> 0.3.
+	if got := Utilization(res); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("Utilization = %v, want 0.3", got)
+	}
+}
+
+func TestUtilizationDegenerate(t *testing.T) {
+	if got := Utilization(&sim.Result{}); got != 0 {
+		t.Errorf("Utilization of empty result = %v", got)
+	}
+	if got := Utilization(&sim.Result{Capacity: 4, MeasureStart: 10, MeasureEnd: 10}); got != 0 {
+		t.Errorf("Utilization with empty window = %v", got)
+	}
+}
+
+// TestUtilizationNeverExceedsOne on a saturating run.
+func TestUtilizationBounded(t *testing.T) {
+	res := &sim.Result{Capacity: 2, MeasureStart: 0, MeasureEnd: 100}
+	res.Records = []sim.Record{
+		{Job: job.Job{ID: 1, Nodes: 2, Runtime: 100, Request: 100}, Start: 0, End: 100},
+	}
+	if got := Utilization(res); got != 1 {
+		t.Errorf("Utilization = %v, want 1", got)
+	}
+}

@@ -1,0 +1,185 @@
+// Package policy implements the priority-backfill scheduling policies
+// the paper compares against (Section 3.2): EASY-style backfill with a
+// configurable number of reservations and pluggable priority functions
+// (FCFS, SJF, LXF, LXF&W), plus the published variants Selective-,
+// Slack-, and Relaxed-backfill and the Lookahead scheduler.
+package policy
+
+import (
+	"sort"
+
+	"schedsearch/internal/cluster"
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+// Priority scores a waiting job at a decision instant; larger scores
+// schedule first. Implementations must be deterministic.
+type Priority interface {
+	// Name is the short priority tag used in policy names ("FCFS").
+	Name() string
+	// Score returns the job's priority at time now.
+	Score(w sim.WaitingJob, now job.Time) float64
+}
+
+// FCFS prioritizes by arrival order (earlier submit = higher priority).
+type FCFS struct{}
+
+func (FCFS) Name() string { return "FCFS" }
+func (FCFS) Score(w sim.WaitingJob, _ job.Time) float64 {
+	return -float64(w.Job.Submit)
+}
+
+// SJF prioritizes the shortest estimated runtime first.
+type SJF struct{}
+
+func (SJF) Name() string { return "SJF" }
+func (SJF) Score(w sim.WaitingJob, _ job.Time) float64 {
+	return -float64(w.Estimate)
+}
+
+// LXF prioritizes the largest current bounded slowdown ("expansion
+// factor") first, computed with the runtime estimate the policy sees.
+type LXF struct{}
+
+func (LXF) Name() string { return "LXF" }
+func (LXF) Score(w sim.WaitingJob, now job.Time) float64 {
+	return job.BoundedSlowdownAt(w.Job.Submit, w.Estimate, now)
+}
+
+// LXFW is LXF plus a small weight on the current wait time (LXF&W in the
+// paper's terminology), which bounds starvation of long jobs.
+type LXFW struct {
+	// WaitWeight is the priority added per hour of waiting; the paper's
+	// prior work uses a very small weight (default 0.02/h via NewLXFW).
+	WaitWeight float64
+}
+
+// NewLXFW returns LXF&W with the conventional small wait weight.
+func NewLXFW() LXFW { return LXFW{WaitWeight: 0.02} }
+
+func (LXFW) Name() string { return "LXF&W" }
+func (p LXFW) Score(w sim.WaitingJob, now job.Time) float64 {
+	waitHours := float64(now-w.Job.Submit) / float64(job.Hour)
+	return job.BoundedSlowdownAt(w.Job.Submit, w.Estimate, now) + p.WaitWeight*waitHours
+}
+
+// Backfill is an EASY-style priority backfill policy: jobs are
+// considered in priority order; the first Reservations jobs that cannot
+// start now are given scheduled start times (reservations) at their
+// earliest fit; lower-priority jobs may start now only if they do not
+// delay any reservation. The paper's FCFS-backfill and LXF-backfill use
+// one reservation.
+type Backfill struct {
+	Priority     Priority
+	Reservations int
+	name         string
+}
+
+// NewBackfill returns a backfill policy with one reservation, matching
+// the paper's configuration.
+func NewBackfill(p Priority) *Backfill { return &Backfill{Priority: p, Reservations: 1} }
+
+// FCFSBackfill returns the paper's FCFS-backfill baseline.
+func FCFSBackfill() *Backfill { return NewBackfill(FCFS{}) }
+
+// ConservativeBackfill returns conservative backfill: every queued job
+// holds a reservation, so no backfill move can delay any higher-priority
+// job's planned start.
+func ConservativeBackfill(p Priority) *Backfill {
+	b := &Backfill{Priority: p, Reservations: int(^uint(0) >> 1)}
+	b.name = "Conservative-backfill(" + p.Name() + ")"
+	return b
+}
+
+// LXFBackfill returns the paper's LXF-backfill baseline.
+func LXFBackfill() *Backfill { return NewBackfill(LXF{}) }
+
+// Name implements sim.Policy.
+func (b *Backfill) Name() string {
+	if b.name != "" {
+		return b.name
+	}
+	return b.Priority.Name() + "-backfill"
+}
+
+// WithName overrides the report name (for ablation variants).
+func (b *Backfill) WithName(name string) *Backfill {
+	b.name = name
+	return b
+}
+
+// Decide implements sim.Policy.
+func (b *Backfill) Decide(snap *sim.Snapshot) []int {
+	order := PriorityOrder(snap, b.Priority)
+	prof := BuildProfile(snap)
+	var starts []int
+	reserved := 0
+	for _, qi := range order {
+		w := snap.Queue[qi]
+		est := estimateOf(w)
+		t := prof.EarliestFit(snap.Now, w.Job.Nodes, est)
+		switch {
+		case t == snap.Now:
+			prof.Place(t, w.Job.Nodes, est)
+			starts = append(starts, qi)
+		case reserved < b.Reservations:
+			prof.Place(t, w.Job.Nodes, est)
+			reserved++
+		}
+	}
+	return starts
+}
+
+// estimateOf floors the runtime estimate at one second so profile
+// placements are always non-empty.
+func estimateOf(w sim.WaitingJob) job.Duration {
+	if w.Estimate < 1 {
+		return 1
+	}
+	return w.Estimate
+}
+
+// PriorityOrder returns queue indices sorted by descending priority with
+// deterministic tiebreak (submit time, then job ID).
+func PriorityOrder(snap *sim.Snapshot, p Priority) []int {
+	type scored struct {
+		qi    int
+		score float64
+	}
+	ss := make([]scored, len(snap.Queue))
+	for i, w := range snap.Queue {
+		ss[i] = scored{qi: i, score: p.Score(w, snap.Now)}
+	}
+	sort.SliceStable(ss, func(a, c int) bool {
+		if ss[a].score != ss[c].score {
+			return ss[a].score > ss[c].score
+		}
+		ja, jc := snap.Queue[ss[a].qi].Job, snap.Queue[ss[c].qi].Job
+		if ja.Submit != jc.Submit {
+			return ja.Submit < jc.Submit
+		}
+		return ja.ID < jc.ID
+	})
+	order := make([]int, len(ss))
+	for i, s := range ss {
+		order[i] = s.qi
+	}
+	return order
+}
+
+// BuildProfile constructs the availability profile implied by the
+// snapshot: capacity minus each running job until its predicted end.
+func BuildProfile(snap *sim.Snapshot) *cluster.Profile {
+	prof := cluster.New(snap.Capacity, snap.Now)
+	for _, r := range snap.Running {
+		end := r.PredictedEnd
+		if end <= snap.Now {
+			// The job has exhausted its estimate but has not finished;
+			// plan as if it ends imminently.
+			end = snap.Now + 1
+		}
+		prof.Place(snap.Now, r.Nodes, end-snap.Now)
+	}
+	return prof
+}

@@ -1,0 +1,247 @@
+package policy
+
+import (
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+// SelectiveBackfill implements the Selective-backfill strategy of
+// Srinivasan et al. (JSSPP 2002): jobs are backfilled freely until their
+// expansion factor ((wait + estimate)/estimate) crosses an adaptive
+// threshold, at which point they are granted a reservation. The paper
+// (Section 3.2) found it to behave like LXF-backfill on these workloads.
+type SelectiveBackfill struct {
+	// Threshold is the starting expansion-factor threshold; the policy
+	// adapts it toward the running average expansion factor of started
+	// jobs.
+	Threshold float64
+
+	startedXF  float64 // sum of expansion factors at start
+	startedCnt int
+}
+
+// NewSelectiveBackfill returns a Selective-backfill policy with the
+// conventional initial threshold.
+func NewSelectiveBackfill() *SelectiveBackfill { return &SelectiveBackfill{Threshold: 2} }
+
+// Name implements sim.Policy.
+func (s *SelectiveBackfill) Name() string { return "Selective-backfill" }
+
+func (s *SelectiveBackfill) threshold() float64 {
+	if s.startedCnt == 0 {
+		return s.Threshold
+	}
+	avg := s.startedXF / float64(s.startedCnt)
+	if avg < 1 {
+		avg = 1
+	}
+	return avg
+}
+
+// Decide implements sim.Policy.
+func (s *SelectiveBackfill) Decide(snap *sim.Snapshot) []int {
+	// Jobs whose expansion factor exceeds the threshold get
+	// reservations, most-expanded first; the rest backfill in LXF
+	// order.
+	order := PriorityOrder(snap, LXF{})
+	thr := s.threshold()
+	prof := BuildProfile(snap)
+	var starts []int
+	for _, qi := range order {
+		w := snap.Queue[qi]
+		est := estimateOf(w)
+		xf := job.BoundedSlowdownAt(w.Job.Submit, est, snap.Now)
+		t := prof.EarliestFit(snap.Now, w.Job.Nodes, est)
+		switch {
+		case t == snap.Now:
+			prof.Place(t, w.Job.Nodes, est)
+			starts = append(starts, qi)
+			s.startedXF += xf
+			s.startedCnt++
+		case xf >= thr:
+			// Expanded past the threshold: hold a reservation.
+			prof.Place(t, w.Job.Nodes, est)
+		}
+	}
+	return starts
+}
+
+// RelaxedBackfill implements the relaxed backfill strategy of Ward,
+// Mahood & West (JSSPP 2002): backfilling a lower-priority job is
+// permitted even if it delays the highest-priority waiting job, as long
+// as the delay stays within Relax times that job's runtime estimate.
+type RelaxedBackfill struct {
+	Priority Priority
+	// Relax is the tolerated delay of the head job as a fraction of its
+	// runtime estimate (Ward et al. study factors around 0.5-2).
+	Relax float64
+}
+
+// NewRelaxedBackfill returns relaxed backfill over FCFS priority with a
+// relaxation factor of 1.
+func NewRelaxedBackfill() *RelaxedBackfill {
+	return &RelaxedBackfill{Priority: FCFS{}, Relax: 1}
+}
+
+// Name implements sim.Policy.
+func (r *RelaxedBackfill) Name() string { return "Relaxed-backfill" }
+
+// Decide implements sim.Policy.
+func (r *RelaxedBackfill) Decide(snap *sim.Snapshot) []int {
+	order := PriorityOrder(snap, r.Priority)
+	prof := BuildProfile(snap)
+	var starts []int
+
+	// The head job is the highest-priority job that cannot start now.
+	headIdx := -1 // index into order
+	var headFit job.Time
+	var headLimit job.Time
+	for oi, qi := range order {
+		w := snap.Queue[qi]
+		est := estimateOf(w)
+		t := prof.EarliestFit(snap.Now, w.Job.Nodes, est)
+		if t == snap.Now {
+			prof.Place(t, w.Job.Nodes, est)
+			starts = append(starts, qi)
+			continue
+		}
+		headIdx = oi
+		headFit = t
+		headLimit = t + job.Duration(r.Relax*float64(est))
+		break
+	}
+	if headIdx < 0 {
+		return starts
+	}
+	head := snap.Queue[order[headIdx]]
+	headEst := estimateOf(head)
+
+	// Try to start each remaining job now, accepting the move only if
+	// the head job's earliest fit stays within its relaxed limit.
+	for _, qi := range order[headIdx+1:] {
+		w := snap.Queue[qi]
+		est := estimateOf(w)
+		if prof.EarliestFit(snap.Now, w.Job.Nodes, est) != snap.Now {
+			continue
+		}
+		pl := prof.Place(snap.Now, w.Job.Nodes, est)
+		if prof.EarliestFit(snap.Now, head.Job.Nodes, headEst) > headLimit {
+			prof.Undo(pl)
+			continue
+		}
+		starts = append(starts, qi)
+	}
+	// Note the head job holds no hard reservation: its protection is
+	// the relaxed limit test above, re-evaluated at every decision.
+	_ = headFit
+	return starts
+}
+
+// SlackBackfill implements a slack-based backfill in the spirit of Talby
+// & Feitelson (IPPS 1999): when a job first joins the queue it is
+// promised a start time (its earliest fit at that moment) plus a slack
+// proportional to its estimate; any backfill move is legal only if every
+// queued job can still meet its promise.
+type SlackBackfill struct {
+	Priority Priority
+	// SlackFactor scales each job's runtime estimate into its slack.
+	SlackFactor float64
+	// MinSlack is the slack floor so very short jobs keep a usable
+	// promise window.
+	MinSlack job.Duration
+
+	promises map[int]job.Time // job ID -> latest allowed start
+}
+
+// NewSlackBackfill returns slack-based backfill over FCFS priority.
+func NewSlackBackfill() *SlackBackfill {
+	return &SlackBackfill{Priority: FCFS{}, SlackFactor: 1, MinSlack: 2 * job.Hour}
+}
+
+// Name implements sim.Policy.
+func (s *SlackBackfill) Name() string { return "Slack-backfill" }
+
+// Decide implements sim.Policy.
+func (s *SlackBackfill) Decide(snap *sim.Snapshot) []int {
+	if s.promises == nil {
+		s.promises = make(map[int]job.Time)
+	}
+	order := PriorityOrder(snap, s.Priority)
+	prof := BuildProfile(snap)
+
+	// Issue promises to newly seen jobs and renew promises that have
+	// become unmeetable through load the policy did not control (e.g.
+	// runtime-estimate shortfalls): a stale promise must not veto all
+	// future backfilling.
+	infos := make([]pinfo, 0, len(order))
+	for _, qi := range order {
+		w := snap.Queue[qi]
+		est := estimateOf(w)
+		fit := prof.EarliestFit(snap.Now, w.Job.Nodes, est)
+		infos = append(infos, pinfo{qi: qi, est: est, fit: fit})
+		slack := job.Duration(s.SlackFactor * float64(est))
+		if slack < s.MinSlack {
+			slack = s.MinSlack
+		}
+		if p, ok := s.promises[w.Job.ID]; !ok || fit > p {
+			s.promises[w.Job.ID] = fit + slack
+		}
+	}
+
+	// Start jobs in priority order when they fit now, but accept a
+	// backfill move only if it does not push any higher-priority held
+	// job from meeting its promise to missing it.
+	var starts []int
+	var held []pinfo
+	for _, in := range infos {
+		w := snap.Queue[in.qi]
+		t := prof.EarliestFit(snap.Now, w.Job.Nodes, in.est)
+		if t != snap.Now {
+			in.fit = t
+			held = append(held, in)
+			continue
+		}
+		// Record the held jobs' fits before the tentative placement.
+		for hi := range held {
+			hw := snap.Queue[held[hi].qi]
+			held[hi].fit = prof.EarliestFit(snap.Now, hw.Job.Nodes, held[hi].est)
+		}
+		pl := prof.Place(snap.Now, w.Job.Nodes, in.est)
+		violated := false
+		for _, h := range held {
+			hw := snap.Queue[h.qi]
+			after := prof.EarliestFit(snap.Now, hw.Job.Nodes, h.est)
+			promise := s.promises[hw.Job.ID]
+			if after > promise && h.fit <= promise {
+				violated = true
+				break
+			}
+		}
+		if violated {
+			prof.Undo(pl)
+			held = append(held, in)
+			continue
+		}
+		starts = append(starts, in.qi)
+	}
+
+	// Garbage-collect promises for jobs no longer queued.
+	live := make(map[int]bool, len(snap.Queue))
+	for _, w := range snap.Queue {
+		live[w.Job.ID] = true
+	}
+	for id := range s.promises {
+		if !live[id] {
+			delete(s.promises, id)
+		}
+	}
+	return starts
+}
+
+// pinfo pairs a queue index with the runtime estimate the policy plans
+// with and a scratch earliest-fit time.
+type pinfo struct {
+	qi  int
+	est job.Duration
+	fit job.Time
+}

@@ -1,0 +1,132 @@
+// Package predict implements history-based job runtime prediction, the
+// paper's second future-work direction ("applying job runtime prediction
+// techniques to improve the accuracy of estimated job runtime for
+// scheduling"). The reference predictor follows Tsafrir, Etsion &
+// Feitelson: predict a job's runtime as the average of the same user's
+// two most recent actual runtimes, capped at the user's request (jobs
+// are killed at their request limit, so no prediction above it can be
+// right).
+package predict
+
+import (
+	"schedsearch/internal/job"
+)
+
+// Estimator produces runtime estimates for arriving jobs and learns
+// from completions. The simulator guarantees Observe is called for
+// every job that completes before an Estimate call, in simulated-time
+// order.
+type Estimator interface {
+	// Estimate predicts the runtime of an arriving job.
+	Estimate(j job.Job) job.Duration
+	// Observe records a completed job's actual runtime.
+	Observe(j job.Job)
+}
+
+// UserHistory is the Tsafrir-style predictor: the average of the user's
+// last Window actual runtimes, capped at the job's requested runtime.
+// Jobs of unknown users (or users with no history) fall back to the
+// request.
+type UserHistory struct {
+	// Window is the history depth (Tsafrir uses 2).
+	Window int
+	// history[user] holds up to Window most recent runtimes, newest
+	// last.
+	history map[int][]job.Duration
+}
+
+// NewUserHistory returns the predictor with the conventional window of
+// two jobs.
+func NewUserHistory() *UserHistory { return &UserHistory{Window: 2} }
+
+// Estimate implements Estimator.
+func (p *UserHistory) Estimate(j job.Job) job.Duration {
+	hist := p.history[j.User]
+	if j.User == 0 || len(hist) == 0 {
+		return j.Request
+	}
+	var sum job.Duration
+	for _, t := range hist {
+		sum += t
+	}
+	est := sum / job.Duration(len(hist))
+	if est > j.Request {
+		est = j.Request
+	}
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// Observe implements Estimator.
+func (p *UserHistory) Observe(j job.Job) {
+	if j.User == 0 {
+		return
+	}
+	if p.history == nil {
+		p.history = make(map[int][]job.Duration)
+	}
+	w := p.Window
+	if w < 1 {
+		w = 1
+	}
+	hist := append(p.history[j.User], j.Runtime)
+	if len(hist) > w {
+		hist = hist[len(hist)-w:]
+	}
+	p.history[j.User] = hist
+}
+
+// Accuracy accumulates prediction-quality statistics: for each job it
+// compares an estimate against the actual runtime.
+type Accuracy struct {
+	Jobs int
+	// SumAbsErrH is the summed absolute error in hours.
+	SumAbsErrH float64
+	// Under counts underpredictions (estimate < actual).
+	Under int
+	// SumRatio accumulates estimate/actual (with the paper's 1-minute
+	// floor on actual), so Mean ratio near 1 is ideal.
+	SumRatio float64
+}
+
+// Record adds one (estimate, actual) observation.
+func (a *Accuracy) Record(estimate, actual job.Duration) {
+	a.Jobs++
+	diff := estimate - actual
+	if diff < 0 {
+		a.Under++
+		diff = -diff
+	}
+	a.SumAbsErrH += float64(diff) / float64(job.Hour)
+	floor := actual
+	if floor < job.Minute {
+		floor = job.Minute
+	}
+	a.SumRatio += float64(estimate) / float64(floor)
+}
+
+// MeanAbsErrH returns the mean absolute error in hours.
+func (a *Accuracy) MeanAbsErrH() float64 {
+	if a.Jobs == 0 {
+		return 0
+	}
+	return a.SumAbsErrH / float64(a.Jobs)
+}
+
+// MeanRatio returns the mean estimate/actual ratio.
+func (a *Accuracy) MeanRatio() float64 {
+	if a.Jobs == 0 {
+		return 0
+	}
+	return a.SumRatio / float64(a.Jobs)
+}
+
+// UnderFrac returns the fraction of underpredictions.
+func (a *Accuracy) UnderFrac() float64 {
+	if a.Jobs == 0 {
+		return 0
+	}
+	return float64(a.Under) / float64(a.Jobs)
+}

@@ -1,0 +1,104 @@
+package predict
+
+import (
+	"testing"
+
+	"schedsearch/internal/job"
+)
+
+func j(id, user int, runtime, request job.Duration) job.Job {
+	return job.Job{ID: id, User: user, Nodes: 1, Runtime: runtime, Request: request}
+}
+
+func TestUserHistoryFallsBackToRequest(t *testing.T) {
+	p := NewUserHistory()
+	if got := p.Estimate(j(1, 7, 100, 500)); got != 500 {
+		t.Errorf("no-history estimate = %d, want request 500", got)
+	}
+	if got := p.Estimate(j(2, 0, 100, 500)); got != 500 {
+		t.Errorf("unknown-user estimate = %d, want request 500", got)
+	}
+}
+
+func TestUserHistoryAveragesLastTwo(t *testing.T) {
+	p := NewUserHistory()
+	p.Observe(j(1, 7, 100, 500))
+	if got := p.Estimate(j(2, 7, 0, 500)); got != 100 {
+		t.Errorf("one-job history estimate = %d, want 100", got)
+	}
+	p.Observe(j(2, 7, 300, 500))
+	if got := p.Estimate(j(3, 7, 0, 500)); got != 200 {
+		t.Errorf("two-job history estimate = %d, want 200", got)
+	}
+	// Window slides: a third observation drops the first.
+	p.Observe(j(3, 7, 500, 600))
+	if got := p.Estimate(j(4, 7, 0, 600)); got != 400 {
+		t.Errorf("sliding-window estimate = %d, want (300+500)/2", got)
+	}
+}
+
+func TestUserHistoryCapsAtRequest(t *testing.T) {
+	p := NewUserHistory()
+	p.Observe(j(1, 7, 10000, 10000))
+	p.Observe(j(2, 7, 10000, 10000))
+	if got := p.Estimate(j(3, 7, 0, 600)); got != 600 {
+		t.Errorf("estimate = %d, want capped at request 600", got)
+	}
+}
+
+func TestUserHistoryIsolatesUsers(t *testing.T) {
+	p := NewUserHistory()
+	p.Observe(j(1, 7, 100, 500))
+	if got := p.Estimate(j(2, 8, 0, 500)); got != 500 {
+		t.Errorf("user 8 saw user 7's history: %d", got)
+	}
+}
+
+func TestUserHistoryIgnoresUnknownUserObservations(t *testing.T) {
+	p := NewUserHistory()
+	p.Observe(j(1, 0, 100, 500))
+	if p.history != nil && len(p.history[0]) > 0 {
+		t.Error("recorded history for user 0")
+	}
+}
+
+func TestUserHistoryFloorsAtOneSecond(t *testing.T) {
+	p := NewUserHistory()
+	p.Observe(j(1, 7, 0, 500))
+	if got := p.Estimate(j(2, 7, 0, 500)); got != 1 {
+		t.Errorf("estimate = %d, want floor 1", got)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	var a Accuracy
+	a.Record(2*job.Hour, job.Hour) // over by 1h
+	a.Record(job.Hour, 2*job.Hour) // under by 1h
+	if a.Jobs != 2 {
+		t.Fatalf("Jobs = %d", a.Jobs)
+	}
+	if got := a.MeanAbsErrH(); got != 1 {
+		t.Errorf("MeanAbsErrH = %v, want 1", got)
+	}
+	if got := a.UnderFrac(); got != 0.5 {
+		t.Errorf("UnderFrac = %v, want 0.5", got)
+	}
+	if got := a.MeanRatio(); got != 1.25 { // (2 + 0.5)/2
+		t.Errorf("MeanRatio = %v, want 1.25", got)
+	}
+}
+
+func TestAccuracyShortJobFloor(t *testing.T) {
+	var a Accuracy
+	a.Record(job.Minute, 1) // actual floored to 1 minute for the ratio
+	if got := a.MeanRatio(); got != 1 {
+		t.Errorf("MeanRatio = %v, want 1 (1-minute floor)", got)
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	var a Accuracy
+	if a.MeanAbsErrH() != 0 || a.MeanRatio() != 0 || a.UnderFrac() != 0 {
+		t.Error("empty accuracy not zero")
+	}
+}

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// TimelineJob is one bar of a schedule timeline.
+type TimelineJob struct {
+	Label  string
+	Submit int64
+	Start  int64
+	End    int64
+}
+
+// Timeline renders jobs as ASCII bars on a shared time axis: '.' marks
+// queued time (submit to start), '#' marks execution. It is the
+// at-a-glance view of what a policy did to a window of jobs.
+type Timeline struct {
+	// Width is the number of axis columns (default 64).
+	Width int
+	// Unit labels the axis (e.g. "h"); Scale converts seconds to that
+	// unit for the axis legend (e.g. 1.0/3600).
+	Unit  string
+	Scale float64
+	jobs  []TimelineJob
+}
+
+// NewTimeline returns a timeline with an hours axis.
+func NewTimeline() *Timeline {
+	return &Timeline{Width: 64, Unit: "h", Scale: 1.0 / 3600}
+}
+
+// Add appends one job.
+func (tl *Timeline) Add(j TimelineJob) { tl.jobs = append(tl.jobs, j) }
+
+// Write renders the timeline, jobs sorted by submit time.
+func (tl *Timeline) Write(w io.Writer) {
+	if len(tl.jobs) == 0 {
+		fmt.Fprintln(w, "(empty timeline)")
+		return
+	}
+	width := tl.Width
+	if width < 8 {
+		width = 8
+	}
+	jobs := make([]TimelineJob, len(tl.jobs))
+	copy(jobs, tl.jobs)
+	sort.Slice(jobs, func(i, k int) bool {
+		if jobs[i].Submit != jobs[k].Submit {
+			return jobs[i].Submit < jobs[k].Submit
+		}
+		return jobs[i].Label < jobs[k].Label
+	})
+
+	lo, hi := jobs[0].Submit, jobs[0].End
+	labelW := 0
+	for _, j := range jobs {
+		if j.Submit < lo {
+			lo = j.Submit
+		}
+		if j.End > hi {
+			hi = j.End
+		}
+		if len(j.Label) > labelW {
+			labelW = len(j.Label)
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	span := hi - lo
+	col := func(t int64) int {
+		c := int(int64(width) * (t - lo) / span)
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+
+	fmt.Fprintf(w, "%-*s |%s|\n", labelW, "", axisLegend(lo, hi, width, tl.Scale, tl.Unit))
+	for _, j := range jobs {
+		bar := make([]byte, width)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		cs, cr, ce := col(j.Submit), col(j.Start), col(j.End)
+		for i := cs; i < cr; i++ {
+			bar[i] = '.'
+		}
+		for i := cr; i <= ce; i++ {
+			bar[i] = '#'
+		}
+		fmt.Fprintf(w, "%-*s |%s|\n", labelW, j.Label, string(bar))
+	}
+}
+
+// axisLegend builds a width-character ruler with the start and end
+// times at the edges.
+func axisLegend(lo, hi int64, width int, scale float64, unit string) string {
+	left := fmt.Sprintf("%.4g%s", float64(lo)*scale, unit)
+	right := fmt.Sprintf("%.4g%s", float64(hi)*scale, unit)
+	pad := width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	s := left + strings.Repeat("-", pad) + right
+	if len(s) > width {
+		s = s[:width]
+	}
+	return s
+}

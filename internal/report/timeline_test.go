@@ -1,0 +1,73 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimelineRendersBars(t *testing.T) {
+	tl := NewTimeline()
+	tl.Width = 20
+	tl.Add(TimelineJob{Label: "j1", Submit: 0, Start: 0, End: 3600})
+	tl.Add(TimelineJob{Label: "j2", Submit: 0, Start: 3600, End: 7200})
+	var sb strings.Builder
+	tl.Write(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	// j1 runs immediately: bar starts with '#'; j2 queues first: '.'.
+	if !strings.Contains(lines[1], "j1") || !strings.Contains(lines[1], "#") {
+		t.Errorf("j1 row: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "j2") || !strings.Contains(lines[2], ".") {
+		t.Errorf("j2 row missing queued marker: %q", lines[2])
+	}
+	// j2's run bar must begin after j1's (halfway along the axis).
+	j1Run := strings.Index(lines[1], "#")
+	j2Run := strings.Index(lines[2], "#")
+	if j2Run <= j1Run {
+		t.Errorf("j2 run (%d) not after j1 run (%d):\n%s", j2Run, j1Run, out)
+	}
+}
+
+func TestTimelineSortsBySubmit(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add(TimelineJob{Label: "late", Submit: 100, Start: 100, End: 200})
+	tl.Add(TimelineJob{Label: "early", Submit: 0, Start: 0, End: 50})
+	var sb strings.Builder
+	tl.Write(&sb)
+	out := sb.String()
+	if strings.Index(out, "early") > strings.Index(out, "late") {
+		t.Errorf("rows not sorted by submit:\n%s", out)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	var sb strings.Builder
+	NewTimeline().Write(&sb)
+	if !strings.Contains(sb.String(), "empty") {
+		t.Errorf("output: %q", sb.String())
+	}
+}
+
+func TestTimelineDegenerateSpan(t *testing.T) {
+	tl := NewTimeline()
+	tl.Add(TimelineJob{Label: "j", Submit: 5, Start: 5, End: 5})
+	var sb strings.Builder
+	tl.Write(&sb) // must not divide by zero
+	if !strings.Contains(sb.String(), "j") {
+		t.Errorf("output: %q", sb.String())
+	}
+}
+
+func TestAxisLegendEdges(t *testing.T) {
+	s := axisLegend(0, 7200, 30, 1.0/3600, "h")
+	if len(s) != 30 {
+		t.Errorf("legend length %d, want 30: %q", len(s), s)
+	}
+	if !strings.HasPrefix(s, "0h") || !strings.Contains(s, "2h") {
+		t.Errorf("legend = %q", s)
+	}
+}

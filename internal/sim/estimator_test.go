@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"schedsearch/internal/job"
+)
+
+// recordingEstimator logs the order of Estimate/Observe calls.
+type recordingEstimator struct {
+	calls     []string
+	estimates map[int]job.Duration
+}
+
+func (r *recordingEstimator) Estimate(j job.Job) job.Duration {
+	r.calls = append(r.calls, "E")
+	if e, ok := r.estimates[j.ID]; ok {
+		return e
+	}
+	return j.Request
+}
+
+func (r *recordingEstimator) Observe(j job.Job) {
+	r.calls = append(r.calls, "O")
+}
+
+func TestEstimatorOverridesModes(t *testing.T) {
+	j1 := job.Job{ID: 1, Submit: 0, Nodes: 1, Runtime: 100, Request: 500}
+	est := &recordingEstimator{estimates: map[int]job.Duration{1: 321}}
+	var seen job.Duration
+	pol := scripted{name: "probe", decide: func(sn *Snapshot) []int {
+		seen = sn.Queue[0].Estimate
+		return []int{0}
+	}}
+	// Estimator wins even when UseRequested is set.
+	in := Input{Capacity: 4, Jobs: []job.Job{j1}, UseRequested: true, Estimator: est}
+	if _, err := Run(in, pol); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 321 {
+		t.Errorf("estimate = %d, want the estimator's 321", seen)
+	}
+}
+
+func TestEstimatorObservesBeforeSameInstantArrival(t *testing.T) {
+	// Job 1 finishes at t=100; job 2 arrives at t=100. The estimator
+	// must see Observe(job1) before Estimate(job2).
+	jobs := []job.Job{
+		{ID: 1, Submit: 0, Nodes: 4, Runtime: 100, Request: 100},
+		{ID: 2, Submit: 100, Nodes: 4, Runtime: 50, Request: 50},
+	}
+	est := &recordingEstimator{}
+	if _, err := Run(Input{Capacity: 4, Jobs: jobs, Estimator: est}, greedyFCFS()); err != nil {
+		t.Fatal(err)
+	}
+	// Expected call sequence: E(1) at t=0, O(1) then E(2) at t=100,
+	// O(2) at t=150.
+	want := []string{"E", "O", "E", "O"}
+	if len(est.calls) != len(want) {
+		t.Fatalf("calls = %v, want %v", est.calls, want)
+	}
+	for i := range want {
+		if est.calls[i] != want[i] {
+			t.Fatalf("calls = %v, want %v", est.calls, want)
+		}
+	}
+}
+
+// underEstimator predicts far less than the actual runtime; the engine
+// must still run jobs to their actual end and never corrupt state.
+type underEstimator struct{}
+
+func (underEstimator) Estimate(j job.Job) job.Duration { return 1 }
+func (underEstimator) Observe(job.Job)                 {}
+
+func TestUnderpredictionIsSafe(t *testing.T) {
+	jobs := []job.Job{
+		{ID: 1, Submit: 0, Nodes: 4, Runtime: 1000, Request: 1000},
+		{ID: 2, Submit: 10, Nodes: 4, Runtime: 100, Request: 100},
+		{ID: 3, Submit: 20, Nodes: 2, Runtime: 100, Request: 100},
+	}
+	res, err := Run(Input{Capacity: 4, Jobs: jobs, Estimator: underEstimator{}}, greedyFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int]Record{}
+	for _, r := range res.Records {
+		byID[r.Job.ID] = r
+	}
+	if byID[1].End != 1000 {
+		t.Errorf("job 1 end = %d, want its actual 1000", byID[1].End)
+	}
+	if byID[2].Start < 1000 {
+		t.Errorf("job 2 started at %d while job 1 held the machine", byID[2].Start)
+	}
+}

@@ -1,0 +1,79 @@
+package sim
+
+import "schedsearch/internal/job"
+
+// finishEvent is a pending job completion. slot indexes engine.running;
+// id breaks timestamp ties deterministically.
+type finishEvent struct {
+	at   job.Time
+	slot int
+	id   int
+}
+
+// finishHeap is a binary min-heap of finish events ordered by (at, id).
+// It never holds more events than the machine has running jobs (at most
+// the node capacity), so the linear scan in reslot is cheap.
+type finishHeap struct {
+	es []finishEvent
+}
+
+func (h *finishHeap) Len() int { return len(h.es) }
+
+func (h *finishHeap) less(i, k int) bool {
+	if h.es[i].at != h.es[k].at {
+		return h.es[i].at < h.es[k].at
+	}
+	return h.es[i].id < h.es[k].id
+}
+
+func (h *finishHeap) swap(i, k int) { h.es[i], h.es[k] = h.es[k], h.es[i] }
+
+func (h *finishHeap) push(e finishEvent) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *finishHeap) peek() finishEvent { return h.es[0] }
+
+func (h *finishHeap) pop() finishEvent {
+	top := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es = h.es[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.es) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.es) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+	return top
+}
+
+// reslot rewrites the event referring to running-slot old so it refers
+// to slot new; the engine calls it when it swap-removes a running job.
+func (h *finishHeap) reslot(old, new int) {
+	for i := range h.es {
+		if h.es[i].slot == old {
+			h.es[i].slot = new
+			return
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+
+	"schedsearch/internal/job"
+)
+
+// TestNodeAssignmentsDisjoint verifies that the node IDs the engine
+// reports never overlap between concurrently running jobs.
+func TestNodeAssignmentsDisjoint(t *testing.T) {
+	var jobs []job.Job
+	for i := 0; i < 50; i++ {
+		jobs = append(jobs, job.Job{
+			ID: i + 1, Submit: job.Time(i * 7),
+			Nodes:   1 + (i*3)%4,
+			Runtime: job.Duration(20 + (i*13)%100),
+			Request: job.Duration(20 + (i*13)%100),
+		})
+	}
+	res, err := Run(Input{Capacity: 6, Jobs: jobs}, greedyFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Records {
+		if len(r.NodeIDs) != r.Job.Nodes {
+			t.Fatalf("job %d got %d node IDs, wants %d nodes", r.Job.ID, len(r.NodeIDs), r.Job.Nodes)
+		}
+	}
+	// Pairwise overlap check for concurrent records.
+	for i, a := range res.Records {
+		for _, b := range res.Records[i+1:] {
+			if a.Start >= b.End || b.Start >= a.End {
+				continue // not concurrent
+			}
+			inA := map[int]bool{}
+			for _, id := range a.NodeIDs {
+				inA[id] = true
+			}
+			for _, id := range b.NodeIDs {
+				if inA[id] {
+					t.Fatalf("jobs %d and %d share node %d while overlapping in time",
+						a.Job.ID, b.Job.ID, id)
+				}
+			}
+		}
+	}
+}
+
+// TestNodeAssignmentsWithinCapacity verifies IDs stay in range.
+func TestNodeAssignmentsWithinCapacity(t *testing.T) {
+	jobs := []job.Job{mkJob(1, 0, 4, 10), mkJob(2, 0, 2, 10)}
+	res, err := Run(Input{Capacity: 6, Jobs: jobs}, greedyFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Records {
+		for _, id := range r.NodeIDs {
+			if id < 0 || id >= 6 {
+				t.Errorf("job %d on node %d, capacity 6", r.Job.ID, id)
+			}
+		}
+	}
+}

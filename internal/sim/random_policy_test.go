@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"schedsearch/internal/job"
+)
+
+// randomFeasiblePolicy starts a random feasible subset of the queue at
+// every decision, always including at least one job when the machine is
+// otherwise idle (so it never stalls).
+type randomFeasiblePolicy struct {
+	rng *rand.Rand
+}
+
+func (p *randomFeasiblePolicy) Name() string { return "random-feasible" }
+
+func (p *randomFeasiblePolicy) Decide(sn *Snapshot) []int {
+	free := sn.FreeNodes
+	var starts []int
+	order := p.rng.Perm(len(sn.Queue))
+	for _, qi := range order {
+		if sn.Queue[qi].Job.Nodes <= free && p.rng.Intn(3) > 0 {
+			free -= sn.Queue[qi].Job.Nodes
+			starts = append(starts, qi)
+		}
+	}
+	if len(starts) == 0 && len(sn.Running) == 0 {
+		// Never deadlock: start the widest job that fits.
+		for _, qi := range order {
+			if sn.Queue[qi].Job.Nodes <= sn.FreeNodes {
+				return []int{qi}
+			}
+		}
+	}
+	return starts
+}
+
+// TestEngineUnderRandomPolicies drives the engine with arbitrary (but
+// feasible) scheduling decisions over random traces and verifies the
+// core guarantees: every job runs exactly once, conservation holds, and
+// concurrent node usage never exceeds capacity.
+func TestEngineUnderRandomPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		capacity := 2 + rng.Intn(30)
+		n := 30 + rng.Intn(120)
+		jobs := make([]job.Job, n)
+		at := job.Time(0)
+		for i := range jobs {
+			at += job.Time(rng.Intn(200))
+			rt := job.Duration(rng.Intn(1000))
+			jobs[i] = job.Job{
+				ID: i + 1, Submit: at,
+				Nodes:   1 + rng.Intn(capacity),
+				Runtime: rt,
+				Request: rt + job.Duration(rng.Intn(1000)),
+			}
+		}
+		res, err := Run(Input{Capacity: capacity, Jobs: jobs},
+			&randomFeasiblePolicy{rng: rand.New(rand.NewSource(int64(trial)))})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(res.Records) != n {
+			t.Fatalf("trial %d: %d records for %d jobs", trial, len(res.Records), n)
+		}
+		seen := map[int]bool{}
+		type ev struct {
+			at    job.Time
+			delta int
+		}
+		var evs []ev
+		for _, r := range res.Records {
+			if seen[r.Job.ID] {
+				t.Fatalf("trial %d: job %d ran twice", trial, r.Job.ID)
+			}
+			seen[r.Job.ID] = true
+			if r.Start < r.Job.Submit {
+				t.Fatalf("trial %d: job %d started before submission", trial, r.Job.ID)
+			}
+			evs = append(evs, ev{at: r.Start, delta: r.Job.Nodes}, ev{at: r.End, delta: -r.Job.Nodes})
+		}
+		// Sweep: releases before acquisitions at the same instant.
+		used := 0
+		for {
+			best := -1
+			for i, e := range evs {
+				if best == -1 || e.at < evs[best].at ||
+					(e.at == evs[best].at && e.delta < evs[best].delta) {
+					best = i
+				}
+			}
+			if best == -1 {
+				break
+			}
+			used += evs[best].delta
+			if used > capacity {
+				t.Fatalf("trial %d: %d nodes used on a %d-node machine at t=%d",
+					trial, used, capacity, evs[best].at)
+			}
+			evs[best] = evs[len(evs)-1]
+			evs = evs[:len(evs)-1]
+		}
+	}
+}

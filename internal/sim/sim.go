@@ -1,0 +1,429 @@
+// Package sim implements the event-driven simulator used to evaluate
+// scheduling policies: jobs arrive from a trace, a non-preemptive policy
+// is consulted at every decision point (each job arrival and each job
+// completion), and per-job start/end records plus queue statistics are
+// collected. The methodology matches the paper (Section 4): each
+// monthly simulation carries a warm-up and cool-down margin, and
+// measures are later computed only over the jobs flagged as measured.
+package sim
+
+import (
+	"fmt"
+
+	"schedsearch/internal/cluster"
+	"schedsearch/internal/job"
+)
+
+// WaitingJob is a queued job as visible to a scheduling policy. Estimate
+// is the runtime the policy is allowed to use for planning: the actual
+// runtime when the simulation runs with perfect information (R* = T in
+// the paper), or the user-requested runtime (R* = R).
+type WaitingJob struct {
+	Job      job.Job
+	Estimate job.Duration
+	// QueuePos is the job's index in Snapshot.Queue; policies return
+	// these indices from Decide.
+	QueuePos int
+}
+
+// RunningJob is an executing job as visible to a policy: the policy sees
+// the predicted end (start + estimate), never the actual end.
+type RunningJob struct {
+	ID           int
+	Nodes        int
+	User         int
+	Start        job.Time
+	PredictedEnd job.Time
+}
+
+// Snapshot is the system state handed to a policy at a decision point.
+// Policies must treat it as read-only.
+type Snapshot struct {
+	Now       job.Time
+	Capacity  int
+	FreeNodes int
+	Running   []RunningJob
+	Queue     []WaitingJob
+}
+
+// Policy decides, at each decision point, which queued jobs start now.
+type Policy interface {
+	// Name identifies the policy in reports (e.g. "FCFS-backfill",
+	// "DDS/lxf/dynB").
+	Name() string
+	// Decide returns the QueuePos indices of the jobs to start at
+	// snap.Now. The engine verifies feasibility; returning an
+	// infeasible set is a programming error and fails the simulation.
+	Decide(snap *Snapshot) []int
+}
+
+// Record is the outcome of one job.
+type Record struct {
+	Job   job.Job
+	Start job.Time
+	End   job.Time
+	// NodeIDs are the concrete nodes the job ran on (lowest-first
+	// allocation), as a resource manager would report.
+	NodeIDs []int
+	// Measured marks jobs inside the measurement window (submitted
+	// during the month proper, not warm-up or cool-down).
+	Measured bool
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Policy  string
+	Records []Record
+	// Decisions is the number of decision points at which the policy
+	// was consulted with a non-empty queue.
+	Decisions int
+	// AvgQueueLen is the time-averaged queue length over the
+	// measurement window.
+	AvgQueueLen float64
+	// MaxQueueLen is the maximum queue length observed in the window.
+	MaxQueueLen int
+	// Capacity and the measurement window, echoed from the input so
+	// measures like utilization can be derived from the result alone.
+	Capacity                 int
+	MeasureStart, MeasureEnd job.Time
+}
+
+// Input is a simulation workload: jobs sorted by submit time plus the
+// machine and measurement configuration.
+type Input struct {
+	Capacity int
+	Jobs     []job.Job
+	// Measured reports whether the job with the given ID belongs to
+	// the measurement window. A nil map measures every job.
+	Measured map[int]bool
+	// MeasureStart/MeasureEnd bound the queue-length integration
+	// window; if both are zero the whole run is integrated.
+	MeasureStart, MeasureEnd job.Time
+	// UseRequested makes policies see user-requested runtimes
+	// (R* = R) instead of actual runtimes (R* = T).
+	UseRequested bool
+	// Estimator, when non-nil, overrides both modes: each arriving
+	// job's estimate is Estimate(job), and Observe(job) is called at
+	// every completion (before any same-instant arrivals are
+	// estimated). See internal/predict for implementations.
+	Estimator Estimator
+}
+
+// Estimator produces runtime estimates for arriving jobs and learns
+// from completions (the runtime-prediction extension).
+type Estimator interface {
+	Estimate(j job.Job) job.Duration
+	Observe(j job.Job)
+}
+
+// Run simulates the input under the policy and returns the result.
+func Run(in Input, p Policy) (*Result, error) {
+	e, err := newEngine(in, p)
+	if err != nil {
+		return nil, err
+	}
+	return e.run()
+}
+
+type queued struct {
+	j        job.Job
+	estimate job.Duration
+}
+
+type running struct {
+	j            job.Job
+	start        job.Time
+	predictedEnd job.Time
+	nodeIDs      []int
+}
+
+type engine struct {
+	in     Input
+	policy Policy
+
+	clock     job.Time
+	nextIdx   int // next arrival in in.Jobs
+	events    *finishHeap
+	queue     []queued
+	running   []running
+	freeNodes int
+	nodes     *cluster.NodeSet
+
+	records        []Record
+	decisions      int
+	qlenInt        float64 // integral of queue length over measurement window
+	qlenLast       job.Time
+	maxQ           int
+	intStart       job.Time
+	intEnd         job.Time
+	explicitWindow bool
+}
+
+func newEngine(in Input, p Policy) (*engine, error) {
+	if in.Capacity < 1 {
+		return nil, fmt.Errorf("sim: capacity %d", in.Capacity)
+	}
+	for i := range in.Jobs {
+		if err := in.Jobs[i].Validate(in.Capacity); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		if i > 0 && in.Jobs[i].Submit < in.Jobs[i-1].Submit {
+			return nil, fmt.Errorf("sim: jobs not sorted by submit at index %d", i)
+		}
+	}
+	e := &engine{
+		in:        in,
+		policy:    p,
+		events:    &finishHeap{},
+		freeNodes: in.Capacity,
+		nodes:     cluster.NewNodeSet(in.Capacity),
+		intStart:  in.MeasureStart,
+		intEnd:    in.MeasureEnd,
+	}
+	e.explicitWindow = !(e.intStart == 0 && e.intEnd == 0)
+	if !e.explicitWindow {
+		e.intEnd = job.Time(1) << 59 // integrate everything
+	}
+	return e, nil
+}
+
+func (e *engine) measured(id int) bool {
+	if e.in.Measured == nil {
+		return true
+	}
+	return e.in.Measured[id]
+}
+
+func (e *engine) estimate(j job.Job) job.Duration {
+	est := j.Runtime
+	switch {
+	case e.in.Estimator != nil:
+		est = e.in.Estimator.Estimate(j)
+	case e.in.UseRequested:
+		est = j.Request
+	}
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// advanceQueueIntegral accumulates queue-length × time up to now.
+func (e *engine) advanceQueueIntegral(now job.Time) {
+	lo := e.qlenLast
+	if lo < e.intStart {
+		lo = e.intStart
+	}
+	hi := now
+	if hi > e.intEnd {
+		hi = e.intEnd
+	}
+	if hi > lo {
+		e.qlenInt += float64(hi-lo) * float64(len(e.queue))
+	}
+	e.qlenLast = now
+}
+
+func (e *engine) run() (*Result, error) {
+	for {
+		// Next event time: earliest of next arrival and next finish.
+		var next job.Time
+		haveArr := e.nextIdx < len(e.in.Jobs)
+		haveFin := e.events.Len() > 0
+		switch {
+		case haveArr && haveFin:
+			next = min64(e.in.Jobs[e.nextIdx].Submit, e.events.peek().at)
+		case haveArr:
+			next = e.in.Jobs[e.nextIdx].Submit
+		case haveFin:
+			next = e.events.peek().at
+		default:
+			// No more events. Every job must have been started.
+			if len(e.queue) > 0 {
+				return nil, fmt.Errorf("sim: policy %q stalled with %d queued jobs and idle machine",
+					e.policy.Name(), len(e.queue))
+			}
+			return e.result(), nil
+		}
+
+		e.advanceQueueIntegral(next)
+		e.clock = next
+
+		// Process all finishes at this instant first (free the nodes),
+		// then all arrivals.
+		for e.events.Len() > 0 && e.events.peek().at == e.clock {
+			f := e.events.pop()
+			e.finish(f.slot)
+		}
+		for e.nextIdx < len(e.in.Jobs) && e.in.Jobs[e.nextIdx].Submit == e.clock {
+			j := e.in.Jobs[e.nextIdx]
+			e.nextIdx++
+			e.queue = append(e.queue, queued{j: j, estimate: e.estimate(j)})
+		}
+		if len(e.queue) > 0 {
+			if err := e.decide(); err != nil {
+				return nil, err
+			}
+		}
+		if len(e.queue) > e.maxQ && e.clock >= e.intStart && e.clock < e.intEnd {
+			e.maxQ = len(e.queue)
+		}
+	}
+}
+
+// finish completes the running job in the given slot.
+func (e *engine) finish(slot int) {
+	r := e.running[slot]
+	e.freeNodes += r.j.Nodes
+	if e.in.Estimator != nil {
+		e.in.Estimator.Observe(r.j)
+	}
+	rt := r.j.Runtime
+	if rt < 1 {
+		rt = 1 // zero-length jobs occupy the machine for one second
+	}
+	if err := e.nodes.Release(r.nodeIDs); err != nil {
+		// The engine allocated these nodes itself; a release failure is
+		// an engine bug, not a policy error.
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	e.records = append(e.records, Record{
+		Job:      r.j,
+		Start:    r.start,
+		End:      r.start + rt,
+		NodeIDs:  r.nodeIDs,
+		Measured: e.measured(r.j.ID),
+	})
+	// Remove by swapping with the last; fix the heap's slot pointers.
+	last := len(e.running) - 1
+	if slot != last {
+		e.running[slot] = e.running[last]
+		e.events.reslot(last, slot)
+	}
+	e.running = e.running[:last]
+}
+
+func (e *engine) decide() error {
+	snap := e.snapshot()
+	e.decisions++
+	starts := e.policy.Decide(snap)
+	if len(starts) == 0 {
+		if len(e.running) == 0 {
+			return fmt.Errorf("sim: policy %q started nothing on an idle machine with %d queued jobs at t=%d",
+				e.policy.Name(), len(e.queue), e.clock)
+		}
+		return nil
+	}
+	seen := make(map[int]bool, len(starts))
+	need := 0
+	for _, qi := range starts {
+		if qi < 0 || qi >= len(e.queue) {
+			return fmt.Errorf("sim: policy %q returned invalid queue index %d", e.policy.Name(), qi)
+		}
+		if seen[qi] {
+			return fmt.Errorf("sim: policy %q returned duplicate queue index %d", e.policy.Name(), qi)
+		}
+		seen[qi] = true
+		need += e.queue[qi].j.Nodes
+	}
+	if need > e.freeNodes {
+		return fmt.Errorf("sim: policy %q started %d nodes with only %d free at t=%d",
+			e.policy.Name(), need, e.freeNodes, e.clock)
+	}
+	e.advanceQueueIntegral(e.clock) // queue length changes now (zero dt, keeps bookkeeping exact)
+	for _, qi := range starts {
+		q := e.queue[qi]
+		rt := q.j.Runtime
+		if rt < 1 {
+			rt = 1 // zero-length jobs still occupy the machine for an instant
+		}
+		e.freeNodes -= q.j.Nodes
+		ids, err := e.nodes.Alloc(q.j.Nodes)
+		if err != nil {
+			return fmt.Errorf("sim: %v", err)
+		}
+		slot := len(e.running)
+		e.running = append(e.running, running{
+			j:            q.j,
+			start:        e.clock,
+			predictedEnd: e.clock + q.estimate,
+			nodeIDs:      ids,
+		})
+		e.events.push(finishEvent{at: e.clock + rt, slot: slot, id: q.j.ID})
+	}
+	// Compact the queue, preserving arrival order.
+	kept := e.queue[:0]
+	for qi := range e.queue {
+		if !seen[qi] {
+			kept = append(kept, e.queue[qi])
+		}
+	}
+	e.queue = kept
+	return nil
+}
+
+func (e *engine) snapshot() *Snapshot {
+	snap := &Snapshot{
+		Now:       e.clock,
+		Capacity:  e.in.Capacity,
+		FreeNodes: e.freeNodes,
+		Running:   make([]RunningJob, len(e.running)),
+		Queue:     make([]WaitingJob, len(e.queue)),
+	}
+	for i, r := range e.running {
+		snap.Running[i] = RunningJob{
+			ID:           r.j.ID,
+			Nodes:        r.j.Nodes,
+			User:         r.j.User,
+			Start:        r.start,
+			PredictedEnd: r.predictedEnd,
+		}
+	}
+	for i, q := range e.queue {
+		snap.Queue[i] = WaitingJob{Job: q.j, Estimate: q.estimate, QueuePos: i}
+	}
+	return snap
+}
+
+func (e *engine) result() *Result {
+	var window float64
+	if e.explicitWindow {
+		window = float64(e.intEnd - e.intStart)
+		if e.qlenLast < e.intEnd {
+			// Integrate the tail of the window (queue is empty by now).
+			e.advanceQueueIntegral(e.intEnd)
+		}
+	} else {
+		// No explicit window: average over the span of activity.
+		var first job.Time
+		if len(e.in.Jobs) > 0 {
+			first = e.in.Jobs[0].Submit
+		}
+		window = float64(e.qlenLast - first)
+	}
+	avgQ := 0.0
+	if window > 0 {
+		avgQ = e.qlenInt / window
+	}
+	measureEnd := e.intEnd
+	if !e.explicitWindow {
+		measureEnd = e.qlenLast
+	}
+	return &Result{
+		Policy:       e.policy.Name(),
+		Records:      e.records,
+		Decisions:    e.decisions,
+		AvgQueueLen:  avgQ,
+		MaxQueueLen:  e.maxQ,
+		Capacity:     e.in.Capacity,
+		MeasureStart: e.intStart,
+		MeasureEnd:   measureEnd,
+	}
+}
+
+func min64(a, b job.Time) job.Time {
+	if a < b {
+		return a
+	}
+	return b
+}

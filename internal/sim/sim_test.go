@@ -1,0 +1,357 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"schedsearch/internal/job"
+)
+
+// scripted is a policy driven by a function, for engine tests.
+type scripted struct {
+	name   string
+	decide func(*Snapshot) []int
+}
+
+func (s scripted) Name() string              { return s.name }
+func (s scripted) Decide(sn *Snapshot) []int { return s.decide(sn) }
+
+// greedyFCFS starts queued jobs in arrival order while they fit —
+// enough for engine mechanics tests.
+func greedyFCFS() Policy {
+	return scripted{name: "greedy", decide: func(sn *Snapshot) []int {
+		free := sn.FreeNodes
+		var starts []int
+		for i, w := range sn.Queue {
+			if w.Job.Nodes <= free {
+				free -= w.Job.Nodes
+				starts = append(starts, i)
+			} else {
+				break // strict FCFS: no backfill
+			}
+		}
+		return starts
+	}}
+}
+
+func mkJob(id int, submit job.Time, nodes int, runtime job.Duration) job.Job {
+	return job.Job{ID: id, Submit: submit, Nodes: nodes, Runtime: runtime, Request: runtime}
+}
+
+func TestRunEmptyTrace(t *testing.T) {
+	res, err := Run(Input{Capacity: 4}, greedyFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 || res.Decisions != 0 {
+		t.Errorf("empty trace produced %d records, %d decisions", len(res.Records), res.Decisions)
+	}
+}
+
+func TestRunSingleJob(t *testing.T) {
+	in := Input{Capacity: 4, Jobs: []job.Job{mkJob(1, 100, 2, 50)}}
+	res, err := Run(in, greedyFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 {
+		t.Fatalf("%d records, want 1", len(res.Records))
+	}
+	r := res.Records[0]
+	if r.Start != 100 || r.End != 150 {
+		t.Errorf("record start/end = %d/%d, want 100/150", r.Start, r.End)
+	}
+	if !r.Measured {
+		t.Error("job not measured with nil Measured map")
+	}
+}
+
+func TestRunQueueing(t *testing.T) {
+	// Two 3-node jobs on a 4-node machine: the second waits.
+	in := Input{Capacity: 4, Jobs: []job.Job{
+		mkJob(1, 0, 3, 100),
+		mkJob(2, 10, 3, 100),
+	}}
+	res, err := Run(in, greedyFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int]Record{}
+	for _, r := range res.Records {
+		byID[r.Job.ID] = r
+	}
+	if byID[1].Start != 0 {
+		t.Errorf("job 1 start = %d, want 0", byID[1].Start)
+	}
+	if byID[2].Start != 100 {
+		t.Errorf("job 2 start = %d, want 100 (after job 1)", byID[2].Start)
+	}
+}
+
+func TestRunSimultaneousEvents(t *testing.T) {
+	// Jobs arriving at the exact completion instant of a predecessor
+	// must see the freed nodes.
+	in := Input{Capacity: 4, Jobs: []job.Job{
+		mkJob(1, 0, 4, 100),
+		mkJob(2, 100, 4, 10),
+	}}
+	res, err := Run(in, greedyFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Records {
+		if r.Job.ID == 2 && r.Start != 100 {
+			t.Errorf("job 2 start = %d, want 100 (start at the freeing instant)", r.Start)
+		}
+	}
+}
+
+func TestRunZeroRuntimeJob(t *testing.T) {
+	in := Input{Capacity: 4, Jobs: []job.Job{mkJob(1, 0, 4, 0), mkJob(2, 0, 4, 10)}}
+	res, err := Run(in, greedyFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 2 {
+		t.Fatalf("%d records, want 2", len(res.Records))
+	}
+	byID := map[int]Record{}
+	for _, r := range res.Records {
+		byID[r.Job.ID] = r
+	}
+	// The zero-length job occupies the machine for one second.
+	if byID[1].End != byID[1].Start+1 {
+		t.Errorf("zero-runtime job end = %d, want start+1", byID[1].End)
+	}
+	if byID[2].Start < byID[1].End {
+		t.Errorf("job 2 started at %d before job 1 released at %d", byID[2].Start, byID[1].End)
+	}
+}
+
+func TestRunRejectsUnsortedJobs(t *testing.T) {
+	in := Input{Capacity: 4, Jobs: []job.Job{mkJob(1, 100, 1, 10), mkJob(2, 50, 1, 10)}}
+	if _, err := Run(in, greedyFCFS()); err == nil {
+		t.Fatal("unsorted jobs accepted")
+	}
+}
+
+func TestRunRejectsInvalidJob(t *testing.T) {
+	cases := []job.Job{
+		{ID: 1, Submit: 0, Nodes: 0, Runtime: 10, Request: 10},   // zero nodes
+		{ID: 1, Submit: 0, Nodes: 8, Runtime: 10, Request: 10},   // over capacity
+		{ID: 1, Submit: 0, Nodes: 1, Runtime: 10, Request: 5},    // request < runtime
+		{ID: 1, Submit: -5, Nodes: 1, Runtime: 10, Request: 10},  // negative submit
+		{ID: 1, Submit: 0, Nodes: 1, Runtime: -10, Request: -10}, // negative runtime
+	}
+	for _, j := range cases {
+		if _, err := Run(Input{Capacity: 4, Jobs: []job.Job{j}}, greedyFCFS()); err == nil {
+			t.Errorf("invalid job %+v accepted", j)
+		}
+	}
+}
+
+func TestRunPolicyErrors(t *testing.T) {
+	in := Input{Capacity: 4, Jobs: []job.Job{mkJob(1, 0, 2, 10), mkJob(2, 0, 2, 10)}}
+	cases := []struct {
+		name   string
+		decide func(*Snapshot) []int
+		substr string
+	}{
+		{"stall", func(*Snapshot) []int { return nil }, "started nothing"},
+		{"bad index", func(*Snapshot) []int { return []int{7} }, "invalid queue index"},
+		{"duplicate", func(*Snapshot) []int { return []int{0, 0} }, "duplicate"},
+		{"over capacity", func(sn *Snapshot) []int {
+			var all []int
+			for i, w := range sn.Queue {
+				_ = w
+				all = append(all, i)
+			}
+			if len(all) < 2 {
+				return all
+			}
+			return all
+		}, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Run(in, scripted{name: c.name, decide: c.decide})
+			switch c.name {
+			case "over capacity":
+				// Both 2-node jobs fit on 4 nodes, so this one succeeds.
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+			default:
+				if err == nil {
+					t.Fatal("no error")
+				}
+				if !strings.Contains(err.Error(), c.substr) {
+					t.Errorf("error %q does not contain %q", err, c.substr)
+				}
+			}
+		})
+	}
+}
+
+func TestRunOverCapacityStartRejected(t *testing.T) {
+	in := Input{Capacity: 4, Jobs: []job.Job{mkJob(1, 0, 3, 10), mkJob(2, 0, 3, 10)}}
+	pol := scripted{name: "greedy-all", decide: func(sn *Snapshot) []int {
+		var all []int
+		for i := range sn.Queue {
+			all = append(all, i)
+		}
+		return all
+	}}
+	if _, err := Run(in, pol); err == nil || !strings.Contains(err.Error(), "free") {
+		t.Fatalf("over-capacity start not rejected: %v", err)
+	}
+}
+
+func TestMeasuredFlag(t *testing.T) {
+	in := Input{
+		Capacity: 4,
+		Jobs:     []job.Job{mkJob(1, 0, 1, 10), mkJob(2, 5, 1, 10)},
+		Measured: map[int]bool{2: true},
+	}
+	res, err := Run(in, greedyFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Records {
+		want := r.Job.ID == 2
+		if r.Measured != want {
+			t.Errorf("job %d measured = %v, want %v", r.Job.ID, r.Measured, want)
+		}
+	}
+}
+
+func TestEstimateSelection(t *testing.T) {
+	j := job.Job{ID: 1, Submit: 0, Nodes: 1, Runtime: 100, Request: 500}
+	var sawEstimate job.Duration
+	pol := scripted{name: "probe", decide: func(sn *Snapshot) []int {
+		sawEstimate = sn.Queue[0].Estimate
+		return []int{0}
+	}}
+	if _, err := Run(Input{Capacity: 4, Jobs: []job.Job{j}}, pol); err != nil {
+		t.Fatal(err)
+	}
+	if sawEstimate != 100 {
+		t.Errorf("estimate with R*=T: %d, want 100", sawEstimate)
+	}
+	if _, err := Run(Input{Capacity: 4, Jobs: []job.Job{j}, UseRequested: true}, pol); err != nil {
+		t.Fatal(err)
+	}
+	if sawEstimate != 500 {
+		t.Errorf("estimate with R*=R: %d, want 500", sawEstimate)
+	}
+}
+
+func TestPredictedEndVsActualEnd(t *testing.T) {
+	// With R* = R, a running job's predicted end exceeds its actual
+	// end; the next decision must happen at the ACTUAL end.
+	jobs := []job.Job{
+		{ID: 1, Submit: 0, Nodes: 4, Runtime: 50, Request: 500},
+		{ID: 2, Submit: 10, Nodes: 4, Runtime: 10, Request: 10},
+	}
+	var predicted job.Time
+	pol := scripted{name: "probe", decide: func(sn *Snapshot) []int {
+		if len(sn.Running) == 1 && sn.Now == 10 {
+			predicted = sn.Running[0].PredictedEnd
+		}
+		var starts []int
+		free := sn.FreeNodes
+		for i, w := range sn.Queue {
+			if w.Job.Nodes <= free {
+				free -= w.Job.Nodes
+				starts = append(starts, i)
+			}
+		}
+		return starts
+	}}
+	res, err := Run(Input{Capacity: 4, Jobs: jobs, UseRequested: true}, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if predicted != 500 {
+		t.Errorf("predicted end seen by policy = %d, want 500", predicted)
+	}
+	for _, r := range res.Records {
+		if r.Job.ID == 2 && r.Start != 50 {
+			t.Errorf("job 2 start = %d, want 50 (actual completion)", r.Start)
+		}
+	}
+}
+
+func TestQueueLengthStats(t *testing.T) {
+	// One running job blocks three 4-node arrivals for 100s each in
+	// sequence; queue length is 3 for the first 100s, 2 for the next,
+	// etc.
+	jobs := []job.Job{
+		mkJob(1, 0, 4, 100),
+		mkJob(2, 0, 4, 100),
+		mkJob(3, 0, 4, 100),
+		mkJob(4, 0, 4, 100),
+	}
+	in := Input{Capacity: 4, Jobs: jobs, MeasureStart: 0, MeasureEnd: 400}
+	res, err := Run(in, greedyFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Integral = 3*100 + 2*100 + 1*100 + 0*100 = 600 over 400s -> 1.5.
+	if res.AvgQueueLen < 1.49 || res.AvgQueueLen > 1.51 {
+		t.Errorf("AvgQueueLen = %v, want 1.5", res.AvgQueueLen)
+	}
+	if res.MaxQueueLen != 3 {
+		t.Errorf("MaxQueueLen = %d, want 3", res.MaxQueueLen)
+	}
+}
+
+func TestDecisionsCount(t *testing.T) {
+	in := Input{Capacity: 4, Jobs: []job.Job{mkJob(1, 0, 4, 10), mkJob(2, 5, 4, 10)}}
+	res, err := Run(in, greedyFCFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decision points with a non-empty queue: t=0 (job 1 arrives),
+	// t=5 (job 2 arrives, can't start), t=10 (job 1 finishes).
+	if res.Decisions != 3 {
+		t.Errorf("Decisions = %d, want 3", res.Decisions)
+	}
+}
+
+func TestBackfillOpportunityVisible(t *testing.T) {
+	// The snapshot passed to the policy must expose running jobs'
+	// predicted ends so backfill decisions are possible.
+	jobs := []job.Job{
+		mkJob(1, 0, 3, 100),
+		mkJob(2, 1, 3, 50), // must wait for job 1
+		mkJob(3, 2, 1, 40), // can backfill alongside job 1
+	}
+	sawRunning := false
+	pol := scripted{name: "backfill-probe", decide: func(sn *Snapshot) []int {
+		if len(sn.Running) > 0 && sn.Running[0].PredictedEnd == 100 {
+			sawRunning = true
+		}
+		var starts []int
+		free := sn.FreeNodes
+		for i, w := range sn.Queue {
+			if w.Job.Nodes <= free {
+				free -= w.Job.Nodes
+				starts = append(starts, i)
+			}
+		}
+		return starts
+	}}
+	res, err := Run(Input{Capacity: 4, Jobs: jobs}, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawRunning {
+		t.Error("policy never saw the running job's predicted end")
+	}
+	for _, r := range res.Records {
+		if r.Job.ID == 3 && r.Start != 2 {
+			t.Errorf("backfilled job started at %d, want 2", r.Start)
+		}
+	}
+}

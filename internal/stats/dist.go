@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TruncExp is an exponential distribution truncated to the interval
+// [Lo, Hi] with rate parameter Lambda. Lambda may be negative (density
+// increasing toward Hi), positive (density decreasing from Lo), or zero
+// (uniform on [Lo, Hi]). The family is exactly the maximum-entropy
+// distribution on an interval with a prescribed mean, which is what the
+// workload calibrator needs: Table 3 of the paper pins the mean runtime
+// of each job class, Table 4 pins the class boundaries.
+type TruncExp struct {
+	Lo, Hi float64
+	Lambda float64
+}
+
+// Mean returns the analytic mean of the distribution.
+func (d TruncExp) Mean() float64 {
+	w := d.Hi - d.Lo
+	if w <= 0 {
+		return d.Lo
+	}
+	lw := d.Lambda * w
+	if math.Abs(lw) < 1e-9 {
+		// Uniform limit, with the first-order correction so the
+		// bisection solver sees a smooth monotone function through
+		// lambda = 0.
+		return d.Lo + w*(0.5-lw/12)
+	}
+	// Mean of Exp(lambda) truncated to [0, w], shifted by Lo:
+	//   1/lambda - w/(exp(lambda*w) - 1)
+	return d.Lo + 1/d.Lambda - w/math.Expm1(lw)
+}
+
+// Sample draws a variate via inverse-transform sampling.
+func (d TruncExp) Sample(r *RNG) float64 {
+	w := d.Hi - d.Lo
+	if w <= 0 {
+		return d.Lo
+	}
+	u := r.Float64()
+	lw := d.Lambda * w
+	if math.Abs(lw) < 1e-9 {
+		return d.Lo + u*w
+	}
+	// CDF on [0,w]: F(x) = (1 - exp(-lambda x)) / (1 - exp(-lambda w))
+	x := -math.Log1p(u*math.Expm1(-lw)) / d.Lambda
+	if x < 0 {
+		x = 0
+	}
+	if x > w {
+		x = w
+	}
+	return d.Lo + x
+}
+
+// SolveTruncExp returns a TruncExp on [lo, hi] whose mean equals the
+// target, solved by bisection on lambda. The target is clamped into the
+// open interval (lo, hi); the achievable mean range is effectively
+// (lo, hi) for |lambda| <= maxLambda.
+func SolveTruncExp(lo, hi, mean float64) (TruncExp, error) {
+	if hi < lo {
+		return TruncExp{}, fmt.Errorf("stats: SolveTruncExp: hi %v < lo %v", hi, lo)
+	}
+	if hi == lo {
+		return TruncExp{Lo: lo, Hi: hi}, nil
+	}
+	w := hi - lo
+	// Keep lambda bounded so sampling stays numerically safe. At
+	// |lambda*w| = 50 the mean is within ~2% of the interval edge,
+	// plenty for calibration.
+	const maxLW = 50.0
+	lam := func(lw float64) TruncExp { return TruncExp{Lo: lo, Hi: hi, Lambda: lw / w} }
+	clamp := func(x, a, b float64) float64 { return math.Max(a, math.Min(b, x)) }
+	mean = clamp(mean, lam(maxLW).Mean(), lam(-maxLW).Mean())
+
+	// Mean is strictly decreasing in lambda.
+	loLW, hiLW := -maxLW, maxLW // mean(loLW) is the max, mean(hiLW) the min
+	for i := 0; i < 100; i++ {
+		mid := (loLW + hiLW) / 2
+		if lam(mid).Mean() > mean {
+			loLW = mid
+		} else {
+			hiLW = mid
+		}
+	}
+	return lam((loLW + hiLW) / 2), nil
+}

@@ -1,0 +1,66 @@
+package stats
+
+import "math"
+
+// Gamma draws a gamma-distributed variate with the given shape and
+// scale (mean = shape*scale), using the Marsaglia-Tsang squeeze method
+// (2000) with Ahrens-Dieter boosting for shape < 1. Needed by the
+// Lublin-Feitelson workload model, whose runtimes are hyper-gamma.
+func (r *RNG) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("stats: Gamma requires positive shape and scale")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9.0*d)
+	for {
+		var x, v float64
+		for {
+			x = r.Norm()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Norm returns a standard normal variate.
+func (r *RNG) Norm() float64 { return r.src.NormFloat64() }
+
+// HyperGamma is a two-component gamma mixture: with probability P the
+// variate comes from Gamma(Shape1, Scale1), otherwise from
+// Gamma(Shape2, Scale2).
+type HyperGamma struct {
+	P              float64
+	Shape1, Scale1 float64
+	Shape2, Scale2 float64
+}
+
+// Sample draws one variate.
+func (h HyperGamma) Sample(r *RNG) float64 {
+	if r.Float64() < h.P {
+		return r.Gamma(h.Shape1, h.Scale1)
+	}
+	return r.Gamma(h.Shape2, h.Scale2)
+}
+
+// Mean returns the analytic mean of the mixture.
+func (h HyperGamma) Mean() float64 {
+	return h.P*h.Shape1*h.Scale1 + (1-h.P)*h.Shape2*h.Scale2
+}

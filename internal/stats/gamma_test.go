@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGammaMoments(t *testing.T) {
+	r := NewRNG(11, 0)
+	for _, c := range []struct{ shape, scale float64 }{
+		{0.5, 2}, {1, 1}, {4.2, 120}, {9, 0.5},
+	} {
+		const n = 200000
+		var sum, ss float64
+		for i := 0; i < n; i++ {
+			v := r.Gamma(c.shape, c.scale)
+			if v < 0 {
+				t.Fatalf("negative gamma variate %v", v)
+			}
+			sum += v
+			ss += v * v
+		}
+		mean := sum / n
+		wantMean := c.shape * c.scale
+		if math.Abs(mean-wantMean) > 0.03*wantMean {
+			t.Errorf("Gamma(%v,%v): mean %v, want %v", c.shape, c.scale, mean, wantMean)
+		}
+		variance := ss/n - mean*mean
+		wantVar := c.shape * c.scale * c.scale
+		if math.Abs(variance-wantVar) > 0.1*wantVar {
+			t.Errorf("Gamma(%v,%v): var %v, want %v", c.shape, c.scale, variance, wantVar)
+		}
+	}
+}
+
+func TestGammaPanics(t *testing.T) {
+	r := NewRNG(1, 0)
+	for _, c := range [][2]float64{{0, 1}, {-1, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Gamma(%v, %v) did not panic", c[0], c[1])
+				}
+			}()
+			r.Gamma(c[0], c[1])
+		}()
+	}
+}
+
+func TestHyperGamma(t *testing.T) {
+	r := NewRNG(13, 0)
+	h := HyperGamma{P: 0.7, Shape1: 2, Scale1: 10, Shape2: 5, Scale2: 100}
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += h.Sample(r)
+	}
+	mean := sum / n
+	want := h.Mean() // 0.7*20 + 0.3*500 = 164
+	if math.Abs(mean-want) > 0.03*want {
+		t.Errorf("hyper-gamma mean %v, want %v", mean, want)
+	}
+	if math.Abs(h.Mean()-164) > 1e-9 {
+		t.Errorf("analytic mean %v, want 164", h.Mean())
+	}
+}
+
+func TestNorm(t *testing.T) {
+	r := NewRNG(17, 0)
+	const n = 200000
+	var sum, ss float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		ss += v * v
+	}
+	if m := sum / n; math.Abs(m) > 0.02 {
+		t.Errorf("normal mean %v", m)
+	}
+	if v := ss / n; math.Abs(v-1) > 0.03 {
+		t.Errorf("normal variance %v", v)
+	}
+}

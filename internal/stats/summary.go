@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (p in [0, 100]) of xs using
+// linear interpolation between closest ranks. It does not modify xs.
+// An empty slice yields 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// PercentilesSorted returns the percentiles ps of xs, which must already
+// be sorted ascending. It is the allocation-free path for callers that
+// need several percentiles of the same data.
+func PercentilesSorted(sorted []float64, ps ...float64) []float64 {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = percentileSorted(sorted, p)
+	}
+	return out
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram counts values into the given bin boundaries. Counts[i] holds
+// the number of values in [Bounds[i], Bounds[i+1]); values below
+// Bounds[0] or at/above Bounds[len-1] fall in Under/Over.
+type Histogram struct {
+	Bounds []float64
+	Counts []int
+	Under  int
+	Over   int
+}
+
+// NewHistogram builds a histogram over the given ascending boundaries.
+// It panics if fewer than two boundaries are given or they are not
+// strictly increasing.
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) < 2 {
+		panic("stats: NewHistogram needs at least two boundaries")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: NewHistogram boundaries must be strictly increasing")
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{Bounds: b, Counts: make([]int, len(bounds)-1)}
+}
+
+// Add records one value.
+func (h *Histogram) Add(x float64) {
+	if x < h.Bounds[0] {
+		h.Under++
+		return
+	}
+	if x >= h.Bounds[len(h.Bounds)-1] {
+		h.Over++
+		return
+	}
+	// Binary search for the bin.
+	i := sort.SearchFloat64s(h.Bounds, x)
+	if i < len(h.Bounds) && h.Bounds[i] == x {
+		// x is exactly a boundary: it belongs to the bin starting at i.
+		h.Counts[i]++
+		return
+	}
+	h.Counts[i-1]++
+}
+
+// Total returns the number of recorded values, including under/overflow.
+func (h *Histogram) Total() int {
+	t := h.Under + h.Over
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Fraction returns Counts[i] as a fraction of Total, or 0 if empty.
+func (h *Histogram) Fraction(i int) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(t)
+}

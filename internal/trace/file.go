@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"compress/gzip"
+	"fmt"
+	"os"
+	"strings"
+
+	"schedsearch/internal/job"
+)
+
+// ReadSWFFile reads an SWF trace from disk, transparently decompressing
+// gzip files (the Parallel Workloads Archive distributes traces as
+// .swf.gz). Compression is detected by the gzip magic bytes, not the
+// file name, so renamed files still work.
+func ReadSWFFile(path string) ([]job.Job, Header, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Header{}, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+
+	var magic [2]byte
+	n, err := f.Read(magic[:])
+	if err != nil && n == 0 {
+		// Empty file parses as an empty trace.
+		return nil, Header{}, nil
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, Header{}, fmt.Errorf("trace: %w", err)
+	}
+	if n == 2 && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, Header{}, fmt.Errorf("trace: %s: %w", path, err)
+		}
+		defer gz.Close()
+		return ReadSWF(gz)
+	}
+	return ReadSWF(f)
+}
+
+// WriteSWFFile writes an SWF trace to disk, gzip-compressing when the
+// path ends in ".gz".
+func WriteSWFFile(path string, jobs []job.Job, h Header) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		if err := WriteSWF(gz, jobs, h); err != nil {
+			return err
+		}
+		if err := gz.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		return f.Close()
+	}
+	if err := WriteSWF(f, jobs, h); err != nil {
+		return err
+	}
+	return f.Close()
+}

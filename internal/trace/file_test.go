@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"schedsearch/internal/job"
+)
+
+func sampleJobs() []job.Job {
+	return []job.Job{
+		{ID: 1, Submit: 0, Nodes: 4, Runtime: 100, Request: 300, User: 7},
+		{ID: 2, Submit: 50, Nodes: 128, Runtime: 86400, Request: 86400, User: 8},
+	}
+}
+
+func TestFileRoundTripPlain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.swf")
+	if err := WriteSWFFile(path, sampleJobs(), Header{MaxNodes: 128}); err != nil {
+		t.Fatal(err)
+	}
+	jobs, h, err := ReadSWFFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxNodes != 128 || len(jobs) != 2 || jobs[0] != sampleJobs()[0] {
+		t.Errorf("round trip: %d jobs, header %+v", len(jobs), h)
+	}
+}
+
+func TestFileRoundTripGzip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.swf.gz")
+	if err := WriteSWFFile(path, sampleJobs(), Header{Computer: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	// The file must actually be gzipped (magic bytes).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatal("written file is not gzip")
+	}
+	jobs, h, err := ReadSWFFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Computer != "x" || len(jobs) != 2 || jobs[1] != sampleJobs()[1] {
+		t.Errorf("gzip round trip: %d jobs, header %+v", len(jobs), h)
+	}
+}
+
+func TestReadSWFFileDetectsGzipByMagicNotName(t *testing.T) {
+	// A gzipped file without the .gz suffix must still decompress.
+	dir := t.TempDir()
+	gzPath := filepath.Join(dir, "real.gz")
+	if err := WriteSWFFile(gzPath, sampleJobs(), Header{}); err != nil {
+		t.Fatal(err)
+	}
+	renamed := filepath.Join(dir, "renamed.swf")
+	data, _ := os.ReadFile(gzPath)
+	if err := os.WriteFile(renamed, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs, _, err := ReadSWFFile(renamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Errorf("%d jobs", len(jobs))
+	}
+}
+
+func TestReadSWFFileErrors(t *testing.T) {
+	if _, _, err := ReadSWFFile(filepath.Join(t.TempDir(), "missing.swf")); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Empty file parses as an empty trace.
+	empty := filepath.Join(t.TempDir(), "empty.swf")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs, _, err := ReadSWFFile(empty)
+	if err != nil || len(jobs) != 0 {
+		t.Errorf("empty file: %v jobs, err %v", jobs, err)
+	}
+}

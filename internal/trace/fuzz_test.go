@@ -1,0 +1,46 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSWF checks the parser never panics and that whatever it
+// accepts round-trips through the writer.
+func FuzzReadSWF(f *testing.F) {
+	f.Add("; Computer: x\n1 0 -1 10 4 -1 -1 4 20 -1 1 7 -1 -1 -1 -1 -1 -1\n")
+	f.Add("1 2 3 4 5\n")
+	f.Add("; only a comment")
+	f.Add("")
+	f.Add("-1 -1 -1 -1 -1\n1 0 0 0 1 0 0 1 0 0 1 0 0 0 0 0 0 0")
+	f.Add("9999999999999999999999 0 0 1 1")
+	f.Fuzz(func(t *testing.T, data string) {
+		jobs, h, err := ReadSWF(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, j := range jobs {
+			if j.Nodes <= 0 || j.Runtime < 0 || j.Submit < 0 || j.Request < j.Runtime {
+				t.Fatalf("parser accepted unusable job %+v", j)
+			}
+		}
+		// Write what we parsed and re-read: must be identical.
+		var buf bytes.Buffer
+		if err := WriteSWF(&buf, jobs, h); err != nil {
+			t.Fatal(err)
+		}
+		again, _, err := ReadSWF(&buf)
+		if err != nil {
+			t.Fatalf("rewritten trace rejected: %v", err)
+		}
+		if len(again) != len(jobs) {
+			t.Fatalf("round trip changed job count: %d -> %d", len(jobs), len(again))
+		}
+		for i := range jobs {
+			if again[i] != jobs[i] {
+				t.Fatalf("round trip changed job %d: %+v -> %+v", i, jobs[i], again[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,135 @@
+// Package trace reads and writes job traces in the Standard Workload
+// Format (SWF) used by the Parallel Workloads Archive, so synthesized
+// workloads can be exported for other simulators and real SWF traces can
+// be fed into this one.
+//
+// SWF is a line-oriented format: comment lines begin with ';', data
+// lines carry 18 whitespace-separated integer fields. This package maps
+// the fields the simulator uses (job number, submit time, run time,
+// allocated processors, requested time) and emits -1 for the rest.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"schedsearch/internal/job"
+)
+
+// Header carries the SWF comment-header metadata worth preserving.
+type Header struct {
+	Computer string
+	Note     string
+	MaxNodes int
+}
+
+// swfFields is the number of columns in an SWF record.
+const swfFields = 18
+
+// WriteSWF writes jobs as an SWF trace. Node counts are written to the
+// "Number of Allocated Processors" field (field 5), matching archive
+// conventions for node-allocated machines.
+func WriteSWF(w io.Writer, jobs []job.Job, h Header) error {
+	bw := bufio.NewWriter(w)
+	if h.Computer != "" {
+		fmt.Fprintf(bw, "; Computer: %s\n", h.Computer)
+	}
+	if h.MaxNodes > 0 {
+		fmt.Fprintf(bw, "; MaxNodes: %d\n", h.MaxNodes)
+	}
+	if h.Note != "" {
+		fmt.Fprintf(bw, "; Note: %s\n", h.Note)
+	}
+	fmt.Fprintf(bw, "; Fields: job submit wait runtime procs avgcpu mem reqprocs reqtime reqmem status user group app queue partition prevjob thinktime\n")
+	for _, j := range jobs {
+		// job submit wait run procs avgcpu usedmem reqprocs reqtime
+		// reqmem status uid gid app queue partition prevjob thinktime
+		fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d -1 1 %d -1 -1 -1 -1 -1 -1\n",
+			j.ID, j.Submit, j.Runtime, j.Nodes, j.Nodes, j.Request, j.User)
+	}
+	return bw.Flush()
+}
+
+// ReadSWF parses an SWF trace into jobs. Records with unusable fields
+// (non-positive processors, negative submit, missing runtime) are
+// skipped, matching how simulators consume archive traces. The requested
+// time falls back to the runtime when absent.
+func ReadSWF(r io.Reader) ([]job.Job, Header, error) {
+	var h Header
+	var jobs []job.Job
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			parseHeaderLine(line, &h)
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 5 {
+			return nil, h, fmt.Errorf("trace: line %d: %d fields, want >= 5", lineNo, len(fields))
+		}
+		get := func(i int) int64 {
+			if i >= len(fields) {
+				return -1
+			}
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				return -1
+			}
+			return v
+		}
+		id := get(0)
+		submit := get(1)
+		runtime := get(3)
+		procs := get(4)
+		if procs <= 0 {
+			procs = get(7) // fall back to requested processors
+		}
+		reqTime := get(8)
+		if submit < 0 || runtime < 0 || procs <= 0 {
+			continue
+		}
+		if reqTime < runtime {
+			reqTime = runtime
+		}
+		user := get(11)
+		if user < 0 {
+			user = 0
+		}
+		jobs = append(jobs, job.Job{
+			ID:      int(id),
+			Submit:  submit,
+			Nodes:   int(procs),
+			Runtime: runtime,
+			Request: reqTime,
+			User:    int(user),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, h, fmt.Errorf("trace: %w", err)
+	}
+	return jobs, h, nil
+}
+
+func parseHeaderLine(line string, h *Header) {
+	body := strings.TrimSpace(strings.TrimPrefix(line, ";"))
+	switch {
+	case strings.HasPrefix(body, "Computer:"):
+		h.Computer = strings.TrimSpace(strings.TrimPrefix(body, "Computer:"))
+	case strings.HasPrefix(body, "Note:"):
+		h.Note = strings.TrimSpace(strings.TrimPrefix(body, "Note:"))
+	case strings.HasPrefix(body, "MaxNodes:"):
+		if n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(body, "MaxNodes:"))); err == nil {
+			h.MaxNodes = n
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	jobs := []job.Job{
+		{ID: 1, Submit: 0, Nodes: 4, Runtime: 100, Request: 300},
+		{ID: 2, Submit: 50, Nodes: 128, Runtime: 86400, Request: 86400},
+		{ID: 3, Submit: 99, Nodes: 1, Runtime: 0, Request: 0},
+	}
+	var buf bytes.Buffer
+	h := Header{Computer: "synthetic", MaxNodes: 128, Note: "test"}
+	if err := WriteSWF(&buf, jobs, h); err != nil {
+		t.Fatal(err)
+	}
+	got, gotH, err := ReadSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH.Computer != "synthetic" || gotH.MaxNodes != 128 || gotH.Note != "test" {
+		t.Errorf("header round trip: %+v", gotH)
+	}
+	if len(got) != len(jobs) {
+		t.Fatalf("%d jobs, want %d", len(got), len(jobs))
+	}
+	for i := range jobs {
+		if got[i] != jobs[i] {
+			t.Errorf("job %d: %+v, want %+v", i, got[i], jobs[i])
+		}
+	}
+}
+
+func TestReadSkipsUnusableRecords(t *testing.T) {
+	const data = `; Comment
+1 100 -1 50 4 -1 -1 4 60 -1 1 -1 -1 -1 -1 -1 -1 -1
+2 100 -1 50 0 -1 -1 0 60 -1 1 -1 -1 -1 -1 -1 -1 -1
+3 -5 -1 50 4 -1 -1 4 60 -1 1 -1 -1 -1 -1 -1 -1 -1
+4 100 -1 -1 4 -1 -1 4 60 -1 1 -1 -1 -1 -1 -1 -1 -1
+`
+	jobs, _, err := ReadSWF(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != 1 {
+		t.Errorf("jobs = %+v, want only job 1", jobs)
+	}
+}
+
+func TestReadFallsBackToRequestedProcs(t *testing.T) {
+	const data = `1 100 -1 50 -1 -1 -1 16 60 -1 1 -1 -1 -1 -1 -1 -1 -1`
+	jobs, _, err := ReadSWF(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].Nodes != 16 {
+		t.Fatalf("jobs = %+v, want 16 nodes via requested procs", jobs)
+	}
+}
+
+func TestReadClampsRequestBelowRuntime(t *testing.T) {
+	const data = `1 100 -1 500 4 -1 -1 4 60 -1 1 -1 -1 -1 -1 -1 -1 -1`
+	jobs, _, err := ReadSWF(strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Request != 500 {
+		t.Errorf("request = %d, want clamped to runtime 500", jobs[0].Request)
+	}
+}
+
+func TestReadRejectsTruncatedLine(t *testing.T) {
+	if _, _, err := ReadSWF(strings.NewReader("1 2 3")); err == nil {
+		t.Error("truncated record accepted")
+	}
+}
+
+func TestReadEmptyAndBlank(t *testing.T) {
+	jobs, _, err := ReadSWF(strings.NewReader("\n\n; only comments\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 {
+		t.Errorf("jobs = %v", jobs)
+	}
+}
+
+// TestGeneratedMonthRoundTrips exports a generated month and reads it
+// back, verifying the pipeline the wlgen CLI uses.
+func TestGeneratedMonthRoundTrips(t *testing.T) {
+	suite := workload.NewSuite(workload.Config{Seed: 3, JobScale: 0.05})
+	m, err := suite.Month("6/03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, m.Jobs, Header{MaxNodes: 128}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadSWF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(m.Jobs) {
+		t.Fatalf("%d jobs, want %d", len(got), len(m.Jobs))
+	}
+	for i := range got {
+		if got[i] != m.Jobs[i] {
+			t.Fatalf("job %d differs after round trip", i)
+		}
+	}
+}

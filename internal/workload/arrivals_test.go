@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"testing"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/stats"
+)
+
+func TestSampleArrivalsSortedAndInRange(t *testing.T) {
+	r := stats.NewRNG(1, 0)
+	start := job.Time(1000)
+	dur := 10 * job.Day
+	times := sampleArrivals(5000, start, dur, r)
+	if len(times) != 5000 {
+		t.Fatalf("%d arrivals", len(times))
+	}
+	for i, at := range times {
+		if at < start || at >= start+dur {
+			t.Fatalf("arrival %d at %d outside [%d, %d)", i, at, start, start+dur)
+		}
+		if i > 0 && at < times[i-1] {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+}
+
+func TestSampleArrivalsDiurnalCycle(t *testing.T) {
+	r := stats.NewRNG(2, 0)
+	// Two full weeks starting at a day boundary.
+	times := sampleArrivals(50000, 0, 2*job.Week, r)
+	day, night := 0, 0
+	for _, at := range times {
+		h := (at / job.Hour) % 24
+		if h >= 10 && h < 18 {
+			day++ // 8 daytime hours
+		}
+		if h >= 0 && h < 8 {
+			night++ // 8 night hours
+		}
+	}
+	if day <= night {
+		t.Errorf("daytime arrivals %d not above night arrivals %d", day, night)
+	}
+	if float64(day) < 1.5*float64(night) {
+		t.Errorf("day/night ratio %.2f too flat", float64(day)/float64(night))
+	}
+}
+
+func TestSampleArrivalsWeekendDip(t *testing.T) {
+	r := stats.NewRNG(3, 0)
+	times := sampleArrivals(70000, 0, 4*job.Week, r)
+	perDow := make([]int, 7)
+	for _, at := range times {
+		perDow[(at/job.Day)%7]++
+	}
+	// Days 5 and 6 of the generator's week are the weekend.
+	weekday := 0
+	for d := 0; d < 5; d++ {
+		weekday += perDow[d]
+	}
+	weekdayAvg := float64(weekday) / 5
+	weekendAvg := float64(perDow[5]+perDow[6]) / 2
+	if weekendAvg >= weekdayAvg {
+		t.Errorf("weekend rate %.0f not below weekday rate %.0f", weekendAvg, weekdayAvg)
+	}
+}
+
+func TestUsersAssignedAndSpecialized(t *testing.T) {
+	suite := NewSuite(Config{Seed: 5, JobScale: 0.5})
+	m, err := suite.Month("9/03")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byUser := map[int][]job.Job{}
+	for _, j := range m.Jobs {
+		if j.User == 0 {
+			t.Fatalf("job %d has no user", j.ID)
+		}
+		byUser[j.User] = append(byUser[j.User], j)
+	}
+	if len(byUser) < 20 {
+		t.Fatalf("only %d users in a %d-job month", len(byUser), len(m.Jobs))
+	}
+	// Users specialize: all of a user's jobs fall in one runtime class.
+	classOf := func(t job.Duration) int {
+		switch {
+		case t <= shortHi:
+			return 0
+		case t <= medHi:
+			return 1
+		default:
+			return 2
+		}
+	}
+	for u, jobs := range byUser {
+		c := classOf(jobs[0].Runtime)
+		for _, j := range jobs[1:] {
+			if classOf(j.Runtime) != c {
+				t.Fatalf("user %d mixes runtime classes", u)
+			}
+		}
+	}
+	// Activity is skewed: the busiest user submits several times the
+	// median user's jobs.
+	counts := make([]int, 0, len(byUser))
+	for _, jobs := range byUser {
+		counts = append(counts, len(jobs))
+	}
+	maxC, sum := 0, 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+		sum += c
+	}
+	mean := float64(sum) / float64(len(counts))
+	if float64(maxC) < 3*mean {
+		t.Errorf("heaviest user has %d jobs, mean %.1f — no zipf skew", maxC, mean)
+	}
+}
+
+func TestUserRequestStylesArePersistent(t *testing.T) {
+	suite := NewSuite(Config{Seed: 5, JobScale: 0.5})
+	m, _ := suite.Month("9/03")
+	limitReq := map[int]int{}
+	jobsOf := map[int]int{}
+	for _, j := range m.Jobs {
+		jobsOf[j.User]++
+		if j.Request == m.Spec.RuntimeLimit {
+			limitReq[j.User]++
+		}
+	}
+	// Limit-requesting is a per-user habit: among users with >= 5 jobs
+	// and at least one limit request, most request the limit every time
+	// (short jobs of accurate users can also round up to the limit, so
+	// allow a minority of mixed users).
+	allOrNothing, mixed := 0, 0
+	for u, n := range jobsOf {
+		if n < 5 || limitReq[u] == 0 {
+			continue
+		}
+		if limitReq[u] == n {
+			allOrNothing++
+		} else {
+			mixed++
+		}
+	}
+	if allOrNothing == 0 {
+		t.Fatal("no habitual limit-requesting users found")
+	}
+	if mixed > allOrNothing {
+		t.Errorf("limit requests not habitual: %d mixed vs %d consistent users", mixed, allOrNothing)
+	}
+}
+
+func TestUsersDistinctAcrossMonths(t *testing.T) {
+	suite := NewSuite(Config{Seed: 5, JobScale: 0.2})
+	a, _ := suite.Month("6/03")
+	b, _ := suite.Month("7/03")
+	usersA := map[int]bool{}
+	for _, j := range a.Jobs {
+		usersA[j.User] = true
+	}
+	for _, j := range b.Jobs {
+		if usersA[j.User] {
+			t.Fatalf("user %d appears in both 6/03 and 7/03 pools", j.User)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+	"schedsearch/internal/stats"
+)
+
+// LublinConfig parameterizes a Lublin-Feitelson-style synthetic
+// workload (Lublin & Feitelson, JPDC 2003) — the field's standard
+// general model, used here as a robustness check: conclusions drawn on
+// the NCSA-calibrated months should survive on a workload with entirely
+// different statistical structure. The numeric constants follow the
+// published batch-workload parameterization approximately; the model's
+// qualitative structure (two-stage log-uniform sizes with a power-of-two
+// bias, hyper-gamma runtimes whose mix shifts with job size, gamma
+// interarrivals with a daily cycle) is what matters for this purpose.
+type LublinConfig struct {
+	Seed     uint64
+	Capacity int
+	// Days is the trace length.
+	Days int
+	// TargetLoad rescales the arrival rate so offered load hits this
+	// fraction (default 0.75).
+	TargetLoad float64
+	// RuntimeLimit caps runtimes (default 24h); requests are modeled
+	// with the same per-user habits as the calibrated generator.
+	RuntimeLimit job.Duration
+}
+
+func (c LublinConfig) withDefaults() LublinConfig {
+	if c.Capacity == 0 {
+		c.Capacity = Capacity
+	}
+	if c.Days == 0 {
+		c.Days = 30
+	}
+	if c.TargetLoad == 0 {
+		c.TargetLoad = 0.75
+	}
+	if c.RuntimeLimit == 0 {
+		c.RuntimeLimit = Limit24h
+	}
+	return c
+}
+
+// lublin model constants (batch workload, approximate published values).
+const (
+	lubSerialProb = 0.24 // fraction of one-node jobs
+	lubPow2Prob   = 0.75 // fraction of parallel jobs with power-of-two size
+	lubULow       = 0.8  // two-stage uniform over log2(size)
+	lubUProb      = 0.86
+	lubUMed       = 4.5
+	// Hyper-gamma runtime components (seconds via scale): the first
+	// component captures short jobs, the second long jobs; the mixing
+	// probability decreases with job size (wider jobs run longer).
+	lubShape1, lubScale1 = 4.2, 120.0
+	lubShape2, lubScale2 = 6.0, 3600.0
+	lubPa, lubPb         = -0.20, 0.85 // p = pb + pa*log2(size)/log2(max)
+)
+
+// Lublin synthesizes a Lublin-Feitelson-style trace, calibrated to the
+// target load by scaling the arrival rate.
+func Lublin(cfg LublinConfig) []job.Job {
+	cfg = cfg.withDefaults()
+	sizeRNG := stats.NewRNG(cfg.Seed, 101)
+	runRNG := stats.NewRNG(cfg.Seed, 102)
+	reqRNG := stats.NewRNG(cfg.Seed, 103)
+	arrRNG := stats.NewRNG(cfg.Seed, 104)
+
+	dur := job.Duration(cfg.Days) * job.Day
+	maxLog := math.Log2(float64(cfg.Capacity))
+
+	// First pass: synthesize job bodies until their demand reaches the
+	// target; arrival times follow in a second pass.
+	targetDemand := cfg.TargetLoad * float64(cfg.Capacity) * float64(dur)
+	var jobs []job.Job
+	var demand float64
+	for demand < targetDemand {
+		n := lublinSize(sizeRNG, cfg.Capacity, maxLog)
+		t := lublinRuntime(runRNG, n, maxLog, cfg.RuntimeLimit)
+		req := lublinRequest(reqRNG, t, cfg.RuntimeLimit)
+		jobs = append(jobs, job.Job{
+			ID:      len(jobs) + 1,
+			Nodes:   n,
+			Runtime: t,
+			Request: req,
+			User:    1 + len(jobs)%97, // simple rotating user pool
+		})
+		demand += float64(n) * float64(t)
+	}
+
+	// Arrivals: gamma-distributed interarrivals modulated by the daily
+	// cycle, rescaled to fit the trace span exactly.
+	raw := make([]float64, len(jobs))
+	var total float64
+	for i := range raw {
+		raw[i] = arrRNG.Gamma(1.2, 1.0) // bursty but not heavy-tailed
+		total += raw[i]
+	}
+	span := float64(dur - 1)
+	at := 0.0
+	for i := range jobs {
+		at += raw[i] / total * span
+		// Daily cycle: map the uniform position through a density that
+		// favours daytime (inverse-CDF warp within each day).
+		day := math.Floor(at / float64(job.Day))
+		frac := at/float64(job.Day) - day
+		warped := day + dayWarp(frac)
+		jobs[i].Submit = job.Time(warped * float64(job.Day))
+		if jobs[i].Submit >= dur {
+			jobs[i].Submit = dur - 1
+		}
+	}
+	sort.Sort(job.BySubmit(jobs))
+	return jobs
+}
+
+// lublinSize draws a job size: serial with fixed probability, otherwise
+// log2(size) from a two-stage uniform, snapped to a power of two with
+// the published probability.
+func lublinSize(r *stats.RNG, capacity int, maxLog float64) int {
+	if r.Bool(lubSerialProb) {
+		return 1
+	}
+	var l float64
+	if r.Bool(lubUProb) {
+		l = r.Uniform(lubULow, lubUMed)
+	} else {
+		l = r.Uniform(lubUMed, maxLog)
+	}
+	if r.Bool(lubPow2Prob) {
+		l = math.Round(l)
+	}
+	n := int(math.Round(math.Pow(2, l)))
+	if n < 2 {
+		n = 2
+	}
+	if n > capacity {
+		n = capacity
+	}
+	return n
+}
+
+// lublinRuntime draws a runtime from the size-dependent hyper-gamma.
+func lublinRuntime(r *stats.RNG, n int, maxLog float64, limit job.Duration) job.Duration {
+	p := lubPb + lubPa*math.Log2(float64(n))/maxLog
+	if p < 0.05 {
+		p = 0.05
+	}
+	if p > 0.95 {
+		p = 0.95
+	}
+	hg := stats.HyperGamma{
+		P:      p,
+		Shape1: lubShape1, Scale1: lubScale1,
+		Shape2: lubShape2, Scale2: lubScale2,
+	}
+	t := job.Duration(hg.Sample(r))
+	if t < minRuntime {
+		t = minRuntime
+	}
+	if t > limit {
+		t = limit
+	}
+	return t
+}
+
+// lublinRequest reuses the calibrated generator's request habits
+// per-draw (no per-user persistence needed for the robustness check).
+func lublinRequest(r *stats.RNG, t, limit job.Duration) job.Duration {
+	var req job.Duration
+	switch {
+	case r.Bool(0.20):
+		req = t
+	case r.Bool(0.30):
+		req = limit
+	default:
+		req = job.Duration(float64(t) * r.LogUniform(1.2, 10))
+	}
+	const gran = 5 * job.Minute
+	req = (req + gran - 1) / gran * gran
+	if req < t {
+		req = t
+	}
+	if req > limit {
+		req = limit
+	}
+	return req
+}
+
+// dayWarp maps a uniform [0,1) day position through a diurnal density
+// peaking in the afternoon (integral of 1 + 0.6*cos(2π(x - 14/24))
+// normalized), keeping arrivals within the same day.
+func dayWarp(u float64) float64 {
+	// Invert numerically: F(x) = x + (0.6/2π)(sin(2π(x-c)) - sin(-2πc)),
+	// c = 14/24. Bisection on [0, 1).
+	const c = 14.0 / 24.0
+	f := func(x float64) float64 {
+		return x + 0.6/(2*math.Pi)*(math.Sin(2*math.Pi*(x-c))-math.Sin(-2*math.Pi*c))
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < u {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// LublinInput wraps the generated trace as a simulation input with
+// everything measured.
+func LublinInput(cfg LublinConfig) sim.Input {
+	cfg = cfg.withDefaults()
+	return sim.Input{
+		Capacity: cfg.Capacity,
+		Jobs:     Lublin(cfg),
+	}
+}

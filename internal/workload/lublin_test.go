@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"schedsearch/internal/job"
+)
+
+func TestLublinBasicShape(t *testing.T) {
+	cfg := LublinConfig{Seed: 1, Days: 10, TargetLoad: 0.75}
+	jobs := Lublin(cfg)
+	if len(jobs) < 200 {
+		t.Fatalf("only %d jobs over 10 days", len(jobs))
+	}
+	dur := job.Duration(10) * job.Day
+	var demand float64
+	serial, pow2, parallel := 0, 0, 0
+	var last job.Time = -1
+	for _, j := range jobs {
+		if err := j.Validate(Capacity); err != nil {
+			t.Fatal(err)
+		}
+		if j.Submit < last {
+			t.Fatal("not sorted")
+		}
+		last = j.Submit
+		if j.Submit >= dur {
+			t.Fatalf("submit %d beyond trace span %d", j.Submit, dur)
+		}
+		demand += float64(j.Demand())
+		if j.Nodes == 1 {
+			serial++
+		} else {
+			parallel++
+			if j.Nodes&(j.Nodes-1) == 0 {
+				pow2++
+			}
+		}
+		if j.User == 0 {
+			t.Fatal("job without user")
+		}
+	}
+	load := demand / (float64(Capacity) * float64(dur))
+	if math.Abs(load-0.75) > 0.08 {
+		t.Errorf("load %.3f, want ~0.75", load)
+	}
+	serialFrac := float64(serial) / float64(len(jobs))
+	if serialFrac < 0.15 || serialFrac > 0.35 {
+		t.Errorf("serial fraction %.2f, want ~0.24", serialFrac)
+	}
+	pow2Frac := float64(pow2) / float64(parallel)
+	if pow2Frac < 0.6 {
+		t.Errorf("power-of-two fraction %.2f among parallel jobs, want >= 0.6", pow2Frac)
+	}
+}
+
+func TestLublinDeterministic(t *testing.T) {
+	a := Lublin(LublinConfig{Seed: 7, Days: 3})
+	b := Lublin(LublinConfig{Seed: 7, Days: 3})
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs", i)
+		}
+	}
+	c := Lublin(LublinConfig{Seed: 8, Days: 3})
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestLublinRuntimeSizeCorrelation(t *testing.T) {
+	// Wider jobs draw from the long gamma component more often, so the
+	// mean runtime of wide jobs should exceed that of narrow jobs.
+	jobs := Lublin(LublinConfig{Seed: 3, Days: 30})
+	var narrowSum, wideSum float64
+	var narrowN, wideN int
+	for _, j := range jobs {
+		if j.Nodes <= 2 {
+			narrowSum += float64(j.Runtime)
+			narrowN++
+		} else if j.Nodes >= 32 {
+			wideSum += float64(j.Runtime)
+			wideN++
+		}
+	}
+	if narrowN == 0 || wideN == 0 {
+		t.Fatal("missing size classes")
+	}
+	if wideSum/float64(wideN) <= narrowSum/float64(narrowN) {
+		t.Errorf("wide jobs mean runtime %.0f not above narrow %.0f",
+			wideSum/float64(wideN), narrowSum/float64(narrowN))
+	}
+}
+
+func TestLublinInputRunnable(t *testing.T) {
+	in := LublinInput(LublinConfig{Seed: 2, Days: 3, TargetLoad: 0.6})
+	if in.Capacity != Capacity {
+		t.Errorf("capacity %d", in.Capacity)
+	}
+	if len(in.Jobs) == 0 {
+		t.Fatal("no jobs")
+	}
+}
+
+func TestDayWarpIsMonotoneAndBounded(t *testing.T) {
+	prev := -1.0
+	for u := 0.0; u < 1.0; u += 0.01 {
+		x := dayWarp(u)
+		if x < 0 || x >= 1.0001 {
+			t.Fatalf("dayWarp(%v) = %v out of range", u, x)
+		}
+		if x < prev {
+			t.Fatalf("dayWarp not monotone at %v", u)
+		}
+		prev = x
+	}
+}

@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"schedsearch/internal/job"
+)
+
+// MixStats summarizes a month of jobs the way the paper's Tables 3 and 4
+// do, so the generated workloads can be compared against the published
+// targets.
+type MixStats struct {
+	TotalJobs int
+	// Load is demand / (capacity x duration).
+	Load float64
+	// JobFrac and DemandFrac follow job.Table3NodeRanges.
+	JobFrac    [8]float64
+	DemandFrac [8]float64
+	// ShortFrac and LongFrac follow job.Table4NodeClasses and are
+	// fractions of all jobs in the month (T <= 1h and T > 5h).
+	ShortFrac [5]float64
+	LongFrac  [5]float64
+}
+
+// ComputeMixStats summarizes jobs over a window of the given duration on
+// a machine of the given capacity.
+func ComputeMixStats(jobs []job.Job, capacity int, dur job.Duration) MixStats {
+	st := MixStats{TotalJobs: len(jobs)}
+	if len(jobs) == 0 || dur <= 0 {
+		return st
+	}
+	var totalDemand float64
+	var demand [8]float64
+	var count [8]int
+	var short, long [5]int
+	for _, j := range jobs {
+		r := job.ClassifyNodes(job.Table3NodeRanges, j.Nodes)
+		if r >= 0 {
+			count[r]++
+			demand[r] += float64(j.Demand())
+		}
+		totalDemand += float64(j.Demand())
+		c := job.ClassifyNodes(job.Table4NodeClasses, j.Nodes)
+		if c >= 0 {
+			if j.Runtime <= job.Hour {
+				short[c]++
+			}
+			if j.Runtime > 5*job.Hour {
+				long[c]++
+			}
+		}
+	}
+	st.Load = totalDemand / (float64(capacity) * float64(dur))
+	n := float64(len(jobs))
+	for r := range count {
+		st.JobFrac[r] = float64(count[r]) / n
+		if totalDemand > 0 {
+			st.DemandFrac[r] = demand[r] / totalDemand
+		}
+	}
+	for c := range short {
+		st.ShortFrac[c] = float64(short[c]) / n
+		st.LongFrac[c] = float64(long[c]) / n
+	}
+	return st
+}
+
+// Stats summarizes the month's generated jobs.
+func (m *Month) Stats(capacity int) MixStats {
+	return ComputeMixStats(m.Jobs, capacity, m.Duration())
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+// Month is one generated monthly workload on the suite timeline.
+type Month struct {
+	Spec MonthSpec
+	// Start and End bound the month on the timeline (End exclusive).
+	Start, End job.Time
+	// Jobs are the jobs submitted during the month, submit-sorted.
+	Jobs []job.Job
+	// AchievedLoad is the generated offered load (demand of the
+	// month's jobs over capacity x duration); it tracks Spec.Load up to
+	// sampling noise and calibration limits.
+	AchievedLoad float64
+	// Pseudo marks the synthetic warm-up/cool-down margin months that
+	// exist only to feed neighbors' margins.
+	Pseudo bool
+}
+
+// Duration returns the month length.
+func (m *Month) Duration() job.Duration { return m.End - m.Start }
+
+// Suite is the full generated 10-month workload plus pseudo margin
+// months, on one continuous timeline.
+type Suite struct {
+	Config   Config
+	Capacity int
+
+	months   []*Month // pseudo + 10 real + pseudo, timeline order
+	timeline []job.Job
+}
+
+// NewSuite generates the whole workload suite deterministically from
+// cfg.Seed. A pseudo month cloned from the first (last) real month's
+// spec precedes (follows) the real months, providing warm-up and
+// cool-down margins like the paper's adjacent-month weeks.
+func NewSuite(cfg Config) *Suite {
+	cfg = cfg.withDefaults()
+	s := &Suite{Config: cfg, Capacity: cfg.Capacity}
+
+	specs := make([]MonthSpec, 0, len(Months)+2)
+	warmSpec := Months[0]
+	warmSpec.Label = "warmup"
+	coolSpec := Months[len(Months)-1]
+	coolSpec.Label = "cooldown"
+	specs = append(specs, warmSpec)
+	specs = append(specs, Months...)
+	specs = append(specs, coolSpec)
+
+	var cursor job.Time
+	for i, spec := range specs {
+		days := daysInMonth(spec.Year, spec.MonthOfYear)
+		dur := job.Duration(math.Round(float64(days) * float64(job.Day) * cfg.JobScale))
+		if dur < job.Hour {
+			dur = job.Hour
+		}
+		m := &Month{
+			Spec:   spec,
+			Start:  cursor,
+			End:    cursor + dur,
+			Pseudo: i == 0 || i == len(specs)-1,
+		}
+		m.Jobs = generateMonth(spec, cfg, i, m.Start, dur)
+		var demand int64
+		for _, j := range m.Jobs {
+			demand += j.Demand()
+		}
+		m.AchievedLoad = float64(demand) / (float64(cfg.Capacity) * float64(dur))
+		s.months = append(s.months, m)
+		cursor = m.End
+	}
+
+	// Build the global submit-sorted timeline and assign IDs in submit
+	// order.
+	for _, m := range s.months {
+		s.timeline = append(s.timeline, m.Jobs...)
+	}
+	sort.Sort(job.BySubmit(s.timeline))
+	for i := range s.timeline {
+		s.timeline[i].ID = i + 1
+	}
+	// Propagate the IDs back into the per-month views.
+	idx := 0
+	for _, m := range s.months {
+		// Months partition the timeline by submit window, so re-slice.
+		start := idx
+		for idx < len(s.timeline) && s.timeline[idx].Submit < m.End {
+			idx++
+		}
+		m.Jobs = s.timeline[start:idx]
+	}
+	return s
+}
+
+// RealMonths returns the ten evaluated months in order.
+func (s *Suite) RealMonths() []*Month {
+	out := make([]*Month, 0, len(s.months)-2)
+	for _, m := range s.months {
+		if !m.Pseudo {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Month returns the real month with the paper's label ("6/03").
+func (s *Suite) Month(label string) (*Month, error) {
+	for _, m := range s.months {
+		if !m.Pseudo && m.Spec.Label == label {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown month %q", label)
+}
+
+// SimOptions configure how a month is turned into a simulation input.
+type SimOptions struct {
+	// TargetLoad, when non-zero, rescales interarrival times so the
+	// month's offered load becomes the target (the paper's ρ = 0.9
+	// experiments); zero keeps the original load.
+	TargetLoad float64
+	// UseRequested makes policies plan with user-requested runtimes
+	// (R* = R) instead of actual runtimes (R* = T).
+	UseRequested bool
+}
+
+// Input builds the simulation input for a month: the month's jobs plus
+// one-week warm-up and cool-down margins (scaled with JobScale), with
+// only the month's own jobs flagged measured. With TargetLoad set, all
+// submit times in the slice are compressed toward the slice start so the
+// measured load matches the target while job attributes are unchanged.
+func (s *Suite) Input(label string, opt SimOptions) (sim.Input, *Month, error) {
+	m, err := s.Month(label)
+	if err != nil {
+		return sim.Input{}, nil, err
+	}
+	margin := job.Duration(float64(job.Week) * s.Config.JobScale)
+	if margin < 1 {
+		margin = 1
+	}
+	sliceStart := m.Start - margin
+	if sliceStart < 0 {
+		sliceStart = 0
+	}
+	sliceEnd := m.End + margin
+
+	lo := sort.Search(len(s.timeline), func(i int) bool { return s.timeline[i].Submit >= sliceStart })
+	hi := sort.Search(len(s.timeline), func(i int) bool { return s.timeline[i].Submit >= sliceEnd })
+	jobs := make([]job.Job, hi-lo)
+	copy(jobs, s.timeline[lo:hi])
+
+	measured := make(map[int]bool)
+	for _, j := range jobs {
+		if j.Submit >= m.Start && j.Submit < m.End {
+			measured[j.ID] = true
+		}
+	}
+
+	measureStart, measureEnd := m.Start, m.End
+	if opt.TargetLoad > 0 {
+		f := m.AchievedLoad / opt.TargetLoad
+		scale := func(t job.Time) job.Time {
+			return sliceStart + job.Time(math.Round(float64(t-sliceStart)*f))
+		}
+		for i := range jobs {
+			jobs[i].Submit = scale(jobs[i].Submit)
+		}
+		measureStart, measureEnd = scale(m.Start), scale(m.End)
+	}
+
+	return sim.Input{
+		Capacity:     s.Capacity,
+		Jobs:         jobs,
+		Measured:     measured,
+		MeasureStart: measureStart,
+		MeasureEnd:   measureEnd,
+		UseRequested: opt.UseRequested,
+	}, m, nil
+}

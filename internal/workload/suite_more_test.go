@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"testing"
+
+	"schedsearch/internal/job"
+)
+
+func TestPseudoMonthsHiddenButPresent(t *testing.T) {
+	suite := NewSuite(Config{Seed: 1, JobScale: 0.1})
+	if _, err := suite.Month("warmup"); err == nil {
+		t.Error("pseudo warm-up month exposed")
+	}
+	if _, err := suite.Month("cooldown"); err == nil {
+		t.Error("pseudo cool-down month exposed")
+	}
+	// But their jobs feed the margins: the first real month's input
+	// contains earlier-submitted unmeasured jobs.
+	in, m, err := suite.Input("6/03", SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := 0
+	for _, j := range in.Jobs {
+		if j.Submit < m.Start {
+			warm++
+		}
+	}
+	if warm == 0 {
+		t.Error("no warm-up jobs before the first real month")
+	}
+	// And the last real month gets cool-down jobs.
+	in, m, err = suite.Input("3/04", SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cool := 0
+	for _, j := range in.Jobs {
+		if j.Submit >= m.End {
+			cool++
+		}
+	}
+	if cool == 0 {
+		t.Error("no cool-down jobs after the last real month")
+	}
+}
+
+func TestMonthDurationsFollowCalendar(t *testing.T) {
+	suite := NewSuite(Config{Seed: 1, JobScale: 0.05})
+	wantDays := map[string]int{
+		"6/03": 30, "7/03": 31, "8/03": 31, "9/03": 30, "10/03": 31,
+		"11/03": 30, "12/03": 31, "1/04": 31, "2/04": 29, "3/04": 31,
+	}
+	for label, days := range wantDays {
+		m, err := suite.Month(label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := job.Duration(float64(days) * float64(job.Day) * 0.05)
+		got := m.Duration()
+		if got < want-2 || got > want+2 {
+			t.Errorf("%s: duration %d, want ~%d", label, got, want)
+		}
+	}
+}
+
+func TestMonthsAreContiguous(t *testing.T) {
+	suite := NewSuite(Config{Seed: 1, JobScale: 0.05})
+	months := suite.RealMonths()
+	for i := 1; i < len(months); i++ {
+		if months[i].Start != months[i-1].End {
+			t.Errorf("%s starts at %d, previous ends at %d",
+				months[i].Spec.Label, months[i].Start, months[i-1].End)
+		}
+	}
+}
+
+func TestComputeMixStatsEmpty(t *testing.T) {
+	st := ComputeMixStats(nil, 128, job.Day)
+	if st.TotalJobs != 0 || st.Load != 0 {
+		t.Errorf("empty stats: %+v", st)
+	}
+	st = ComputeMixStats([]job.Job{{Nodes: 1, Runtime: 100}}, 128, 0)
+	if st.TotalJobs != 1 {
+		t.Errorf("zero-duration stats: %+v", st)
+	}
+}
+
+func TestRuntimeClassWeightsClamp(t *testing.T) {
+	spec := Months[0]
+	for r := range spec.JobFrac {
+		wS, wM, wL := runtimeClassWeights(spec, r)
+		if wS < 0 || wM < 0 || wL < 0 {
+			t.Errorf("range %d: negative weight (%v, %v, %v)", r, wS, wM, wL)
+		}
+		if s := wS + wM + wL; s < 0.999 || s > 1.001 {
+			t.Errorf("range %d: weights sum to %v", r, s)
+		}
+	}
+}
+
+func TestSolvePiecesHitsTargets(t *testing.T) {
+	for _, target := range []float64{600, 3600, 7200, 20000, 40000} {
+		dS, dM, dL := solvePieces(0.4, 0.35, 0.25, target, Limit24h)
+		got := 0.4*dS.Mean() + 0.35*dM.Mean() + 0.25*dL.Mean()
+		// Reachable targets are hit within 3%; the extremes clamp
+		// (e.g. 25% long jobs alone force a mean above ~5900s).
+		if target > 7000 && target < 25000 {
+			if got < target*0.97 || got > target*1.03 {
+				t.Errorf("target %v: mixture mean %v", target, got)
+			}
+		}
+		if dS.Mean() < minRuntime || dS.Mean() > float64(shortHi) {
+			t.Errorf("short mean %v out of class", dS.Mean())
+		}
+		if dL.Mean() < float64(medHi) || dL.Mean() > float64(Limit24h) {
+			t.Errorf("long mean %v out of class", dL.Mean())
+		}
+	}
+}
+
+func TestSampleNodesRespectsRange(t *testing.T) {
+	suite := NewSuite(Config{Seed: 9, JobScale: 0.2})
+	for _, m := range suite.RealMonths() {
+		for _, j := range m.Jobs {
+			if j.Nodes < 1 || j.Nodes > Capacity {
+				t.Fatalf("%s: job %d with %d nodes", m.Spec.Label, j.ID, j.Nodes)
+			}
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package workload synthesizes the ten monthly NCSA IA-64 (Titan)
+// workloads the paper evaluates on. The original traces are not public,
+// so the generator is calibrated to the paper's published statistics:
+// Table 2 (system capacity and runtime limits), Table 3 (per-month job
+// count, offered load, and the job/demand mix across eight
+// requested-node ranges) and Table 4 (the fraction of jobs per node
+// class that are short, T <= 1h, or long, T > 5h). Every
+// scheduling-relevant feature the paper discusses — including the July
+// 2003 very-wide-job demand spike and the January 2004 mix of long
+// one-node jobs and short medium-wide jobs — is reproduced from those
+// tables. Generation is deterministic given a seed.
+package workload
+
+import "schedsearch/internal/job"
+
+// Capacity is the node count of the modeled system (Table 2).
+const Capacity = 128
+
+// Runtime limits per Table 2.
+const (
+	Limit12h = 12 * job.Hour
+	Limit24h = 24 * job.Hour
+)
+
+// MonthSpec is the published statistical profile of one monthly
+// workload.
+type MonthSpec struct {
+	// Label is the paper's month tag, e.g. "6/03".
+	Label string
+	// Year and MonthOfYear identify the calendar month (for its length).
+	Year, MonthOfYear int
+	// TotalJobs is the number of jobs submitted during the month.
+	TotalJobs int
+	// Load is the offered load: total processor demand of the month's
+	// jobs as a fraction of capacity x month duration.
+	Load float64
+	// JobFrac[i] is the fraction of the month's jobs whose requested
+	// nodes fall in job.Table3NodeRanges[i].
+	JobFrac [8]float64
+	// DemandFrac[i] is the fraction of the month's processor demand
+	// contributed by job.Table3NodeRanges[i].
+	DemandFrac [8]float64
+	// ShortFrac[c] is the fraction of ALL jobs in the month that are in
+	// job.Table4NodeClasses[c] with actual runtime <= 1 hour.
+	ShortFrac [5]float64
+	// LongFrac[c] is the fraction of ALL jobs in the month that are in
+	// job.Table4NodeClasses[c] with actual runtime > 5 hours.
+	LongFrac [5]float64
+	// RuntimeLimit is the job runtime limit in force (Table 2).
+	RuntimeLimit job.Duration
+}
+
+// Months are the ten evaluated months, in order (Tables 3 and 4 of the
+// paper, percentages converted to fractions).
+var Months = []MonthSpec{
+	{
+		Label: "6/03", Year: 2003, MonthOfYear: 6, TotalJobs: 2191, Load: 0.82,
+		JobFrac:      [8]float64{0.267, 0.113, 0.298, 0.063, 0.085, 0.105, 0.037, 0.024},
+		DemandFrac:   [8]float64{0.003, 0.001, 0.013, 0.011, 0.230, 0.374, 0.217, 0.146},
+		ShortFrac:    [5]float64{0.249, 0.111, 0.347, 0.062, 0.030},
+		LongFrac:     [5]float64{0.003, 0.000, 0.007, 0.070, 0.017},
+		RuntimeLimit: Limit12h,
+	},
+	{
+		Label: "7/03", Year: 2003, MonthOfYear: 7, TotalJobs: 1399, Load: 0.89,
+		JobFrac:      [8]float64{0.262, 0.091, 0.069, 0.184, 0.079, 0.132, 0.084, 0.085},
+		DemandFrac:   [8]float64{0.005, 0.002, 0.004, 0.036, 0.067, 0.169, 0.213, 0.497},
+		ShortFrac:    [5]float64{0.209, 0.077, 0.185, 0.134, 0.094},
+		LongFrac:     [5]float64{0.024, 0.004, 0.030, 0.050, 0.046},
+		RuntimeLimit: Limit12h,
+	},
+	{
+		Label: "8/03", Year: 2003, MonthOfYear: 8, TotalJobs: 3220, Load: 0.79,
+		JobFrac:      [8]float64{0.746, 0.054, 0.013, 0.049, 0.049, 0.046, 0.018, 0.021},
+		DemandFrac:   [8]float64{0.017, 0.007, 0.001, 0.035, 0.096, 0.308, 0.179, 0.355},
+		ShortFrac:    [5]float64{0.688, 0.043, 0.047, 0.046, 0.018},
+		LongFrac:     [5]float64{0.025, 0.007, 0.010, 0.035, 0.014},
+		RuntimeLimit: Limit12h,
+	},
+	{
+		Label: "9/03", Year: 2003, MonthOfYear: 9, TotalJobs: 3056, Load: 0.72,
+		JobFrac:      [8]float64{0.580, 0.104, 0.064, 0.058, 0.066, 0.084, 0.011, 0.029},
+		DemandFrac:   [8]float64{0.031, 0.005, 0.005, 0.043, 0.088, 0.354, 0.124, 0.346},
+		ShortFrac:    [5]float64{0.426, 0.098, 0.099, 0.109, 0.024},
+		LongFrac:     [5]float64{0.039, 0.004, 0.013, 0.029, 0.012},
+		RuntimeLimit: Limit12h,
+	},
+	{
+		Label: "10/03", Year: 2003, MonthOfYear: 10, TotalJobs: 4149, Load: 0.71,
+		JobFrac:      [8]float64{0.538, 0.205, 0.058, 0.088, 0.055, 0.036, 0.016, 0.003},
+		DemandFrac:   [8]float64{0.047, 0.066, 0.016, 0.101, 0.173, 0.253, 0.241, 0.102},
+		ShortFrac:    [5]float64{0.375, 0.083, 0.101, 0.049, 0.007},
+		LongFrac:     [5]float64{0.041, 0.031, 0.021, 0.033, 0.008},
+		RuntimeLimit: Limit12h,
+	},
+	{
+		Label: "11/03", Year: 2003, MonthOfYear: 11, TotalJobs: 3446, Load: 0.73,
+		JobFrac:      [8]float64{0.601, 0.174, 0.049, 0.053, 0.036, 0.041, 0.037, 0.008},
+		DemandFrac:   [8]float64{0.080, 0.037, 0.009, 0.044, 0.116, 0.111, 0.370, 0.233},
+		ShortFrac:    [5]float64{0.337, 0.125, 0.068, 0.051, 0.021},
+		LongFrac:     [5]float64{0.087, 0.044, 0.014, 0.019, 0.016},
+		RuntimeLimit: Limit12h,
+	},
+	{
+		Label: "12/03", Year: 2003, MonthOfYear: 12, TotalJobs: 3517, Load: 0.74,
+		JobFrac:      [8]float64{0.641, 0.125, 0.068, 0.035, 0.037, 0.059, 0.027, 0.009},
+		DemandFrac:   [8]float64{0.110, 0.051, 0.076, 0.021, 0.095, 0.189, 0.397, 0.061},
+		ShortFrac:    [5]float64{0.360, 0.065, 0.062, 0.070, 0.017},
+		LongFrac:     [5]float64{0.140, 0.044, 0.027, 0.017, 0.010},
+		RuntimeLimit: Limit24h,
+	},
+	{
+		Label: "1/04", Year: 2004, MonthOfYear: 1, TotalJobs: 3154, Load: 0.73,
+		JobFrac:      [8]float64{0.390, 0.183, 0.080, 0.046, 0.092, 0.181, 0.017, 0.012},
+		DemandFrac:   [8]float64{0.120, 0.088, 0.053, 0.037, 0.173, 0.179, 0.171, 0.180},
+		ShortFrac:    [5]float64{0.129, 0.060, 0.071, 0.205, 0.019},
+		LongFrac:     [5]float64{0.231, 0.050, 0.024, 0.015, 0.007},
+		RuntimeLimit: Limit24h,
+	},
+	{
+		Label: "2/04", Year: 2004, MonthOfYear: 2, TotalJobs: 3969, Load: 0.74,
+		JobFrac:      [8]float64{0.441, 0.318, 0.100, 0.045, 0.046, 0.025, 0.017, 0.008},
+		DemandFrac:   [8]float64{0.077, 0.099, 0.117, 0.070, 0.188, 0.203, 0.081, 0.164},
+		ShortFrac:    [5]float64{0.341, 0.205, 0.099, 0.046, 0.019},
+		LongFrac:     [5]float64{0.068, 0.036, 0.033, 0.017, 0.003},
+		RuntimeLimit: Limit24h,
+	},
+	{
+		Label: "3/04", Year: 2004, MonthOfYear: 3, TotalJobs: 3468, Load: 0.75,
+		JobFrac:      [8]float64{0.575, 0.131, 0.103, 0.076, 0.058, 0.023, 0.016, 0.017},
+		DemandFrac:   [8]float64{0.028, 0.046, 0.083, 0.077, 0.376, 0.168, 0.063, 0.159},
+		ShortFrac:    [5]float64{0.532, 0.101, 0.139, 0.045, 0.025},
+		LongFrac:     [5]float64{0.030, 0.026, 0.032, 0.029, 0.003},
+		RuntimeLimit: Limit24h,
+	},
+}
+
+// SpecByLabel returns the month spec with the given label, or nil.
+func SpecByLabel(label string) *MonthSpec {
+	for i := range Months {
+		if Months[i].Label == label {
+			return &Months[i]
+		}
+	}
+	return nil
+}
+
+// MonthLabels returns the ten month labels in evaluation order.
+func MonthLabels() []string {
+	labels := make([]string, len(Months))
+	for i := range Months {
+		labels[i] = Months[i].Label
+	}
+	return labels
+}
+
+// daysInMonth gives the calendar length of each evaluated month.
+func daysInMonth(year, month int) int {
+	switch month {
+	case 1, 3, 5, 7, 8, 10, 12:
+		return 31
+	case 4, 6, 9, 11:
+		return 30
+	case 2:
+		if year%4 == 0 && (year%100 != 0 || year%400 == 0) {
+			return 29
+		}
+		return 28
+	default:
+		panic("workload: invalid month")
+	}
+}
+
+// table4ClassOf maps a Table 3 node-range index to its Table 4 node
+// class index (ranges {1},{2},{3-4,5-8},{9-16,17-32},{33-64,65-128}).
+func table4ClassOf(rangeIdx int) int {
+	switch rangeIdx {
+	case 0:
+		return 0
+	case 1:
+		return 1
+	case 2, 3:
+		return 2
+	case 4, 5:
+		return 3
+	default:
+		return 4
+	}
+}

@@ -1,0 +1,251 @@
+// Package schedsearch is a goal-oriented, search-based job scheduler for
+// space-shared parallel machines, plus the trace-driven simulation
+// infrastructure to evaluate it — a reproduction of Vasupongayya,
+// Chiang & Massey, "Search-based Job Scheduling for Parallel Computer
+// Workloads" (IEEE Cluster 2005).
+//
+// The package is a facade over the internal implementation:
+//
+//   - Workload synthesis calibrated to the paper's published NCSA IA-64
+//     monthly statistics (NewSuite).
+//   - An event-driven simulator for non-preemptive policies (RunMonth).
+//   - Priority-backfill baselines (FCFS-, LXF-, SJF-backfill and
+//     published variants) via ParsePolicy or the policy constructors.
+//   - The paper's contribution: discrepancy-search schedulers (LDS/DDS
+//     over fcfs/lxf branching with fixed or dynamic target wait bounds)
+//     via NewSearchScheduler.
+//
+// A minimal session:
+//
+//	suite := schedsearch.NewSuite(schedsearch.SuiteConfig{Seed: 1})
+//	pol := schedsearch.NewSearchScheduler(schedsearch.DDS, schedsearch.HeuristicLXF,
+//		schedsearch.DynamicBound(), 1000)
+//	sum, _, err := schedsearch.RunMonth(suite, "7/03", schedsearch.SimOptions{}, pol)
+package schedsearch
+
+import (
+	"fmt"
+	"strings"
+
+	"schedsearch/internal/core"
+	"schedsearch/internal/job"
+	"schedsearch/internal/metrics"
+	"schedsearch/internal/policy"
+	"schedsearch/internal/predict"
+	"schedsearch/internal/sim"
+	"schedsearch/internal/workload"
+)
+
+// Re-exported model types.
+type (
+	// Job is one rigid parallel job (nodes, actual and requested
+	// runtime, submit time).
+	Job = job.Job
+	// Policy is a non-preemptive scheduling policy driven by the
+	// simulator.
+	Policy = sim.Policy
+	// Snapshot is the queue/machine state a policy sees at a decision
+	// point.
+	Snapshot = sim.Snapshot
+	// WaitingJob is a queued job as visible to a policy.
+	WaitingJob = sim.WaitingJob
+	// Result is a completed simulation run.
+	Result = sim.Result
+	// Summary holds the paper's headline measures of a run.
+	Summary = metrics.Summary
+	// Excess is the excessive-wait summary w.r.t. a threshold.
+	Excess = metrics.Excess
+	// Suite is a generated 10-month workload suite.
+	Suite = workload.Suite
+	// Month is one generated monthly workload.
+	Month = workload.Month
+	// SimOptions selects load scaling and runtime-estimate visibility.
+	SimOptions = workload.SimOptions
+	// SearchScheduler is the paper's search-based policy; its
+	// SearchStats field exposes search-effort counters.
+	SearchScheduler = core.Scheduler
+	// BoundSpec selects the target wait bound of the search objective.
+	BoundSpec = core.BoundSpec
+	// CostFn customizes the search objective (see RuntimeScaledCost for
+	// the paper's future-work variant).
+	CostFn = core.CostFn
+	// Backfill is the EASY-style priority-backfill policy family.
+	Backfill = policy.Backfill
+)
+
+// Search algorithm and heuristic selectors.
+const (
+	LDS            = core.LDS
+	DDS            = core.DDS
+	HeuristicFCFS  = core.HeuristicFCFS
+	HeuristicLXF   = core.HeuristicLXF
+	Hour           = job.Hour
+	Day            = job.Day
+	DefaultCap     = workload.Capacity
+	DefaultLimit1K = 1000
+)
+
+// SuiteConfig mirrors the workload generator configuration.
+type SuiteConfig = workload.Config
+
+// NewSuite generates the ten-month synthetic NCSA IA-64 workload suite.
+func NewSuite(cfg SuiteConfig) *Suite { return workload.NewSuite(cfg) }
+
+// MonthLabels returns the ten month labels ("6/03" .. "3/04").
+func MonthLabels() []string { return workload.MonthLabels() }
+
+// DynamicBound selects the paper's dynB target wait bound.
+func DynamicBound() BoundSpec { return core.DynamicBound() }
+
+// FixedBound selects a fixed target wait bound ω in seconds (use
+// schedsearch.Hour multiples).
+func FixedBound(omega int64) BoundSpec { return core.FixedBound(omega) }
+
+// NewSearchScheduler builds a search-based scheduler; the paper's best
+// policy is NewSearchScheduler(DDS, HeuristicLXF, DynamicBound(), 1000).
+func NewSearchScheduler(algo core.Algorithm, h core.Heuristic, bound BoundSpec, nodeLimit int) *SearchScheduler {
+	return core.New(algo, h, bound, nodeLimit)
+}
+
+// RuntimeScaledCost is the paper's future-work objective variant: the
+// target wait bound shrinks for short jobs (factor × estimate, floored
+// at minBound seconds), further improving short-job service.
+func RuntimeScaledCost(factor float64, minBound int64) CostFn {
+	return core.RuntimeScaledCost(factor, minBound)
+}
+
+// FCFSBackfill returns the paper's FCFS-backfill baseline.
+func FCFSBackfill() *Backfill { return policy.FCFSBackfill() }
+
+// LXFBackfill returns the paper's LXF-backfill baseline.
+func LXFBackfill() *Backfill { return policy.LXFBackfill() }
+
+// Estimator produces runtime estimates for arriving jobs and learns from
+// completions; plug one into RunMonthWithEstimator for the paper's
+// runtime-prediction future-work direction.
+type Estimator = sim.Estimator
+
+// NewUserHistoryPredictor returns the Tsafrir-style predictor: a job's
+// runtime is estimated as the average of its user's two most recent
+// actual runtimes, capped at the request.
+func NewUserHistoryPredictor() Estimator { return predict.NewUserHistory() }
+
+// NewLocalScheduler returns the pure local-search scheduler (hill
+// climbing over queue orderings) with the same objective and budget
+// semantics as the complete-search policies.
+func NewLocalScheduler(h core.Heuristic, bound BoundSpec, nodeLimit int) *core.LocalScheduler {
+	return core.NewLocal(h, bound, nodeLimit)
+}
+
+// NewHybridScheduler returns the DDS-seeded local-search scheduler
+// (the paper's suggested complete+local combination).
+func NewHybridScheduler(h core.Heuristic, bound BoundSpec, nodeLimit int) *core.LocalScheduler {
+	return core.NewHybrid(h, bound, nodeLimit)
+}
+
+// NewFairshareScheduler wraps a search scheduler with the fairshare
+// objective extension: over-served users' slowdown costs are discounted
+// with strength alpha, shifting service toward under-served users
+// without touching the excessive-wait guarantee.
+func NewFairshareScheduler(inner *SearchScheduler, alpha float64) Policy {
+	return core.NewFairshare(inner, alpha)
+}
+
+// RunMonth simulates one month of the suite under the policy and
+// returns the summarized measures alongside the raw result.
+func RunMonth(s *Suite, label string, opt SimOptions, p Policy) (Summary, *Result, error) {
+	return RunMonthWithEstimator(s, label, opt, nil, p)
+}
+
+// RunMonthWithEstimator is RunMonth with a runtime predictor supplying
+// the estimates policies plan with (overriding opt.UseRequested).
+func RunMonthWithEstimator(s *Suite, label string, opt SimOptions, est Estimator, p Policy) (Summary, *Result, error) {
+	in, _, err := s.Input(label, opt)
+	if err != nil {
+		return Summary{}, nil, err
+	}
+	in.Estimator = est
+	res, err := sim.Run(in, p)
+	if err != nil {
+		return Summary{}, nil, err
+	}
+	if err := metrics.CheckConservation(res); err != nil {
+		return Summary{}, nil, err
+	}
+	return metrics.Summarize(res), res, nil
+}
+
+// ExcessiveWait computes the excessive-wait summary of a run with
+// respect to a threshold in hours (the paper's E^t measures).
+func ExcessiveWait(res *Result, thresholdH float64) Excess {
+	return metrics.ExcessiveWait(res, thresholdH)
+}
+
+// ParsePolicy builds a policy from its report name. Backfill policies
+// are named "FCFS-backfill", "LXF-backfill", "SJF-backfill",
+// "LXFW-backfill", "Selective-backfill", "Relaxed-backfill",
+// "Slack-backfill" and "Lookahead"; search policies follow the paper's
+// ALGO/HEUR/BOUND scheme, e.g. "DDS/lxf/dynB" or "LDS/fcfs/100h".
+// nodeLimit is the search node budget L (ignored for backfill).
+func ParsePolicy(name string, nodeLimit int) (Policy, error) {
+	switch name {
+	case "FCFS-backfill":
+		return policy.FCFSBackfill(), nil
+	case "LXF-backfill":
+		return policy.LXFBackfill(), nil
+	case "SJF-backfill":
+		return policy.NewBackfill(policy.SJF{}), nil
+	case "LXFW-backfill":
+		return policy.NewBackfill(policy.NewLXFW()), nil
+	case "Selective-backfill":
+		return policy.NewSelectiveBackfill(), nil
+	case "Relaxed-backfill":
+		return policy.NewRelaxedBackfill(), nil
+	case "Slack-backfill":
+		return policy.NewSlackBackfill(), nil
+	case "Lookahead":
+		return policy.NewLookahead(), nil
+	case "Conservative-backfill":
+		return policy.ConservativeBackfill(policy.FCFS{}), nil
+	case "Maui-backfill":
+		return policy.NewWeightedBackfill(policy.MauiDefault()), nil
+	case "MultiQueue-backfill":
+		return policy.NewMultiQueue(), nil
+	}
+
+	parts := strings.Split(name, "/")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("schedsearch: unknown policy %q", name)
+	}
+	var algo core.Algorithm
+	switch parts[0] {
+	case "DDS":
+		algo = core.DDS
+	case "LDS":
+		algo = core.LDS
+	case "DFS":
+		algo = core.DFS
+	default:
+		return nil, fmt.Errorf("schedsearch: unknown search algorithm %q", parts[0])
+	}
+	var heur core.Heuristic
+	switch parts[1] {
+	case "fcfs":
+		heur = core.HeuristicFCFS
+	case "lxf":
+		heur = core.HeuristicLXF
+	default:
+		return nil, fmt.Errorf("schedsearch: unknown branching heuristic %q", parts[1])
+	}
+	var bound core.BoundSpec
+	if parts[2] == "dynB" {
+		bound = core.DynamicBound()
+	} else {
+		var hours int
+		if _, err := fmt.Sscanf(parts[2], "%dh", &hours); err != nil || hours < 0 {
+			return nil, fmt.Errorf("schedsearch: bound %q: want dynB or a fixed bound like 100h", parts[2])
+		}
+		bound = core.FixedBound(int64(hours) * job.Hour)
+	}
+	return core.New(algo, heur, bound, nodeLimit), nil
+}

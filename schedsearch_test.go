@@ -1,0 +1,104 @@
+package schedsearch_test
+
+import (
+	"strings"
+	"testing"
+
+	"schedsearch"
+)
+
+func TestParsePolicyNames(t *testing.T) {
+	good := []string{
+		"FCFS-backfill", "LXF-backfill", "SJF-backfill", "LXFW-backfill",
+		"Selective-backfill", "Relaxed-backfill", "Slack-backfill", "Lookahead",
+		"Conservative-backfill",
+		"DDS/lxf/dynB", "LDS/fcfs/dynB", "DDS/fcfs/100h", "LDS/lxf/50h",
+	}
+	for _, name := range good {
+		p, err := schedsearch.ParsePolicy(name, 1000)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", name, err)
+			continue
+		}
+		if p == nil {
+			t.Errorf("ParsePolicy(%q) returned nil", name)
+		}
+	}
+	bad := []string{"", "XYZ", "DDS/lxf", "DDS/xyz/dynB", "XXX/lxf/dynB", "DDS/lxf/banana", "DDS/lxf/-5h"}
+	for _, name := range bad {
+		if _, err := schedsearch.ParsePolicy(name, 1000); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", name)
+		}
+	}
+}
+
+func TestParsePolicyRoundTripsNames(t *testing.T) {
+	for _, name := range []string{"FCFS-backfill", "LXF-backfill", "DDS/lxf/dynB", "LDS/fcfs/100h"} {
+		p, err := schedsearch.ParsePolicy(name, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := name
+		if strings.Contains(name, "100h") {
+			want = "LDS/fcfs/fixB=100h" // canonical form
+		}
+		if got := p.Name(); got != want {
+			t.Errorf("ParsePolicy(%q).Name() = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestRunMonthEndToEnd(t *testing.T) {
+	suite := schedsearch.NewSuite(schedsearch.SuiteConfig{Seed: 1, JobScale: 0.1})
+	pol := schedsearch.NewSearchScheduler(schedsearch.DDS, schedsearch.HeuristicLXF,
+		schedsearch.DynamicBound(), 500)
+	sum, res, err := schedsearch.RunMonth(suite, "6/03", schedsearch.SimOptions{}, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Jobs == 0 {
+		t.Fatal("no jobs measured")
+	}
+	if sum.Policy != "DDS/lxf/dynB" {
+		t.Errorf("policy = %q", sum.Policy)
+	}
+	if len(res.Records) < sum.Jobs {
+		t.Errorf("records %d < measured %d", len(res.Records), sum.Jobs)
+	}
+	if pol.SearchStats.Decisions == 0 {
+		t.Error("search never ran")
+	}
+	e := schedsearch.ExcessiveWait(res, sum.MaxWaitH)
+	if e.Count != 0 {
+		t.Errorf("excess w.r.t. own max: %+v", e)
+	}
+}
+
+func TestRunMonthUnknownMonth(t *testing.T) {
+	suite := schedsearch.NewSuite(schedsearch.SuiteConfig{Seed: 1, JobScale: 0.05})
+	if _, _, err := schedsearch.RunMonth(suite, "4/03", schedsearch.SimOptions{},
+		schedsearch.FCFSBackfill()); err == nil {
+		t.Error("unknown month accepted")
+	}
+}
+
+func TestMonthLabels(t *testing.T) {
+	labels := schedsearch.MonthLabels()
+	if len(labels) != 10 || labels[0] != "6/03" || labels[9] != "3/04" {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestCustomCostFnRuns(t *testing.T) {
+	suite := schedsearch.NewSuite(schedsearch.SuiteConfig{Seed: 1, JobScale: 0.1})
+	sch := schedsearch.NewSearchScheduler(schedsearch.DDS, schedsearch.HeuristicLXF,
+		schedsearch.DynamicBound(), 500)
+	sch.Cost = schedsearch.RuntimeScaledCost(4, schedsearch.Hour)
+	sum, _, err := schedsearch.RunMonth(suite, "6/03", schedsearch.SimOptions{}, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Jobs == 0 {
+		t.Fatal("no jobs measured")
+	}
+}
