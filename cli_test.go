@@ -1,0 +1,195 @@
+package schedsearch_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"schedsearch/internal/engine"
+)
+
+// buildCmd compiles one of the repo's commands into dir and returns
+// the binary path.
+func buildCmd(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = "."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/%s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// TestSchedsimJSON runs the schedsim binary with -json and checks the
+// output parses as the daemon's /v1/metrics schema with coherent
+// values.
+func TestSchedsimJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the schedsim binary")
+	}
+	bin := buildCmd(t, t.TempDir(), "schedsim")
+	out, err := exec.Command(bin,
+		"-json", "-month", "7/03", "-scale", "0.05", "-policy", "DDS/lxf/dynB", "-L", "200").Output()
+	if err != nil {
+		t.Fatalf("schedsim -json: %v", err)
+	}
+	var m engine.Metrics
+	if err := json.Unmarshal(out, &m); err != nil {
+		t.Fatalf("output is not /v1/metrics JSON: %v\n%s", err, out)
+	}
+	if m.Policy != "DDS/lxf/dynB" {
+		t.Errorf("policy %q, want DDS/lxf/dynB", m.Policy)
+	}
+	if m.Summary.Jobs == 0 || m.Jobs.Done == 0 {
+		t.Errorf("empty run: %+v", m)
+	}
+	if m.Engine.Decisions == 0 || m.Engine.SearchNodes == 0 {
+		t.Errorf("missing engine counters: %+v", m.Engine)
+	}
+	if m.Summary.UtilizedLoad <= 0 || m.Summary.UtilizedLoad > 1 {
+		t.Errorf("utilized load %v out of range", m.Summary.UtilizedLoad)
+	}
+}
+
+// TestScheddHTTP is the end-to-end acceptance test: start the daemon
+// with the paper's best search policy, submit jobs over HTTP, watch
+// them schedule, read coherent metrics, then drain and wait for a
+// clean exit.
+func TestScheddHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the schedd binary")
+	}
+	bin := buildCmd(t, t.TempDir(), "schedd")
+	// 600 engine seconds per wall second: the 300-second jobs below
+	// complete in ~0.5s wall.
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-policy", "DDS/lxf/dynB", "-L", "500",
+		"-capacity", "16", "-speedup", "600")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon prints "… listening on HOST:PORT" once ready.
+	reader := bufio.NewReader(stdout)
+	line, err := reader.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading listen line: %v (stderr: %s)", err, stderr.String())
+	}
+	i := strings.LastIndex(line, "listening on ")
+	if i < 0 {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	base := "http://" + strings.TrimSpace(line[i+len("listening on "):])
+
+	post := func(path, body string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("POST %s: bad JSON: %v", path, err)
+		}
+		if resp.StatusCode >= 400 {
+			t.Fatalf("POST %s: %d %v", path, resp.StatusCode, m)
+		}
+		return m
+	}
+	get := func(path string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", path, err)
+		}
+		return m
+	}
+
+	// Submit a handful of jobs; the machine (16 nodes) can run two of
+	// the 8-node jobs at once, so some must queue.
+	var ids []int
+	for k := 0; k < 4; k++ {
+		r := post("/v1/jobs", `{"nodes":8,"runtime_s":300,"user":1}`)
+		ids = append(ids, int(r["id"].(float64)))
+	}
+
+	// Every job must eventually complete (4 × 300s at 600× ≈ 1s wall).
+	deadline := time.Now().Add(30 * time.Second)
+	for _, id := range ids {
+		for {
+			st := get(fmt.Sprintf("/v1/jobs/%d", id))
+			if st["state"] == "done" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %d stuck in state %v", id, st["state"])
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	met := get("/v1/metrics")
+	if met["policy"] != "DDS/lxf/dynB" {
+		t.Errorf("metrics policy %v", met["policy"])
+	}
+	jobs := met["jobs"].(map[string]any)
+	if jobs["done"] != float64(4) {
+		t.Errorf("metrics jobs %v, want 4 done", jobs)
+	}
+	summary := met["summary"].(map[string]any)
+	if summary["jobs"] != float64(4) || summary["avg_bounded_slowdown"].(float64) < 1 {
+		t.Errorf("incoherent summary %v", summary)
+	}
+	eng := met["engine"].(map[string]any)
+	if eng["decisions"].(float64) < 1 || eng["search_nodes"].(float64) < 1 {
+		t.Errorf("incoherent engine counters %v", eng)
+	}
+
+	// Drain: the daemon must refuse new work, then exit cleanly and
+	// print final metrics on stdout. Read stdout to EOF before Wait —
+	// Wait closes the pipe and would discard the buffered JSON.
+	post("/v1/drain", "")
+	restCh := make(chan []byte, 1)
+	go func() {
+		rest, _ := io.ReadAll(reader)
+		restCh <- rest
+	}()
+	var rest []byte
+	select {
+	case rest = <-restCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("schedd did not exit after drain")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("schedd exit: %v (stderr: %s)", err, stderr.String())
+	}
+	var final engine.Metrics
+	if err := json.Unmarshal(rest, &final); err != nil {
+		t.Fatalf("final metrics not JSON: %v\n%q", err, rest)
+	}
+	if !final.Draining || final.Jobs.Done != 4 {
+		t.Errorf("final metrics %+v, want draining with 4 done", final)
+	}
+}

@@ -1,0 +1,217 @@
+// Command schedd is the online scheduling daemon: it serves the
+// paper's policies (backfill baselines and the search schedulers)
+// against a live clock, with jobs submitted over an HTTP/JSON API.
+//
+// Serving mode (default):
+//
+//	schedd -policy DDS/lxf/dynB -L 1000 -addr :8080
+//
+// submits go to POST /v1/jobs, state is at GET /v1/jobs/{id},
+// GET /v1/queue, GET /v1/machine and GET /v1/metrics, and
+// POST /v1/drain stops admission, lets the machine empty, and shuts
+// the daemon down. -speedup N runs the engine clock N× faster than
+// wall time (useful for demos: hours of schedule in seconds).
+//
+// Replay mode:
+//
+//	schedd -virtual -month 7/03 -policy DDS/lxf/dynB
+//	schedd -virtual -swf trace.swf.gz -policy LXF-backfill
+//
+// feeds a generated month or an SWF trace through the engine on a
+// deterministic virtual clock (as fast as the hardware allows; -speedup
+// has no effect in this mode) and prints the final metrics as JSON —
+// the same schema GET /v1/metrics serves, with the same measurement
+// window as the offline simulator, so the summary is directly
+// comparable with `schedsim -json`.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"sync"
+	"syscall"
+
+	"schedsearch"
+	"schedsearch/internal/engine"
+	"schedsearch/internal/job"
+	"schedsearch/internal/server"
+	"schedsearch/internal/sim"
+	"schedsearch/internal/trace"
+	"schedsearch/internal/workload"
+)
+
+func main() {
+	var (
+		policyArg = flag.String("policy", "DDS/lxf/dynB", "scheduling policy name (see ParsePolicy)")
+		nodeLimit = flag.Int("L", 1000, "search node limit per decision")
+		capacity  = flag.Int("capacity", workload.Capacity, "machine size in nodes")
+		addr      = flag.String("addr", ":8080", "HTTP listen address (serving mode)")
+		requested = flag.Bool("requested", false, "policies plan with requested runtimes (R* = R)")
+		speedup   = flag.Float64("speedup", 1, "engine seconds per wall second")
+		virtual   = flag.Bool("virtual", false, "replay a workload on a virtual clock instead of serving")
+		swfIn     = flag.String("swf", "", "replay this SWF trace file (plain or .gz)")
+		month     = flag.String("month", "7/03", "generated month to replay (6/03 .. 3/04)")
+		seed      = flag.Uint64("seed", 1, "workload generation seed")
+		scale     = flag.Float64("scale", 1, "job-count/duration scale factor for generated months")
+		load      = flag.Float64("load", 0, "target offered load for generated months (0 = original)")
+	)
+	flag.Parse()
+
+	pol, err := schedsearch.ParsePolicy(*policyArg, *nodeLimit)
+	if err != nil {
+		fatal(err)
+	}
+	if *virtual || *swfIn != "" {
+		if err := replay(pol, *swfIn, *month, *seed, *scale, *load, *capacity, *requested); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := serve(pol, *addr, *capacity, *requested, *speedup); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "schedd:", err)
+	os.Exit(1)
+}
+
+// serve runs the daemon: a real-clock engine behind the HTTP API.
+// POST /v1/drain (or SIGINT/SIGTERM) triggers a graceful shutdown once
+// the machine has emptied.
+func serve(pol schedsearch.Policy, addr string, capacity int, requested bool, speedup float64) error {
+	e, err := engine.New(engine.Config{
+		Capacity:     capacity,
+		Policy:       pol,
+		Clock:        engine.NewRealClock(speedup),
+		UseRequested: requested,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{}
+	httpSrv.Handler = server.New(e, func() {
+		// Drained: stop accepting connections and let main return.
+		_ = httpSrv.Shutdown(context.Background())
+	})
+
+	// SIGINT/SIGTERM drain like POST /v1/drain does.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		_ = e.Drain(context.Background())
+		_ = httpSrv.Shutdown(context.Background())
+	}()
+
+	// The test harness and shell scripts parse this line for the port.
+	fmt.Printf("schedd: policy %s on %d nodes, listening on %s\n",
+		pol.Name(), capacity, ln.Addr())
+	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	if err := e.Err(); err != nil {
+		return err
+	}
+	return printMetrics(e)
+}
+
+// replay feeds a workload through the engine on the deterministic
+// virtual clock (as fast as the hardware allows) and prints the final
+// metrics. Each job is delivered by a clock timer at its submit time,
+// exactly like the engine's differential tests.
+func replay(pol schedsearch.Policy, swfIn, month string, seed uint64, scale, load float64,
+	capacity int, requested bool) error {
+	input, err := replayInput(swfIn, month, seed, scale, load, capacity, requested)
+	if err != nil {
+		return err
+	}
+
+	vc := engine.NewVirtualClock()
+	e, err := engine.New(engine.Config{
+		Capacity:     input.Capacity,
+		Policy:       pol,
+		Clock:        vc,
+		UseRequested: input.UseRequested,
+		Measured: func(id int) bool {
+			if input.Measured == nil {
+				return true
+			}
+			return input.Measured[id]
+		},
+		MeasureStart: input.MeasureStart,
+		MeasureEnd:   input.MeasureEnd,
+	})
+	if err != nil {
+		return err
+	}
+	var submitErr error
+	var once sync.Once
+	for _, j := range input.Jobs {
+		j := j
+		vc.AfterFunc(j.Submit, func() {
+			if err := e.SubmitJob(j); err != nil {
+				once.Do(func() { submitErr = err })
+			}
+		})
+	}
+	vc.Run()
+	if submitErr != nil {
+		return submitErr
+	}
+	if err := e.Err(); err != nil {
+		return err
+	}
+	return printMetrics(e)
+}
+
+// replayInput assembles the jobs to replay: an SWF trace, or a
+// generated month with warm-up/cool-down margins and measurement
+// flags, exactly as the offline simulator would see it.
+func replayInput(swfIn, month string, seed uint64, scale, load float64,
+	capacity int, requested bool) (sim.Input, error) {
+	if swfIn != "" {
+		jobs, header, err := trace.ReadSWFFile(swfIn)
+		if err != nil {
+			return sim.Input{}, err
+		}
+		if len(jobs) == 0 {
+			return sim.Input{}, fmt.Errorf("%s: no usable jobs", swfIn)
+		}
+		sort.Sort(job.BySubmit(jobs))
+		if capacity <= 0 {
+			capacity = header.MaxNodes
+		}
+		for _, j := range jobs {
+			if j.Nodes > capacity {
+				capacity = j.Nodes
+			}
+		}
+		return sim.Input{Capacity: capacity, Jobs: jobs, UseRequested: requested}, nil
+	}
+	suite := workload.NewSuite(workload.Config{Seed: seed, JobScale: scale})
+	input, _, err := suite.Input(month, workload.SimOptions{TargetLoad: load, UseRequested: requested})
+	if err != nil {
+		return sim.Input{}, err
+	}
+	return input, nil
+}
+
+func printMetrics(e *engine.Engine) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e.Metrics())
+}

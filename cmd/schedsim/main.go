@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 
 	"schedsearch"
 	"schedsearch/internal/core"
+	"schedsearch/internal/engine"
 	"schedsearch/internal/job"
 	"schedsearch/internal/metrics"
 	"schedsearch/internal/report"
@@ -41,14 +43,15 @@ func main() {
 		swfIn     = flag.String("swf", "", "simulate this SWF trace file (plain or .gz) instead of a generated month")
 		timeline  = flag.Int("timeline", 0, "render a timeline of the first N measured jobs")
 		capacity  = flag.Int("capacity", 0, "machine size for -swf (default: trace header MaxNodes, else widest job)")
+		jsonOut   = flag.Bool("json", false, "emit the run summary as JSON on stdout (the schema schedd's /v1/metrics serves)")
 	)
 	flag.Parse()
 
 	var err error
 	if *swfIn != "" {
-		err = runSWF(*swfIn, *capacity, *policyArg, *nodeLimit, *requested, *verbose, *timeline)
+		err = runSWF(*swfIn, *capacity, *policyArg, *nodeLimit, *requested, *verbose, *timeline, *jsonOut)
 	} else {
-		err = run(*month, *policyArg, *nodeLimit, *load, *seed, *scale, *requested, *verbose, *timeline)
+		err = run(*month, *policyArg, *nodeLimit, *load, *seed, *scale, *requested, *verbose, *timeline, *jsonOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedsim:", err)
@@ -56,8 +59,16 @@ func main() {
 	}
 }
 
+// emitJSON writes the run summary as machine-readable JSON in the
+// same schema the schedd daemon serves at GET /v1/metrics.
+func emitJSON(res *sim.Result, s metrics.Summary, pol sim.Policy) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(engine.OfflineMetrics(res, s, pol))
+}
+
 // runSWF simulates a policy over an external SWF trace.
-func runSWF(path string, capacity int, policyArg string, nodeLimit int, requested, verbose bool, timeline int) error {
+func runSWF(path string, capacity int, policyArg string, nodeLimit int, requested, verbose bool, timeline int, jsonOut bool) error {
 	jobs, header, err := trace.ReadSWFFile(path)
 	if err != nil {
 		return err
@@ -86,6 +97,9 @@ func runSWF(path string, capacity int, policyArg string, nodeLimit int, requeste
 		return err
 	}
 	s := metrics.Summarize(res)
+	if jsonOut {
+		return emitJSON(res, s, pol)
+	}
 	fmt.Printf("trace %s: %d jobs on %d nodes\n", path, s.Jobs, capacity)
 	printSummary(res, s, pol)
 	if verbose {
@@ -95,7 +109,7 @@ func runSWF(path string, capacity int, policyArg string, nodeLimit int, requeste
 	return nil
 }
 
-func run(month, policyArg string, nodeLimit int, load float64, seed uint64, scale float64, requested, verbose bool, timeline int) error {
+func run(month, policyArg string, nodeLimit int, load float64, seed uint64, scale float64, requested, verbose bool, timeline int, jsonOut bool) error {
 	suite := workload.NewSuite(workload.Config{Seed: seed, JobScale: scale})
 	in, m, err := suite.Input(month, workload.SimOptions{TargetLoad: load, UseRequested: requested})
 	if err != nil {
@@ -114,6 +128,9 @@ func run(month, policyArg string, nodeLimit int, load float64, seed uint64, scal
 		return err
 	}
 	s := metrics.Summarize(res)
+	if jsonOut {
+		return emitJSON(res, s, pol)
+	}
 
 	fmt.Printf("month %s: %d jobs, offered load %.2f (spec %.2f)\n",
 		m.Spec.Label, s.Jobs, effectiveLoad(m, load), m.Spec.Load)

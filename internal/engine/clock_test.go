@@ -1,0 +1,84 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"schedsearch/internal/job"
+)
+
+func TestVirtualClockOrdering(t *testing.T) {
+	vc := NewVirtualClock()
+	var got []int
+	vc.AfterFunc(10, func() { got = append(got, 1) })
+	vc.AfterFunc(5, func() { got = append(got, 0) })
+	vc.AfterFunc(10, func() { got = append(got, 2) }) // same time: scheduling order
+	vc.AfterFunc(10, func() {
+		got = append(got, 3)
+	})
+	if n := vc.AdvanceTo(7); n != 1 {
+		t.Fatalf("AdvanceTo(7) fired %d timers, want 1", n)
+	}
+	if vc.Now() != 7 {
+		t.Fatalf("now %d, want 7", vc.Now())
+	}
+	vc.Run()
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVirtualClockNestedTimersFireSameInstant(t *testing.T) {
+	vc := NewVirtualClock()
+	var got []string
+	vc.AfterFunc(5, func() {
+		got = append(got, "a")
+		vc.AfterFunc(0, func() { got = append(got, "a+") })
+	})
+	vc.AfterFunc(5, func() { got = append(got, "b") })
+	vc.AdvanceTo(5)
+	// The nested zero-delay timer fires after every previously
+	// scheduled timer at the same instant.
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "a+" {
+		t.Fatalf("order %v, want [a b a+]", got)
+	}
+}
+
+func TestVirtualClockStop(t *testing.T) {
+	vc := NewVirtualClock()
+	fired := false
+	tm := vc.AfterFunc(5, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer = false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop = true")
+	}
+	vc.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if _, ok := vc.NextAt(); ok {
+		t.Fatal("NextAt reports a pending timer after Stop+Run")
+	}
+}
+
+func TestRealClockSpeedup(t *testing.T) {
+	c := NewRealClock(1000) // 1 engine second per wall millisecond
+	done := make(chan job.Time, 1)
+	c.AfterFunc(20, func() { done <- c.Now() })
+	select {
+	case at := <-done:
+		if at < 15 {
+			t.Fatalf("timer fired at engine time %d, want ~20", at)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}

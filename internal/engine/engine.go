@@ -1,0 +1,468 @@
+// Package engine is the online scheduling engine: it drives any
+// sim.Policy (backfill baselines and the search schedulers unchanged)
+// against a Clock instead of a trace, owning the waiting queue and node
+// allocation through the same sim.Ledger the offline simulator uses.
+// Jobs are submitted while the engine runs (over HTTP via
+// internal/server, or replayed from a trace on a VirtualClock), every
+// decision point is serialized, and state is exposed through atomic
+// snapshots.
+//
+// Event semantics match the simulator exactly: at any instant,
+// completions are applied (in job-ID order) and arrivals enqueued
+// before a single coalesced policy decision fires, so an engine replay
+// of a trace on a VirtualClock yields the same schedule as sim.Run on
+// that trace. The differential tests assert this.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+// ErrDraining is returned by Submit after Drain has been requested.
+var ErrDraining = errors.New("engine: draining, not admitting jobs")
+
+// Config configures an Engine.
+type Config struct {
+	// Capacity is the machine size in nodes.
+	Capacity int
+	// Policy makes the scheduling decisions. The engine serializes
+	// calls to it; it does not need to be goroutine-safe.
+	Policy sim.Policy
+	// Clock drives time; nil means NewRealClock(1).
+	Clock Clock
+	// Estimator, when non-nil, supplies planning estimates and
+	// observes completions (overrides UseRequested).
+	Estimator sim.Estimator
+	// UseRequested makes the policy plan with user-requested runtimes.
+	UseRequested bool
+	// Measured flags jobs that belong to the measurement window in
+	// Metrics; nil measures every job.
+	Measured func(id int) bool
+	// MeasureStart and MeasureEnd bound the queue-length and
+	// utilization integration in Metrics, like the simulator's
+	// measurement window (replay drivers copy them from the input).
+	// Both zero means integrate from engine start to now.
+	MeasureStart, MeasureEnd job.Time
+}
+
+// State is a job's lifecycle position.
+type State int
+
+const (
+	StateWaiting State = iota
+	StateRunning
+	StateDone
+)
+
+// String returns the API name of the state.
+func (s State) String() string {
+	switch s {
+	case StateWaiting:
+		return "waiting"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// JobStatus is one job's current state as reported by the engine.
+type JobStatus struct {
+	Job      job.Job
+	State    State
+	Estimate job.Duration
+	// Start and End are valid for running (Start) and done (both).
+	Start, End job.Time
+	NodeIDs    []int
+}
+
+// Machine is an atomic snapshot of the machine state.
+type Machine struct {
+	Now       job.Time
+	Capacity  int
+	FreeNodes int
+	Running   []sim.RunningJob
+}
+
+// Engine is the online scheduler. All methods are goroutine-safe.
+type Engine struct {
+	mu    sync.Mutex
+	cfg   Config
+	clock Clock
+	l     *sim.Ledger
+
+	jobs    map[int]*JobStatus
+	nextID  int
+	records []sim.Record
+
+	decidePending bool
+	finishTimer   Timer
+	finishAt      job.Time
+	finishArmed   bool
+
+	draining bool
+	done     chan struct{}
+	fatal    error
+
+	// Counters exposed via Metrics.
+	decisions int64
+	decideDur time.Duration
+	decideMax time.Duration
+
+	qlenInt        float64
+	qlenLast       job.Time
+	maxQ           int
+	intStart       job.Time
+	intEnd         job.Time
+	explicitWindow bool
+}
+
+// New returns a started engine; it begins scheduling as soon as jobs
+// are submitted.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Policy == nil {
+		return nil, errors.New("engine: nil policy")
+	}
+	l, err := sim.NewLedger(cfg.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = NewRealClock(1)
+	}
+	e := &Engine{
+		cfg:      cfg,
+		clock:    cfg.Clock,
+		l:        l,
+		jobs:     make(map[int]*JobStatus),
+		nextID:   1,
+		done:     make(chan struct{}),
+		intStart: cfg.MeasureStart,
+		intEnd:   cfg.MeasureEnd,
+	}
+	e.explicitWindow = !(e.intStart == 0 && e.intEnd == 0)
+	if !e.explicitWindow {
+		e.intEnd = job.Time(1) << 59 // integrate everything
+	}
+	return e, nil
+}
+
+// Submit admits a new job: the engine assigns the next free ID, stamps
+// the submission time from the clock, and schedules a decision. Only
+// Nodes, Runtime, Request and User of spec are used.
+func (e *Engine) Submit(spec job.Job) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	spec.ID = e.nextID
+	if err := e.submitLocked(spec); err != nil {
+		return 0, err
+	}
+	return spec.ID, nil
+}
+
+// SubmitJob admits a job keeping its caller-assigned ID (trace replay).
+// The submission time is still stamped from the clock, so replay
+// drivers must deliver each job when the clock reads its submit time.
+func (e *Engine) SubmitJob(j job.Job) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.submitLocked(j)
+}
+
+func (e *Engine) submitLocked(j job.Job) error {
+	if e.fatal != nil {
+		return e.fatal
+	}
+	if e.draining {
+		return ErrDraining
+	}
+	now := e.clock.Now()
+	j.Submit = now
+	if j.Request < j.Runtime {
+		j.Request = j.Runtime
+	}
+	if err := j.Validate(e.l.Capacity()); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	if _, dup := e.jobs[j.ID]; dup {
+		return fmt.Errorf("engine: duplicate job ID %d", j.ID)
+	}
+	if j.ID >= e.nextID {
+		e.nextID = j.ID + 1
+	}
+	e.noteQueueChange(now)
+	e.l.Enqueue(j, 0) // estimated lazily at the decision point
+	e.jobs[j.ID] = &JobStatus{Job: j, State: StateWaiting}
+	e.requestDecide()
+	return nil
+}
+
+// requestDecide coalesces decision requests: however many events land
+// on one instant, the policy runs once, after all of them — the same
+// batching the offline simulator applies.
+func (e *Engine) requestDecide() {
+	if e.decidePending {
+		return
+	}
+	e.decidePending = true
+	e.clock.AfterFunc(0, e.onDecide)
+}
+
+func (e *Engine) onDecide() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.decidePending = false
+	e.completeDue()
+	e.decideLocked()
+	if now := e.clock.Now(); e.l.QueueLen() > e.maxQ && now >= e.intStart && now < e.intEnd {
+		e.maxQ = e.l.QueueLen()
+	}
+	e.armFinish()
+	e.checkIdle()
+}
+
+func (e *Engine) onFinish() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.finishArmed = false
+	e.completeDue()
+	if e.l.QueueLen() > 0 {
+		e.requestDecide()
+	}
+	e.armFinish()
+	e.checkIdle()
+}
+
+// completeDue applies every completion the clock has reached.
+func (e *Engine) completeDue() {
+	now := e.clock.Now()
+	for {
+		f, ok := e.l.PopDue(now)
+		if !ok {
+			return
+		}
+		if est := e.cfg.Estimator; est != nil {
+			est.Observe(f.Job)
+		}
+		measured := e.cfg.Measured == nil || e.cfg.Measured(f.Job.ID)
+		e.records = append(e.records, sim.Record{
+			Job: f.Job, Start: f.Start, End: f.End,
+			NodeIDs: f.NodeIDs, Measured: measured,
+		})
+		st := e.jobs[f.Job.ID]
+		st.State = StateDone
+		st.End = f.End
+	}
+}
+
+func (e *Engine) estimate(j job.Job) job.Duration {
+	est := j.Runtime
+	switch {
+	case e.cfg.Estimator != nil:
+		est = e.cfg.Estimator.Estimate(j)
+	case e.cfg.UseRequested:
+		est = j.Request
+	}
+	if est < 1 {
+		est = 1
+	}
+	if st := e.jobs[j.ID]; st != nil {
+		st.Estimate = est
+	}
+	return est
+}
+
+func (e *Engine) decideLocked() {
+	if e.fatal != nil || e.l.QueueLen() == 0 {
+		return
+	}
+	now := e.clock.Now()
+	e.l.FillEstimates(e.estimate)
+	snap := e.l.Snapshot(now)
+	e.decisions++
+	t0 := time.Now()
+	starts := e.cfg.Policy.Decide(snap)
+	d := time.Since(t0)
+	e.decideDur += d
+	if d > e.decideMax {
+		e.decideMax = d
+	}
+	if len(starts) == 0 {
+		if e.l.RunningLen() == 0 {
+			e.setFatal(fmt.Errorf("engine: policy %q started nothing on an idle machine with %d queued jobs at t=%d",
+				e.cfg.Policy.Name(), e.l.QueueLen(), now))
+		}
+		return
+	}
+	e.noteQueueChange(now)
+	started, err := e.l.Start(e.cfg.Policy.Name(), now, starts)
+	if err != nil {
+		e.setFatal(err)
+		return
+	}
+	for _, s := range started {
+		st := e.jobs[s.Job.ID]
+		st.State = StateRunning
+		st.Start = s.Start
+		st.NodeIDs = s.NodeIDs
+	}
+}
+
+// armFinish keeps exactly one clock timer outstanding, set to the
+// earliest pending completion.
+func (e *Engine) armFinish() {
+	next, ok := e.l.NextFinish()
+	if !ok {
+		if e.finishTimer != nil {
+			e.finishTimer.Stop()
+			e.finishTimer = nil
+		}
+		e.finishArmed = false
+		return
+	}
+	if e.finishArmed && e.finishAt == next {
+		return
+	}
+	if e.finishTimer != nil {
+		e.finishTimer.Stop()
+	}
+	d := next - e.clock.Now()
+	if d < 0 {
+		d = 0
+	}
+	e.finishTimer = e.clock.AfterFunc(d, e.onFinish)
+	e.finishAt = next
+	e.finishArmed = true
+}
+
+// noteQueueChange integrates queue length × time up to now (clamped to
+// the measurement window), just before the queue length changes.
+func (e *Engine) noteQueueChange(now job.Time) {
+	if now <= e.qlenLast {
+		return
+	}
+	lo := e.qlenLast
+	if lo < e.intStart {
+		lo = e.intStart
+	}
+	hi := now
+	if hi > e.intEnd {
+		hi = e.intEnd
+	}
+	if hi > lo {
+		e.qlenInt += float64(hi-lo) * float64(e.l.QueueLen())
+	}
+	e.qlenLast = now
+}
+
+func (e *Engine) setFatal(err error) {
+	if e.fatal == nil {
+		e.fatal = err
+		e.closeDone()
+	}
+}
+
+func (e *Engine) closeDone() {
+	select {
+	case <-e.done:
+	default:
+		close(e.done)
+	}
+}
+
+func (e *Engine) checkIdle() {
+	if (e.draining || e.fatal != nil) && e.l.QueueLen() == 0 && e.l.RunningLen() == 0 {
+		e.closeDone()
+	}
+}
+
+// Drain stops admitting jobs and blocks until every admitted job has
+// completed (or ctx is cancelled, or the engine hit a fatal error).
+func (e *Engine) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	e.draining = true
+	e.checkIdle()
+	done := e.done
+	e.mu.Unlock()
+	select {
+	case <-done:
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.fatal
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has been requested.
+func (e *Engine) Draining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.draining
+}
+
+// Err returns the engine's fatal error, if any (an infeasible or
+// stalled policy decision stops the engine).
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fatal
+}
+
+// Now returns the engine's current time.
+func (e *Engine) Now() job.Time { return e.clock.Now() }
+
+// Job returns a copy of the job's current status.
+func (e *Engine) Job(id int) (JobStatus, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	out := *st
+	out.NodeIDs = append([]int(nil), st.NodeIDs...)
+	return out, true
+}
+
+// Queue returns the waiting jobs in queue (arrival) order.
+func (e *Engine) Queue() []JobStatus {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	snap := e.l.Snapshot(e.clock.Now())
+	out := make([]JobStatus, len(snap.Queue))
+	for i, w := range snap.Queue {
+		out[i] = JobStatus{Job: w.Job, State: StateWaiting, Estimate: w.Estimate}
+	}
+	return out
+}
+
+// Machine returns an atomic snapshot of machine occupancy.
+func (e *Engine) Machine() Machine {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	snap := e.l.Snapshot(e.clock.Now())
+	return Machine{
+		Now:       snap.Now,
+		Capacity:  snap.Capacity,
+		FreeNodes: snap.FreeNodes,
+		Running:   snap.Running,
+	}
+}
+
+// Records returns a copy of the completion records so far, in
+// completion order (the same order the offline simulator emits).
+func (e *Engine) Records() []sim.Record {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]sim.Record(nil), e.records...)
+}

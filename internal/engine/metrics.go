@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"schedsearch/internal/core"
+	"schedsearch/internal/job"
+	"schedsearch/internal/metrics"
+	"schedsearch/internal/sim"
+)
+
+// Counters are the engine's scheduling-effort counters.
+type Counters struct {
+	// Decisions counts decision points (policy consultations with a
+	// non-empty queue).
+	Decisions int64 `json:"decisions"`
+	// SearchNodes/SearchLeaves/BudgetHits mirror the search policy's
+	// effort stats (zero for backfill policies).
+	SearchNodes  int64 `json:"search_nodes"`
+	SearchLeaves int64 `json:"search_leaves"`
+	BudgetHits   int64 `json:"budget_hits"`
+	// AvgDecideMs and MaxDecideMs are wall-clock decision latencies in
+	// milliseconds (always wall time, even on a virtual clock).
+	AvgDecideMs float64 `json:"avg_decide_ms"`
+	MaxDecideMs float64 `json:"max_decide_ms"`
+}
+
+// JobCounts breaks the admitted jobs down by state.
+type JobCounts struct {
+	Waiting int `json:"waiting"`
+	Running int `json:"running"`
+	Done    int `json:"done"`
+}
+
+// Metrics is the engine's running report: the paper's Summary measures
+// over the completions so far plus serving counters. It is also the
+// schema `schedsim -json` emits, so offline runs and the daemon's
+// GET /v1/metrics are directly comparable.
+type Metrics struct {
+	Policy   string    `json:"policy"`
+	NowS     job.Time  `json:"now_s"`
+	Capacity int       `json:"capacity"`
+	Draining bool      `json:"draining"`
+	Jobs     JobCounts `json:"jobs"`
+	// Summary covers completed measured jobs only; utilization and
+	// queue length integrate from engine start to now.
+	Summary metrics.Summary `json:"summary"`
+	Engine  Counters        `json:"engine"`
+	Error   string          `json:"error,omitempty"`
+}
+
+// Metrics computes the engine's running metrics.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.clock.Now()
+	measureEnd := now
+	if e.explicitWindow {
+		measureEnd = e.intEnd
+	}
+	res := &sim.Result{
+		Policy:       e.cfg.Policy.Name(),
+		Records:      e.records,
+		Decisions:    int(e.decisions),
+		Capacity:     e.l.Capacity(),
+		MeasureStart: e.intStart,
+		MeasureEnd:   measureEnd,
+	}
+	// Integrate the queue-length tail since the last change, clamped to
+	// the measurement window like noteQueueChange (without mutating).
+	qInt := e.qlenInt
+	lo, hi := e.qlenLast, now
+	if lo < e.intStart {
+		lo = e.intStart
+	}
+	if hi > e.intEnd {
+		hi = e.intEnd
+	}
+	if hi > lo {
+		qInt += float64(hi-lo) * float64(e.l.QueueLen())
+	}
+	if window := float64(measureEnd - res.MeasureStart); window > 0 {
+		res.AvgQueueLen = qInt / window
+	}
+	res.MaxQueueLen = e.maxQ
+
+	m := Metrics{
+		Policy:   res.Policy,
+		NowS:     now,
+		Capacity: res.Capacity,
+		Draining: e.draining,
+		Jobs: JobCounts{
+			Waiting: e.l.QueueLen(),
+			Running: e.l.RunningLen(),
+			Done:    len(e.records),
+		},
+		Summary: metrics.Summarize(res),
+		Engine:  e.countersLocked(),
+	}
+	if e.fatal != nil {
+		m.Error = e.fatal.Error()
+	}
+	return m
+}
+
+func (e *Engine) countersLocked() Counters {
+	c := Counters{Decisions: e.decisions}
+	if e.decisions > 0 {
+		c.AvgDecideMs = float64(e.decideDur.Microseconds()) / 1000 / float64(e.decisions)
+	}
+	c.MaxDecideMs = float64(e.decideMax.Microseconds()) / 1000
+	if sch, ok := e.cfg.Policy.(*core.Scheduler); ok {
+		st := sch.SearchStats
+		c.SearchNodes = st.Nodes
+		c.SearchLeaves = st.Leaves
+		c.BudgetHits = int64(st.BudgetHits)
+	}
+	return c
+}
+
+// OfflineMetrics packages an offline simulation result in the same
+// schema the daemon's /v1/metrics endpoint serves (`schedsim -json`
+// uses it; the engine counters carry the simulator's decision count and
+// the policy's search stats).
+func OfflineMetrics(res *sim.Result, sum metrics.Summary, pol sim.Policy) Metrics {
+	m := Metrics{
+		Policy:   res.Policy,
+		NowS:     res.MeasureEnd,
+		Capacity: res.Capacity,
+		Jobs:     JobCounts{Done: len(res.Records)},
+		Summary:  sum,
+		Engine:   Counters{Decisions: int64(res.Decisions)},
+	}
+	if sch, ok := pol.(*core.Scheduler); ok {
+		st := sch.SearchStats
+		m.Engine.SearchNodes = st.Nodes
+		m.Engine.SearchLeaves = st.Leaves
+		m.Engine.BudgetHits = int64(st.BudgetHits)
+	}
+	return m
+}

@@ -108,36 +108,60 @@ func runGrid(cfg Config, opt workload.SimOptions, specs []PolicySpec) (map[runKe
 		}
 	}
 
+	// A fixed worker pool capped at cfg.Workers (default GOMAXPROCS)
+	// drains the task channel: spawning one goroutine per task would
+	// stack hundreds of simulations' worth of memory for a grid run.
+	// The first error is propagated and stops further work; remaining
+	// tasks are skipped.
 	results := make(map[runKey]*sim.Result, len(tasks))
 	var mu sync.Mutex
 	var firstErr error
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for _, t := range tasks {
-		wg.Add(1)
-		go func(t task) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			in, _, err := suite.Input(t.month, opt)
-			var res *sim.Result
-			if err == nil {
-				res, err = sim.Run(in, t.spec.New(t.month))
-			}
-			if err == nil {
-				err = metrics.CheckConservation(res)
-			}
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s/%s: %w", t.month, t.spec.Name, err)
-				}
-				return
-			}
-			results[runKey{Month: t.month, Policy: t.spec.Name}] = res
-		}(t)
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
 	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	taskCh := make(chan task)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range taskCh {
+				if failed() {
+					continue // drain the channel without working
+				}
+				in, _, err := suite.Input(t.month, opt)
+				var res *sim.Result
+				if err == nil {
+					res, err = sim.Run(in, t.spec.New(t.month))
+				}
+				if err == nil {
+					err = metrics.CheckConservation(res)
+				}
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("%s/%s: %w", t.month, t.spec.Name, err)
+					}
+				} else {
+					results[runKey{Month: t.month, Policy: t.spec.Name}] = res
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, t := range tasks {
+		taskCh <- t
+	}
+	close(taskCh)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr

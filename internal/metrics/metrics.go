@@ -19,23 +19,23 @@ func Hours(d job.Duration) float64 { return float64(d) / float64(job.Hour) }
 
 // Summary holds the headline measures of one simulation run.
 type Summary struct {
-	Policy string
-	Jobs   int
+	Policy string `json:"policy"`
+	Jobs   int    `json:"jobs"`
 	// AvgWaitH, MaxWaitH and P98WaitH are in hours.
-	AvgWaitH float64
-	MaxWaitH float64
-	P98WaitH float64
+	AvgWaitH float64 `json:"avg_wait_h"`
+	MaxWaitH float64 `json:"max_wait_h"`
+	P98WaitH float64 `json:"p98_wait_h"`
 	// AvgBoundedSlowdown uses the paper's 1-minute runtime floor and
 	// actual runtimes.
-	AvgBoundedSlowdown float64
-	MaxBoundedSlowdown float64
+	AvgBoundedSlowdown float64 `json:"avg_bounded_slowdown"`
+	MaxBoundedSlowdown float64 `json:"max_bounded_slowdown"`
 	// AvgQueueLen is copied from the simulation result.
-	AvgQueueLen float64
+	AvgQueueLen float64 `json:"avg_queue_len"`
 	// UtilizedLoad is the fraction of the machine's capacity delivered
 	// to jobs (of any measurement status) during the measurement
 	// window: busy node-seconds clipped to the window over capacity x
 	// window length.
-	UtilizedLoad float64
+	UtilizedLoad float64 `json:"utilized_load"`
 }
 
 // Summarize computes the headline measures from a simulation result.

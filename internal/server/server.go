@@ -1,0 +1,251 @@
+// Package server exposes the online scheduling engine over an
+// HTTP/JSON API:
+//
+//	POST /v1/jobs      submit a job            {"nodes":8,"runtime_s":3600}
+//	GET  /v1/jobs/{id} one job's state         waiting | running | done
+//	GET  /v1/queue     the waiting queue, in queue order
+//	GET  /v1/machine   machine occupancy snapshot
+//	GET  /v1/metrics   running Summary + engine counters (engine.Metrics)
+//	POST /v1/drain     stop admitting, finish running jobs, then shut down
+//
+// All responses are JSON; errors are {"error": "..."} with a matching
+// status code.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"schedsearch/internal/engine"
+	"schedsearch/internal/job"
+)
+
+// Server is the HTTP front end of one engine.
+type Server struct {
+	e   *engine.Engine
+	mux *http.ServeMux
+
+	drainOnce sync.Once
+	// onDrained runs once, after a requested drain completes (the
+	// daemon uses it to stop the HTTP listener).
+	onDrained func()
+}
+
+// New returns a server for the engine. onDrained, if non-nil, is called
+// once after a POST /v1/drain has fully drained the engine.
+func New(e *engine.Engine, onDrained func()) *Server {
+	s := &Server{e: e, mux: http.NewServeMux(), onDrained: onDrained}
+	s.mux.HandleFunc("POST /v1/jobs", s.submit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.job)
+	s.mux.HandleFunc("GET /v1/queue", s.queue)
+	s.mux.HandleFunc("GET /v1/machine", s.machine)
+	s.mux.HandleFunc("GET /v1/metrics", s.metrics)
+	s.mux.HandleFunc("POST /v1/drain", s.drain)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SubmitRequest is the POST /v1/jobs body.
+type SubmitRequest struct {
+	// Nodes is the number of whole nodes requested.
+	Nodes int `json:"nodes"`
+	// RuntimeS is the actual runtime in seconds (the engine
+	// self-completes the job after this long; a deployment against a
+	// real resource manager would take completions from it instead).
+	RuntimeS job.Duration `json:"runtime_s"`
+	// RequestS is the user-requested runtime limit in seconds;
+	// defaults to runtime_s.
+	RequestS job.Duration `json:"request_s"`
+	// User identifies the submitting user (optional).
+	User int `json:"user"`
+}
+
+// JobResponse describes one job's current state.
+type JobResponse struct {
+	ID    int    `json:"id"`
+	State string `json:"state"`
+	Nodes int    `json:"nodes"`
+	User  int    `json:"user"`
+
+	SubmitS   job.Time     `json:"submit_s"`
+	RuntimeS  job.Duration `json:"runtime_s"`
+	RequestS  job.Duration `json:"request_s"`
+	EstimateS job.Duration `json:"estimate_s,omitempty"`
+
+	// StartS/EndS are set once known; WaitS is the wait so far for
+	// waiting jobs and the final wait otherwise.
+	StartS *job.Time `json:"start_s,omitempty"`
+	EndS   *job.Time `json:"end_s,omitempty"`
+	WaitS  job.Time  `json:"wait_s"`
+	// BoundedSlowdown is set for completed jobs (the paper's measure).
+	BoundedSlowdown *float64 `json:"bounded_slowdown,omitempty"`
+	NodeIDs         []int    `json:"node_ids,omitempty"`
+}
+
+func (s *Server) jobResponse(st engine.JobStatus) JobResponse {
+	resp := JobResponse{
+		ID:        st.Job.ID,
+		State:     st.State.String(),
+		Nodes:     st.Job.Nodes,
+		User:      st.Job.User,
+		SubmitS:   st.Job.Submit,
+		RuntimeS:  st.Job.Runtime,
+		RequestS:  st.Job.Request,
+		EstimateS: st.Estimate,
+		NodeIDs:   st.NodeIDs,
+	}
+	switch st.State {
+	case engine.StateWaiting:
+		resp.WaitS = s.e.Now() - st.Job.Submit
+	case engine.StateRunning:
+		start := st.Start
+		resp.StartS = &start
+		resp.WaitS = st.Start - st.Job.Submit
+	case engine.StateDone:
+		start, end := st.Start, st.End
+		resp.StartS = &start
+		resp.EndS = &end
+		resp.WaitS = st.Start - st.Job.Submit
+		bsld := job.BoundedSlowdown(st.Job, st.Start)
+		resp.BoundedSlowdown = &bsld
+	}
+	return resp
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec := job.Job{
+		Nodes:   req.Nodes,
+		Runtime: req.RuntimeS,
+		Request: req.RequestS,
+		User:    req.User,
+	}
+	id, err := s.e.Submit(spec)
+	if err != nil {
+		switch {
+		case errors.Is(err, engine.ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	st, _ := s.e.Job(id)
+	writeJSON(w, http.StatusCreated, s.jobResponse(st))
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, ok := s.e.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobResponse(st))
+}
+
+// QueueResponse is the GET /v1/queue body.
+type QueueResponse struct {
+	Length int           `json:"length"`
+	Jobs   []JobResponse `json:"jobs"`
+}
+
+func (s *Server) queue(w http.ResponseWriter, r *http.Request) {
+	q := s.e.Queue()
+	resp := QueueResponse{Length: len(q), Jobs: make([]JobResponse, len(q))}
+	for i, st := range q {
+		resp.Jobs[i] = s.jobResponse(st)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// MachineResponse is the GET /v1/machine body.
+type MachineResponse struct {
+	NowS      job.Time     `json:"now_s"`
+	Capacity  int          `json:"capacity"`
+	FreeNodes int          `json:"free_nodes"`
+	Running   []RunningJob `json:"running"`
+}
+
+// RunningJob is one executing job in the machine snapshot.
+type RunningJob struct {
+	ID            int      `json:"id"`
+	Nodes         int      `json:"nodes"`
+	User          int      `json:"user"`
+	StartS        job.Time `json:"start_s"`
+	PredictedEndS job.Time `json:"predicted_end_s"`
+}
+
+func (s *Server) machine(w http.ResponseWriter, r *http.Request) {
+	m := s.e.Machine()
+	resp := MachineResponse{
+		NowS:      m.Now,
+		Capacity:  m.Capacity,
+		FreeNodes: m.FreeNodes,
+		Running:   make([]RunningJob, len(m.Running)),
+	}
+	for i, rj := range m.Running {
+		resp.Running[i] = RunningJob{
+			ID: rj.ID, Nodes: rj.Nodes, User: rj.User,
+			StartS: rj.Start, PredictedEndS: rj.PredictedEnd,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.e.Metrics())
+}
+
+// DrainResponse is the POST /v1/drain body.
+type DrainResponse struct {
+	Draining int `json:"draining"`
+	Running  int `json:"running"`
+}
+
+func (s *Server) drain(w http.ResponseWriter, r *http.Request) {
+	s.drainOnce.Do(func() {
+		go func() {
+			// Context.Background: the drain outlives the request.
+			if err := s.e.Drain(context.Background()); err != nil && !errors.Is(err, context.Canceled) {
+				// The engine records its own fatal errors; nothing else
+				// to do here.
+				_ = err
+			}
+			if s.onDrained != nil {
+				s.onDrained()
+			}
+		}()
+	})
+	m := s.e.Metrics()
+	writeJSON(w, http.StatusAccepted, DrainResponse{
+		Draining: m.Jobs.Waiting,
+		Running:  m.Jobs.Running,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

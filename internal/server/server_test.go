@@ -1,0 +1,179 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"schedsearch/internal/core"
+	"schedsearch/internal/engine"
+	"schedsearch/internal/policy"
+	"schedsearch/internal/sim"
+)
+
+type fixture struct {
+	srv *Server
+	vc  *engine.VirtualClock
+	e   *engine.Engine
+	// drained is closed when onDrained fires.
+	drained chan struct{}
+}
+
+func newFixture(t *testing.T, capacity int, pol sim.Policy) *fixture {
+	t.Helper()
+	vc := engine.NewVirtualClock()
+	e, err := engine.New(engine.Config{Capacity: capacity, Policy: pol, Clock: vc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{vc: vc, e: e, drained: make(chan struct{})}
+	f.srv = New(e, func() { close(f.drained) })
+	return f
+}
+
+func (f *fixture) do(t *testing.T, method, path, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	var r *http.Request
+	if body != "" {
+		r = httptest.NewRequest(method, path, strings.NewReader(body))
+	} else {
+		r = httptest.NewRequest(method, path, nil)
+	}
+	w := httptest.NewRecorder()
+	f.srv.ServeHTTP(w, r)
+	var decoded map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("%s %s: non-JSON response %q", method, path, w.Body.String())
+	}
+	return w, decoded
+}
+
+func TestServerSubmitAndLifecycle(t *testing.T) {
+	f := newFixture(t, 8, policy.FCFSBackfill())
+	w, resp := f.do(t, "POST", "/v1/jobs", `{"nodes":4,"runtime_s":3600}`)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("submit: %d %v", w.Code, resp)
+	}
+	if resp["state"] != "waiting" || resp["id"] != float64(1) {
+		t.Fatalf("submit response %v, want id=1 waiting", resp)
+	}
+	f.vc.RunDue() // decision point fires
+
+	w, resp = f.do(t, "GET", "/v1/jobs/1", "")
+	if w.Code != http.StatusOK || resp["state"] != "running" {
+		t.Fatalf("job 1: %d %v, want running", w.Code, resp)
+	}
+	if resp["start_s"] != float64(0) {
+		t.Fatalf("job 1 start %v, want 0", resp["start_s"])
+	}
+
+	f.vc.AdvanceTo(3600)
+	w, resp = f.do(t, "GET", "/v1/jobs/1", "")
+	if resp["state"] != "done" || resp["end_s"] != float64(3600) {
+		t.Fatalf("job 1: %v, want done at 3600", resp)
+	}
+	if resp["bounded_slowdown"] != float64(1) {
+		t.Fatalf("bounded slowdown %v, want 1 (no wait)", resp["bounded_slowdown"])
+	}
+}
+
+func TestServerQueueAndMachine(t *testing.T) {
+	f := newFixture(t, 4, policy.FCFSBackfill())
+	f.do(t, "POST", "/v1/jobs", `{"nodes":4,"runtime_s":100}`)
+	f.do(t, "POST", "/v1/jobs", `{"nodes":2,"runtime_s":100}`)
+	f.vc.RunDue() // job 1 starts, job 2 queues behind it
+
+	w, resp := f.do(t, "GET", "/v1/queue", "")
+	if w.Code != http.StatusOK || resp["length"] != float64(1) {
+		t.Fatalf("queue: %d %v, want length 1", w.Code, resp)
+	}
+	w, resp = f.do(t, "GET", "/v1/machine", "")
+	if w.Code != http.StatusOK || resp["free_nodes"] != float64(0) || resp["capacity"] != float64(4) {
+		t.Fatalf("machine: %d %v, want 0 free of 4", w.Code, resp)
+	}
+	running := resp["running"].([]any)
+	if len(running) != 1 {
+		t.Fatalf("machine running %v, want 1 job", running)
+	}
+}
+
+func TestServerValidationAndNotFound(t *testing.T) {
+	f := newFixture(t, 4, policy.FCFSBackfill())
+	if w, _ := f.do(t, "POST", "/v1/jobs", `{"nodes":0,"runtime_s":10}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("zero-node submit: %d, want 400", w.Code)
+	}
+	if w, _ := f.do(t, "POST", "/v1/jobs", `not json`); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad body: %d, want 400", w.Code)
+	}
+	if w, _ := f.do(t, "GET", "/v1/jobs/99", ""); w.Code != http.StatusNotFound {
+		t.Fatalf("missing job: %d, want 404", w.Code)
+	}
+	if w, _ := f.do(t, "GET", "/v1/jobs/abc", ""); w.Code != http.StatusBadRequest {
+		t.Fatalf("non-numeric id: %d, want 400", w.Code)
+	}
+}
+
+func TestServerMetricsWithSearchPolicy(t *testing.T) {
+	pol := core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), 100)
+	f := newFixture(t, 8, pol)
+	for i := 0; i < 3; i++ {
+		f.do(t, "POST", "/v1/jobs", `{"nodes":8,"runtime_s":600}`)
+		f.vc.RunDue()
+	}
+	f.vc.Run() // drain all completions
+
+	var m engine.Metrics
+	w := httptest.NewRecorder()
+	f.srv.ServeHTTP(w, httptest.NewRequest("GET", "/v1/metrics", nil))
+	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Policy != "DDS/lxf/dynB" {
+		t.Fatalf("policy %q", m.Policy)
+	}
+	if m.Jobs.Done != 3 || m.Summary.Jobs != 3 {
+		t.Fatalf("metrics %+v, want 3 done", m)
+	}
+	if m.Engine.Decisions == 0 || m.Engine.SearchNodes == 0 {
+		t.Fatalf("engine counters %+v, want non-zero decisions and search nodes", m.Engine)
+	}
+	// Jobs 2 and 3 each waited 600s behind the previous full-machine
+	// job: the running summary must reflect that.
+	if m.Summary.AvgWaitH <= 0 || m.Summary.MaxWaitH < 0.3 {
+		t.Fatalf("summary %+v, want positive waits", m.Summary)
+	}
+}
+
+func TestServerDrain(t *testing.T) {
+	f := newFixture(t, 4, policy.FCFSBackfill())
+	f.do(t, "POST", "/v1/jobs", `{"nodes":1,"runtime_s":60}`)
+	f.vc.RunDue()
+
+	if w, _ := f.do(t, "POST", "/v1/drain", ""); w.Code != http.StatusAccepted {
+		t.Fatalf("drain: %d, want 202", w.Code)
+	}
+	// Submissions are refused while draining.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		w, _ := f.do(t, "POST", "/v1/jobs", `{"nodes":1,"runtime_s":1}`)
+		if w.Code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submit during drain: %d, want 503", w.Code)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f.vc.Run() // finish the running job
+	select {
+	case <-f.drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("onDrained never fired")
+	}
+	if _, resp := f.do(t, "GET", "/v1/metrics", ""); resp["draining"] != true {
+		t.Fatalf("metrics %v, want draining=true", resp)
+	}
+}

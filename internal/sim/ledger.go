@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"fmt"
+
+	"schedsearch/internal/cluster"
+	"schedsearch/internal/job"
+)
+
+// Ledger is the queue and allocation bookkeeping shared by the offline
+// simulator (Run) and the online engine (internal/engine): the waiting
+// queue in arrival order, the running set with concrete node
+// assignments, and the pending-completion heap. It validates policy
+// decisions, hands out node IDs lowest-first, and pops completions in
+// deterministic (time, job ID) order, so any two drivers feeding it the
+// same decision points produce byte-identical schedules.
+//
+// The Ledger itself is not goroutine-safe; callers serialize access
+// (the simulator is single-threaded, the engine holds a mutex).
+type Ledger struct {
+	capacity int
+	free     int
+	nodes    *cluster.NodeSet
+	queue    []queued
+	running  []running
+	events   finishHeap
+}
+
+// Started reports one job the Ledger just dispatched.
+type Started struct {
+	Job job.Job
+	// Start is the dispatch time.
+	Start job.Time
+	// PredictedEnd is Start plus the planning estimate (what policies
+	// see; the actual completion uses the real runtime).
+	PredictedEnd job.Time
+	// NodeIDs are the concrete nodes assigned, lowest-first.
+	NodeIDs []int
+}
+
+// Finished reports one completed job popped from the Ledger.
+type Finished struct {
+	Job        job.Job
+	Start, End job.Time
+	NodeIDs    []int
+}
+
+// NewLedger returns an empty ledger for a machine of the given size.
+func NewLedger(capacity int) (*Ledger, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("sim: capacity %d", capacity)
+	}
+	return &Ledger{
+		capacity: capacity,
+		free:     capacity,
+		nodes:    cluster.NewNodeSet(capacity),
+	}, nil
+}
+
+// Capacity returns the machine size.
+func (l *Ledger) Capacity() int { return l.capacity }
+
+// FreeNodes returns the number of unallocated nodes.
+func (l *Ledger) FreeNodes() int { return l.free }
+
+// QueueLen returns the number of waiting jobs.
+func (l *Ledger) QueueLen() int { return len(l.queue) }
+
+// RunningLen returns the number of running jobs.
+func (l *Ledger) RunningLen() int { return len(l.running) }
+
+// Enqueue appends a job to the waiting queue. A zero estimate means
+// "not yet estimated"; FillEstimates (or a non-zero estimate here)
+// must supply one before the job is visible in a Snapshot.
+func (l *Ledger) Enqueue(j job.Job, estimate job.Duration) {
+	l.queue = append(l.queue, queued{j: j, estimate: estimate})
+}
+
+// FillEstimates computes the planning estimate of every queued job that
+// does not have one yet, clamped to at least one second. Deferring
+// estimation to the first decision point after arrival keeps estimator
+// semantics identical between drivers: completions at the same instant
+// are always observed before the new arrivals are estimated.
+func (l *Ledger) FillEstimates(fn func(job.Job) job.Duration) {
+	for i := range l.queue {
+		if l.queue[i].estimate > 0 {
+			continue
+		}
+		est := fn(l.queue[i].j)
+		if est < 1 {
+			est = 1
+		}
+		l.queue[i].estimate = est
+	}
+}
+
+// NextFinish returns the earliest pending completion time.
+func (l *Ledger) NextFinish() (job.Time, bool) {
+	if l.events.Len() == 0 {
+		return 0, false
+	}
+	return l.events.peek().at, true
+}
+
+// PopDue pops the earliest completion with time <= now, freeing its
+// nodes. Completions at the same instant pop in job-ID order.
+func (l *Ledger) PopDue(now job.Time) (Finished, bool) {
+	if l.events.Len() == 0 || l.events.peek().at > now {
+		return Finished{}, false
+	}
+	ev := l.events.pop()
+	slot := ev.slot
+	r := l.running[slot]
+	l.free += r.j.Nodes
+	if err := l.nodes.Release(r.nodeIDs); err != nil {
+		// The ledger allocated these nodes itself; a release failure is
+		// a ledger bug, not a policy error.
+		panic(fmt.Sprintf("sim: %v", err))
+	}
+	// Remove by swapping with the last; fix the heap's slot pointers.
+	last := len(l.running) - 1
+	if slot != last {
+		l.running[slot] = l.running[last]
+		l.events.reslot(last, slot)
+	}
+	l.running = l.running[:last]
+	return Finished{Job: r.j, Start: r.start, End: ev.at, NodeIDs: r.nodeIDs}, true
+}
+
+// Snapshot builds the read-only system state a policy sees at a
+// decision point.
+func (l *Ledger) Snapshot(now job.Time) *Snapshot {
+	snap := &Snapshot{
+		Now:       now,
+		Capacity:  l.capacity,
+		FreeNodes: l.free,
+		Running:   make([]RunningJob, len(l.running)),
+		Queue:     make([]WaitingJob, len(l.queue)),
+	}
+	for i, r := range l.running {
+		snap.Running[i] = RunningJob{
+			ID:           r.j.ID,
+			Nodes:        r.j.Nodes,
+			User:         r.j.User,
+			Start:        r.start,
+			PredictedEnd: r.predictedEnd,
+		}
+	}
+	for i, q := range l.queue {
+		snap.Queue[i] = WaitingJob{Job: q.j, Estimate: q.estimate, QueuePos: i}
+	}
+	return snap
+}
+
+// Start validates and applies a policy decision: the queue positions in
+// starts begin executing at now. It allocates concrete nodes, schedules
+// the completions, and compacts the queue preserving arrival order.
+// policyName labels error messages.
+func (l *Ledger) Start(policyName string, now job.Time, starts []int) ([]Started, error) {
+	seen := make(map[int]bool, len(starts))
+	need := 0
+	for _, qi := range starts {
+		if qi < 0 || qi >= len(l.queue) {
+			return nil, fmt.Errorf("sim: policy %q returned invalid queue index %d", policyName, qi)
+		}
+		if seen[qi] {
+			return nil, fmt.Errorf("sim: policy %q returned duplicate queue index %d", policyName, qi)
+		}
+		seen[qi] = true
+		need += l.queue[qi].j.Nodes
+	}
+	if need > l.free {
+		return nil, fmt.Errorf("sim: policy %q started %d nodes with only %d free at t=%d",
+			policyName, need, l.free, now)
+	}
+	out := make([]Started, 0, len(starts))
+	for _, qi := range starts {
+		q := l.queue[qi]
+		rt := q.j.Runtime
+		if rt < 1 {
+			rt = 1 // zero-length jobs still occupy the machine for an instant
+		}
+		est := q.estimate
+		if est < 1 {
+			est = 1
+		}
+		l.free -= q.j.Nodes
+		ids, err := l.nodes.Alloc(q.j.Nodes)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %v", err)
+		}
+		slot := len(l.running)
+		l.running = append(l.running, running{
+			j:            q.j,
+			start:        now,
+			predictedEnd: now + est,
+			nodeIDs:      ids,
+		})
+		l.events.push(finishEvent{at: now + rt, slot: slot, id: q.j.ID})
+		out = append(out, Started{Job: q.j, Start: now, PredictedEnd: now + est, NodeIDs: ids})
+	}
+	// Compact the queue, preserving arrival order.
+	kept := l.queue[:0]
+	for qi := range l.queue {
+		if !seen[qi] {
+			kept = append(kept, l.queue[qi])
+		}
+	}
+	l.queue = kept
+	return out, nil
+}

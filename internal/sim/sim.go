@@ -5,12 +5,16 @@
 // collected. The methodology matches the paper (Section 4): each
 // monthly simulation carries a warm-up and cool-down margin, and
 // measures are later computed only over the jobs flagged as measured.
+//
+// The queue/allocation bookkeeping itself lives in Ledger, which the
+// online engine (internal/engine) shares, so offline simulation and
+// online serving produce identical schedules from identical decision
+// points.
 package sim
 
 import (
 	"fmt"
 
-	"schedsearch/internal/cluster"
 	"schedsearch/internal/job"
 )
 
@@ -141,13 +145,9 @@ type engine struct {
 	in     Input
 	policy Policy
 
-	clock     job.Time
-	nextIdx   int // next arrival in in.Jobs
-	events    *finishHeap
-	queue     []queued
-	running   []running
-	freeNodes int
-	nodes     *cluster.NodeSet
+	clock   job.Time
+	nextIdx int // next arrival in in.Jobs
+	l       *Ledger
 
 	records        []Record
 	decisions      int
@@ -160,8 +160,9 @@ type engine struct {
 }
 
 func newEngine(in Input, p Policy) (*engine, error) {
-	if in.Capacity < 1 {
-		return nil, fmt.Errorf("sim: capacity %d", in.Capacity)
+	l, err := NewLedger(in.Capacity)
+	if err != nil {
+		return nil, err
 	}
 	for i := range in.Jobs {
 		if err := in.Jobs[i].Validate(in.Capacity); err != nil {
@@ -172,13 +173,11 @@ func newEngine(in Input, p Policy) (*engine, error) {
 		}
 	}
 	e := &engine{
-		in:        in,
-		policy:    p,
-		events:    &finishHeap{},
-		freeNodes: in.Capacity,
-		nodes:     cluster.NewNodeSet(in.Capacity),
-		intStart:  in.MeasureStart,
-		intEnd:    in.MeasureEnd,
+		in:       in,
+		policy:   p,
+		l:        l,
+		intStart: in.MeasureStart,
+		intEnd:   in.MeasureEnd,
 	}
 	e.explicitWindow = !(e.intStart == 0 && e.intEnd == 0)
 	if !e.explicitWindow {
@@ -219,7 +218,7 @@ func (e *engine) advanceQueueIntegral(now job.Time) {
 		hi = e.intEnd
 	}
 	if hi > lo {
-		e.qlenInt += float64(hi-lo) * float64(len(e.queue))
+		e.qlenInt += float64(hi-lo) * float64(e.l.QueueLen())
 	}
 	e.qlenLast = now
 }
@@ -229,19 +228,19 @@ func (e *engine) run() (*Result, error) {
 		// Next event time: earliest of next arrival and next finish.
 		var next job.Time
 		haveArr := e.nextIdx < len(e.in.Jobs)
-		haveFin := e.events.Len() > 0
+		finAt, haveFin := e.l.NextFinish()
 		switch {
 		case haveArr && haveFin:
-			next = min64(e.in.Jobs[e.nextIdx].Submit, e.events.peek().at)
+			next = min64(e.in.Jobs[e.nextIdx].Submit, finAt)
 		case haveArr:
 			next = e.in.Jobs[e.nextIdx].Submit
 		case haveFin:
-			next = e.events.peek().at
+			next = finAt
 		default:
 			// No more events. Every job must have been started.
-			if len(e.queue) > 0 {
+			if e.l.QueueLen() > 0 {
 				return nil, fmt.Errorf("sim: policy %q stalled with %d queued jobs and idle machine",
-					e.policy.Name(), len(e.queue))
+					e.policy.Name(), e.l.QueueLen())
 			}
 			return e.result(), nil
 		}
@@ -251,138 +250,52 @@ func (e *engine) run() (*Result, error) {
 
 		// Process all finishes at this instant first (free the nodes),
 		// then all arrivals.
-		for e.events.Len() > 0 && e.events.peek().at == e.clock {
-			f := e.events.pop()
-			e.finish(f.slot)
+		for {
+			f, ok := e.l.PopDue(e.clock)
+			if !ok {
+				break
+			}
+			if e.in.Estimator != nil {
+				e.in.Estimator.Observe(f.Job)
+			}
+			e.records = append(e.records, Record{
+				Job:      f.Job,
+				Start:    f.Start,
+				End:      f.End,
+				NodeIDs:  f.NodeIDs,
+				Measured: e.measured(f.Job.ID),
+			})
 		}
 		for e.nextIdx < len(e.in.Jobs) && e.in.Jobs[e.nextIdx].Submit == e.clock {
 			j := e.in.Jobs[e.nextIdx]
 			e.nextIdx++
-			e.queue = append(e.queue, queued{j: j, estimate: e.estimate(j)})
+			e.l.Enqueue(j, e.estimate(j))
 		}
-		if len(e.queue) > 0 {
+		if e.l.QueueLen() > 0 {
 			if err := e.decide(); err != nil {
 				return nil, err
 			}
 		}
-		if len(e.queue) > e.maxQ && e.clock >= e.intStart && e.clock < e.intEnd {
-			e.maxQ = len(e.queue)
+		if e.l.QueueLen() > e.maxQ && e.clock >= e.intStart && e.clock < e.intEnd {
+			e.maxQ = e.l.QueueLen()
 		}
 	}
-}
-
-// finish completes the running job in the given slot.
-func (e *engine) finish(slot int) {
-	r := e.running[slot]
-	e.freeNodes += r.j.Nodes
-	if e.in.Estimator != nil {
-		e.in.Estimator.Observe(r.j)
-	}
-	rt := r.j.Runtime
-	if rt < 1 {
-		rt = 1 // zero-length jobs occupy the machine for one second
-	}
-	if err := e.nodes.Release(r.nodeIDs); err != nil {
-		// The engine allocated these nodes itself; a release failure is
-		// an engine bug, not a policy error.
-		panic(fmt.Sprintf("sim: %v", err))
-	}
-	e.records = append(e.records, Record{
-		Job:      r.j,
-		Start:    r.start,
-		End:      r.start + rt,
-		NodeIDs:  r.nodeIDs,
-		Measured: e.measured(r.j.ID),
-	})
-	// Remove by swapping with the last; fix the heap's slot pointers.
-	last := len(e.running) - 1
-	if slot != last {
-		e.running[slot] = e.running[last]
-		e.events.reslot(last, slot)
-	}
-	e.running = e.running[:last]
 }
 
 func (e *engine) decide() error {
-	snap := e.snapshot()
+	snap := e.l.Snapshot(e.clock)
 	e.decisions++
 	starts := e.policy.Decide(snap)
 	if len(starts) == 0 {
-		if len(e.running) == 0 {
+		if e.l.RunningLen() == 0 {
 			return fmt.Errorf("sim: policy %q started nothing on an idle machine with %d queued jobs at t=%d",
-				e.policy.Name(), len(e.queue), e.clock)
+				e.policy.Name(), e.l.QueueLen(), e.clock)
 		}
 		return nil
 	}
-	seen := make(map[int]bool, len(starts))
-	need := 0
-	for _, qi := range starts {
-		if qi < 0 || qi >= len(e.queue) {
-			return fmt.Errorf("sim: policy %q returned invalid queue index %d", e.policy.Name(), qi)
-		}
-		if seen[qi] {
-			return fmt.Errorf("sim: policy %q returned duplicate queue index %d", e.policy.Name(), qi)
-		}
-		seen[qi] = true
-		need += e.queue[qi].j.Nodes
-	}
-	if need > e.freeNodes {
-		return fmt.Errorf("sim: policy %q started %d nodes with only %d free at t=%d",
-			e.policy.Name(), need, e.freeNodes, e.clock)
-	}
 	e.advanceQueueIntegral(e.clock) // queue length changes now (zero dt, keeps bookkeeping exact)
-	for _, qi := range starts {
-		q := e.queue[qi]
-		rt := q.j.Runtime
-		if rt < 1 {
-			rt = 1 // zero-length jobs still occupy the machine for an instant
-		}
-		e.freeNodes -= q.j.Nodes
-		ids, err := e.nodes.Alloc(q.j.Nodes)
-		if err != nil {
-			return fmt.Errorf("sim: %v", err)
-		}
-		slot := len(e.running)
-		e.running = append(e.running, running{
-			j:            q.j,
-			start:        e.clock,
-			predictedEnd: e.clock + q.estimate,
-			nodeIDs:      ids,
-		})
-		e.events.push(finishEvent{at: e.clock + rt, slot: slot, id: q.j.ID})
-	}
-	// Compact the queue, preserving arrival order.
-	kept := e.queue[:0]
-	for qi := range e.queue {
-		if !seen[qi] {
-			kept = append(kept, e.queue[qi])
-		}
-	}
-	e.queue = kept
-	return nil
-}
-
-func (e *engine) snapshot() *Snapshot {
-	snap := &Snapshot{
-		Now:       e.clock,
-		Capacity:  e.in.Capacity,
-		FreeNodes: e.freeNodes,
-		Running:   make([]RunningJob, len(e.running)),
-		Queue:     make([]WaitingJob, len(e.queue)),
-	}
-	for i, r := range e.running {
-		snap.Running[i] = RunningJob{
-			ID:           r.j.ID,
-			Nodes:        r.j.Nodes,
-			User:         r.j.User,
-			Start:        r.start,
-			PredictedEnd: r.predictedEnd,
-		}
-	}
-	for i, q := range e.queue {
-		snap.Queue[i] = WaitingJob{Job: q.j, Estimate: q.estimate, QueuePos: i}
-	}
-	return snap
+	_, err := e.l.Start(e.policy.Name(), e.clock, starts)
+	return err
 }
 
 func (e *engine) result() *Result {

@@ -1,0 +1,145 @@
+package schedsearch_test
+
+import (
+	"strings"
+	"testing"
+
+	"schedsearch"
+)
+
+// TestParsePolicyErrors covers every rejection path of ParsePolicy.
+func TestParsePolicyErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		input   string
+		wantSub string // substring the error must carry
+	}{
+		{"empty", "", "unknown policy"},
+		{"unknown flat name", "EASY-backfill", "unknown policy"},
+		{"two parts", "DDS/lxf", "unknown policy"},
+		{"four parts", "DDS/lxf/dynB/extra", "unknown policy"},
+		{"unknown algorithm", "BFS/lxf/dynB", "unknown search algorithm"},
+		{"lowercase algorithm", "dds/lxf/dynB", "unknown search algorithm"},
+		{"unknown heuristic", "DDS/sjf/dynB", "unknown branching heuristic"},
+		{"uppercase heuristic", "DDS/LXF/dynB", "unknown branching heuristic"},
+		{"malformed bound", "DDS/lxf/12q", "bound"},
+		{"negative bound", "DDS/lxf/-5h", "bound"},
+		{"bare number bound", "DDS/lxf/12", "bound"},
+		{"empty bound", "DDS/lxf/", "bound"},
+		{"dynB typo", "DDS/lxf/dynb", "bound"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pol, err := schedsearch.ParsePolicy(tc.input, 100)
+			if err == nil {
+				t.Fatalf("ParsePolicy(%q) accepted as %q", tc.input, pol.Name())
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("ParsePolicy(%q) error %q, want mention of %q", tc.input, err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestFacadeConstructors exercises every facade constructor: each must
+// build a working policy whose Name round-trips where a name scheme
+// exists, and survive one simulated month.
+func TestFacadeConstructors(t *testing.T) {
+	suite := schedsearch.NewSuite(schedsearch.SuiteConfig{Seed: 5, JobScale: 0.03})
+	run := func(t *testing.T, p schedsearch.Policy) schedsearch.Summary {
+		t.Helper()
+		sum, _, err := schedsearch.RunMonth(suite, "7/03", schedsearch.SimOptions{}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Jobs == 0 {
+			t.Fatal("no jobs measured")
+		}
+		return sum
+	}
+
+	t.Run("NewSearchScheduler", func(t *testing.T) {
+		p := schedsearch.NewSearchScheduler(schedsearch.DDS, schedsearch.HeuristicLXF,
+			schedsearch.DynamicBound(), schedsearch.DefaultLimit1K)
+		if p.Name() != "DDS/lxf/dynB" {
+			t.Fatalf("name %q, want DDS/lxf/dynB", p.Name())
+		}
+		run(t, p)
+		if p.SearchStats.Decisions == 0 {
+			t.Fatal("no search decisions recorded")
+		}
+	})
+	t.Run("FixedBound", func(t *testing.T) {
+		p := schedsearch.NewSearchScheduler(schedsearch.LDS, schedsearch.HeuristicFCFS,
+			schedsearch.FixedBound(100*schedsearch.Hour), 500)
+		if p.Name() != "LDS/fcfs/fixB=100h" { // canonical form of "100h"
+			t.Fatalf("name %q, want LDS/fcfs/fixB=100h", p.Name())
+		}
+		run(t, p)
+	})
+	t.Run("Backfill", func(t *testing.T) {
+		if n := schedsearch.FCFSBackfill().Name(); n != "FCFS-backfill" {
+			t.Fatalf("name %q", n)
+		}
+		if n := schedsearch.LXFBackfill().Name(); n != "LXF-backfill" {
+			t.Fatalf("name %q", n)
+		}
+		run(t, schedsearch.FCFSBackfill())
+	})
+	t.Run("NewLocalScheduler", func(t *testing.T) {
+		run(t, schedsearch.NewLocalScheduler(schedsearch.HeuristicLXF, schedsearch.DynamicBound(), 300))
+	})
+	t.Run("NewHybridScheduler", func(t *testing.T) {
+		run(t, schedsearch.NewHybridScheduler(schedsearch.HeuristicLXF, schedsearch.DynamicBound(), 300))
+	})
+	t.Run("NewFairshareScheduler", func(t *testing.T) {
+		inner := schedsearch.NewSearchScheduler(schedsearch.DDS, schedsearch.HeuristicLXF,
+			schedsearch.DynamicBound(), 300)
+		run(t, schedsearch.NewFairshareScheduler(inner, 0.5))
+	})
+	t.Run("RuntimeScaledCost", func(t *testing.T) {
+		p := schedsearch.NewSearchScheduler(schedsearch.DDS, schedsearch.HeuristicLXF,
+			schedsearch.DynamicBound(), 300)
+		p.Cost = schedsearch.RuntimeScaledCost(2.0, schedsearch.Hour)
+		run(t, p)
+	})
+	t.Run("NewUserHistoryPredictor", func(t *testing.T) {
+		est := schedsearch.NewUserHistoryPredictor()
+		p := schedsearch.NewSearchScheduler(schedsearch.DDS, schedsearch.HeuristicLXF,
+			schedsearch.DynamicBound(), 300)
+		sum, _, err := schedsearch.RunMonthWithEstimator(suite, "7/03", schedsearch.SimOptions{}, est, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Jobs == 0 {
+			t.Fatal("no jobs measured")
+		}
+	})
+}
+
+// TestFacadeEngine drives the online engine through the facade: a
+// virtual-clock engine scheduling with the paper's best policy.
+func TestFacadeEngine(t *testing.T) {
+	vc := schedsearch.NewVirtualClock()
+	pol := schedsearch.NewSearchScheduler(schedsearch.DDS, schedsearch.HeuristicLXF,
+		schedsearch.DynamicBound(), 100)
+	e, err := schedsearch.NewEngine(schedsearch.EngineConfig{
+		Capacity: 16, Policy: pol, Clock: vc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := e.Submit(schedsearch.Job{Nodes: 8, Runtime: 1800, Request: 1800}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vc.Run()
+	m := e.Metrics()
+	if m.Jobs.Done != 4 {
+		t.Fatalf("%d jobs done, want 4", m.Jobs.Done)
+	}
+	if m.Policy != "DDS/lxf/dynB" {
+		t.Fatalf("policy %q", m.Policy)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"strings"
 
 	"schedsearch/internal/core"
+	"schedsearch/internal/engine"
 	"schedsearch/internal/job"
 	"schedsearch/internal/metrics"
 	"schedsearch/internal/policy"
@@ -174,6 +175,34 @@ func RunMonthWithEstimator(s *Suite, label string, opt SimOptions, est Estimator
 	}
 	return metrics.Summarize(res), res, nil
 }
+
+// Online serving: the engine drives any Policy against a clock instead
+// of a trace, with jobs submitted while it runs (see internal/engine
+// and cmd/schedd for the HTTP daemon).
+type (
+	// Engine is the online scheduling engine.
+	Engine = engine.Engine
+	// EngineConfig configures NewEngine.
+	EngineConfig = engine.Config
+	// Clock is the engine's time source (real or virtual).
+	Clock = engine.Clock
+	// VirtualClock is the deterministic, steppable clock.
+	VirtualClock = engine.VirtualClock
+	// EngineMetrics is the engine's running report (also the schema
+	// schedsim -json emits).
+	EngineMetrics = engine.Metrics
+)
+
+// NewEngine returns a started online engine for the configuration.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// NewRealClock returns a wall clock running speedup engine seconds per
+// wall second (<= 0 means real time).
+func NewRealClock(speedup float64) Clock { return engine.NewRealClock(speedup) }
+
+// NewVirtualClock returns a deterministic clock at time zero; time
+// moves only when the caller advances it.
+func NewVirtualClock() *VirtualClock { return engine.NewVirtualClock() }
 
 // ExcessiveWait computes the excessive-wait summary of a run with
 // respect to a threshold in hours (the paper's E^t measures).
