@@ -297,6 +297,30 @@ func BenchmarkSearchDecision(b *testing.B) {
 	}
 }
 
+// BenchmarkParallelSearchDecision measures the same decision with the
+// parallel search at one worker per CPU. The committed schedules are
+// identical to the sequential ones; only wall time changes. On a
+// single-CPU machine this degenerates to the sequential path. See
+// cmd/searchbench for the standalone harness emitting BENCH_search.json.
+func BenchmarkParallelSearchDecision(b *testing.B) {
+	for _, bench := range []struct {
+		name string
+		algo core.Algorithm
+	}{{"DDS", core.DDS}, {"LDS", core.LDS}} {
+		b.Run(bench.name, func(b *testing.B) {
+			snap := benchSnapshot(30)
+			sch := core.New(bench.algo, core.HeuristicLXF, core.DynamicBound(), 1000)
+			sch.Workers = core.AutoWorkers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sch.Decide(snap)
+			}
+			b.ReportMetric(sch.SearchStats.Speedup(), "speedup")
+		})
+	}
+}
+
 // BenchmarkBackfillDecision measures one EASY-backfill decision on the
 // same queue for comparison.
 func BenchmarkBackfillDecision(b *testing.B) {

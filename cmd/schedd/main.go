@@ -39,6 +39,7 @@ import (
 	"syscall"
 
 	"schedsearch"
+	"schedsearch/internal/core"
 	"schedsearch/internal/engine"
 	"schedsearch/internal/job"
 	"schedsearch/internal/server"
@@ -51,6 +52,7 @@ func main() {
 	var (
 		policyArg = flag.String("policy", "DDS/lxf/dynB", "scheduling policy name (see ParsePolicy)")
 		nodeLimit = flag.Int("L", 1000, "search node limit per decision")
+		workers   = flag.Int("workers", 1, "parallel search workers for search policies (0 or 1 sequential, -1 one per CPU)")
 		capacity  = flag.Int("capacity", workload.Capacity, "machine size in nodes")
 		addr      = flag.String("addr", ":8080", "HTTP listen address (serving mode)")
 		requested = flag.Bool("requested", false, "policies plan with requested runtimes (R* = R)")
@@ -67,6 +69,9 @@ func main() {
 	pol, err := schedsearch.ParsePolicy(*policyArg, *nodeLimit)
 	if err != nil {
 		fatal(err)
+	}
+	if sch, ok := pol.(*core.Scheduler); ok {
+		sch.Workers = *workers
 	}
 	if *virtual || *swfIn != "" {
 		if err := replay(pol, *swfIn, *month, *seed, *scale, *load, *capacity, *requested); err != nil {

@@ -35,6 +35,7 @@ func main() {
 		month     = flag.String("month", "6/03", "month label (6/03 .. 3/04)")
 		policyArg = flag.String("policy", "DDS/lxf/dynB", "policy name")
 		nodeLimit = flag.Int("L", 1000, "search node limit per decision")
+		workers   = flag.Int("workers", 1, "parallel search workers for search policies (0 or 1 sequential, -1 one per CPU)")
 		load      = flag.Float64("load", 0, "target offered load (0 = original)")
 		seed      = flag.Uint64("seed", 1, "workload generation seed")
 		scale     = flag.Float64("scale", 1, "job-count/duration scale factor")
@@ -49,14 +50,27 @@ func main() {
 
 	var err error
 	if *swfIn != "" {
-		err = runSWF(*swfIn, *capacity, *policyArg, *nodeLimit, *requested, *verbose, *timeline, *jsonOut)
+		err = runSWF(*swfIn, *capacity, *policyArg, *nodeLimit, *workers, *requested, *verbose, *timeline, *jsonOut)
 	} else {
-		err = run(*month, *policyArg, *nodeLimit, *load, *seed, *scale, *requested, *verbose, *timeline, *jsonOut)
+		err = run(*month, *policyArg, *nodeLimit, *workers, *load, *seed, *scale, *requested, *verbose, *timeline, *jsonOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedsim:", err)
 		os.Exit(1)
 	}
+}
+
+// parsePolicy builds the policy and applies the worker count to search
+// schedulers (other policies have no search to parallelize).
+func parsePolicy(policyArg string, nodeLimit, workers int) (sim.Policy, error) {
+	pol, err := schedsearch.ParsePolicy(policyArg, nodeLimit)
+	if err != nil {
+		return nil, err
+	}
+	if sch, ok := pol.(*core.Scheduler); ok {
+		sch.Workers = workers
+	}
+	return pol, nil
 }
 
 // emitJSON writes the run summary as machine-readable JSON in the
@@ -68,7 +82,7 @@ func emitJSON(res *sim.Result, s metrics.Summary, pol sim.Policy) error {
 }
 
 // runSWF simulates a policy over an external SWF trace.
-func runSWF(path string, capacity int, policyArg string, nodeLimit int, requested, verbose bool, timeline int, jsonOut bool) error {
+func runSWF(path string, capacity int, policyArg string, nodeLimit, workers int, requested, verbose bool, timeline int, jsonOut bool) error {
 	jobs, header, err := trace.ReadSWFFile(path)
 	if err != nil {
 		return err
@@ -85,7 +99,7 @@ func runSWF(path string, capacity int, policyArg string, nodeLimit int, requeste
 			capacity = j.Nodes
 		}
 	}
-	pol, err := schedsearch.ParsePolicy(policyArg, nodeLimit)
+	pol, err := parsePolicy(policyArg, nodeLimit, workers)
 	if err != nil {
 		return err
 	}
@@ -109,13 +123,13 @@ func runSWF(path string, capacity int, policyArg string, nodeLimit int, requeste
 	return nil
 }
 
-func run(month, policyArg string, nodeLimit int, load float64, seed uint64, scale float64, requested, verbose bool, timeline int, jsonOut bool) error {
+func run(month, policyArg string, nodeLimit, workers int, load float64, seed uint64, scale float64, requested, verbose bool, timeline int, jsonOut bool) error {
 	suite := workload.NewSuite(workload.Config{Seed: seed, JobScale: scale})
 	in, m, err := suite.Input(month, workload.SimOptions{TargetLoad: load, UseRequested: requested})
 	if err != nil {
 		return err
 	}
-	pol, err := schedsearch.ParsePolicy(policyArg, nodeLimit)
+	pol, err := parsePolicy(policyArg, nodeLimit, workers)
 	if err != nil {
 		return err
 	}
@@ -180,6 +194,8 @@ func printSummary(res *sim.Result, s metrics.Summary, pol sim.Policy) {
 		st := sch.SearchStats
 		fmt.Printf("  search: %d decisions, %d nodes, %d schedules evaluated, budget hit %d times\n",
 			st.Decisions, st.Nodes, st.Leaves, st.BudgetHits)
+		fmt.Printf("  search time: %.1f ms wall, speedup %.2fx\n",
+			float64(st.WallNs)/1e6, st.Speedup())
 	}
 }
 

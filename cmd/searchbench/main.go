@@ -1,0 +1,234 @@
+// Command searchbench benchmarks the search scheduler's per-decision
+// hot path on synthetic contended decision points and emits a JSON
+// report (BENCH_search.json): ns/decision, visited nodes/second and the
+// parallel-vs-sequential speedup for each (algorithm, queue depth, node
+// budget) combination.
+//
+// The workload is deterministic, so two runs on the same machine
+// measure the same search trees; timings vary with hardware (the report
+// records GOMAXPROCS and CPU count). The parallel scheduler commits the
+// same schedules as the sequential one — the speedup column is pure
+// wall-clock, not a behaviour change.
+//
+// Usage:
+//
+//	searchbench -out BENCH_search.json
+//	searchbench -limits 1000,10000,100000 -depths 16,32,64 -time 200ms
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"schedsearch/internal/core"
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+// benchResult is one (algorithm, depth, limit) measurement.
+type benchResult struct {
+	Algo       string `json:"algo"`
+	QueueDepth int    `json:"queue_depth"`
+	NodeLimit  int    `json:"node_limit"`
+	// NodesPerDecision is the search-tree size actually explored (the
+	// same for sequential and parallel by construction).
+	NodesPerDecision int64 `json:"nodes_per_decision"`
+
+	SeqNsPerDecision int64   `json:"seq_ns_per_decision"`
+	SeqNodesPerSec   float64 `json:"seq_nodes_per_sec"`
+	ParNsPerDecision int64   `json:"par_ns_per_decision"`
+	ParNodesPerSec   float64 `json:"par_nodes_per_sec"`
+	// SpeedupVsSeq is sequential over parallel wall time per decision.
+	SpeedupVsSeq float64 `json:"speedup_vs_seq"`
+}
+
+// report is the BENCH_search.json schema.
+type report struct {
+	GeneratedBy string        `json:"generated_by"`
+	GOOS        string        `json:"goos"`
+	GOARCH      string        `json:"goarch"`
+	NumCPU      int           `json:"num_cpu"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Workers     int           `json:"workers"`
+	Heuristic   string        `json:"heuristic"`
+	Bound       string        `json:"bound"`
+	Results     []benchResult `json:"results"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_search.json", "output file (- for stdout)")
+		limits  = flag.String("limits", "1000,10000,100000", "node budgets L to measure")
+		depths  = flag.String("depths", "16,32,64", "queue depths to measure")
+		algos   = flag.String("algos", "DDS,LDS", "search algorithms to measure")
+		minTime = flag.Duration("time", 200*time.Millisecond, "minimum measurement time per configuration")
+		workers = flag.Int("workers", core.AutoWorkers, "parallel worker count (-1 one per CPU)")
+	)
+	flag.Parse()
+
+	ls, err := parseInts(*limits)
+	if err != nil {
+		fatal(err)
+	}
+	ds, err := parseInts(*depths)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := report{
+		GeneratedBy: "searchbench",
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     *workers,
+		Heuristic:   core.HeuristicLXF.String(),
+		Bound:       core.DynamicBound().String(),
+	}
+	if rep.Workers == core.AutoWorkers {
+		rep.Workers = rep.GOMAXPROCS
+	}
+
+	for _, algoName := range strings.Split(*algos, ",") {
+		var algo core.Algorithm
+		switch strings.TrimSpace(algoName) {
+		case "DDS":
+			algo = core.DDS
+		case "LDS":
+			algo = core.LDS
+		default:
+			fatal(fmt.Errorf("unknown algorithm %q (want DDS or LDS)", algoName))
+		}
+		for _, depth := range ds {
+			snap := benchSnapshot(depth)
+			for _, limit := range ls {
+				r := measurePair(algo, snap, depth, limit, *workers, *minTime)
+				rep.Results = append(rep.Results, r)
+				fmt.Fprintf(os.Stderr, "%s depth=%d L=%d: seq %s/decision, par %s/decision, speedup %.2fx\n",
+					r.Algo, depth, limit,
+					time.Duration(r.SeqNsPerDecision), time.Duration(r.ParNsPerDecision),
+					r.SpeedupVsSeq)
+			}
+		}
+	}
+
+	var w *os.File
+	if *out == "-" {
+		w = os.Stdout
+	} else {
+		w, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer w.Close()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "searchbench:", err)
+	os.Exit(1)
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad list entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// measurePair measures one configuration sequentially and in parallel.
+func measurePair(algo core.Algorithm, snap *sim.Snapshot, depth, limit, workers int, minTime time.Duration) benchResult {
+	seq := core.New(algo, core.HeuristicLXF, core.DynamicBound(), limit)
+	seqNs, nodes := measure(seq, snap, minTime)
+	par := core.New(algo, core.HeuristicLXF, core.DynamicBound(), limit)
+	par.Workers = workers
+	parNs, parNodes := measure(par, snap, minTime)
+	if nodes != parNodes {
+		fatal(fmt.Errorf("%s depth=%d L=%d: parallel explored %d nodes/decision, sequential %d",
+			algo, depth, limit, parNodes, nodes))
+	}
+	r := benchResult{
+		Algo:             algo.String(),
+		QueueDepth:       depth,
+		NodeLimit:        limit,
+		NodesPerDecision: nodes,
+		SeqNsPerDecision: seqNs,
+		ParNsPerDecision: parNs,
+	}
+	if seqNs > 0 {
+		r.SeqNodesPerSec = float64(nodes) / float64(seqNs) * 1e9
+	}
+	if parNs > 0 {
+		r.ParNodesPerSec = float64(nodes) / float64(parNs) * 1e9
+		r.SpeedupVsSeq = float64(seqNs) / float64(parNs)
+	}
+	return r
+}
+
+// measure runs Decide repeatedly for at least minTime (and at least
+// three repetitions after one warm-up), returning wall ns/decision and
+// nodes visited per decision.
+func measure(sch *core.Scheduler, snap *sim.Snapshot, minTime time.Duration) (nsPerDecision, nodesPerDecision int64) {
+	sch.Decide(snap) // warm-up: allocate scratch, fault in the tree
+	startStats := sch.SearchStats
+	reps := 0
+	t0 := time.Now()
+	for time.Since(t0) < minTime || reps < 3 {
+		sch.Decide(snap)
+		reps++
+	}
+	elapsed := time.Since(t0).Nanoseconds()
+	nodes := sch.SearchStats.Nodes - startStats.Nodes
+	return elapsed / int64(reps), nodes / int64(reps)
+}
+
+// benchSnapshot builds the deterministic contended decision point: a
+// 128-node machine, 30 running jobs holding 100 nodes with staggered
+// predicted ends, and queueLen waiting jobs of mixed widths and
+// estimates (the same construction the repo's Go benchmarks use).
+func benchSnapshot(queueLen int) *sim.Snapshot {
+	snap := &sim.Snapshot{Now: 100000, Capacity: 128, FreeNodes: 128}
+	used := 0
+	for i := 0; i < 30 && used < 100; i++ {
+		n := 1 + (i*7)%8
+		if used+n > 100 {
+			n = 100 - used
+		}
+		used += n
+		snap.Running = append(snap.Running, sim.RunningJob{
+			ID: 1000 + i, Nodes: n, Start: 0,
+			PredictedEnd: snap.Now + job.Duration(300+i*977%21600),
+		})
+	}
+	snap.FreeNodes = 128 - used
+	for i := 0; i < queueLen; i++ {
+		est := job.Duration(300 + (i*2311)%43200)
+		snap.Queue = append(snap.Queue, sim.WaitingJob{
+			Job: job.Job{
+				ID:      i + 1,
+				Submit:  snap.Now - job.Time(60+(i*3571)%36000),
+				Nodes:   1 + (i*13)%64,
+				Runtime: est, Request: est,
+			},
+			Estimate: est,
+			QueuePos: i,
+		})
+	}
+	return snap
+}

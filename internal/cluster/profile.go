@@ -45,6 +45,18 @@ func New(capacity int, origin Time) *Profile {
 	}
 }
 
+// Reset reinitializes the profile in place to a fully free machine of
+// the given capacity from origin onward, reusing the step storage. It
+// makes the zero Profile usable and lets hot paths (one profile rebuild
+// per scheduling decision per search worker) avoid reallocating.
+func (p *Profile) Reset(capacity int, origin Time) {
+	if capacity < 1 {
+		panic("cluster: capacity must be positive")
+	}
+	p.capacity = capacity
+	p.steps = append(p.steps[:0], step{At: origin, Free: capacity})
+}
+
 // Capacity returns the machine's total node count.
 func (p *Profile) Capacity() int { return p.capacity }
 

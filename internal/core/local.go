@@ -86,7 +86,7 @@ func (ls *LocalScheduler) Decide(snap *sim.Snapshot) []int {
 	}
 	budget := int64(limit)
 	if ls.Hybrid && n > 1 {
-		s.limit = limit / 2
+		s.limit = int64(limit / 2)
 		s.runDDS()
 		budget -= s.nodes
 		if len(s.bestPath) == n {

@@ -10,6 +10,8 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"schedsearch/internal/job"
 	"schedsearch/internal/sim"
@@ -108,10 +110,52 @@ func (b BoundSpec) At(snap *sim.Snapshot) job.Duration {
 	return longest
 }
 
-// String names the bound in policy names ("dynB", "fixB=100h").
+// String names the bound in policy names ("dynB", "fixB=100h"). Fixed
+// bounds render losslessly in the largest whole unit: whole hours as
+// "fixB=100h", whole minutes as "fixB=30m", anything else in seconds
+// ("fixB=90s"), so ParseBound(b.String()) always round-trips.
 func (b BoundSpec) String() string {
 	if b.Dynamic {
 		return "dynB"
 	}
-	return fmt.Sprintf("fixB=%dh", b.Omega/job.Hour)
+	switch {
+	case b.Omega%job.Hour == 0:
+		return fmt.Sprintf("fixB=%dh", b.Omega/job.Hour)
+	case b.Omega%job.Minute == 0:
+		return fmt.Sprintf("fixB=%dm", b.Omega/job.Minute)
+	default:
+		return fmt.Sprintf("fixB=%ds", b.Omega)
+	}
+}
+
+// ParseBound parses the bound component of a policy name: "dynB", or a
+// fixed bound as a non-negative integer with an h/m/s unit suffix
+// ("100h", "30m", "90s"), optionally in the canonical "fixB=" spelling
+// BoundSpec.String emits ("fixB=100h"). Trailing characters are
+// rejected: "100h30" is an error, not 100 hours.
+func ParseBound(s string) (BoundSpec, error) {
+	if s == "dynB" {
+		return DynamicBound(), nil
+	}
+	spec := strings.TrimPrefix(s, "fixB=")
+	if len(spec) < 2 {
+		return BoundSpec{}, fmt.Errorf("core: bound %q: want dynB or a fixed bound like 100h, 30m or 90s", s)
+	}
+	var unit job.Duration
+	switch spec[len(spec)-1] {
+	case 'h':
+		unit = job.Hour
+	case 'm':
+		unit = job.Minute
+	case 's':
+		unit = 1
+	default:
+		return BoundSpec{}, fmt.Errorf("core: bound %q: want dynB or a fixed bound like 100h, 30m or 90s", s)
+	}
+	digits := spec[:len(spec)-1]
+	n, err := strconv.ParseInt(digits, 10, 64)
+	if err != nil || n < 0 {
+		return BoundSpec{}, fmt.Errorf("core: bound %q: want dynB or a fixed bound like 100h, 30m or 90s", s)
+	}
+	return FixedBound(job.Duration(n) * unit), nil
 }

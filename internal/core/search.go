@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"time"
 
 	"schedsearch/internal/cluster"
 	"schedsearch/internal/job"
@@ -84,7 +84,28 @@ type Stats struct {
 	// Pruned counts subtrees cut by branch-and-bound (zero unless
 	// Prune is enabled).
 	Pruned int64
+	// WallNs is the total wall-clock time spent searching, in
+	// nanoseconds, across all decisions.
+	WallNs int64
+	// BusyNs is the summed per-worker search time in nanoseconds. For
+	// sequential search it equals WallNs; for parallel search the ratio
+	// BusyNs/WallNs is the effective parallelism (see Speedup).
+	BusyNs int64
 }
+
+// Speedup returns the effective search parallelism: summed worker busy
+// time over wall time. It is 1.0 for sequential runs and approaches the
+// worker count when the parallel search scales.
+func (st Stats) Speedup() float64 {
+	if st.WallNs <= 0 || st.BusyNs <= 0 {
+		return 1
+	}
+	return float64(st.BusyNs) / float64(st.WallNs)
+}
+
+// AutoWorkers selects one search worker per available CPU (GOMAXPROCS)
+// when assigned to Scheduler.Workers.
+const AutoWorkers = -1
 
 // Scheduler is the search-based scheduling policy (sim.Policy). The
 // zero value is not valid; use New or populate all fields.
@@ -97,6 +118,15 @@ type Scheduler struct {
 	// completed even if it alone exceeds the limit, so the policy can
 	// always commit a schedule.
 	NodeLimit int
+	// Workers selects search parallelism across discrepancy iterations:
+	// 0 or 1 runs the sequential search; AutoWorkers (-1) uses one
+	// worker per CPU (GOMAXPROCS); any other positive value is used as
+	// given (values above GOMAXPROCS add no speed but remain
+	// deterministic). Parallel search commits the same schedules as
+	// sequential search: iterations carry deterministic node-budget
+	// shards and the merge prefers lowest cost, then lowest iteration.
+	// DFS and Prune runs are always sequential.
+	Workers int
 	// Cost scores job placements; nil means the paper's
 	// HierarchicalCost.
 	Cost CostFn
@@ -111,8 +141,15 @@ type Scheduler struct {
 	// SearchStats accumulates effort counters across the run.
 	SearchStats Stats
 
-	lastPlan []PlannedStart
-	s        searchState // reusable scratch
+	lastPlan  []PlannedStart
+	startsBuf []int
+	s         searchState // reusable scratch (sequential search + merge target)
+
+	// Parallel-search scratch, reused across decisions.
+	wstates []*searchState
+	tasks   []iterTask
+	results []iterResult
+	shard   shardScratch
 }
 
 // New returns a search-based scheduler; the paper's best policy is
@@ -127,7 +164,8 @@ func (sch *Scheduler) Name() string {
 	return fmt.Sprintf("%s/%s/%s", sch.Algorithm, sch.Heuristic, sch.Bound)
 }
 
-// Decide implements sim.Policy.
+// Decide implements sim.Policy. The returned slice is reused by the
+// next Decide.
 func (sch *Scheduler) Decide(snap *sim.Snapshot) []int {
 	n := len(snap.Queue)
 	if n == 0 {
@@ -142,31 +180,43 @@ func (sch *Scheduler) Decide(snap *sim.Snapshot) []int {
 		limit = 1
 	}
 
+	t0 := time.Now()
 	s := &sch.s
 	s.reset(snap, sch.Heuristic, sch.Bound.At(snap), cost, limit)
 	s.prune = sch.Prune
-	switch sch.Algorithm {
-	case LDS:
-		s.runLDS()
-	case DDS:
-		s.runDDS()
-	case DFS:
-		s.runDFS(0)
-	default:
-		panic(fmt.Sprintf("core: unknown algorithm %d", sch.Algorithm))
+	parallel := false
+	if workers := sch.parallelWorkers(n); workers > 1 {
+		parallel = sch.runParallel(snap, workers)
 	}
+	if !parallel {
+		switch sch.Algorithm {
+		case LDS:
+			s.runLDS()
+		case DDS:
+			s.runDDS()
+		case DFS:
+			s.runDFS(0)
+		default:
+			panic(fmt.Sprintf("core: unknown algorithm %d", sch.Algorithm))
+		}
+	}
+	wall := time.Since(t0).Nanoseconds()
 
 	sch.SearchStats.Decisions++
 	sch.SearchStats.Nodes += s.nodes
 	sch.SearchStats.Leaves += s.leaves
 	sch.SearchStats.Pruned += s.pruned
+	sch.SearchStats.WallNs += wall
+	if !parallel {
+		sch.SearchStats.BusyNs += wall
+	}
 	if s.aborted {
 		sch.SearchStats.BudgetHits++
 	} else {
 		sch.SearchStats.Exhausted++
 	}
 
-	var starts []int
+	starts := sch.startsBuf[:0]
 	sch.lastPlan = sch.lastPlan[:0]
 	for oi, now := range s.bestStartNow {
 		if now {
@@ -179,6 +229,7 @@ func (sch *Scheduler) Decide(snap *sim.Snapshot) []int {
 			Planned: s.bestStart[oi],
 		})
 	}
+	sch.startsBuf = starts
 	return starts
 }
 
@@ -198,19 +249,34 @@ type PlannedStart struct {
 // by the next Decide.
 func (sch *Scheduler) LastPlan() []PlannedStart { return sch.lastPlan }
 
+// LastCost returns the objective value of the schedule committed at the
+// most recent decision.
+func (sch *Scheduler) LastCost() Cost { return sch.s.bestCost }
+
 // searchState holds the per-decision search machinery; it is reused
-// across decisions to avoid allocation churn.
+// across decisions (and per worker, across iterations) to avoid
+// allocation churn.
 type searchState struct {
-	now    job.Time
-	bound  job.Duration
-	cost   CostFn
-	limit  int
+	now   job.Time
+	bound job.Duration
+	cost  CostFn
+	// limit is the node budget for this state's run; parallel workers
+	// receive per-iteration shards here (possibly unbounded).
+	limit  int64
 	nodes  int64
 	leaves int64
 
 	prof    *cluster.Profile
 	ordered []sim.WaitingJob // heuristic branch order
-	used    []bool
+
+	// Unused jobs form a doubly-linked free list over ordered indices,
+	// so enumerating and claiming the b-th unused job is O(1) instead
+	// of an O(n) scan per node visit. Unlinking keeps the removed
+	// entry's own pointers intact (dancing links), so LIFO relinking on
+	// backtrack is O(1) too.
+	freeHead int
+	freeNext []int
+	freePrev []int
 
 	curCost      Cost
 	curPath      []int // ordered indices along the current partial path
@@ -224,6 +290,10 @@ type searchState struct {
 	aborted      bool
 	prune        bool
 	pruned       int64
+	// hardBudget makes overBudget ignore bestFound: parallel workers on
+	// iterations > 0 abort purely on their node shard, because in the
+	// equivalent sequential run the iteration-0 schedule already exists.
+	hardBudget bool
 
 	// leafHook, when set (tests only), observes every complete path in
 	// exploration order.
@@ -231,31 +301,76 @@ type searchState struct {
 }
 
 func (s *searchState) reset(snap *sim.Snapshot, h Heuristic, bound job.Duration, cost CostFn, limit int) {
-	n := len(snap.Queue)
 	s.now = snap.Now
 	s.bound = bound
 	s.cost = cost
-	s.limit = limit
-	s.nodes = 0
-	s.leaves = 0
-	s.pruned = 0
+	s.limit = int64(limit)
 	s.prune = false
-	s.bestFound = false
-	s.aborted = false
-	s.curCost = Cost{}
+	s.hardBudget = false
 
 	s.ordered = append(s.ordered[:0], snap.Queue...)
 	orderJobs(s.ordered, h, snap.Now)
 
-	s.used = resizeBool(s.used, n)
+	s.resetSearch()
+	s.resetProfile(snap)
+}
+
+// resetWorker prepares a parallel worker state from the master state:
+// same decision parameters and branch order, its own profile copy.
+func (s *searchState) resetWorker(snap *sim.Snapshot, master *searchState) {
+	s.now = master.now
+	s.bound = master.bound
+	s.cost = master.cost
+	s.limit = master.limit
+	s.prune = false
+	s.hardBudget = false
+	s.leafHook = nil
+
+	s.ordered = append(s.ordered[:0], master.ordered...)
+
+	s.resetSearch()
+	s.resetProfile(snap)
+}
+
+// resetSearch reinitializes the per-run search buffers (free list,
+// path, best/current schedules) for the current ordered set.
+func (s *searchState) resetSearch() {
+	n := len(s.ordered)
+	s.nodes = 0
+	s.leaves = 0
+	s.pruned = 0
+	s.bestFound = false
+	s.aborted = false
+	s.curCost = Cost{}
+
+	s.freeNext = resizeInts(s.freeNext, n)
+	s.freePrev = resizeInts(s.freePrev, n)
+	for i := 0; i < n; i++ {
+		s.freeNext[i] = i + 1
+		s.freePrev[i] = i - 1
+	}
+	if n > 0 {
+		s.freeNext[n-1] = -1
+		s.freeHead = 0
+	} else {
+		s.freeHead = -1
+	}
+
 	s.curStartNow = resizeBool(s.curStartNow, n)
 	s.bestStartNow = resizeBool(s.bestStartNow, n)
 	s.curStart = resizeTimes(s.curStart, n)
 	s.bestStart = resizeTimes(s.bestStart, n)
 	s.curPath = s.curPath[:0]
+}
 
-	// Build the availability profile from running jobs' predicted ends.
-	s.prof = cluster.New(snap.Capacity, snap.Now)
+// resetProfile rebuilds the availability profile from the running jobs'
+// predicted ends, reusing the profile storage across decisions.
+func (s *searchState) resetProfile(snap *sim.Snapshot) {
+	if s.prof == nil {
+		s.prof = cluster.New(snap.Capacity, snap.Now)
+	} else {
+		s.prof.Reset(snap.Capacity, snap.Now)
+	}
 	for _, r := range snap.Running {
 		end := r.PredictedEnd
 		if end <= snap.Now {
@@ -281,64 +396,97 @@ func resizeTimes(ts []job.Time, n int) []job.Time {
 	return ts
 }
 
+func resizeInts(xs []int, n int) []int {
+	xs = xs[:0]
+	for i := 0; i < n; i++ {
+		xs = append(xs, 0)
+	}
+	return xs
+}
+
 // orderJobs sorts jobs into the heuristic's branch order with
-// deterministic tiebreaks.
+// deterministic tiebreaks. Insertion sort keeps the hot path
+// allocation-free (sort.SliceStable allocates for its closure and
+// reflection swapper); queues are tens of jobs, and both orders are
+// total (ID tiebreak), so the result matches any stable sort.
 func orderJobs(jobs []sim.WaitingJob, h Heuristic, now job.Time) {
+	var less func(a, b *sim.WaitingJob) bool
 	switch h {
 	case HeuristicFCFS:
-		sort.SliceStable(jobs, func(a, b int) bool {
-			if jobs[a].Job.Submit != jobs[b].Job.Submit {
-				return jobs[a].Job.Submit < jobs[b].Job.Submit
+		less = func(a, b *sim.WaitingJob) bool {
+			if a.Job.Submit != b.Job.Submit {
+				return a.Job.Submit < b.Job.Submit
 			}
-			return jobs[a].Job.ID < jobs[b].Job.ID
-		})
+			return a.Job.ID < b.Job.ID
+		}
 	case HeuristicLXF:
-		sort.SliceStable(jobs, func(a, b int) bool {
-			sa := job.BoundedSlowdownAt(jobs[a].Job.Submit, jobs[a].Estimate, now)
-			sb := job.BoundedSlowdownAt(jobs[b].Job.Submit, jobs[b].Estimate, now)
+		less = func(a, b *sim.WaitingJob) bool {
+			sa := job.BoundedSlowdownAt(a.Job.Submit, a.Estimate, now)
+			sb := job.BoundedSlowdownAt(b.Job.Submit, b.Estimate, now)
 			if sa != sb {
 				return sa > sb
 			}
-			if jobs[a].Job.Submit != jobs[b].Job.Submit {
-				return jobs[a].Job.Submit < jobs[b].Job.Submit
+			if a.Job.Submit != b.Job.Submit {
+				return a.Job.Submit < b.Job.Submit
 			}
-			return jobs[a].Job.ID < jobs[b].Job.ID
-		})
+			return a.Job.ID < b.Job.ID
+		}
 	default:
 		panic(fmt.Sprintf("core: unknown heuristic %d", h))
+	}
+	for i := 1; i < len(jobs); i++ {
+		for k := i; k > 0 && less(&jobs[k], &jobs[k-1]); k-- {
+			jobs[k], jobs[k-1] = jobs[k-1], jobs[k]
+		}
 	}
 }
 
 // overBudget reports whether the node budget is spent; the search keeps
 // going until at least one complete schedule exists, so a decision can
-// always be committed.
+// always be committed (parallel iteration shards waive that via
+// hardBudget: their iteration-0 sibling guarantees the schedule).
 func (s *searchState) overBudget() bool {
-	return s.nodes >= int64(s.limit) && s.bestFound
+	if s.nodes < s.limit {
+		return false
+	}
+	return s.hardBudget || s.bestFound
 }
 
-// visit places the b-th unused job (in heuristic order), recurses via
-// down, and undoes the placement. It returns false when the search
-// aborted on budget.
-func (s *searchState) visit(branch int, down func()) bool {
+// unlink removes ordered index oi from the free list. oi's own pointers
+// are left intact so relink can restore it in O(1) (LIFO order).
+func (s *searchState) unlink(oi int) {
+	p, nx := s.freePrev[oi], s.freeNext[oi]
+	if p >= 0 {
+		s.freeNext[p] = nx
+	} else {
+		s.freeHead = nx
+	}
+	if nx >= 0 {
+		s.freePrev[nx] = p
+	}
+}
+
+// relink restores ordered index oi into the free list (inverse of the
+// most recent unlink of oi).
+func (s *searchState) relink(oi int) {
+	p, nx := s.freePrev[oi], s.freeNext[oi]
+	if p >= 0 {
+		s.freeNext[p] = oi
+	} else {
+		s.freeHead = oi
+	}
+	if nx >= 0 {
+		s.freePrev[nx] = oi
+	}
+}
+
+// visit places the job at ordered index oi (which must be on the free
+// list), recurses via down, and undoes the placement. It returns false
+// when the search aborted on budget.
+func (s *searchState) visit(oi int, down func()) bool {
 	if s.overBudget() {
 		s.aborted = true
 		return false
-	}
-	// Locate the branch-th unused job.
-	oi := -1
-	seen := 0
-	for i := range s.ordered {
-		if s.used[i] {
-			continue
-		}
-		if seen == branch {
-			oi = i
-			break
-		}
-		seen++
-	}
-	if oi < 0 {
-		panic("core: branch index out of range")
 	}
 	s.nodes++
 
@@ -351,7 +499,7 @@ func (s *searchState) visit(branch int, down func()) bool {
 	delta := s.cost(w, start, s.now, s.bound)
 	prevCost := s.curCost
 	s.curCost = s.curCost.Add(delta)
-	s.used[oi] = true
+	s.unlink(oi)
 	s.curStartNow[oi] = start == s.now
 	s.curStart[oi] = start
 	s.curPath = append(s.curPath, oi)
@@ -365,7 +513,7 @@ func (s *searchState) visit(branch int, down func()) bool {
 	}
 
 	s.curPath = s.curPath[:len(s.curPath)-1]
-	s.used[oi] = false
+	s.relink(oi)
 	s.curCost = prevCost
 	s.prof.Undo(pl)
 	return !s.aborted
@@ -409,27 +557,29 @@ func (s *searchState) ldsDFS(depth, rem int) {
 		}
 		return
 	}
-	branches := n - depth
 	// Levels strictly below this one that can still host a discrepancy
 	// (a level needs at least two branches).
 	choiceBelow := n - 2 - depth
 	if choiceBelow < 0 {
 		choiceBelow = 0
 	}
-	for b := 0; b < branches; b++ {
+	b := 0
+	for oi := s.freeHead; oi >= 0; oi = s.freeNext[oi] {
 		if b == 0 {
+			b++
 			if rem > choiceBelow {
 				continue // cannot consume all remaining discrepancies below
 			}
-			if !s.visit(0, func() { s.ldsDFS(depth+1, rem) }) {
+			if !s.visit(oi, func() { s.ldsDFS(depth+1, rem) }) {
 				return
 			}
 			continue
 		}
+		b++
 		if rem == 0 {
 			break // every b > 0 would add a discrepancy
 		}
-		if !s.visit(b, func() { s.ldsDFS(depth+1, rem-1) }) {
+		if !s.visit(oi, func() { s.ldsDFS(depth+1, rem-1) }) {
 			return
 		}
 	}
@@ -454,8 +604,8 @@ func (s *searchState) runDFS(level int) {
 		s.leaf()
 		return
 	}
-	for b := 0; b < n-level; b++ {
-		if !s.visit(b, func() { s.runDFS(level + 1) }) {
+	for oi := s.freeHead; oi >= 0; oi = s.freeNext[oi] {
+		if !s.visit(oi, func() { s.runDFS(level + 1) }) {
 			return
 		}
 	}
@@ -470,19 +620,23 @@ func (s *searchState) ddsDFS(level, iter int) {
 		s.leaf()
 		return
 	}
-	branches := n - level
-	var lo, hi int // allowed branch range [lo, hi)
-	switch {
-	case iter == 0 || level > iter-1:
-		lo, hi = 0, 1 // heuristic only
-	case level == iter-1:
-		lo, hi = 1, branches // forced discrepancy
-	default:
-		lo, hi = 0, branches // free branching above the forced depth
-	}
-	for b := lo; b < hi; b++ {
-		if !s.visit(b, func() { s.ddsDFS(level+1, iter) }) {
+	// Heuristic-only below the forced depth (and everywhere in
+	// iteration 0); forced discrepancy exactly at level iter-1; free
+	// branching above it.
+	heuristicOnly := iter == 0 || level > iter-1
+	forced := iter > 0 && level == iter-1
+	b := 0
+	for oi := s.freeHead; oi >= 0; oi = s.freeNext[oi] {
+		if forced && b == 0 {
+			b++
+			continue
+		}
+		b++
+		if !s.visit(oi, func() { s.ddsDFS(level+1, iter) }) {
 			return
+		}
+		if heuristicOnly {
+			break
 		}
 	}
 }

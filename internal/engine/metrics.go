@@ -17,6 +17,12 @@ type Counters struct {
 	SearchNodes  int64 `json:"search_nodes"`
 	SearchLeaves int64 `json:"search_leaves"`
 	BudgetHits   int64 `json:"budget_hits"`
+	// SearchWallMs is the wall-clock time spent inside the search across
+	// all decisions; SearchSpeedup is the effective search parallelism
+	// (worker busy time over wall time, 1.0 for sequential search).
+	// Both are zero for backfill policies.
+	SearchWallMs  float64 `json:"search_wall_ms"`
+	SearchSpeedup float64 `json:"search_speedup"`
 	// AvgDecideMs and MaxDecideMs are wall-clock decision latencies in
 	// milliseconds (always wall time, even on a virtual clock).
 	AvgDecideMs float64 `json:"avg_decide_ms"`
@@ -112,6 +118,8 @@ func (e *Engine) countersLocked() Counters {
 		c.SearchNodes = st.Nodes
 		c.SearchLeaves = st.Leaves
 		c.BudgetHits = int64(st.BudgetHits)
+		c.SearchWallMs = float64(st.WallNs) / 1e6
+		c.SearchSpeedup = st.Speedup()
 	}
 	return c
 }
@@ -134,6 +142,8 @@ func OfflineMetrics(res *sim.Result, sum metrics.Summary, pol sim.Policy) Metric
 		m.Engine.SearchNodes = st.Nodes
 		m.Engine.SearchLeaves = st.Leaves
 		m.Engine.BudgetHits = int64(st.BudgetHits)
+		m.Engine.SearchWallMs = float64(st.WallNs) / 1e6
+		m.Engine.SearchSpeedup = st.Speedup()
 	}
 	return m
 }

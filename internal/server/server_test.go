@@ -140,6 +140,9 @@ func TestServerMetricsWithSearchPolicy(t *testing.T) {
 	if m.Engine.Decisions == 0 || m.Engine.SearchNodes == 0 {
 		t.Fatalf("engine counters %+v, want non-zero decisions and search nodes", m.Engine)
 	}
+	if m.Engine.SearchWallMs <= 0 || m.Engine.SearchSpeedup < 1 {
+		t.Fatalf("engine counters %+v, want search wall time and speedup >= 1", m.Engine)
+	}
 	// Jobs 2 and 3 each waited 600s behind the previous full-machine
 	// job: the running summary must reflect that.
 	if m.Summary.AvgWaitH <= 0 || m.Summary.MaxWaitH < 0.3 {

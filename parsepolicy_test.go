@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"schedsearch"
+	"schedsearch/internal/core"
 )
 
 // TestParsePolicyErrors covers every rejection path of ParsePolicy.
@@ -27,6 +28,12 @@ func TestParsePolicyErrors(t *testing.T) {
 		{"bare number bound", "DDS/lxf/12", "bound"},
 		{"empty bound", "DDS/lxf/", "bound"},
 		{"dynB typo", "DDS/lxf/dynb", "bound"},
+		{"trailing garbage after unit", "DDS/lxf/100h30", "bound"},
+		{"trailing garbage canonical", "DDS/lxf/fixB=100h30", "bound"},
+		{"bare fixB prefix", "DDS/lxf/fixB=", "bound"},
+		{"unit only", "DDS/lxf/h", "bound"},
+		{"non-digit magnitude", "DDS/lxf/1x0h", "bound"},
+		{"overflow magnitude", "DDS/lxf/99999999999999999999h", "bound"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -38,6 +45,96 @@ func TestParsePolicyErrors(t *testing.T) {
 				t.Fatalf("ParsePolicy(%q) error %q, want mention of %q", tc.input, err, tc.wantSub)
 			}
 		})
+	}
+}
+
+// TestParsePolicyRoundTrips: ParsePolicy(p.Name()) must reconstruct p
+// for every constructible search policy — all algorithm, heuristic and
+// bound combinations — and the shorthand bound spellings must build the
+// same policy as the canonical "fixB=" form Scheduler.Name emits.
+func TestParsePolicyRoundTrips(t *testing.T) {
+	algos := []core.Algorithm{core.LDS, core.DDS, core.DFS}
+	heurs := []core.Heuristic{core.HeuristicFCFS, core.HeuristicLXF}
+	bounds := []core.BoundSpec{
+		core.DynamicBound(),
+		core.FixedBound(0),
+		core.FixedBound(100 * 3600), // 100h
+		core.FixedBound(30 * 60),    // 30m: must not round-trip through "0h"
+		core.FixedBound(90),         // 90s
+		core.FixedBound(3601),       // 1h1s: seconds spelling
+	}
+	for _, algo := range algos {
+		for _, h := range heurs {
+			for _, b := range bounds {
+				sch := core.New(algo, h, b, 100)
+				name := sch.Name()
+				pol, err := schedsearch.ParsePolicy(name, 100)
+				if err != nil {
+					t.Fatalf("ParsePolicy(%q) failed: %v", name, err)
+				}
+				if pol.Name() != name {
+					t.Fatalf("round trip %q -> %q", name, pol.Name())
+				}
+				back, ok := pol.(*core.Scheduler)
+				if !ok {
+					t.Fatalf("ParsePolicy(%q) built %T", name, pol)
+				}
+				if back.Algorithm != algo || back.Heuristic != h || back.Bound != b {
+					t.Fatalf("ParsePolicy(%q) = {%v %v %v}, want {%v %v %v}",
+						name, back.Algorithm, back.Heuristic, back.Bound, algo, h, b)
+				}
+			}
+		}
+	}
+
+	// Shorthand and canonical spellings build identical policies.
+	for _, spellings := range [][2]string{
+		{"DDS/lxf/100h", "DDS/lxf/fixB=100h"},
+		{"LDS/fcfs/30m", "LDS/fcfs/fixB=30m"},
+		{"DFS/lxf/90s", "DFS/lxf/fixB=90s"},
+		{"DDS/fcfs/0h", "DDS/fcfs/fixB=0h"},
+	} {
+		short, err := schedsearch.ParsePolicy(spellings[0], 100)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q) failed: %v", spellings[0], err)
+		}
+		canon, err := schedsearch.ParsePolicy(spellings[1], 100)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q) failed: %v", spellings[1], err)
+		}
+		if short.Name() != canon.Name() {
+			t.Fatalf("%q parsed as %q, %q as %q", spellings[0], short.Name(),
+				spellings[1], canon.Name())
+		}
+	}
+}
+
+// TestBoundStringLossless: sub-hour fixed bounds must render in a unit
+// that preserves them ("30m", not the truncated "0h").
+func TestBoundStringLossless(t *testing.T) {
+	cases := []struct {
+		omega int64
+		want  string
+	}{
+		{0, "fixB=0h"},
+		{100 * 3600, "fixB=100h"},
+		{30 * 60, "fixB=30m"},
+		{90, "fixB=90s"},
+		{3600, "fixB=1h"},
+		{3660, "fixB=61m"},
+		{3661, "fixB=3661s"},
+	}
+	for _, c := range cases {
+		b := schedsearch.FixedBound(c.omega)
+		if got := b.String(); got != c.want {
+			t.Errorf("FixedBound(%d).String() = %q, want %q", c.omega, got, c.want)
+		}
+		back, err := core.ParseBound(b.String())
+		if err != nil {
+			t.Errorf("ParseBound(%q) failed: %v", b.String(), err)
+		} else if back != b {
+			t.Errorf("ParseBound(%q) = %+v, want %+v", b.String(), back, b)
+		}
 	}
 }
 

@@ -84,6 +84,10 @@ const (
 	Day            = job.Day
 	DefaultCap     = workload.Capacity
 	DefaultLimit1K = 1000
+	// AutoWorkers, assigned to SearchScheduler.Workers, runs the search
+	// with one worker per CPU. Parallel search commits exactly the
+	// schedules sequential search would.
+	AutoWorkers = core.AutoWorkers
 )
 
 // SuiteConfig mirrors the workload generator configuration.
@@ -215,6 +219,9 @@ func ExcessiveWait(res *Result, thresholdH float64) Excess {
 // "LXFW-backfill", "Selective-backfill", "Relaxed-backfill",
 // "Slack-backfill" and "Lookahead"; search policies follow the paper's
 // ALGO/HEUR/BOUND scheme, e.g. "DDS/lxf/dynB" or "LDS/fcfs/100h".
+// Fixed bounds accept both the shorthand ("100h", "30m", "90s") and
+// the canonical spelling Scheduler.Name emits ("fixB=100h"), so
+// ParsePolicy(p.Name()) round-trips for every constructible policy.
 // nodeLimit is the search node budget L (ignored for backfill).
 func ParsePolicy(name string, nodeLimit int) (Policy, error) {
 	switch name {
@@ -266,15 +273,9 @@ func ParsePolicy(name string, nodeLimit int) (Policy, error) {
 	default:
 		return nil, fmt.Errorf("schedsearch: unknown branching heuristic %q", parts[1])
 	}
-	var bound core.BoundSpec
-	if parts[2] == "dynB" {
-		bound = core.DynamicBound()
-	} else {
-		var hours int
-		if _, err := fmt.Sscanf(parts[2], "%dh", &hours); err != nil || hours < 0 {
-			return nil, fmt.Errorf("schedsearch: bound %q: want dynB or a fixed bound like 100h", parts[2])
-		}
-		bound = core.FixedBound(int64(hours) * job.Hour)
+	bound, err := core.ParseBound(parts[2])
+	if err != nil {
+		return nil, fmt.Errorf("schedsearch: %w", err)
 	}
 	return core.New(algo, heur, bound, nodeLimit), nil
 }
