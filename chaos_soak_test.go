@@ -1,0 +1,54 @@
+package schedsearch_test
+
+import (
+	"testing"
+
+	"schedsearch"
+	"schedsearch/internal/chaos"
+	"schedsearch/internal/sim"
+)
+
+// TestChaosSoak is the long-running fault-injection soak: many seeds,
+// every fault enabled at once, across the policy families, with the
+// oracle checking every run (chaos.Run fails on any invariant
+// violation). CI runs it under -race; -short cuts the seed count so
+// the pre-commit loop stays fast.
+func TestChaosSoak(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 3
+	}
+	policies := []struct {
+		name string
+		make func() sim.Policy
+	}{
+		{"FCFS-backfill", func() sim.Policy { return schedsearch.FCFSBackfill() }},
+		{"LXF-backfill", func() sim.Policy { return schedsearch.LXFBackfill() }},
+		{"DDS-lxf-dynB", func() sim.Policy {
+			return schedsearch.NewSearchScheduler(schedsearch.DDS, schedsearch.HeuristicLXF,
+				schedsearch.DynamicBound(), 100)
+		}},
+	}
+	for _, pol := range policies {
+		pol := pol
+		t.Run(pol.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= uint64(seeds); seed++ {
+				res, err := chaos.Run(chaos.Config{
+					Seed:   seed,
+					Faults: chaos.AllFaults,
+					Policy: pol.make,
+					Jobs:   100,
+				})
+				if err != nil {
+					t.Fatalf("seed %d: %v (reproduce: chaos.Run with this seed and AllFaults)", seed, err)
+				}
+				if len(res.Records) == 0 {
+					t.Fatalf("seed %d: no jobs completed", seed)
+				}
+				t.Logf("seed %d: %d completed, %d rejected, %d panics recovered, rebuilt=%v",
+					seed, len(res.Records), res.Rejected, res.Panics, res.Rebuilt)
+			}
+		})
+	}
+}

@@ -23,6 +23,17 @@
 // the same schema GET /v1/metrics serves, with the same measurement
 // window as the offline simulator, so the summary is directly
 // comparable with `schedsim -json`.
+//
+// Chaos mode (development):
+//
+//	schedd -virtual -month 7/03 -policy DDS/lxf/dynB -chaos 3
+//
+// -chaos SEED wraps the policy in a seeded fault injector (panics and
+// artificial latency at seed-dependent decision points — the engine
+// recovers each panic on its FCFS fallback) and attaches the
+// schedule-invariant oracle; the run fails if any invariant is
+// violated, and reports the verdict on stderr. Works in both serving
+// and replay modes.
 package main
 
 import (
@@ -37,11 +48,14 @@ import (
 	"sort"
 	"sync"
 	"syscall"
+	"time"
 
 	"schedsearch"
+	"schedsearch/internal/chaos"
 	"schedsearch/internal/core"
 	"schedsearch/internal/engine"
 	"schedsearch/internal/job"
+	"schedsearch/internal/oracle"
 	"schedsearch/internal/server"
 	"schedsearch/internal/sim"
 	"schedsearch/internal/trace"
@@ -63,6 +77,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "workload generation seed")
 		scale     = flag.Float64("scale", 1, "job-count/duration scale factor for generated months")
 		load      = flag.Float64("load", 0, "target offered load for generated months (0 = original)")
+		chaosSeed = flag.Uint64("chaos", 0, "dev fault injection: wrap the policy in a seeded panic/latency injector and verify the run against the schedule oracle (0 = off)")
 	)
 	flag.Parse()
 
@@ -73,15 +88,45 @@ func main() {
 	if sch, ok := pol.(*core.Scheduler); ok {
 		sch.Workers = *workers
 	}
+	chaosOn := *chaosSeed > 0
+	if chaosOn {
+		// The seed varies the injection cadence, so different seeds
+		// exercise different decision points; the oracle rides along and
+		// the run fails loudly on any schedule-invariant violation.
+		pol = &chaos.FlakyPolicy{
+			Inner:        pol,
+			PanicEvery:   int(5 + *chaosSeed%7),
+			LatencyEvery: int(2 + *chaosSeed%3),
+			Latency:      100 * time.Microsecond,
+		}
+		fmt.Fprintf(os.Stderr, "schedd: chaos mode on (seed %d): injecting policy panics and latency\n", *chaosSeed)
+	}
 	if *virtual || *swfIn != "" {
-		if err := replay(pol, *swfIn, *month, *seed, *scale, *load, *capacity, *requested); err != nil {
+		if err := replay(pol, *swfIn, *month, *seed, *scale, *load, *capacity, *requested, chaosOn); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	if err := serve(pol, *addr, *capacity, *requested, *speedup); err != nil {
+	if err := serve(pol, *addr, *capacity, *requested, *speedup, chaosOn); err != nil {
 		fatal(err)
 	}
+}
+
+// verifyOracle renders the chaos-mode verdict after a run: the live
+// oracle's end-of-run check plus the record sweep.
+func verifyOracle(orc *oracle.Oracle, e *engine.Engine) error {
+	if orc == nil {
+		return nil
+	}
+	if err := orc.Final(); err != nil {
+		return err
+	}
+	if err := oracle.CheckRecords(e.Metrics().Capacity, nil, e.Records()); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "schedd: chaos oracle verdict: clean (%d jobs, %d recovered panics)\n",
+		len(e.Records()), e.Metrics().Engine.PolicyPanics)
+	return nil
 }
 
 func fatal(err error) {
@@ -92,13 +137,23 @@ func fatal(err error) {
 // serve runs the daemon: a real-clock engine behind the HTTP API.
 // POST /v1/drain (or SIGINT/SIGTERM) triggers a graceful shutdown once
 // the machine has emptied.
-func serve(pol schedsearch.Policy, addr string, capacity int, requested bool, speedup float64) error {
-	e, err := engine.New(engine.Config{
+func serve(pol sim.Policy, addr string, capacity int, requested bool, speedup float64, chaosOn bool) error {
+	var orc *oracle.Oracle
+	if chaosOn {
+		orc = oracle.New(capacity)
+	}
+	cfg := engine.Config{
 		Capacity:     capacity,
 		Policy:       pol,
 		Clock:        engine.NewRealClock(speedup),
 		UseRequested: requested,
-	})
+	}
+	if orc != nil {
+		// Assigning a nil *Oracle directly would store a typed-nil
+		// Observer the ledger's nil check cannot see.
+		cfg.Observer = orc
+	}
+	e, err := engine.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -131,6 +186,9 @@ func serve(pol schedsearch.Policy, addr string, capacity int, requested bool, sp
 	if err := e.Err(); err != nil {
 		return err
 	}
+	if err := verifyOracle(orc, e); err != nil {
+		return err
+	}
 	return printMetrics(e)
 }
 
@@ -138,15 +196,19 @@ func serve(pol schedsearch.Policy, addr string, capacity int, requested bool, sp
 // virtual clock (as fast as the hardware allows) and prints the final
 // metrics. Each job is delivered by a clock timer at its submit time,
 // exactly like the engine's differential tests.
-func replay(pol schedsearch.Policy, swfIn, month string, seed uint64, scale, load float64,
-	capacity int, requested bool) error {
+func replay(pol sim.Policy, swfIn, month string, seed uint64, scale, load float64,
+	capacity int, requested bool, chaosOn bool) error {
 	input, err := replayInput(swfIn, month, seed, scale, load, capacity, requested)
 	if err != nil {
 		return err
 	}
+	var orc *oracle.Oracle
+	if chaosOn {
+		orc = oracle.New(input.Capacity)
+	}
 
 	vc := engine.NewVirtualClock()
-	e, err := engine.New(engine.Config{
+	cfg := engine.Config{
 		Capacity:     input.Capacity,
 		Policy:       pol,
 		Clock:        vc,
@@ -159,7 +221,11 @@ func replay(pol schedsearch.Policy, swfIn, month string, seed uint64, scale, loa
 		},
 		MeasureStart: input.MeasureStart,
 		MeasureEnd:   input.MeasureEnd,
-	})
+	}
+	if orc != nil {
+		cfg.Observer = orc
+	}
+	e, err := engine.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -178,6 +244,9 @@ func replay(pol schedsearch.Policy, swfIn, month string, seed uint64, scale, loa
 		return submitErr
 	}
 	if err := e.Err(); err != nil {
+		return err
+	}
+	if err := verifyOracle(orc, e); err != nil {
 		return err
 	}
 	return printMetrics(e)

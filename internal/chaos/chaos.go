@@ -1,0 +1,470 @@
+// Package chaos is a deterministic, seeded fault injector for the
+// online scheduling engine. It drives an engine on a virtual clock
+// through a generated workload while injecting faults through the
+// engine's public seams — the Clock (jump advancement), the submission
+// API (bursts, duplicate IDs, reordered and hostile specs) and the
+// Policy interface (injected Decide panics and artificial latency) —
+// plus a mid-run crash that rebuilds the engine from its committed
+// event journal.
+//
+// Everything is derived from Config.Seed through independent
+// stats.RNG streams, so a scenario replays bit-identically: same seed,
+// same faults, same committed schedule. The correctness oracle
+// (internal/oracle) observes every committed event and the final
+// records are swept again with oracle.CheckRecords, so a Run that
+// returns a Result with a nil error is a machine-checked certificate
+// that the invariants held under that fault mix.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"schedsearch/internal/engine"
+	"schedsearch/internal/job"
+	"schedsearch/internal/oracle"
+	"schedsearch/internal/sim"
+	"schedsearch/internal/stats"
+)
+
+// Fault is a bitmask of injectable fault classes.
+type Fault uint
+
+const (
+	// FaultClockJumps drives the virtual clock in irregular seeded
+	// leaps that skip far past pending timers instead of stepping
+	// event-to-event.
+	FaultClockJumps Fault = 1 << iota
+	// FaultBurstSubmits collapses arrival gaps so many jobs land on
+	// the same instant and a single coalesced decision must absorb
+	// the burst.
+	FaultBurstSubmits
+	// FaultDuplicateIDs re-submits already-admitted job IDs; the
+	// engine must reject every duplicate without disturbing state.
+	FaultDuplicateIDs
+	// FaultReorderedSubmits delivers job specs out of their generated
+	// order, so IDs arrive non-monotonically.
+	FaultReorderedSubmits
+	// FaultHostileSpecs submits malformed jobs (zero or oversized node
+	// counts, negative runtimes, invalid IDs) that must all be
+	// rejected cleanly.
+	FaultHostileSpecs
+	// FaultPolicyPanic makes Decide panic on a seeded cadence; the
+	// engine must recover with its FCFS fallback.
+	FaultPolicyPanic
+	// FaultPolicyLatency adds wall-clock latency inside Decide
+	// (scheduling outcomes on a virtual clock must not change).
+	FaultPolicyLatency
+	// FaultCrashRebuild kills the engine mid-run and resumes from a
+	// Checkpoint via engine.Rebuild on the same clock.
+	FaultCrashRebuild
+)
+
+// AllFaults enables every fault class.
+const AllFaults = FaultClockJumps | FaultBurstSubmits | FaultDuplicateIDs |
+	FaultReorderedSubmits | FaultHostileSpecs | FaultPolicyPanic |
+	FaultPolicyLatency | FaultCrashRebuild
+
+var faultNames = []struct {
+	f    Fault
+	name string
+}{
+	{FaultClockJumps, "clock-jumps"},
+	{FaultBurstSubmits, "burst-submits"},
+	{FaultDuplicateIDs, "duplicate-ids"},
+	{FaultReorderedSubmits, "reordered-submits"},
+	{FaultHostileSpecs, "hostile-specs"},
+	{FaultPolicyPanic, "policy-panic"},
+	{FaultPolicyLatency, "policy-latency"},
+	{FaultCrashRebuild, "crash-rebuild"},
+}
+
+// String names the enabled fault classes.
+func (f Fault) String() string {
+	if f == 0 {
+		return "none"
+	}
+	out := ""
+	for _, fn := range faultNames {
+		if f&fn.f != 0 {
+			if out != "" {
+				out += "+"
+			}
+			out += fn.name
+		}
+	}
+	return out
+}
+
+// Config describes one chaos scenario.
+type Config struct {
+	// Seed derives every random choice in the scenario.
+	Seed uint64
+	// Capacity is the machine size in nodes (default 64).
+	Capacity int
+	// Jobs is the number of legitimate jobs in the workload
+	// (default 120).
+	Jobs int
+	// Faults selects the injected fault classes.
+	Faults Fault
+	// Policy constructs the scheduling policy; it is called once per
+	// engine incarnation (fresh instance after a crash-rebuild, like a
+	// restarted process). Default: a fresh FCFS-backfill-like fallback
+	// is NOT assumed — Policy is required.
+	Policy func() sim.Policy
+	// PanicEvery makes every n-th Decide call panic when
+	// FaultPolicyPanic is set (default 5).
+	PanicEvery int
+	// Latency is the injected wall-clock Decide latency when
+	// FaultPolicyLatency is set (default 100µs).
+	Latency time.Duration
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if out.Policy == nil {
+		return out, errors.New("chaos: Config.Policy is required")
+	}
+	if out.Capacity == 0 {
+		out.Capacity = 64
+	}
+	if out.Jobs == 0 {
+		out.Jobs = 120
+	}
+	if out.PanicEvery == 0 {
+		out.PanicEvery = 5
+	}
+	if out.Latency == 0 {
+		out.Latency = 100 * time.Microsecond
+	}
+	return out, nil
+}
+
+// Result is the outcome of one chaos scenario.
+type Result struct {
+	// Records is the committed schedule in completion order.
+	Records []sim.Record
+	// Accepted is every admitted job with its engine-stamped submit
+	// time, in ID order.
+	Accepted []job.Job
+	// Rejected counts submissions the engine refused (duplicates and
+	// hostile specs; every injected one must be refused).
+	Rejected int
+	// Panics is the number of recovered policy panics.
+	Panics int64
+	// Rebuilt reports whether a crash-rebuild was injected.
+	Rebuilt bool
+	// Metrics is the final engine metrics snapshot.
+	Metrics engine.Metrics
+}
+
+// plannedSubmit is one scheduled submission.
+type plannedSubmit struct {
+	at      job.Time
+	spec    job.Job
+	wantErr bool
+}
+
+// plan is a fully deterministic scenario script.
+type plan struct {
+	submits []plannedSubmit
+	crashAt job.Time
+}
+
+// buildPlan derives the scenario script from the seed. Independent RNG
+// streams keep the legitimate workload identical whether or not fault
+// entries are woven in.
+func buildPlan(cfg Config) plan {
+	rngW := stats.NewRNG(cfg.Seed, 101) // workload shape
+	rngF := stats.NewRNG(cfg.Seed, 102) // fault injection
+
+	n := cfg.Jobs
+	arrive := make([]job.Time, n)
+	specs := make([]job.Job, n)
+	at := job.Time(0)
+	burstLeft := 0
+	for i := 0; i < n; i++ {
+		gap := job.Duration(rngW.IntN(900))
+		if cfg.Faults&FaultBurstSubmits != 0 {
+			if burstLeft > 0 {
+				burstLeft--
+				gap = 0
+			} else if rngW.IntN(6) == 0 {
+				burstLeft = 3 + rngW.IntN(12)
+			}
+		}
+		at += gap
+		arrive[i] = at
+		rt := job.Duration(1 + rngW.IntN(7200))
+		if rngW.IntN(40) == 0 {
+			rt = 0 // zero-runtime jobs occupy the machine for one instant
+		}
+		specs[i] = job.Job{
+			ID:      i + 1,
+			Nodes:   1 + rngW.IntN(cfg.Capacity),
+			Runtime: rt,
+			Request: rt + job.Duration(rngW.IntN(3600)),
+			User:    rngW.IntN(8),
+		}
+	}
+
+	// Reordering permutes which spec lands on which arrival slot, so
+	// IDs arrive out of order while the arrival-time sequence stays.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if cfg.Faults&FaultReorderedSubmits != 0 {
+		for i := n - 1; i > 0; i-- {
+			k := rngF.IntN(i + 1)
+			order[i], order[k] = order[k], order[i]
+		}
+	}
+	p := plan{}
+	arrivedAt := make([]job.Time, n) // by spec index
+	for slot := 0; slot < n; slot++ {
+		s := order[slot]
+		p.submits = append(p.submits, plannedSubmit{at: arrive[slot], spec: specs[s]})
+		arrivedAt[s] = arrive[slot]
+	}
+
+	if cfg.Faults&FaultDuplicateIDs != 0 {
+		for d := 0; d < 1+n/10; d++ {
+			victim := rngF.IntN(n)
+			dup := specs[victim]
+			dup.Nodes = 1 + rngF.IntN(cfg.Capacity) // shape may differ; the ID is the offense
+			dup.Runtime = job.Duration(1 + rngF.IntN(600))
+			dup.Request = dup.Runtime
+			p.submits = append(p.submits, plannedSubmit{
+				at:      arrivedAt[victim] + job.Time(rngF.IntN(1200)),
+				spec:    dup,
+				wantErr: true,
+			})
+		}
+	}
+	if cfg.Faults&FaultHostileSpecs != 0 {
+		mk := func(mutate func(*job.Job)) plannedSubmit {
+			j := job.Job{ID: n + 1000 + rngF.IntN(1000000), Nodes: 1 + rngF.IntN(cfg.Capacity),
+				Runtime: 60, Request: 60}
+			mutate(&j)
+			return plannedSubmit{at: arrive[rngF.IntN(n)], spec: j, wantErr: true}
+		}
+		for h := 0; h < 1+n/20; h++ {
+			switch rngF.IntN(4) {
+			case 0:
+				p.submits = append(p.submits, mk(func(j *job.Job) { j.Nodes = 0 }))
+			case 1:
+				p.submits = append(p.submits, mk(func(j *job.Job) { j.Nodes = cfg.Capacity + 1 + rngF.IntN(64) }))
+			case 2:
+				p.submits = append(p.submits, mk(func(j *job.Job) { j.Runtime = -job.Duration(1 + rngF.IntN(3600)) }))
+			case 3:
+				p.submits = append(p.submits, mk(func(j *job.Job) { j.ID = -rngF.IntN(3) }))
+			}
+		}
+	}
+	// Crash roughly 60% through the arrival timeline, offset so it
+	// rarely coincides with an arrival instant (when it does, same-
+	// instant ordering is still deterministic: submit timers are
+	// registered before the crash timer).
+	p.crashAt = arrive[(n*3)/5] + job.Time(rngF.IntN(600))
+	return p
+}
+
+// harness tracks the current engine incarnation; a crash-rebuild swaps
+// it while pending submission timers keep routing to the live one.
+type harness struct {
+	mu  sync.Mutex
+	cur *engine.Engine
+	orc *oracle.Oracle
+
+	accepted  int
+	rejected  int
+	failure   error // first unexpected submit outcome or rebuild error
+	panics    int64 // carried across incarnations
+	rebuilt   bool
+	incarnate func() (*engine.Engine, *oracle.Oracle, error) // rebuild factory
+}
+
+func (h *harness) fail(err error) {
+	if h.failure == nil {
+		h.failure = err
+	}
+}
+
+// Run executes one scenario to completion and verifies the oracle
+// invariants. The returned error is the first engine fatal, oracle
+// violation or harness expectation failure; a nil error means the run
+// survived the fault mix with every invariant intact.
+func Run(config Config) (*Result, error) {
+	cfg, err := config.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	p := buildPlan(cfg)
+	vc := engine.NewVirtualClock()
+
+	newPolicy := func() sim.Policy {
+		pol := cfg.Policy()
+		if cfg.Faults&(FaultPolicyPanic|FaultPolicyLatency) != 0 {
+			fp := &FlakyPolicy{Inner: pol}
+			if cfg.Faults&FaultPolicyPanic != 0 {
+				fp.PanicEvery = cfg.PanicEvery
+			}
+			if cfg.Faults&FaultPolicyLatency != 0 {
+				fp.Latency = cfg.Latency
+				fp.LatencyEvery = 3
+			}
+			return fp
+		}
+		return pol
+	}
+	engCfg := func() engine.Config {
+		return engine.Config{Capacity: cfg.Capacity, Clock: vc}
+	}
+
+	h := &harness{}
+	ec := engCfg()
+	ec.Policy = newPolicy()
+	h.orc = oracle.New(cfg.Capacity)
+	ec.Observer = h.orc
+	h.cur, err = engine.New(ec)
+	if err != nil {
+		return nil, err
+	}
+
+	for _, ps := range p.submits {
+		ps := ps
+		vc.AfterFunc(ps.at, func() {
+			h.mu.Lock()
+			e := h.cur
+			h.mu.Unlock()
+			err := e.SubmitJob(ps.spec)
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			switch {
+			case ps.wantErr && err == nil:
+				h.fail(fmt.Errorf("chaos: injected-fault submission of job %d was accepted", ps.spec.ID))
+			case ps.wantErr:
+				h.rejected++
+			case err != nil:
+				h.fail(fmt.Errorf("chaos: legitimate job %d rejected: %w", ps.spec.ID, err))
+			default:
+				h.accepted++
+			}
+		})
+	}
+	if cfg.Faults&FaultCrashRebuild != 0 {
+		vc.AfterFunc(p.crashAt, func() {
+			h.mu.Lock()
+			defer h.mu.Unlock()
+			// The dying engine carries its recovered-panic count into
+			// the totals before it is discarded.
+			h.panics += h.cur.Metrics().Engine.PolicyPanics
+			cp := h.cur.Checkpoint()
+			ec := engCfg()
+			ec.Policy = newPolicy()
+			orc := oracle.New(cfg.Capacity)
+			ec.Observer = orc
+			rebuilt, err := engine.Rebuild(ec, cp)
+			if err != nil {
+				h.fail(fmt.Errorf("chaos: rebuild at t=%d: %w", p.crashAt, err))
+				return
+			}
+			h.cur, h.orc, h.rebuilt = rebuilt, orc, true
+		})
+	}
+
+	if cfg.Faults&FaultClockJumps != 0 {
+		driveJumps(vc, stats.NewRNG(cfg.Seed, 103))
+	} else {
+		vc.Run()
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	e, orc := h.cur, h.orc
+	if h.failure != nil {
+		return nil, h.failure
+	}
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
+	m := e.Metrics()
+	res := &Result{
+		Records:  e.Records(),
+		Rejected: h.rejected,
+		Panics:   h.panics + m.Engine.PolicyPanics,
+		Rebuilt:  h.rebuilt,
+		Metrics:  m,
+	}
+	for id := 1; id <= cfg.Jobs; id++ {
+		st, ok := e.Job(id)
+		if !ok {
+			return nil, fmt.Errorf("chaos: job %d lost (accepted %d)", id, h.accepted)
+		}
+		if st.State != engine.StateDone {
+			return nil, fmt.Errorf("chaos: job %d still %v after the run", id, st.State)
+		}
+		res.Accepted = append(res.Accepted, st.Job)
+	}
+	// Live invariants, end-of-run conservation, and an independent
+	// replay sweep of the committed records.
+	if err := orc.Final(); err != nil {
+		return nil, err
+	}
+	if err := oracle.CheckRecords(cfg.Capacity, res.Accepted, res.Records); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// driveJumps advances the virtual clock in seeded irregular leaps: most
+// steps go exactly to the next pending timer, but some overshoot far
+// past it, forcing the engine to absorb a whole span of completions and
+// decisions inside one advancement. Timer callbacks still observe their
+// exact due times, so the committed schedule must not change — which is
+// precisely the invariant the chaos tests pin down.
+func driveJumps(vc *engine.VirtualClock, rng *stats.RNG) {
+	for {
+		next, ok := vc.NextAt()
+		if !ok {
+			return
+		}
+		target := next
+		if rng.IntN(3) == 0 {
+			target += job.Time(rng.IntN(200000))
+		}
+		vc.AdvanceTo(target)
+	}
+}
+
+// FlakyPolicy wraps a policy with deterministic fault injection: every
+// PanicEvery-th Decide call panics (before reaching the inner policy,
+// so its state stays consistent) and every LatencyEvery-th call sleeps
+// for Latency of wall time. Call counting makes the pattern
+// reproducible run-to-run.
+type FlakyPolicy struct {
+	Inner        sim.Policy
+	PanicEvery   int
+	Latency      time.Duration
+	LatencyEvery int
+
+	calls int
+}
+
+// Name implements sim.Policy.
+func (p *FlakyPolicy) Name() string { return p.Inner.Name() }
+
+// Decide implements sim.Policy with injected faults.
+func (p *FlakyPolicy) Decide(snap *sim.Snapshot) []int {
+	p.calls++
+	if p.Latency > 0 && p.LatencyEvery > 0 && p.calls%p.LatencyEvery == 0 {
+		time.Sleep(p.Latency)
+	}
+	if p.PanicEvery > 0 && p.calls%p.PanicEvery == 0 {
+		panic(fmt.Sprintf("chaos: injected policy panic (decision %d)", p.calls))
+	}
+	return p.Inner.Decide(snap)
+}

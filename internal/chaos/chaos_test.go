@@ -1,0 +1,172 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+
+	"schedsearch/internal/core"
+	"schedsearch/internal/policy"
+	"schedsearch/internal/sim"
+)
+
+func fcfs() sim.Policy { return policy.FCFSBackfill() }
+func lxf() sim.Policy  { return policy.LXFBackfill() }
+func dds() sim.Policy  { return core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), 100) }
+
+// TestFaultMatrix runs every fault class in isolation and in
+// combination, across policies and fixed seeds, and requires the
+// oracle invariants to hold in all of them (Run fails otherwise). This
+// is the ISSUE's "≥ 6 distinct fault types with fixed seeds" suite.
+func TestFaultMatrix(t *testing.T) {
+	cases := []struct {
+		name   string
+		faults Fault
+		pol    func() sim.Policy
+	}{
+		{"clock-jumps", FaultClockJumps, fcfs},
+		{"burst-submits", FaultBurstSubmits, lxf},
+		{"duplicate-ids", FaultDuplicateIDs, fcfs},
+		{"reordered-submits", FaultReorderedSubmits, lxf},
+		{"hostile-specs", FaultHostileSpecs, fcfs},
+		{"policy-panic", FaultPolicyPanic, dds},
+		{"policy-latency", FaultPolicyLatency, dds},
+		{"crash-rebuild", FaultCrashRebuild, dds},
+		{"everything-fcfs", AllFaults, fcfs},
+		{"everything-search", AllFaults, dds},
+	}
+	for _, tc := range cases {
+		for _, seed := range []uint64{1, 7} {
+			tc, seed := tc, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", tc.name, seed), func(t *testing.T) {
+				res, err := Run(Config{Seed: seed, Faults: tc.faults, Policy: tc.pol})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Records) != len(res.Accepted) {
+					t.Fatalf("%d records for %d accepted jobs", len(res.Records), len(res.Accepted))
+				}
+				if tc.faults&(FaultDuplicateIDs|FaultHostileSpecs) != 0 && res.Rejected == 0 {
+					t.Error("injected bad submissions but none were rejected")
+				}
+				if tc.faults&FaultPolicyPanic != 0 && res.Panics == 0 {
+					t.Error("panic injection enabled but no panics were recovered")
+				}
+				if tc.faults&FaultCrashRebuild != 0 && !res.Rebuilt {
+					t.Error("crash-rebuild enabled but the engine was never rebuilt")
+				}
+			})
+		}
+	}
+}
+
+// recordFingerprint serializes everything a schedule determines.
+func recordFingerprint(res *Result) string {
+	out := fmt.Sprintf("rejected=%d panics=%d\n", res.Rejected, res.Panics)
+	for _, r := range res.Records {
+		out += fmt.Sprintf("job=%d submit=%d start=%d end=%d nodes=%v\n",
+			r.Job.ID, r.Job.Submit, r.Start, r.End, r.NodeIDs)
+	}
+	return out
+}
+
+// TestDeterminism replays each fault mix with the same seed and
+// requires bit-identical committed schedules, including under clock
+// jumps, recovered panics and a mid-run crash.
+func TestDeterminism(t *testing.T) {
+	for _, faults := range []Fault{
+		FaultClockJumps | FaultBurstSubmits,
+		FaultPolicyPanic | FaultReorderedSubmits,
+		AllFaults,
+	} {
+		faults := faults
+		t.Run(faults.String(), func(t *testing.T) {
+			cfg := Config{Seed: 11, Faults: faults, Policy: dds, Jobs: 90}
+			a, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fa, fb := recordFingerprint(a), recordFingerprint(b); fa != fb {
+				t.Fatalf("same seed, different schedules:\n--- run A ---\n%s--- run B ---\n%s", fa, fb)
+			}
+		})
+	}
+}
+
+// TestCrashRebuildBitIdentical is the ISSUE's acceptance case: an
+// injected mid-run crash, rebuilt from the committed event journal on
+// the same clock, must commit exactly the schedule the uninterrupted
+// engine commits — same starts, ends and concrete node IDs for every
+// job. Policy panics are excluded (a restarted injector would panic on
+// a different cadence by design); every other fault stays on.
+func TestCrashRebuildBitIdentical(t *testing.T) {
+	base := AllFaults &^ (FaultCrashRebuild | FaultPolicyPanic)
+	for _, tc := range []struct {
+		name string
+		pol  func() sim.Policy
+	}{
+		{"FCFS-backfill", fcfs},
+		{"LXF-backfill", lxf},
+		{"DDS-lxf-dynB", dds},
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			smooth, err := Run(Config{Seed: 23, Faults: base, Policy: tc.pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			crashed, err := Run(Config{Seed: 23, Faults: base | FaultCrashRebuild, Policy: tc.pol})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !crashed.Rebuilt {
+				t.Fatal("crash was never injected")
+			}
+			fs, fc := recordFingerprint(smooth), recordFingerprint(crashed)
+			if fs != fc {
+				t.Fatalf("crash-rebuild diverged from the uninterrupted run:\n--- uninterrupted ---\n%s--- crashed ---\n%s", fs, fc)
+			}
+		})
+	}
+}
+
+type nopPolicy struct{}
+
+func (nopPolicy) Name() string               { return "nop" }
+func (nopPolicy) Decide(*sim.Snapshot) []int { return nil }
+
+// TestFlakyPolicyCadence pins the injector's determinism: the panic
+// pattern depends only on the call count.
+func TestFlakyPolicyCadence(t *testing.T) {
+	p := &FlakyPolicy{Inner: nopPolicy{}, PanicEvery: 3}
+	panics := 0
+	for i := 0; i < 9; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					panics++
+				}
+			}()
+			p.Decide(&sim.Snapshot{})
+		}()
+	}
+	if panics != 3 {
+		t.Fatalf("9 calls with PanicEvery=3 recovered %d panics, want 3", panics)
+	}
+}
+
+// TestConfigValidation covers the config seams.
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{Seed: 1}); err == nil {
+		t.Fatal("Run without a policy must fail")
+	}
+	if got := (FaultClockJumps | FaultPolicyPanic).String(); got != "clock-jumps+policy-panic" {
+		t.Fatalf("Fault.String() = %q", got)
+	}
+	if got := Fault(0).String(); got != "none" {
+		t.Fatalf("Fault(0).String() = %q", got)
+	}
+}

@@ -154,7 +154,9 @@ func ParseBound(s string) (BoundSpec, error) {
 	}
 	digits := spec[:len(spec)-1]
 	n, err := strconv.ParseInt(digits, 10, 64)
-	if err != nil || n < 0 {
+	if err != nil || n < 0 || n > int64(1)<<62/int64(unit) {
+		// The upper limit rejects magnitudes whose seconds conversion
+		// would overflow into a negative bound.
 		return BoundSpec{}, fmt.Errorf("core: bound %q: want dynB or a fixed bound like 100h, 30m or 90s", s)
 	}
 	return FixedBound(job.Duration(n) * unit), nil

@@ -8,6 +8,7 @@ import (
 	"schedsearch/internal/core"
 	"schedsearch/internal/job"
 	"schedsearch/internal/metrics"
+	"schedsearch/internal/oracle"
 	"schedsearch/internal/policy"
 	"schedsearch/internal/predict"
 	"schedsearch/internal/sim"
@@ -16,10 +17,12 @@ import (
 
 // replayInput feeds a simulator input through an online engine on a
 // VirtualClock: every job is delivered by a clock timer at its submit
-// time, then the clock runs until the engine is idle.
+// time, then the clock runs until the engine is idle. The correctness
+// oracle rides along on every replay.
 func replayInput(t *testing.T, in sim.Input, pol sim.Policy) *Engine {
 	t.Helper()
 	vc := NewVirtualClock()
+	orc := oracle.New(in.Capacity)
 	measured := func(id int) bool {
 		if in.Measured == nil {
 			return true
@@ -35,6 +38,7 @@ func replayInput(t *testing.T, in sim.Input, pol sim.Policy) *Engine {
 		Measured:     measured,
 		MeasureStart: in.MeasureStart,
 		MeasureEnd:   in.MeasureEnd,
+		Observer:     orc,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -50,6 +54,9 @@ func replayInput(t *testing.T, in sim.Input, pol sim.Policy) *Engine {
 	vc.Run()
 	if err := e.Err(); err != nil {
 		t.Fatal(err)
+	}
+	if err := orc.Final(); err != nil {
+		t.Fatalf("oracle: %v", err)
 	}
 	return e
 }
@@ -123,10 +130,16 @@ func TestEngineReplayMatchesSimulator(t *testing.T) {
 			if tc.est != nil {
 				in.Estimator = tc.est()
 			}
+			simOrc := oracle.New(in.Capacity)
+			in.Observer = simOrc
 			res, err := sim.Run(in, tc.pol())
 			if err != nil {
 				t.Fatal(err)
 			}
+			if err := simOrc.Final(); err != nil {
+				t.Fatalf("simulator oracle: %v", err)
+			}
+			in.Observer = nil
 
 			engIn := in
 			if tc.est != nil {

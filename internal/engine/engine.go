@@ -28,6 +28,10 @@ import (
 // ErrDraining is returned by Submit after Drain has been requested.
 var ErrDraining = errors.New("engine: draining, not admitting jobs")
 
+// ErrDuplicateID is wrapped by SubmitJob when the caller-assigned job
+// ID is already in use (test with errors.Is).
+var ErrDuplicateID = errors.New("duplicate job ID")
+
 // Config configures an Engine.
 type Config struct {
 	// Capacity is the machine size in nodes.
@@ -50,6 +54,11 @@ type Config struct {
 	// measurement window (replay drivers copy them from the input).
 	// Both zero means integrate from engine start to now.
 	MeasureStart, MeasureEnd job.Time
+	// Observer, when non-nil, receives every committed scheduling event
+	// (the correctness oracle in internal/oracle implements it). On a
+	// rebuilt engine the observer re-observes the replayed history
+	// first, so attach a fresh observer to each Rebuild.
+	Observer sim.Observer
 }
 
 // State is a job's lifecycle position.
@@ -103,6 +112,7 @@ type Engine struct {
 	jobs    map[int]*JobStatus
 	nextID  int
 	records []sim.Record
+	journal []Event
 
 	decidePending bool
 	finishTimer   Timer
@@ -114,9 +124,10 @@ type Engine struct {
 	fatal    error
 
 	// Counters exposed via Metrics.
-	decisions int64
-	decideDur time.Duration
-	decideMax time.Duration
+	decisions    int64
+	policyPanics int64
+	decideDur    time.Duration
+	decideMax    time.Duration
 
 	qlenInt        float64
 	qlenLast       job.Time
@@ -139,6 +150,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = NewRealClock(1)
 	}
+	l.SetObserver(cfg.Observer)
 	e := &Engine{
 		cfg:      cfg,
 		clock:    cfg.Clock,
@@ -190,11 +202,14 @@ func (e *Engine) submitLocked(j job.Job) error {
 	if j.Request < j.Runtime {
 		j.Request = j.Runtime
 	}
+	if j.ID < 1 {
+		return fmt.Errorf("engine: invalid job ID %d", j.ID)
+	}
 	if err := j.Validate(e.l.Capacity()); err != nil {
 		return fmt.Errorf("engine: %w", err)
 	}
 	if _, dup := e.jobs[j.ID]; dup {
-		return fmt.Errorf("engine: duplicate job ID %d", j.ID)
+		return fmt.Errorf("engine: %w: %d", ErrDuplicateID, j.ID)
 	}
 	if j.ID >= e.nextID {
 		e.nextID = j.ID + 1
@@ -202,6 +217,7 @@ func (e *Engine) submitLocked(j job.Job) error {
 	e.noteQueueChange(now)
 	e.l.Enqueue(j, 0) // estimated lazily at the decision point
 	e.jobs[j.ID] = &JobStatus{Job: j, State: StateWaiting}
+	e.journal = append(e.journal, Event{Kind: EvSubmit, At: now, Job: j})
 	e.requestDecide()
 	return nil
 }
@@ -258,6 +274,7 @@ func (e *Engine) completeDue() {
 			Job: f.Job, Start: f.Start, End: f.End,
 			NodeIDs: f.NodeIDs, Measured: measured,
 		})
+		e.journal = append(e.journal, Event{Kind: EvFinish, At: f.End, ID: f.Job.ID})
 		st := e.jobs[f.Job.ID]
 		st.State = StateDone
 		st.End = f.End
@@ -278,6 +295,7 @@ func (e *Engine) estimate(j job.Job) job.Duration {
 	if st := e.jobs[j.ID]; st != nil {
 		st.Estimate = est
 	}
+	e.journal = append(e.journal, Event{Kind: EvEstimate, At: e.clock.Now(), ID: j.ID, Estimate: est})
 	return est
 }
 
@@ -290,7 +308,14 @@ func (e *Engine) decideLocked() {
 	snap := e.l.Snapshot(now)
 	e.decisions++
 	t0 := time.Now()
-	starts := e.cfg.Policy.Decide(snap)
+	starts, panicked := e.safeDecide(snap)
+	if panicked {
+		// A panicking policy must not take the machine down: fall back
+		// to a strict FCFS prefix decision, which is always feasible
+		// and never starves the queue head.
+		e.policyPanics++
+		starts = fcfsFallback(snap)
+	}
 	d := time.Since(t0)
 	e.decideDur += d
 	if d > e.decideMax {
@@ -314,7 +339,39 @@ func (e *Engine) decideLocked() {
 		st.State = StateRunning
 		st.Start = s.Start
 		st.NodeIDs = s.NodeIDs
+		e.journal = append(e.journal, Event{
+			Kind: EvStart, At: now, ID: s.Job.ID,
+			NodeIDs: append([]int(nil), s.NodeIDs...),
+		})
 	}
+}
+
+// safeDecide consults the policy, converting a panic into a recovered
+// fallback signal instead of crashing the engine goroutine.
+func (e *Engine) safeDecide(snap *sim.Snapshot) (starts []int, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			starts, panicked = nil, true
+		}
+	}()
+	return e.cfg.Policy.Decide(snap), false
+}
+
+// fcfsFallback starts the longest strict-FCFS prefix of the queue that
+// fits in the free nodes. It is always feasible, and on an idle machine
+// it always starts the queue head (job widths are validated against
+// capacity at admission), so the fallback can never stall the engine.
+func fcfsFallback(snap *sim.Snapshot) []int {
+	free := snap.FreeNodes
+	var starts []int
+	for qi, w := range snap.Queue {
+		if w.Job.Nodes > free {
+			break
+		}
+		free -= w.Job.Nodes
+		starts = append(starts, qi)
+	}
+	return starts
 }
 
 // armFinish keeps exactly one clock timer outstanding, set to the

@@ -12,6 +12,9 @@ type Counters struct {
 	// Decisions counts decision points (policy consultations with a
 	// non-empty queue).
 	Decisions int64 `json:"decisions"`
+	// PolicyPanics counts recovered policy panics; each one fell back
+	// to a strict-FCFS decision (see Config.Policy).
+	PolicyPanics int64 `json:"policy_panics,omitempty"`
 	// SearchNodes/SearchLeaves/BudgetHits mirror the search policy's
 	// effort stats (zero for backfill policies).
 	SearchNodes  int64 `json:"search_nodes"`
@@ -108,7 +111,7 @@ func (e *Engine) Metrics() Metrics {
 }
 
 func (e *Engine) countersLocked() Counters {
-	c := Counters{Decisions: e.decisions}
+	c := Counters{Decisions: e.decisions, PolicyPanics: e.policyPanics}
 	if e.decisions > 0 {
 		c.AvgDecideMs = float64(e.decideDur.Microseconds()) / 1000 / float64(e.decisions)
 	}

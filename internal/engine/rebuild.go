@@ -1,0 +1,208 @@
+package engine
+
+import (
+	"fmt"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+// EventKind tags one committed engine event in the journal.
+type EventKind uint8
+
+const (
+	// EvSubmit is a job admission; Job carries the admitted job with
+	// its stamped submit time.
+	EvSubmit EventKind = iota
+	// EvEstimate fixes a queued job's planning estimate (assigned at
+	// the first decision point after arrival).
+	EvEstimate
+	// EvStart dispatches a job; NodeIDs records the concrete
+	// allocation for verification on rebuild.
+	EvStart
+	// EvFinish completes a job at time At.
+	EvFinish
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvSubmit:
+		return "submit"
+	case EvEstimate:
+		return "estimate"
+	case EvStart:
+		return "start"
+	case EvFinish:
+		return "finish"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry of the engine's committed-history journal. Which
+// fields are meaningful depends on Kind (see the kind constants).
+type Event struct {
+	Kind EventKind
+	At   job.Time
+	// Job is the admitted job (EvSubmit only).
+	Job job.Job
+	// ID identifies the job for every other kind.
+	ID int
+	// Estimate is the fixed planning estimate (EvEstimate only).
+	Estimate job.Duration
+	// NodeIDs is the recorded concrete allocation (EvStart only).
+	NodeIDs []int
+}
+
+// Checkpoint is a consistent snapshot of the engine's committed
+// history, sufficient to Rebuild an equivalent engine after a crash.
+type Checkpoint struct {
+	// Events is the committed event journal in commit order.
+	Events []Event
+	// DecidePending records whether a coalesced decision was scheduled
+	// but had not fired yet; Rebuild re-requests it so the rebuilt
+	// engine decides at the same instant the lost engine would have.
+	DecidePending bool
+	// Draining records whether Drain had been requested.
+	Draining bool
+}
+
+// Checkpoint returns a consistent copy of the engine's committed
+// history. It can be taken at any time, including mid-run.
+func (e *Engine) Checkpoint() Checkpoint {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Checkpoint{
+		Events:        append([]Event(nil), e.journal...),
+		DecidePending: e.decidePending,
+		Draining:      e.draining,
+	}
+}
+
+// Rebuild reconstructs an engine from a checkpoint: the committed
+// history is replayed directly against a fresh ledger (bypassing the
+// policy), the pending-completion timer is re-armed, and a pending
+// decision is re-requested, so a crashed engine resumed on the same
+// clock commits exactly the schedule the uninterrupted engine would
+// have. Replay order makes node allocation deterministic; Rebuild
+// verifies each replayed dispatch lands on the recorded nodes and fails
+// loudly on any divergence.
+//
+// cfg plays the role of the restarted process's configuration: pass the
+// same capacity and clock. Policy and Estimator instances are fresh by
+// construction (the crash lost them); estimator state is reconstructed
+// by replaying completions in order. Attach a fresh Observer — it
+// re-observes the replayed history before live events. The effort
+// counters (decisions, latency) and the max-queue statistic restart at
+// the rebuild point; the committed schedule and the queue-length
+// integral do not.
+func Rebuild(cfg Config, cp Checkpoint) (*Engine, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, ev := range cp.Events {
+		if err := e.replayEvent(i, ev, cp.Events); err != nil {
+			return nil, err
+		}
+	}
+	e.draining = cp.Draining
+	e.armFinish()
+	if cp.DecidePending && e.l.QueueLen() > 0 {
+		e.requestDecide()
+	}
+	e.checkIdle()
+	return e, nil
+}
+
+func (e *Engine) replayEvent(i int, ev Event, events []Event) error {
+	switch ev.Kind {
+	case EvSubmit:
+		j := ev.Job
+		if _, dup := e.jobs[j.ID]; dup {
+			return fmt.Errorf("engine: rebuild: event %d: job %d admitted twice", i, j.ID)
+		}
+		if err := j.Validate(e.l.Capacity()); err != nil {
+			return fmt.Errorf("engine: rebuild: event %d: %w", i, err)
+		}
+		e.noteQueueChange(ev.At)
+		e.l.Enqueue(j, 0)
+		e.jobs[j.ID] = &JobStatus{Job: j, State: StateWaiting}
+		if j.ID >= e.nextID {
+			e.nextID = j.ID + 1
+		}
+	case EvEstimate:
+		if !e.l.SetEstimate(ev.ID, ev.Estimate) {
+			return fmt.Errorf("engine: rebuild: event %d: estimate for job %d not in queue", i, ev.ID)
+		}
+		if st := e.jobs[ev.ID]; st != nil {
+			st.Estimate = ev.Estimate
+		}
+	case EvStart:
+		qi, ok := e.l.QueueIndex(ev.ID)
+		if !ok {
+			return fmt.Errorf("engine: rebuild: event %d: started job %d not in queue", i, ev.ID)
+		}
+		e.noteQueueChange(ev.At)
+		started, err := e.l.Start(e.cfg.Policy.Name(), ev.At, []int{qi})
+		if err != nil {
+			return fmt.Errorf("engine: rebuild: event %d: %w", i, err)
+		}
+		s := started[0]
+		if !equalInts(s.NodeIDs, ev.NodeIDs) {
+			return fmt.Errorf("engine: rebuild: event %d: job %d reallocated nodes %v, recorded %v",
+				i, ev.ID, s.NodeIDs, ev.NodeIDs)
+		}
+		st := e.jobs[ev.ID]
+		st.State = StateRunning
+		st.Start = s.Start
+		st.NodeIDs = s.NodeIDs
+		// The live engine samples the queue length at decision points
+		// (after the whole batch of starts); mirror that at the last
+		// start of each replayed batch.
+		if i+1 >= len(events) || events[i+1].Kind != EvStart {
+			if e.l.QueueLen() > e.maxQ && ev.At >= e.intStart && ev.At < e.intEnd {
+				e.maxQ = e.l.QueueLen()
+			}
+		}
+	case EvFinish:
+		f, ok := e.l.PopDue(ev.At)
+		if !ok {
+			return fmt.Errorf("engine: rebuild: event %d: no completion due at t=%d", i, ev.At)
+		}
+		if f.Job.ID != ev.ID || f.End != ev.At {
+			return fmt.Errorf("engine: rebuild: event %d: popped job %d at t=%d, recorded job %d at t=%d",
+				i, f.Job.ID, f.End, ev.ID, ev.At)
+		}
+		if est := e.cfg.Estimator; est != nil {
+			est.Observe(f.Job)
+		}
+		measured := e.cfg.Measured == nil || e.cfg.Measured(f.Job.ID)
+		e.records = append(e.records, sim.Record{
+			Job: f.Job, Start: f.Start, End: f.End,
+			NodeIDs: f.NodeIDs, Measured: measured,
+		})
+		st := e.jobs[f.Job.ID]
+		st.State = StateDone
+		st.End = f.End
+	default:
+		return fmt.Errorf("engine: rebuild: event %d: unknown kind %d", i, int(ev.Kind))
+	}
+	e.journal = append(e.journal, ev)
+	return nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

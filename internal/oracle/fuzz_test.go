@@ -1,0 +1,83 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/oracle"
+	"schedsearch/internal/sim"
+)
+
+// decodeRun turns fuzz bytes into a (capacity, submissions, records)
+// triple. The decoder is intentionally permissive: it produces invalid
+// capacities, zero-node jobs, time-travelling starts, duplicated IDs
+// and bogus allocations, because the oracle must flag all of that
+// without ever panicking.
+func decodeRun(data []byte) (int, []job.Job, []sim.Record) {
+	if len(data) == 0 {
+		return 0, nil, nil
+	}
+	capacity := int(data[0])%20 - 1 // [-1, 18]
+	data = data[1:]
+	var submitted []job.Job
+	var records []sim.Record
+	for len(data) >= 7 {
+		b := data[:7]
+		data = data[7:]
+		j := job.Job{
+			ID:      1 + int(b[0])%10,
+			Submit:  job.Time(b[1]),
+			Nodes:   int(b[2]) % 6, // 0 is invalid on purpose
+			Runtime: job.Duration(b[3]) % 100,
+		}
+		j.Request = j.Runtime
+		start := j.Submit + job.Time(int8(b[4])) // may precede arrival
+		rt := j.Runtime
+		if rt < 1 {
+			rt = 1
+		}
+		end := start + rt + job.Time(int8(b[5])%10) // may break contiguity
+		var nodes []int
+		for n := 0; n < int(b[6])%5; n++ {
+			nodes = append(nodes, int(b[6]>>2)+n*(int(b[6])%3)) // dups, out of range
+		}
+		submitted = append(submitted, j)
+		records = append(records, sim.Record{Job: j, Start: start, End: end, NodeIDs: nodes})
+	}
+	return capacity, submitted, records
+}
+
+// FuzzOracleReplay hammers both oracle modes with arbitrary event
+// streams: whatever the input, the oracle must return verdicts, never
+// panic, and a stream it accepts end-to-end must be internally
+// consistent enough to accept again.
+func FuzzOracleReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{9, 1, 0, 2, 50, 0, 0, 2})
+	f.Add([]byte{5, 2, 10, 1, 30, 0, 0, 1, 3, 20, 2, 40, 0, 0, 2})
+	f.Add([]byte{0, 7, 7, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		capacity, submitted, records := decodeRun(data)
+		err := oracle.CheckRecords(capacity, submitted, records)
+		_ = oracle.CheckRecords(capacity, nil, records)
+
+		// Drive the live oracle with the same stream.
+		o := oracle.New(capacity)
+		for _, j := range submitted {
+			o.ObserveSubmit(j)
+		}
+		for _, r := range records {
+			o.ObserveStart(r.Start, sim.Started{Job: r.Job, Start: r.Start, NodeIDs: r.NodeIDs})
+			o.ObserveFinish(sim.Finished{Job: r.Job, Start: r.Start, End: r.End, NodeIDs: r.NodeIDs})
+		}
+		_ = o.Final()
+		_ = o.Violations()
+
+		// Determinism: a replay-accepted stream must be accepted again.
+		if err == nil {
+			if err2 := oracle.CheckRecords(capacity, submitted, records); err2 != nil {
+				t.Fatalf("verdict flipped on identical input: %v", err2)
+			}
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package oracle_test
+
+import (
+	"errors"
+	"testing"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/oracle"
+	"schedsearch/internal/policy"
+	"schedsearch/internal/sim"
+	"schedsearch/internal/workload"
+)
+
+func invariant(t *testing.T, err error, want string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("violation of %q not detected", want)
+	}
+	var v *oracle.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("error %v is not a *Violation", err)
+	}
+	if v.Invariant != want {
+		t.Fatalf("flagged %q (%v), want %q", v.Invariant, err, want)
+	}
+}
+
+// TestCleanRunPasses attaches the oracle to a real simulated month and
+// requires a clean bill of health, live and on the record sweep.
+func TestCleanRunPasses(t *testing.T) {
+	suite := workload.NewSuite(workload.Config{Seed: 5, JobScale: 0.03})
+	in, _, err := suite.Input("7/03", workload.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.New(in.Capacity)
+	in.Observer = orc
+	res, err := sim.Run(in, policy.LXFBackfill())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orc.Final(); err != nil {
+		t.Fatalf("live oracle on a clean run: %v", err)
+	}
+	if n := len(orc.Violations()); n != 0 {
+		t.Fatalf("%d violations on a clean run", n)
+	}
+	if err := oracle.CheckRecords(in.Capacity, in.Jobs, res.Records); err != nil {
+		t.Fatalf("record sweep on a clean run: %v", err)
+	}
+}
+
+func mk(id int, submit job.Time, nodes int, rt job.Duration) job.Job {
+	return job.Job{ID: id, Submit: submit, Nodes: nodes, Runtime: rt, Request: rt}
+}
+
+// TestLiveViolations feeds the live oracle hand-corrupted event streams
+// and requires each invariant to be flagged with its tag.
+func TestLiveViolations(t *testing.T) {
+	start := func(o *oracle.Oracle, now job.Time, j job.Job, nodes []int) {
+		o.ObserveStart(now, sim.Started{Job: j, Start: now, NodeIDs: nodes})
+	}
+	finish := func(o *oracle.Oracle, j job.Job, s, e job.Time, nodes []int) {
+		o.ObserveFinish(sim.Finished{Job: j, Start: s, End: e, NodeIDs: nodes})
+	}
+	cases := []struct {
+		name, want string
+		drive      func(o *oracle.Oracle) error
+	}{
+		{"node-shared", "oversubscription", func(o *oracle.Oracle) error {
+			a, b := mk(1, 0, 1, 10), mk(2, 0, 1, 10)
+			o.ObserveSubmit(a)
+			o.ObserveSubmit(b)
+			start(o, 0, a, []int{0})
+			start(o, 0, b, []int{0}) // same node
+			return o.Err()
+		}},
+		{"node-out-of-range", "oversubscription", func(o *oracle.Oracle) error {
+			a := mk(1, 0, 1, 10)
+			o.ObserveSubmit(a)
+			start(o, 0, a, []int{4})
+			return o.Err()
+		}},
+		{"wrong-allocation-width", "oversubscription", func(o *oracle.Oracle) error {
+			a := mk(1, 0, 2, 10)
+			o.ObserveSubmit(a)
+			start(o, 0, a, []int{0})
+			return o.Err()
+		}},
+		{"preempted", "preemption", func(o *oracle.Oracle) error {
+			a := mk(1, 0, 1, 100)
+			o.ObserveSubmit(a)
+			start(o, 0, a, []int{0})
+			finish(o, a, 0, 50, []int{0}) // ended early: was split/killed
+			return o.Err()
+		}},
+		{"restarted", "preemption", func(o *oracle.Oracle) error {
+			a := mk(1, 0, 1, 100)
+			o.ObserveSubmit(a)
+			start(o, 0, a, []int{0})
+			finish(o, a, 20, 120, []int{0}) // completion claims a later start
+			return o.Err()
+		}},
+		{"time-travel-start", "start-before-arrival", func(o *oracle.Oracle) error {
+			a := mk(1, 500, 1, 10)
+			o.ObserveSubmit(a)
+			start(o, 100, a, []int{0})
+			return o.Err()
+		}},
+		{"admitted-twice", "conservation", func(o *oracle.Oracle) error {
+			o.ObserveSubmit(mk(1, 0, 1, 10))
+			o.ObserveSubmit(mk(1, 5, 1, 10))
+			return o.Err()
+		}},
+		{"started-twice", "conservation", func(o *oracle.Oracle) error {
+			a := mk(1, 0, 1, 10)
+			o.ObserveSubmit(a)
+			start(o, 0, a, []int{0})
+			start(o, 5, a, []int{1})
+			return o.Err()
+		}},
+		{"phantom-start", "conservation", func(o *oracle.Oracle) error {
+			start(o, 0, mk(9, 0, 1, 10), []int{0})
+			return o.Err()
+		}},
+		{"completed-without-starting", "conservation", func(o *oracle.Oracle) error {
+			a := mk(1, 0, 1, 10)
+			o.ObserveSubmit(a)
+			finish(o, a, 0, 10, []int{0})
+			return o.Err()
+		}},
+		{"lost-job", "conservation", func(o *oracle.Oracle) error {
+			o.ObserveSubmit(mk(1, 0, 1, 10))
+			return o.Final()
+		}},
+		{"submit-order", "monotonicity", func(o *oracle.Oracle) error {
+			o.ObserveSubmit(mk(1, 100, 1, 10))
+			o.ObserveSubmit(mk(2, 50, 1, 10))
+			return o.Err()
+		}},
+		{"decision-order", "monotonicity", func(o *oracle.Oracle) error {
+			a, b := mk(1, 0, 1, 1000), mk(2, 0, 1, 10)
+			o.ObserveSubmit(a)
+			o.ObserveSubmit(b)
+			start(o, 100, a, []int{0})
+			start(o, 50, b, []int{1})
+			return o.Err()
+		}},
+		{"deferred-dispatch", "monotonicity", func(o *oracle.Oracle) error {
+			a := mk(1, 0, 1, 10)
+			o.ObserveSubmit(a)
+			o.ObserveStart(50, sim.Started{Job: a, Start: 60, NodeIDs: []int{0}})
+			return o.Err()
+		}},
+		{"invalid-admission", "malformed", func(o *oracle.Oracle) error {
+			o.ObserveSubmit(mk(1, 0, 99, 10))
+			return o.Err()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			invariant(t, tc.drive(oracle.New(4)), tc.want)
+		})
+	}
+}
+
+// TestCheckRecords corrupts a well-formed record stream one field at a
+// time; each corruption must be flagged with the right invariant.
+func TestCheckRecords(t *testing.T) {
+	submitted := []job.Job{mk(1, 0, 2, 100), mk(2, 10, 3, 50), mk(3, 20, 2, 200)}
+	clean := []sim.Record{
+		{Job: submitted[1], Start: 10, End: 60, NodeIDs: []int{2, 3, 4}},
+		{Job: submitted[0], Start: 0, End: 100, NodeIDs: []int{0, 1}},
+		{Job: submitted[2], Start: 100, End: 300, NodeIDs: []int{0, 1}},
+	}
+
+	if err := oracle.CheckRecords(8, submitted, clean); err != nil {
+		t.Fatalf("clean records rejected: %v", err)
+	}
+	if err := oracle.CheckRecords(8, nil, clean); err != nil {
+		t.Fatalf("clean records without submissions rejected: %v", err)
+	}
+
+	corrupt := func(f func(rs []sim.Record) []sim.Record) []sim.Record {
+		cp := make([]sim.Record, len(clean))
+		for i, r := range clean {
+			cp[i] = r
+			cp[i].NodeIDs = append([]int(nil), r.NodeIDs...)
+		}
+		return f(cp)
+	}
+	cases := []struct {
+		name, want string
+		records    []sim.Record
+	}{
+		{"zero-capacity", "malformed", clean},
+		{"dropped-job", "conservation", clean[:2]},
+		{"duplicated-record", "conservation", corrupt(func(rs []sim.Record) []sim.Record {
+			return append(rs, rs[1])
+		})},
+		{"phantom-job", "conservation", corrupt(func(rs []sim.Record) []sim.Record {
+			return append(rs, sim.Record{Job: mk(7, 250, 1, 10), Start: 250, End: 260, NodeIDs: []int{5}})
+		})},
+		{"mutated-job", "conservation", corrupt(func(rs []sim.Record) []sim.Record {
+			rs[1].Job.Runtime = 99
+			rs[1].End = rs[1].Start + 99
+			return rs
+		})},
+		{"early-start", "start-before-arrival", corrupt(func(rs []sim.Record) []sim.Record {
+			rs[0].Start = 5
+			rs[0].End = 55
+			return rs
+		})},
+		{"preempted", "preemption", corrupt(func(rs []sim.Record) []sim.Record {
+			rs[2].End = 250
+			return rs
+		})},
+		{"order", "monotonicity", corrupt(func(rs []sim.Record) []sim.Record {
+			rs[0], rs[1] = rs[1], rs[0]
+			return rs
+		})},
+		{"node-shared", "oversubscription", corrupt(func(rs []sim.Record) []sim.Record {
+			rs[0].NodeIDs = []int{0, 3, 4} // node 0 is job 1's while both run
+			return rs
+		})},
+		{"node-duplicated", "oversubscription", corrupt(func(rs []sim.Record) []sim.Record {
+			rs[0].NodeIDs = []int{2, 2, 3}
+			return rs
+		})},
+		{"over-capacity", "oversubscription", corrupt(func(rs []sim.Record) []sim.Record {
+			// Strip node IDs: the aggregate capacity sweep must still
+			// catch 2+3 nodes on a 4-node machine.
+			for i := range rs {
+				rs[i].NodeIDs = nil
+			}
+			return rs
+		})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			capacity := 8
+			switch tc.name {
+			case "zero-capacity":
+				capacity = 0
+			case "over-capacity":
+				capacity = 4
+			}
+			invariant(t, oracle.CheckRecords(capacity, submitted, tc.records), tc.want)
+		})
+	}
+}

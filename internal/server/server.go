@@ -8,14 +8,18 @@
 //	GET  /v1/metrics   running Summary + engine counters (engine.Metrics)
 //	POST /v1/drain     stop admitting, finish running jobs, then shut down
 //
-// All responses are JSON; errors are {"error": "..."} with a matching
-// status code.
+// All responses are JSON; errors are a structured
+// {"error": "...", "code": "..."} body with a matching status code
+// (400 malformed request, 404 unknown job, 409 duplicate job ID, 413
+// oversized body, 503 draining). A panic in a handler is recovered
+// into a generic 500 JSON body — never a stack trace on the wire.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
@@ -48,11 +52,31 @@ func New(e *engine.Engine, onDrained func()) *Server {
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// maxBodyBytes bounds request bodies; a submit request is tiny.
+const maxBodyBytes = 1 << 20
+
+// ServeHTTP implements http.Handler. Handler panics are converted into
+// a 500 JSON error body; the details stay server-side.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			// The response may be partially written; best effort. No
+			// panic value or stack trace leaves the process.
+			writeError(w, http.StatusInternalServerError, "internal",
+				errors.New("internal server error"))
+		}
+	}()
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // SubmitRequest is the POST /v1/jobs body.
 type SubmitRequest struct {
+	// ID optionally assigns the job ID (trace replay clients); 0 lets
+	// the engine assign the next free one. A taken ID is a 409.
+	ID int `json:"id"`
 	// Nodes is the number of whole nodes requested.
 	Nodes int `json:"nodes"`
 	// RuntimeS is the actual runtime in seconds (the engine
@@ -121,22 +145,41 @@ func (s *Server) jobResponse(st engine.JobStatus) JobResponse {
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	var req SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_json", err)
+		return
+	}
+	if req.ID < 0 {
+		writeError(w, http.StatusBadRequest, "invalid_job",
+			fmt.Errorf("invalid job ID %d", req.ID))
 		return
 	}
 	spec := job.Job{
+		ID:      req.ID,
 		Nodes:   req.Nodes,
 		Runtime: req.RuntimeS,
 		Request: req.RequestS,
 		User:    req.User,
 	}
-	id, err := s.e.Submit(spec)
+	id := req.ID
+	var err error
+	if id == 0 {
+		id, err = s.e.Submit(spec)
+	} else {
+		err = s.e.SubmitJob(spec)
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, engine.ErrDraining):
-			writeError(w, http.StatusServiceUnavailable, err)
+			writeError(w, http.StatusServiceUnavailable, "draining", err)
+		case errors.Is(err, engine.ErrDuplicateID):
+			writeError(w, http.StatusConflict, "duplicate_id", err)
 		default:
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, "invalid_job", err)
 		}
 		return
 	}
@@ -147,12 +190,12 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) job(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, "bad_job_id", err)
 		return
 	}
 	st, ok := s.e.Job(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, errors.New("no such job"))
+		writeError(w, http.StatusNotFound, "unknown_job", errors.New("no such job"))
 		return
 	}
 	writeJSON(w, http.StatusOK, s.jobResponse(st))
@@ -246,6 +289,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// ErrorResponse is every error body: a human-readable message plus a
+// stable machine-readable code clients can switch on.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Code: code})
 }

@@ -24,6 +24,7 @@ type Ledger struct {
 	queue    []queued
 	running  []running
 	events   finishHeap
+	obs      Observer
 }
 
 // Started reports one job the Ledger just dispatched.
@@ -74,6 +75,33 @@ func (l *Ledger) RunningLen() int { return len(l.running) }
 // must supply one before the job is visible in a Snapshot.
 func (l *Ledger) Enqueue(j job.Job, estimate job.Duration) {
 	l.queue = append(l.queue, queued{j: j, estimate: estimate})
+	if l.obs != nil {
+		l.obs.ObserveSubmit(j)
+	}
+}
+
+// SetEstimate sets the planning estimate of the queued job with the
+// given ID (the engine's rebuild path replays recorded estimates this
+// way) and reports whether the job was found in the queue.
+func (l *Ledger) SetEstimate(id int, estimate job.Duration) bool {
+	for i := range l.queue {
+		if l.queue[i].j.ID == id {
+			l.queue[i].estimate = estimate
+			return true
+		}
+	}
+	return false
+}
+
+// QueueIndex returns the current queue position of the waiting job with
+// the given ID.
+func (l *Ledger) QueueIndex(id int) (int, bool) {
+	for i := range l.queue {
+		if l.queue[i].j.ID == id {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // FillEstimates computes the planning estimate of every queued job that
@@ -124,7 +152,11 @@ func (l *Ledger) PopDue(now job.Time) (Finished, bool) {
 		l.events.reslot(last, slot)
 	}
 	l.running = l.running[:last]
-	return Finished{Job: r.j, Start: r.start, End: ev.at, NodeIDs: r.nodeIDs}, true
+	f := Finished{Job: r.j, Start: r.start, End: ev.at, NodeIDs: r.nodeIDs}
+	if l.obs != nil {
+		l.obs.ObserveFinish(f)
+	}
+	return f, true
 }
 
 // Snapshot builds the read-only system state a policy sees at a
@@ -207,5 +239,10 @@ func (l *Ledger) Start(policyName string, now job.Time, starts []int) ([]Started
 		}
 	}
 	l.queue = kept
+	if l.obs != nil {
+		for _, s := range out {
+			l.obs.ObserveStart(now, s)
+		}
+	}
 	return out, nil
 }

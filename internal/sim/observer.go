@@ -1,0 +1,29 @@
+package sim
+
+import "schedsearch/internal/job"
+
+// Observer receives the ledger's committed scheduling events as they
+// happen. It is the opt-in hook the correctness oracle
+// (internal/oracle) attaches to: because both the offline simulator and
+// the online engine drive the same Ledger, one observer implementation
+// sees the complete event stream of either driver.
+//
+// Callbacks run synchronously inside ledger operations, under whatever
+// serialization the driver already provides (the simulator is
+// single-threaded, the engine holds its mutex), so implementations need
+// no locking of their own but must not call back into the ledger.
+type Observer interface {
+	// ObserveSubmit fires when a job enters the waiting queue. The
+	// job's Submit field is its arrival time.
+	ObserveSubmit(j job.Job)
+	// ObserveStart fires for each job a committed decision dispatches,
+	// in dispatch order; now is the decision timestamp.
+	ObserveStart(now job.Time, s Started)
+	// ObserveFinish fires when a completed job is popped from the
+	// ledger, in completion (time, job ID) order.
+	ObserveFinish(f Finished)
+}
+
+// SetObserver attaches an observer to the ledger (nil detaches). The
+// observer sees every Enqueue, committed Start and PopDue from then on.
+func (l *Ledger) SetObserver(obs Observer) { l.obs = obs }

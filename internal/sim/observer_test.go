@@ -1,0 +1,122 @@
+// External test package: the oracle imports sim, so wiring the oracle
+// into simulator runs has to live outside package sim.
+package sim_test
+
+import (
+	"testing"
+
+	"schedsearch/internal/core"
+	"schedsearch/internal/job"
+	"schedsearch/internal/oracle"
+	"schedsearch/internal/policy"
+	"schedsearch/internal/sim"
+	"schedsearch/internal/workload"
+)
+
+// recordingObserver checks the raw stream contract: submit before
+// start before finish per job, and counts that match the result.
+type recordingObserver struct {
+	t        *testing.T
+	submits  map[int]bool
+	starts   map[int]bool
+	finishes int
+}
+
+func newRecordingObserver(t *testing.T) *recordingObserver {
+	return &recordingObserver{t: t, submits: make(map[int]bool), starts: make(map[int]bool)}
+}
+
+func (r *recordingObserver) ObserveSubmit(j job.Job) {
+	if r.submits[j.ID] {
+		r.t.Errorf("job %d submitted twice", j.ID)
+	}
+	r.submits[j.ID] = true
+}
+
+func (r *recordingObserver) ObserveStart(now job.Time, s sim.Started) {
+	id := s.Job.ID
+	if !r.submits[id] {
+		r.t.Errorf("job %d started before ObserveSubmit", id)
+	}
+	if r.starts[id] {
+		r.t.Errorf("job %d started twice", id)
+	}
+	r.starts[id] = true
+	if s.Start != now {
+		r.t.Errorf("job %d dispatched for t=%d at t=%d", id, s.Start, now)
+	}
+}
+
+func (r *recordingObserver) ObserveFinish(f sim.Finished) {
+	if !r.starts[f.Job.ID] {
+		r.t.Errorf("job %d finished before ObserveStart", f.Job.ID)
+	}
+	r.finishes++
+}
+
+// TestObserverStreamContract runs the simulator with a recording
+// observer and requires the callback stream to cover exactly the run:
+// every input job submitted, every record started and finished, in
+// lifecycle order.
+func TestObserverStreamContract(t *testing.T) {
+	suite := workload.NewSuite(workload.Config{Seed: 9, JobScale: 0.02})
+	in, _, err := suite.Input("7/03", workload.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := newRecordingObserver(t)
+	in.Observer = rec
+	res, err := sim.Run(in, policy.FCFSBackfill())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.submits) != len(in.Jobs) {
+		t.Errorf("observed %d submits for %d input jobs", len(rec.submits), len(in.Jobs))
+	}
+	if rec.finishes != len(res.Records) {
+		t.Errorf("observed %d finishes for %d records", rec.finishes, len(res.Records))
+	}
+}
+
+// TestSimulatorSatisfiesOracle attaches the live oracle to offline
+// simulator runs across policy families and load levels: the
+// schedule-invariant contract must hold for every one, live and on the
+// final record sweep.
+func TestSimulatorSatisfiesOracle(t *testing.T) {
+	suite := workload.NewSuite(workload.Config{Seed: 4, JobScale: 0.03})
+	cases := []struct {
+		name string
+		pol  func() sim.Policy
+		opt  workload.SimOptions
+	}{
+		{name: "FCFS-backfill", pol: func() sim.Policy { return policy.FCFSBackfill() }},
+		{name: "LXF-backfill-high-load", pol: func() sim.Policy { return policy.LXFBackfill() },
+			opt: workload.SimOptions{TargetLoad: 0.9}},
+		{name: "DDS-lxf-dynB", pol: func() sim.Policy {
+			return core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), 100)
+		}},
+		{name: "LDS-fcfs-50h-requested", pol: func() sim.Policy {
+			return core.New(core.LDS, core.HeuristicFCFS, core.FixedBound(50*job.Hour), 100)
+		}, opt: workload.SimOptions{UseRequested: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in, _, err := suite.Input("7/03", tc.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			orc := oracle.New(in.Capacity)
+			in.Observer = orc
+			res, err := sim.Run(in, tc.pol())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := orc.Final(); err != nil {
+				t.Fatalf("live oracle: %v", err)
+			}
+			if err := oracle.CheckRecords(in.Capacity, in.Jobs, res.Records); err != nil {
+				t.Fatalf("record sweep: %v", err)
+			}
+		})
+	}
+}

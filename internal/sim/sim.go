@@ -111,6 +111,9 @@ type Input struct {
 	// every completion (before any same-instant arrivals are
 	// estimated). See internal/predict for implementations.
 	Estimator Estimator
+	// Observer, when non-nil, receives every committed scheduling event
+	// (the correctness oracle in internal/oracle implements it).
+	Observer Observer
 }
 
 // Estimator produces runtime estimates for arriving jobs and learns
@@ -172,6 +175,7 @@ func newEngine(in Input, p Policy) (*engine, error) {
 			return nil, fmt.Errorf("sim: jobs not sorted by submit at index %d", i)
 		}
 	}
+	l.SetObserver(in.Observer)
 	e := &engine{
 		in:       in,
 		policy:   p,

@@ -220,8 +220,11 @@ func ExcessiveWait(res *Result, thresholdH float64) Excess {
 // "Slack-backfill" and "Lookahead"; search policies follow the paper's
 // ALGO/HEUR/BOUND scheme, e.g. "DDS/lxf/dynB" or "LDS/fcfs/100h".
 // Fixed bounds accept both the shorthand ("100h", "30m", "90s") and
-// the canonical spelling Scheduler.Name emits ("fixB=100h"), so
-// ParsePolicy(p.Name()) round-trips for every constructible policy.
+// the canonical spelling Scheduler.Name emits ("fixB=100h"), and the
+// names the built policies report ("LXF&W-backfill",
+// "Conservative-backfill(FCFS)", "Maui-default-backfill") are accepted
+// as aliases, so ParsePolicy(p.Name()) round-trips for every
+// constructible policy (FuzzParsePolicy pins this).
 // nodeLimit is the search node budget L (ignored for backfill).
 func ParsePolicy(name string, nodeLimit int) (Policy, error) {
 	switch name {
@@ -231,7 +234,7 @@ func ParsePolicy(name string, nodeLimit int) (Policy, error) {
 		return policy.LXFBackfill(), nil
 	case "SJF-backfill":
 		return policy.NewBackfill(policy.SJF{}), nil
-	case "LXFW-backfill":
+	case "LXFW-backfill", "LXF&W-backfill": // the policy reports "LXF&W-backfill"
 		return policy.NewBackfill(policy.NewLXFW()), nil
 	case "Selective-backfill":
 		return policy.NewSelectiveBackfill(), nil
@@ -241,9 +244,9 @@ func ParsePolicy(name string, nodeLimit int) (Policy, error) {
 		return policy.NewSlackBackfill(), nil
 	case "Lookahead":
 		return policy.NewLookahead(), nil
-	case "Conservative-backfill":
+	case "Conservative-backfill", "Conservative-backfill(FCFS)":
 		return policy.ConservativeBackfill(policy.FCFS{}), nil
-	case "Maui-backfill":
+	case "Maui-backfill", "Maui-default-backfill":
 		return policy.NewWeightedBackfill(policy.MauiDefault()), nil
 	case "MultiQueue-backfill":
 		return policy.NewMultiQueue(), nil
