@@ -5,6 +5,7 @@ import (
 
 	"schedsearch"
 	"schedsearch/internal/chaos"
+	"schedsearch/internal/federation"
 	"schedsearch/internal/sim"
 )
 
@@ -50,5 +51,59 @@ func TestChaosSoak(t *testing.T) {
 					seed, len(res.Records), res.Rejected, res.Panics, res.Rebuilt)
 			}
 		})
+	}
+}
+
+// TestChaosSoakFederation soaks the sharded federation under the same
+// fault mix: every fault class at once — including the single-shard
+// crash-rebuild while the other shards keep scheduling — across the
+// placement policies, with oracle.CheckFederation certifying every run
+// (conservation across migrations, shard-local allocation, global
+// schedule invariants). Run under -race this also hammers the router's
+// locking against concurrent shard timers.
+func TestChaosSoakFederation(t *testing.T) {
+	seeds := 8
+	if testing.Short() {
+		seeds = 2
+	}
+	placements := []federation.Placement{
+		federation.LeastLoaded{}, federation.BestFit{}, federation.HashByUser{},
+	}
+	totalMigrations := int64(0)
+	for _, place := range placements {
+		place := place
+		t.Run(place.Name(), func(t *testing.T) {
+			for seed := uint64(1); seed <= uint64(seeds); seed++ {
+				res, err := chaos.RunFederation(chaos.FederationConfig{
+					Config: chaos.Config{
+						Seed:   seed,
+						Faults: chaos.AllFaults,
+						Policy: func() sim.Policy {
+							return schedsearch.NewSearchScheduler(schedsearch.DDS, schedsearch.HeuristicLXF,
+								schedsearch.DynamicBound(), 100)
+						},
+						Jobs: 100,
+					},
+					Shards:         4,
+					Placement:      place,
+					RebalanceEvery: 120,
+				})
+				if err != nil {
+					t.Fatalf("seed %d: %v (reproduce: chaos.RunFederation with this seed and AllFaults)", seed, err)
+				}
+				if len(res.Records) == 0 {
+					t.Fatalf("seed %d: no jobs completed", seed)
+				}
+				if res.RebuiltShard < 0 {
+					t.Fatalf("seed %d: crash-rebuild never fired", seed)
+				}
+				totalMigrations += res.Federation.Migrations
+				t.Logf("seed %d: %d completed, %d rejected, shard %d rebuilt, %d migrations",
+					seed, len(res.Records), res.Rejected, res.RebuiltShard, res.Federation.Migrations)
+			}
+		})
+	}
+	if totalMigrations == 0 {
+		t.Error("no migration occurred across the whole soak; the rebalance path went untested")
 	}
 }

@@ -11,6 +11,22 @@
 // POST /v1/drain stops admission, lets the machine empty, and shuts
 // the daemon down. -speedup N runs the engine clock N× faster than
 // wall time (useful for demos: hours of schedule in seconds).
+// GET /v1/metrics also serves the Prometheus text exposition format to
+// clients whose Accept header prefers text/plain.
+//
+// Federation mode:
+//
+//	schedd -shards 4 -placement least-loaded -policy DDS/lxf/dynB
+//
+// -shards N > 1 partitions the machine across N engine shards behind a
+// routing front-end (internal/federation): each shard runs the full
+// policy over its own node partition, -placement picks the routing
+// policy (least-loaded, best-fit or hash-by-user), and -rebalance T
+// migrates still-queued jobs from overloaded to underloaded shards
+// every T seconds (0 disables). GET /v1/federation reports the
+// per-shard breakdown. Jobs wider than every shard's partition are
+// rejected (serving) or skipped with a note (replay). Works in both
+// serving and replay modes.
 //
 // Replay mode:
 //
@@ -33,12 +49,15 @@
 // recovers each panic on its FCFS fallback) and attaches the
 // schedule-invariant oracle; the run fails if any invariant is
 // violated, and reports the verdict on stderr. Works in both serving
-// and replay modes.
+// and replay modes, federated or not (a federated run is verified by
+// the global record sweep instead of the live per-engine oracle,
+// because migrations look like re-submissions to a single engine).
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -54,6 +73,7 @@ import (
 	"schedsearch/internal/chaos"
 	"schedsearch/internal/core"
 	"schedsearch/internal/engine"
+	"schedsearch/internal/federation"
 	"schedsearch/internal/job"
 	"schedsearch/internal/oracle"
 	"schedsearch/internal/server"
@@ -78,54 +98,107 @@ func main() {
 		scale     = flag.Float64("scale", 1, "job-count/duration scale factor for generated months")
 		load      = flag.Float64("load", 0, "target offered load for generated months (0 = original)")
 		chaosSeed = flag.Uint64("chaos", 0, "dev fault injection: wrap the policy in a seeded panic/latency injector and verify the run against the schedule oracle (0 = off)")
+		shards    = flag.Int("shards", 1, "engine shards; >1 federates the machine behind a routing front-end")
+		placement = flag.String("placement", "least-loaded", "federation placement policy: least-loaded, best-fit or hash-by-user")
+		rebalance = flag.Int64("rebalance", 60, "federation rebalance period in engine seconds (0 = off)")
 	)
 	flag.Parse()
 
-	pol, err := schedsearch.ParsePolicy(*policyArg, *nodeLimit)
-	if err != nil {
+	// Validate once up front, then hand shards a factory: every shard
+	// (and every post-crash rebuild) gets its own policy instance.
+	if _, err := schedsearch.ParsePolicy(*policyArg, *nodeLimit); err != nil {
 		fatal(err)
 	}
-	if sch, ok := pol.(*core.Scheduler); ok {
-		sch.Workers = *workers
-	}
 	chaosOn := *chaosSeed > 0
-	if chaosOn {
-		// The seed varies the injection cadence, so different seeds
-		// exercise different decision points; the oracle rides along and
-		// the run fails loudly on any schedule-invariant violation.
-		pol = &chaos.FlakyPolicy{
-			Inner:        pol,
-			PanicEvery:   int(5 + *chaosSeed%7),
-			LatencyEvery: int(2 + *chaosSeed%3),
-			Latency:      100 * time.Microsecond,
+	mkPolicy := func(int) sim.Policy {
+		pol, err := schedsearch.ParsePolicy(*policyArg, *nodeLimit)
+		if err != nil {
+			panic(err) // validated above
 		}
+		if sch, ok := pol.(*core.Scheduler); ok {
+			sch.Workers = *workers
+		}
+		if chaosOn {
+			// The seed varies the injection cadence, so different seeds
+			// exercise different decision points; the oracle rides along
+			// and the run fails loudly on any invariant violation.
+			pol = &chaos.FlakyPolicy{
+				Inner:        pol,
+				PanicEvery:   int(5 + *chaosSeed%7),
+				LatencyEvery: int(2 + *chaosSeed%3),
+				Latency:      100 * time.Microsecond,
+			}
+		}
+		return pol
+	}
+	if chaosOn {
 		fmt.Fprintf(os.Stderr, "schedd: chaos mode on (seed %d): injecting policy panics and latency\n", *chaosSeed)
 	}
+	fed := fedOptions{shards: *shards, rebalance: job.Duration(*rebalance)}
+	if *shards > 1 {
+		place, err := federation.ParsePlacement(*placement)
+		if err != nil {
+			fatal(err)
+		}
+		fed.placement = place
+	}
+
 	if *virtual || *swfIn != "" {
-		if err := replay(pol, *swfIn, *month, *seed, *scale, *load, *capacity, *requested, chaosOn); err != nil {
+		if err := replay(mkPolicy, *swfIn, *month, *seed, *scale, *load, *capacity, *requested, chaosOn, fed); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	if err := serve(pol, *addr, *capacity, *requested, *speedup, chaosOn); err != nil {
+	if err := serve(mkPolicy, *addr, *capacity, *requested, *speedup, chaosOn, fed); err != nil {
 		fatal(err)
 	}
 }
 
-// verifyOracle renders the chaos-mode verdict after a run: the live
-// oracle's end-of-run check plus the record sweep.
-func verifyOracle(orc *oracle.Oracle, e *engine.Engine) error {
+// fedOptions carry the federation flags; shards <= 1 means a bare
+// engine.
+type fedOptions struct {
+	shards    int
+	placement federation.Placement
+	rebalance job.Duration
+}
+
+// backend is what both run modes drive: a bare *engine.Engine or a
+// *federation.Router.
+type backend interface {
+	server.Backend
+	Records() []sim.Record
+	Err() error
+}
+
+// verify renders the chaos-mode verdict after a run. A bare engine is
+// checked by its live oracle plus the record sweep; a federation by the
+// global cross-shard sweep (partition geometry, shard-local node IDs,
+// conservation across migrations).
+func verify(orc *oracle.Oracle, bk backend, router *federation.Router) error {
+	if router != nil {
+		shardRecs := make([][]sim.Record, router.NumShards())
+		for i := range shardRecs {
+			shardRecs[i] = router.ShardRecords(i)
+		}
+		if err := oracle.CheckFederation(bk.Metrics().Capacity, router.ShardCapacities(), nil, shardRecs); err != nil {
+			return err
+		}
+		fm := router.Federation()
+		fmt.Fprintf(os.Stderr, "schedd: federation oracle verdict: clean (%d jobs on %d shards, %d migrations)\n",
+			len(bk.Records()), fm.Shards, fm.Migrations)
+		return nil
+	}
 	if orc == nil {
 		return nil
 	}
 	if err := orc.Final(); err != nil {
 		return err
 	}
-	if err := oracle.CheckRecords(e.Metrics().Capacity, nil, e.Records()); err != nil {
+	if err := oracle.CheckRecords(bk.Metrics().Capacity, nil, bk.Records()); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "schedd: chaos oracle verdict: clean (%d jobs, %d recovered panics)\n",
-		len(e.Records()), e.Metrics().Engine.PolicyPanics)
+		len(bk.Records()), bk.Metrics().Engine.PolicyPanics)
 	return nil
 }
 
@@ -134,28 +207,51 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// serve runs the daemon: a real-clock engine behind the HTTP API.
-// POST /v1/drain (or SIGINT/SIGTERM) triggers a graceful shutdown once
-// the machine has emptied.
-func serve(pol sim.Policy, addr string, capacity int, requested bool, speedup float64, chaosOn bool) error {
-	var orc *oracle.Oracle
-	if chaosOn {
-		orc = oracle.New(capacity)
-	}
-	cfg := engine.Config{
-		Capacity:     capacity,
-		Policy:       pol,
-		Clock:        engine.NewRealClock(speedup),
-		UseRequested: requested,
-	}
-	if orc != nil {
-		// Assigning a nil *Oracle directly would store a typed-nil
-		// Observer the ledger's nil check cannot see.
-		cfg.Observer = orc
-	}
-	e, err := engine.New(cfg)
-	if err != nil {
-		return err
+// serve runs the daemon: a real-clock engine (or federation) behind the
+// HTTP API. POST /v1/drain (or SIGINT/SIGTERM) triggers a graceful
+// shutdown once the machine has emptied.
+func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested bool,
+	speedup float64, chaosOn bool, fed fedOptions) error {
+	clock := engine.NewRealClock(speedup)
+	var (
+		bk     backend
+		router *federation.Router
+		orc    *oracle.Oracle
+	)
+	if fed.shards > 1 {
+		r, err := federation.New(federation.Config{
+			Capacity:       capacity,
+			Shards:         fed.shards,
+			Policy:         mkPolicy,
+			Placement:      fed.placement,
+			Clock:          clock,
+			UseRequested:   requested,
+			RebalanceEvery: fed.rebalance,
+		})
+		if err != nil {
+			return err
+		}
+		bk, router = r, r
+	} else {
+		if chaosOn {
+			orc = oracle.New(capacity)
+		}
+		cfg := engine.Config{
+			Capacity:     capacity,
+			Policy:       mkPolicy(0),
+			Clock:        clock,
+			UseRequested: requested,
+		}
+		if orc != nil {
+			// Assigning a nil *Oracle directly would store a typed-nil
+			// Observer the ledger's nil check cannot see.
+			cfg.Observer = orc
+		}
+		e, err := engine.New(cfg)
+		if err != nil {
+			return err
+		}
+		bk = e
 	}
 
 	ln, err := net.Listen("tcp", addr)
@@ -163,7 +259,7 @@ func serve(pol sim.Policy, addr string, capacity int, requested bool, speedup fl
 		return err
 	}
 	httpSrv := &http.Server{}
-	httpSrv.Handler = server.New(e, func() {
+	httpSrv.Handler = server.New(bk, func() {
 		// Drained: stop accepting connections and let main return.
 		_ = httpSrv.Shutdown(context.Background())
 	})
@@ -173,83 +269,130 @@ func serve(pol sim.Policy, addr string, capacity int, requested bool, speedup fl
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigCh
-		_ = e.Drain(context.Background())
+		_ = bk.Drain(context.Background())
 		_ = httpSrv.Shutdown(context.Background())
 	}()
 
 	// The test harness and shell scripts parse this line for the port.
-	fmt.Printf("schedd: policy %s on %d nodes, listening on %s\n",
-		pol.Name(), capacity, ln.Addr())
+	if router != nil {
+		fmt.Printf("schedd: policy %s on %d nodes (%d shards, %s placement), listening on %s\n",
+			bk.Metrics().Policy, capacity, fed.shards, fed.placement.Name(), ln.Addr())
+	} else {
+		fmt.Printf("schedd: policy %s on %d nodes, listening on %s\n",
+			bk.Metrics().Policy, capacity, ln.Addr())
+	}
 	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		return err
 	}
-	if err := e.Err(); err != nil {
+	if err := bk.Err(); err != nil {
 		return err
 	}
-	if err := verifyOracle(orc, e); err != nil {
-		return err
+	if chaosOn {
+		if err := verify(orc, bk, router); err != nil {
+			return err
+		}
 	}
-	return printMetrics(e)
+	return printMetrics(bk, router)
 }
 
-// replay feeds a workload through the engine on the deterministic
-// virtual clock (as fast as the hardware allows) and prints the final
-// metrics. Each job is delivered by a clock timer at its submit time,
-// exactly like the engine's differential tests.
-func replay(pol sim.Policy, swfIn, month string, seed uint64, scale, load float64,
-	capacity int, requested bool, chaosOn bool) error {
+// replay feeds a workload through the engine (or federation) on the
+// deterministic virtual clock (as fast as the hardware allows) and
+// prints the final metrics. Each job is delivered by a clock timer at
+// its submit time, exactly like the engine's differential tests.
+func replay(mkPolicy func(int) sim.Policy, swfIn, month string, seed uint64, scale, load float64,
+	capacity int, requested bool, chaosOn bool, fed fedOptions) error {
 	input, err := replayInput(swfIn, month, seed, scale, load, capacity, requested)
 	if err != nil {
 		return err
 	}
-	var orc *oracle.Oracle
-	if chaosOn {
-		orc = oracle.New(input.Capacity)
+	measured := func(id int) bool {
+		if input.Measured == nil {
+			return true
+		}
+		return input.Measured[id]
 	}
 
 	vc := engine.NewVirtualClock()
-	cfg := engine.Config{
-		Capacity:     input.Capacity,
-		Policy:       pol,
-		Clock:        vc,
-		UseRequested: input.UseRequested,
-		Measured: func(id int) bool {
-			if input.Measured == nil {
-				return true
-			}
-			return input.Measured[id]
-		},
-		MeasureStart: input.MeasureStart,
-		MeasureEnd:   input.MeasureEnd,
+	var (
+		bk     backend
+		router *federation.Router
+		orc    *oracle.Oracle
+	)
+	if fed.shards > 1 {
+		r, err := federation.New(federation.Config{
+			Capacity:       input.Capacity,
+			Shards:         fed.shards,
+			Policy:         mkPolicy,
+			Placement:      fed.placement,
+			Clock:          vc,
+			UseRequested:   input.UseRequested,
+			Measured:       measured,
+			MeasureStart:   input.MeasureStart,
+			MeasureEnd:     input.MeasureEnd,
+			RebalanceEvery: fed.rebalance,
+		})
+		if err != nil {
+			return err
+		}
+		bk, router = r, r
+	} else {
+		if chaosOn {
+			orc = oracle.New(input.Capacity)
+		}
+		cfg := engine.Config{
+			Capacity:     input.Capacity,
+			Policy:       mkPolicy(0),
+			Clock:        vc,
+			UseRequested: input.UseRequested,
+			Measured:     measured,
+			MeasureStart: input.MeasureStart,
+			MeasureEnd:   input.MeasureEnd,
+		}
+		if orc != nil {
+			cfg.Observer = orc
+		}
+		e, err := engine.New(cfg)
+		if err != nil {
+			return err
+		}
+		bk = e
 	}
-	if orc != nil {
-		cfg.Observer = orc
-	}
-	e, err := engine.New(cfg)
-	if err != nil {
-		return err
-	}
+
 	var submitErr error
 	var once sync.Once
+	var skipped int
 	for _, j := range input.Jobs {
 		j := j
 		vc.AfterFunc(j.Submit, func() {
-			if err := e.SubmitJob(j); err != nil {
-				once.Do(func() { submitErr = err })
+			err := bk.SubmitJob(j)
+			if err == nil {
+				return
 			}
+			if errors.Is(err, federation.ErrTooWide) {
+				// A partitioned machine cannot hold the trace's widest
+				// jobs; skip them rather than abort the replay.
+				skipped++
+				return
+			}
+			once.Do(func() { submitErr = err })
 		})
 	}
 	vc.Run()
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "schedd: skipped %d jobs wider than every shard partition\n", skipped)
+	}
 	if submitErr != nil {
 		return submitErr
 	}
-	if err := e.Err(); err != nil {
+	if err := bk.Err(); err != nil {
 		return err
 	}
-	if err := verifyOracle(orc, e); err != nil {
-		return err
+	if chaosOn {
+		if err := verify(orc, bk, router); err != nil {
+			return err
+		}
 	}
-	return printMetrics(e)
+	return printMetrics(bk, router)
 }
 
 // replayInput assembles the jobs to replay: an SWF trace, or a
@@ -284,8 +427,16 @@ func replayInput(swfIn, month string, seed uint64, scale, load float64,
 	return input, nil
 }
 
-func printMetrics(e *engine.Engine) error {
+// printMetrics emits the final whole-machine metrics on stdout; a
+// federated run appends the per-shard federation report.
+func printMetrics(bk backend, router *federation.Router) error {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(e.Metrics())
+	if err := enc.Encode(bk.Metrics()); err != nil {
+		return err
+	}
+	if router != nil {
+		return enc.Encode(router.Federation())
+	}
+	return nil
 }

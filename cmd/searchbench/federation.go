@@ -1,0 +1,188 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"schedsearch/internal/core"
+	"schedsearch/internal/engine"
+	"schedsearch/internal/federation"
+	"schedsearch/internal/job"
+	"schedsearch/internal/oracle"
+	"schedsearch/internal/sim"
+)
+
+// fedResult is one shard-count measurement of the federation bench.
+type fedResult struct {
+	Shards    int    `json:"shards"`
+	Placement string `json:"placement"`
+	Jobs      int    `json:"jobs"`
+	// WallMs is the wall time of the whole virtual-clock replay; a
+	// virtual clock runs as fast as the hardware schedules, so this is
+	// pure scheduling cost (search + routing + bookkeeping).
+	WallMs     float64 `json:"wall_ms"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// Decisions and the decide latencies aggregate across the shards
+	// (latencies are wall time inside the engines' decision path).
+	Decisions   int64   `json:"decisions"`
+	AvgDecideMs float64 `json:"avg_decide_ms"`
+	MaxDecideMs float64 `json:"max_decide_ms"`
+	// RoutingNsPerJob is the router's placement cost per submission
+	// (zero for the 1-shard baseline only if routing were free — it is
+	// measured there too).
+	RoutingNsPerJob int64 `json:"routing_ns_per_job"`
+	Migrations      int64 `json:"migrations"`
+	// SpeedupVs1Shard is the 1-shard wall time over this wall time.
+	SpeedupVs1Shard float64 `json:"speedup_vs_1shard"`
+}
+
+// fedReport is the BENCH_federation.json schema.
+type fedReport struct {
+	GeneratedBy string      `json:"generated_by"`
+	GOOS        string      `json:"goos"`
+	GOARCH      string      `json:"goarch"`
+	NumCPU      int         `json:"num_cpu"`
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	Policy      string      `json:"policy"`
+	Capacity    int         `json:"capacity"`
+	Results     []fedResult `json:"results"`
+}
+
+// fedBenchJobs builds the deterministic synthetic workload for the
+// federation bench: widths bounded by the narrowest partition of the
+// largest shard count, bursty seeded-free arithmetic arrivals, mixed
+// runtimes. Every shard count replays exactly these jobs.
+func fedBenchJobs(n, maxWidth int) []job.Job {
+	jobs := make([]job.Job, n)
+	at := job.Time(0)
+	for i := range jobs {
+		if i%7 != 0 {
+			// Six of seven jobs arrive in a burst with the previous one;
+			// every seventh opens a gap, so queues stay contended.
+			at += job.Time((i * 37) % 240)
+		}
+		rt := job.Duration(300 + (i*2311)%14400)
+		jobs[i] = job.Job{
+			ID:      i + 1,
+			Submit:  at,
+			Nodes:   1 + (i*13)%maxWidth,
+			Runtime: rt,
+			Request: rt + job.Duration((i*977)%3600),
+			User:    i % 16,
+		}
+	}
+	return jobs
+}
+
+// runFederationBench replays the same synthetic workload through a
+// 1-shard, 2-shard, ... federation and reports decision latency and
+// throughput per shard count into outPath (BENCH_federation.json).
+func runFederationBench(outPath string, shardCounts []int, jobsN, limit, capacity int) error {
+	maxShards := 1
+	for _, s := range shardCounts {
+		if s > maxShards {
+			maxShards = s
+		}
+	}
+	// Bound widths by the narrowest partition at the largest shard
+	// count so every configuration schedules the identical job set.
+	minCaps, err := federation.PartitionCapacity(capacity, maxShards)
+	if err != nil {
+		return err
+	}
+	jobs := fedBenchJobs(jobsN, minCaps[len(minCaps)-1])
+
+	rep := fedReport{
+		GeneratedBy: "searchbench -federation",
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Capacity:    capacity,
+	}
+	var baseWallMs float64
+	for _, shards := range shardCounts {
+		vc := engine.NewVirtualClock()
+		router, err := federation.New(federation.Config{
+			Capacity: capacity,
+			Shards:   shards,
+			Clock:    vc,
+			Policy: func(int) sim.Policy {
+				return core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), limit)
+			},
+			RebalanceEvery: 600,
+		})
+		if err != nil {
+			return err
+		}
+		rep.Policy = router.Metrics().Policy
+		for _, j := range jobs {
+			j := j
+			vc.AfterFunc(j.Submit, func() {
+				if err := router.SubmitJob(j); err != nil {
+					fatal(fmt.Errorf("federation bench: submit job %d on %d shards: %w", j.ID, shards, err))
+				}
+			})
+		}
+		t0 := time.Now()
+		vc.Run()
+		wall := time.Since(t0)
+		if err := router.Err(); err != nil {
+			return err
+		}
+		if got := len(router.Records()); got != len(jobs) {
+			return fmt.Errorf("federation bench: %d shards completed %d of %d jobs", shards, got, len(jobs))
+		}
+		// The bench doubles as a correctness probe: every measured run
+		// must pass the global federation sweep.
+		shardRecs := make([][]sim.Record, router.NumShards())
+		for i := range shardRecs {
+			shardRecs[i] = router.ShardRecords(i)
+		}
+		if err := oracle.CheckFederation(capacity, router.ShardCapacities(), nil, shardRecs); err != nil {
+			return fmt.Errorf("federation bench: %d shards: %w", shards, err)
+		}
+
+		fm := router.Federation()
+		r := fedResult{
+			Shards:      shards,
+			Placement:   fm.Placement,
+			Jobs:        len(jobs),
+			WallMs:      float64(wall.Nanoseconds()) / 1e6,
+			Decisions:   fm.Global.Engine.Decisions,
+			AvgDecideMs: fm.Global.Engine.AvgDecideMs,
+			MaxDecideMs: fm.Global.Engine.MaxDecideMs,
+			Migrations:  fm.Migrations,
+		}
+		if wall > 0 {
+			r.JobsPerSec = float64(len(jobs)) / wall.Seconds()
+		}
+		if fm.RoutingDecisions > 0 {
+			r.RoutingNsPerJob = fm.RoutingNs / fm.RoutingDecisions
+		}
+		if shards == 1 || baseWallMs == 0 {
+			baseWallMs = r.WallMs
+		}
+		if r.WallMs > 0 {
+			r.SpeedupVs1Shard = baseWallMs / r.WallMs
+		}
+		rep.Results = append(rep.Results, r)
+		fmt.Fprintf(os.Stderr, "federation shards=%d: %.0f ms wall, %.0f jobs/s, avg decide %.3f ms, %d migrations\n",
+			shards, r.WallMs, r.JobsPerSec, r.AvgDecideMs, r.Migrations)
+	}
+
+	w := os.Stdout
+	if outPath != "-" {
+		w, err = os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -14,6 +14,15 @@
 //
 //	searchbench -out BENCH_search.json
 //	searchbench -limits 1000,10000,100000 -depths 16,32,64 -time 200ms
+//
+// Federation mode (-federation) instead replays one deterministic
+// synthetic workload through a sharded federation
+// (internal/federation) at each shard count in -shards and emits
+// BENCH_federation.json: wall time, decision latency and throughput
+// for 1, 2, 4 shards — the scalability claim of partitioned search,
+// measured:
+//
+//	searchbench -federation -shards 1,2,4 -fedjobs 400 -fedlimit 200
 package main
 
 import (
@@ -69,8 +78,33 @@ func main() {
 		algos   = flag.String("algos", "DDS,LDS", "search algorithms to measure")
 		minTime = flag.Duration("time", 200*time.Millisecond, "minimum measurement time per configuration")
 		workers = flag.Int("workers", core.AutoWorkers, "parallel worker count (-1 one per CPU)")
+		fedMode = flag.Bool("federation", false, "benchmark the sharded federation instead of the search hot path")
+		shards  = flag.String("shards", "1,2,4", "shard counts to measure in -federation mode")
+		fedJobs = flag.Int("fedjobs", 400, "synthetic jobs per federation replay")
+		fedLim  = flag.Int("fedlimit", 200, "search node limit per decision in -federation mode")
 	)
 	flag.Parse()
+
+	if *fedMode {
+		shardCounts, err := parseInts(*shards)
+		if err != nil {
+			fatal(err)
+		}
+		outPath := *out
+		outSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "out" {
+				outSet = true
+			}
+		})
+		if !outSet {
+			outPath = "BENCH_federation.json"
+		}
+		if err := runFederationBench(outPath, shardCounts, *fedJobs, *fedLim, 128); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	ls, err := parseInts(*limits)
 	if err != nil {

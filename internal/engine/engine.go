@@ -32,6 +32,11 @@ var ErrDraining = errors.New("engine: draining, not admitting jobs")
 // ID is already in use (test with errors.Is).
 var ErrDuplicateID = errors.New("duplicate job ID")
 
+// ErrNotQueued is wrapped by Withdraw when the job is not currently
+// waiting (unknown, already running, or done — running and completed
+// jobs cannot be withdrawn on a non-preemptive machine).
+var ErrNotQueued = errors.New("job not in queue")
+
 // Config configures an Engine.
 type Config struct {
 	// Capacity is the machine size in nodes.
@@ -175,7 +180,7 @@ func (e *Engine) Submit(spec job.Job) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	spec.ID = e.nextID
-	if err := e.submitLocked(spec); err != nil {
+	if err := e.submitLocked(spec, false); err != nil {
 		return 0, err
 	}
 	return spec.ID, nil
@@ -187,10 +192,23 @@ func (e *Engine) Submit(spec job.Job) (int, error) {
 func (e *Engine) SubmitJob(j job.Job) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.submitLocked(j)
+	return e.submitLocked(j, false)
 }
 
-func (e *Engine) submitLocked(j job.Job) error {
+// Admit admits a job keeping both its caller-assigned ID and its
+// original submit time (clamped to now). The federation router uses it
+// to migrate a still-queued job between shards without resetting the
+// job's wait; everything else about admission — validation, duplicate
+// detection, journaling, the coalesced decision — matches SubmitJob.
+// Note that a live Observer sees the preserved submit time, which may
+// be older than submissions it has already observed.
+func (e *Engine) Admit(j job.Job) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.submitLocked(j, true)
+}
+
+func (e *Engine) submitLocked(j job.Job, preserveSubmit bool) error {
 	if e.fatal != nil {
 		return e.fatal
 	}
@@ -198,7 +216,9 @@ func (e *Engine) submitLocked(j job.Job) error {
 		return ErrDraining
 	}
 	now := e.clock.Now()
-	j.Submit = now
+	if !preserveSubmit || j.Submit < 0 || j.Submit > now {
+		j.Submit = now
+	}
 	if j.Request < j.Runtime {
 		j.Request = j.Runtime
 	}
@@ -523,3 +543,103 @@ func (e *Engine) Records() []sim.Record {
 	defer e.mu.Unlock()
 	return append([]sim.Record(nil), e.records...)
 }
+
+// Withdraw removes a still-waiting job from the engine and returns the
+// admitted job (with its stamped submit time). The federation router
+// migrates queued jobs between shards this way; running and completed
+// jobs cannot be withdrawn (non-preemption). The withdrawal is
+// journaled, so a Rebuild replays it and the job stays gone.
+func (e *Engine) Withdraw(id int) (job.Job, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.fatal != nil {
+		return job.Job{}, e.fatal
+	}
+	st, ok := e.jobs[id]
+	if !ok || st.State != StateWaiting {
+		return job.Job{}, fmt.Errorf("engine: withdraw job %d: %w", id, ErrNotQueued)
+	}
+	now := e.clock.Now()
+	e.noteQueueChange(now)
+	j, ok := e.l.Withdraw(id)
+	if !ok {
+		// jobs said waiting but the ledger disagrees: a bookkeeping bug.
+		e.setFatal(fmt.Errorf("engine: withdraw job %d: waiting but not in ledger queue", id))
+		return job.Job{}, e.fatal
+	}
+	delete(e.jobs, id)
+	e.journal = append(e.journal, Event{Kind: EvWithdraw, At: now, ID: id})
+	e.checkIdle()
+	return j, nil
+}
+
+// Load is a cheap occupancy summary of one engine, consumed by the
+// federation router's placement and rebalance passes.
+type Load struct {
+	// Capacity and FreeNodes mirror Machine.
+	Capacity  int
+	FreeNodes int
+	// Waiting and Running are the queue and running-set sizes.
+	Waiting int
+	Running int
+	// QueuedNodeSec and RemainingNodeSec are the outstanding work in
+	// node-seconds (see sim.Ledger.Demand).
+	QueuedNodeSec    int64
+	RemainingNodeSec int64
+}
+
+// Score is the load measure placement and rebalancing compare:
+// outstanding node-seconds per capacity node. It is comparable across
+// shards of different sizes.
+func (ld Load) Score() float64 {
+	if ld.Capacity < 1 {
+		return 0
+	}
+	return float64(ld.QueuedNodeSec+ld.RemainingNodeSec) / float64(ld.Capacity)
+}
+
+// Load returns the engine's current occupancy summary.
+func (e *Engine) Load() Load {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	queued, remaining := e.l.Demand(e.clock.Now())
+	return Load{
+		Capacity:         e.l.Capacity(),
+		FreeNodes:        e.l.FreeNodes(),
+		Waiting:          e.l.QueueLen(),
+		Running:          e.l.RunningLen(),
+		QueuedNodeSec:    queued,
+		RemainingNodeSec: remaining,
+	}
+}
+
+// Shard is the narrow engine surface the federation router
+// (internal/federation) drives: admission, migration, state inspection
+// and lifecycle, but none of the engine's construction or replay
+// machinery. *Engine implements it; the router treats every shard
+// through this interface so tests can substitute instrumented shards.
+type Shard interface {
+	// SubmitJob admits a job with a caller-assigned ID, stamping the
+	// submit time from the clock.
+	SubmitJob(j job.Job) error
+	// Admit admits a job preserving its ID and submit time (migration).
+	Admit(j job.Job) error
+	// Withdraw removes a still-waiting job (migration source side).
+	Withdraw(id int) (job.Job, error)
+	// Job, Queue, Machine, Load, Metrics and Records expose state.
+	Job(id int) (JobStatus, bool)
+	Queue() []JobStatus
+	Machine() Machine
+	Load() Load
+	Metrics() Metrics
+	Records() []sim.Record
+	// Checkpoint snapshots the committed history (crash/rebuild).
+	Checkpoint() Checkpoint
+	// Drain stops admission and waits for the shard to empty.
+	Drain(ctx context.Context) error
+	Draining() bool
+	Err() error
+	Now() job.Time
+}
+
+var _ Shard = (*Engine)(nil)

@@ -127,6 +127,65 @@ func (e *Engine) countersLocked() Counters {
 	return c
 }
 
+// ShardStatus is one shard's slice of a federation report.
+type ShardStatus struct {
+	// Shard is the shard index; NodeBase is the first global node ID of
+	// the shard's partition (its local node IDs map to
+	// [NodeBase, NodeBase+Capacity)).
+	Shard    int `json:"shard"`
+	Capacity int `json:"capacity"`
+	NodeBase int `json:"node_base"`
+	// Util is the shard's utilized load over its own measurement
+	// window (its Summary.UtilizedLoad).
+	Util float64   `json:"util"`
+	Jobs JobCounts `json:"jobs"`
+	// Metrics is the shard engine's full running report.
+	Metrics Metrics `json:"metrics"`
+}
+
+// FederationMetrics is the aggregated report of a sharded federation
+// (internal/federation): per-shard state plus the router's own
+// counters. The server's GET /v1/federation serves it.
+type FederationMetrics struct {
+	Shards    int    `json:"shards"`
+	Placement string `json:"placement"`
+	// Migrations counts queued jobs moved between shards by rebalance
+	// passes; RebalancePasses counts the passes themselves.
+	Migrations      int64 `json:"migrations"`
+	RebalancePasses int64 `json:"rebalance_passes"`
+	// RoutingDecisions and RoutingNs meter the router's placement cost:
+	// calls to the placement policy and total wall time spent choosing
+	// a shard (load collection included).
+	RoutingDecisions int64 `json:"routing_decisions"`
+	RoutingNs        int64 `json:"routing_ns"`
+	// PerShardUtil is each shard's utilized load, indexed by shard.
+	PerShardUtil []float64     `json:"per_shard_util"`
+	PerShard     []ShardStatus `json:"per_shard"`
+	// Global is the whole-machine view in the ordinary metrics schema
+	// (the same report a federated GET /v1/metrics serves).
+	Global Metrics `json:"global"`
+}
+
+// AggregateShards fills the per-shard portion of a FederationMetrics
+// from the shards' own metrics and the partition geometry; the caller
+// (the federation router) adds its routing counters and the global
+// view.
+func AggregateShards(per []Metrics, caps, bases []int) FederationMetrics {
+	fm := FederationMetrics{Shards: len(per)}
+	for i, m := range per {
+		fm.PerShardUtil = append(fm.PerShardUtil, m.Summary.UtilizedLoad)
+		fm.PerShard = append(fm.PerShard, ShardStatus{
+			Shard:    i,
+			Capacity: caps[i],
+			NodeBase: bases[i],
+			Util:     m.Summary.UtilizedLoad,
+			Jobs:     m.Jobs,
+			Metrics:  m,
+		})
+	}
+	return fm
+}
+
 // OfflineMetrics packages an offline simulation result in the same
 // schema the daemon's /v1/metrics endpoint serves (`schedsim -json`
 // uses it; the engine counters carry the simulator's decision count and

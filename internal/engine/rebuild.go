@@ -22,6 +22,9 @@ const (
 	EvStart
 	// EvFinish completes a job at time At.
 	EvFinish
+	// EvWithdraw removes a still-waiting job from the queue without
+	// starting it (a federation migration moved it to another shard).
+	EvWithdraw
 )
 
 // String names the event kind.
@@ -35,6 +38,8 @@ func (k EventKind) String() string {
 		return "start"
 	case EvFinish:
 		return "finish"
+	case EvWithdraw:
+		return "withdraw"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -188,6 +193,16 @@ func (e *Engine) replayEvent(i int, ev Event, events []Event) error {
 		st := e.jobs[f.Job.ID]
 		st.State = StateDone
 		st.End = f.End
+	case EvWithdraw:
+		st, ok := e.jobs[ev.ID]
+		if !ok || st.State != StateWaiting {
+			return fmt.Errorf("engine: rebuild: event %d: withdrawn job %d not waiting", i, ev.ID)
+		}
+		e.noteQueueChange(ev.At)
+		if _, ok := e.l.Withdraw(ev.ID); !ok {
+			return fmt.Errorf("engine: rebuild: event %d: withdrawn job %d not in queue", i, ev.ID)
+		}
+		delete(e.jobs, ev.ID)
 	default:
 		return fmt.Errorf("engine: rebuild: event %d: unknown kind %d", i, int(ev.Kind))
 	}

@@ -1,0 +1,445 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"schedsearch/internal/core"
+	"schedsearch/internal/engine"
+	"schedsearch/internal/job"
+	"schedsearch/internal/oracle"
+	"schedsearch/internal/policy"
+	"schedsearch/internal/sim"
+	"schedsearch/internal/workload"
+)
+
+func TestPartitionCapacity(t *testing.T) {
+	cases := []struct {
+		total, n int
+		want     []int
+	}{
+		{128, 4, []int{32, 32, 32, 32}},
+		{128, 1, []int{128}},
+		{130, 4, []int{33, 33, 32, 32}},
+		{7, 3, []int{3, 2, 2}},
+		{3, 3, []int{1, 1, 1}},
+	}
+	for _, tc := range cases {
+		caps, err := PartitionCapacity(tc.total, tc.n)
+		if err != nil {
+			t.Fatalf("PartitionCapacity(%d,%d): %v", tc.total, tc.n, err)
+		}
+		if fmt.Sprint(caps) != fmt.Sprint(tc.want) {
+			t.Errorf("PartitionCapacity(%d,%d) = %v, want %v", tc.total, tc.n, caps, tc.want)
+		}
+	}
+	if _, err := PartitionCapacity(2, 3); err == nil {
+		t.Error("capacity < shards should fail")
+	}
+	if _, err := PartitionCapacity(8, 0); err == nil {
+		t.Error("zero shards should fail")
+	}
+}
+
+func TestParsePlacement(t *testing.T) {
+	for _, name := range []string{"least-loaded", "best-fit", "hash-by-user"} {
+		p, err := ParsePlacement(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != name {
+			t.Errorf("ParsePlacement(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := ParsePlacement("round-robin"); err == nil {
+		t.Error("unknown placement should fail")
+	}
+}
+
+func TestPlacementPicks(t *testing.T) {
+	cands := []Candidate{
+		{Shard: 0, Load: engine.Load{Capacity: 32, FreeNodes: 2, QueuedNodeSec: 6400}},
+		{Shard: 1, Load: engine.Load{Capacity: 32, FreeNodes: 20, RemainingNodeSec: 320}},
+		{Shard: 2, Load: engine.Load{Capacity: 32, FreeNodes: 6, RemainingNodeSec: 640}},
+	}
+	j := job.Job{ID: 1, Nodes: 4, Runtime: 100, Request: 100}
+
+	if got := (LeastLoaded{}).Pick(j, cands); got != 1 {
+		t.Errorf("LeastLoaded picked %d, want 1 (lowest score)", got)
+	}
+	// Best fit: shards 1 and 2 can start the job now; 2 leaves the
+	// smaller slack (6-4=2 vs 20-4=16).
+	if got := (BestFit{}).Pick(j, cands); got != 2 {
+		t.Errorf("BestFit picked %d, want 2 (tightest fit)", got)
+	}
+	// No shard startable: falls back to least-loaded.
+	wide := job.Job{ID: 2, Nodes: 25, Runtime: 100, Request: 100}
+	if got := (BestFit{}).Pick(wide, cands); got != 1 {
+		t.Errorf("BestFit fallback picked %d, want 1", got)
+	}
+	// Hash-by-user: deterministic, and every job of one user lands on
+	// the same index.
+	h := HashByUser{}
+	for user := 0; user < 50; user++ {
+		j1 := job.Job{ID: 3, Nodes: 1, Runtime: 1, Request: 1, User: user}
+		a, b := h.Pick(j1, cands), h.Pick(j1, cands)
+		if a != b || a < 0 || a >= len(cands) {
+			t.Fatalf("HashByUser user %d: picks %d and %d", user, a, b)
+		}
+	}
+	// Waiting jobs disqualify a shard from "startable now".
+	cands[1].Load.Waiting = 1
+	if got := (BestFit{}).Pick(j, cands); got != 2 {
+		t.Errorf("BestFit with backlog on 1 picked %d, want 2", got)
+	}
+}
+
+// replayRouter drives a simulator input through a federation on a
+// virtual clock and returns the router after the run goes idle.
+func replayRouter(t *testing.T, in sim.Input, cfg Config) *Router {
+	t.Helper()
+	vc := engine.NewVirtualClock()
+	cfg.Clock = vc
+	cfg.Capacity = in.Capacity
+	cfg.UseRequested = in.UseRequested
+	cfg.MeasureStart = in.MeasureStart
+	cfg.MeasureEnd = in.MeasureEnd
+	if in.Measured != nil {
+		measured := in.Measured
+		cfg.Measured = func(id int) bool { return measured[id] }
+	} else {
+		cfg.Measured = func(int) bool { return true }
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range in.Jobs {
+		j := j
+		vc.AfterFunc(j.Submit, func() {
+			if err := r.SubmitJob(j); err != nil {
+				t.Errorf("submit job %d: %v", j.ID, err)
+			}
+		})
+	}
+	vc.Run()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// checkFederationRun applies the global oracle sweep to a finished
+// federated run.
+func checkFederationRun(t *testing.T, r *Router, submitted []job.Job) {
+	t.Helper()
+	shardRecs := make([][]sim.Record, r.NumShards())
+	for i := range shardRecs {
+		shardRecs[i] = r.ShardRecords(i)
+	}
+	if err := oracle.CheckFederation(r.cfg.Capacity, r.ShardCapacities(), submitted, shardRecs); err != nil {
+		t.Fatalf("federation oracle: %v", err)
+	}
+}
+
+func recordKey(r sim.Record) string {
+	return fmt.Sprintf("start=%d end=%d nodes=%v measured=%v", r.Start, r.End, r.NodeIDs, r.Measured)
+}
+
+// TestOneShardMatchesEngine is the keystone differential: a 1-shard
+// federation must commit a bit-identical schedule — starts, ends,
+// concrete node IDs, completion order, decision count, whole summary —
+// to a bare engine on every suite month. The router must be a pure
+// pass-through when there is nothing to shard.
+func TestOneShardMatchesEngine(t *testing.T) {
+	suite := workload.NewSuite(workload.Config{Seed: 11, JobScale: 0.025})
+	newPolicy := func() sim.Policy {
+		return core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), 64)
+	}
+	for _, month := range workload.MonthLabels() {
+		month := month
+		t.Run(month, func(t *testing.T) {
+			in, _, err := suite.Input(month, workload.SimOptions{TargetLoad: 0.9})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Bare engine replay.
+			vc := engine.NewVirtualClock()
+			measured := in.Measured
+			e, err := engine.New(engine.Config{
+				Capacity:     in.Capacity,
+				Policy:       newPolicy(),
+				Clock:        vc,
+				MeasureStart: in.MeasureStart,
+				MeasureEnd:   in.MeasureEnd,
+				Measured:     func(id int) bool { return measured[id] },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, j := range in.Jobs {
+				j := j
+				vc.AfterFunc(j.Submit, func() {
+					if err := e.SubmitJob(j); err != nil {
+						t.Errorf("engine submit %d: %v", j.ID, err)
+					}
+				})
+			}
+			vc.Run()
+			if err := e.Err(); err != nil {
+				t.Fatal(err)
+			}
+
+			// 1-shard federation replay of the same input.
+			r := replayRouter(t, in, Config{
+				Shards: 1,
+				Policy: func(int) sim.Policy { return newPolicy() },
+			})
+
+			engRecs, fedRecs := e.Records(), r.Records()
+			if len(engRecs) != len(fedRecs) {
+				t.Fatalf("engine completed %d jobs, federation %d", len(engRecs), len(fedRecs))
+			}
+			for i := range engRecs {
+				if engRecs[i].Job.ID != fedRecs[i].Job.ID {
+					t.Fatalf("completion order diverges at %d: engine job %d, federation job %d",
+						i, engRecs[i].Job.ID, fedRecs[i].Job.ID)
+				}
+				if recordKey(engRecs[i]) != recordKey(fedRecs[i]) {
+					t.Fatalf("job %d: engine %s, federation %s",
+						engRecs[i].Job.ID, recordKey(engRecs[i]), recordKey(fedRecs[i]))
+				}
+			}
+			em, fm := e.Metrics(), r.Metrics()
+			if em.Engine.Decisions != fm.Engine.Decisions {
+				t.Errorf("engine made %d decisions, federation %d", em.Engine.Decisions, fm.Engine.Decisions)
+			}
+			if em.Summary != fm.Summary {
+				t.Errorf("summaries diverge:\nengine     %+v\nfederation %+v", em.Summary, fm.Summary)
+			}
+			checkFederationRun(t, r, in.Jobs)
+		})
+	}
+}
+
+// TestFederatedSuiteMonth runs a 4-shard federation with rebalancing
+// over a suite month and checks the global invariants: job conservation
+// across migrations, shard-local node IDs, whole-machine capacity.
+func TestFederatedSuiteMonth(t *testing.T) {
+	suite := workload.NewSuite(workload.Config{Seed: 11, JobScale: 0.025})
+	in, _, err := suite.Input("7/03", workload.SimOptions{TargetLoad: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partitioned shards can't hold the widest jobs; drop them from the
+	// input up front (the router would reject them with ErrTooWide).
+	shardCap := in.Capacity / 4
+	jobs := in.Jobs[:0]
+	for _, j := range in.Jobs {
+		if j.Nodes <= shardCap {
+			jobs = append(jobs, j)
+		}
+	}
+	in.Jobs = jobs
+
+	for _, place := range []Placement{LeastLoaded{}, BestFit{}, HashByUser{}} {
+		t.Run(place.Name(), func(t *testing.T) {
+			r := replayRouter(t, in, Config{
+				Shards:         4,
+				Placement:      place,
+				Policy:         func(int) sim.Policy { return policy.FCFSBackfill() },
+				RebalanceEvery: 10 * job.Minute,
+			})
+			if got := len(r.Records()); got != len(in.Jobs) {
+				t.Fatalf("completed %d of %d jobs", got, len(in.Jobs))
+			}
+			checkFederationRun(t, r, in.Jobs)
+			fm := r.Federation()
+			if fm.Shards != 4 || len(fm.PerShard) != 4 || len(fm.PerShardUtil) != 4 {
+				t.Fatalf("federation metrics geometry: %+v", fm)
+			}
+			if fm.RoutingDecisions != int64(len(in.Jobs)) {
+				t.Errorf("routed %d jobs, submitted %d", fm.RoutingDecisions, len(in.Jobs))
+			}
+			if fm.Global.Jobs.Done != len(in.Jobs) {
+				t.Errorf("global metrics count %d done, want %d", fm.Global.Jobs.Done, len(in.Jobs))
+			}
+		})
+	}
+}
+
+// TestRebalanceMigrates pins the rebalance pass down: all load is
+// steered onto shard 0 (hash-by-user with a single user), and the pass
+// must move queued jobs to the idle shards without losing or restarting
+// any.
+func TestRebalanceMigrates(t *testing.T) {
+	vc := engine.NewVirtualClock()
+	r, err := New(Config{
+		Capacity:       64,
+		Shards:         2,
+		Clock:          vc,
+		Placement:      HashByUser{},
+		Policy:         func(int) sim.Policy { return policy.FCFSBackfill() },
+		RebalanceEvery: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted []job.Job
+	vc.AfterFunc(0, func() {
+		// One user: every job hashes to the same shard. The first fills
+		// the shard for a long time; the rest pile up in its queue.
+		for i := 0; i < 12; i++ {
+			rt := job.Duration(3600)
+			spec := job.Job{Nodes: 16, Runtime: rt, Request: rt, User: 7}
+			id, err := r.Submit(spec)
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			st, ok := r.Job(id)
+			if !ok {
+				t.Errorf("job %d vanished after submit", id)
+				return
+			}
+			submitted = append(submitted, st.Job)
+		}
+	})
+	vc.Run()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	fm := r.Federation()
+	if fm.Migrations == 0 {
+		t.Fatal("rebalance pass never migrated a job off the overloaded shard")
+	}
+	if fm.RebalancePasses == 0 {
+		t.Fatal("rebalance pass never ran")
+	}
+	if got := len(r.Records()); got != len(submitted) {
+		t.Fatalf("completed %d of %d jobs", got, len(submitted))
+	}
+	// Migration must not have restarted anyone: monotone queue behavior
+	// means total makespan shrinks versus the one-shard pile-up. With 32
+	// nodes per shard and 16-node hour jobs, one shard needs 6 hours; a
+	// balanced pair needs 3.
+	last := r.Records()[len(r.Records())-1]
+	if last.End > 4*3600 {
+		t.Errorf("makespan %ds — rebalancing did not spread the backlog", last.End)
+	}
+	checkFederationRun(t, r, submitted)
+}
+
+// TestTooWide checks that a job no shard can hold is rejected with
+// ErrTooWide and leaves no trace in the directory.
+func TestTooWide(t *testing.T) {
+	r, err := New(Config{
+		Capacity: 128,
+		Shards:   4,
+		Clock:    engine.NewVirtualClock(),
+		Policy:   func(int) sim.Policy { return policy.FCFSBackfill() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Submit(job.Job{Nodes: 33, Runtime: 60, Request: 60})
+	if !errors.Is(err, ErrTooWide) {
+		t.Fatalf("want ErrTooWide, got %v", err)
+	}
+	// Whole-machine validation still screens absurd widths first.
+	_, err = r.Submit(job.Job{Nodes: 129, Runtime: 60, Request: 60})
+	if err == nil || errors.Is(err, ErrTooWide) {
+		t.Fatalf("want capacity validation error, got %v", err)
+	}
+	if id, err := r.Submit(job.Job{Nodes: 32, Runtime: 60, Request: 60}); err != nil || id != 1 {
+		t.Fatalf("widest fitting job: id %d, %v", id, err)
+	}
+}
+
+// TestRebuildShard crashes one shard mid-run and rebuilds it from its
+// journal; the rebuilt federation must finish every job and pass the
+// global oracle.
+func TestRebuildShard(t *testing.T) {
+	vc := engine.NewVirtualClock()
+	r, err := New(Config{
+		Capacity:  64,
+		Shards:    2,
+		Clock:     vc,
+		Placement: LeastLoaded{},
+		Policy:    func(int) sim.Policy { return policy.FCFSBackfill() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted []job.Job
+	submit := func(n int, rt job.Duration) {
+		spec := job.Job{Nodes: n, Runtime: rt, Request: rt}
+		id, err := r.Submit(spec)
+		if err != nil {
+			t.Errorf("submit: %v", err)
+			return
+		}
+		st, _ := r.Job(id)
+		submitted = append(submitted, st.Job)
+	}
+	vc.AfterFunc(0, func() {
+		for i := 0; i < 8; i++ {
+			submit(8, 1800)
+		}
+	})
+	vc.AfterFunc(600, func() {
+		for i := 0; i < 2; i++ {
+			if err := r.RebuildShard(i); err != nil {
+				t.Errorf("rebuild shard %d: %v", i, err)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			submit(4, 900)
+		}
+	})
+	vc.Run()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.Records()); got != len(submitted) {
+		t.Fatalf("completed %d of %d jobs", got, len(submitted))
+	}
+	checkFederationRun(t, r, submitted)
+}
+
+// TestDrainStopsAdmission drains the router and checks both the router
+// and the shards refuse new work while the backlog completes.
+func TestDrainStopsAdmission(t *testing.T) {
+	vc := engine.NewVirtualClock()
+	r, err := New(Config{
+		Capacity: 32,
+		Shards:   2,
+		Clock:    vc,
+		Policy:   func(int) sim.Policy { return policy.FCFSBackfill() },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit(job.Job{Nodes: 4, Runtime: 60, Request: 60}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.Drain(context.Background()) }()
+	for !r.Draining() {
+		runtime.Gosched()
+	}
+	if _, err := r.Submit(job.Job{Nodes: 1, Runtime: 1, Request: 1}); !errors.Is(err, engine.ErrDraining) {
+		t.Fatalf("submit while draining: %v", err)
+	}
+	go vc.Run()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.Records()); got != 1 {
+		t.Fatalf("drained with %d records, want 1", got)
+	}
+}

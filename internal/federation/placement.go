@@ -1,0 +1,114 @@
+package federation
+
+import (
+	"fmt"
+
+	"schedsearch/internal/engine"
+	"schedsearch/internal/job"
+)
+
+// Candidate pairs a shard index with its load at routing time. The
+// router hands a placement policy only eligible candidates — shards
+// whose capacity can hold the job at all.
+type Candidate struct {
+	Shard int
+	Load  engine.Load
+}
+
+// Placement picks the shard a new job is routed to. Implementations
+// must be deterministic functions of the job and the candidate list
+// (same inputs, same pick), so a virtual-clock federation replay is
+// reproducible. Pick returns an index into cands, which is never
+// empty.
+type Placement interface {
+	Name() string
+	Pick(j job.Job, cands []Candidate) int
+}
+
+// ParsePlacement resolves a placement policy by its flag name:
+// "least-loaded", "best-fit" or "hash-by-user".
+func ParsePlacement(name string) (Placement, error) {
+	switch name {
+	case "least-loaded":
+		return LeastLoaded{}, nil
+	case "best-fit":
+		return BestFit{}, nil
+	case "hash-by-user":
+		return HashByUser{}, nil
+	}
+	return nil, fmt.Errorf("federation: unknown placement %q (want least-loaded, best-fit or hash-by-user)", name)
+}
+
+// LeastLoaded routes each job to the shard with the least outstanding
+// work per capacity node (engine.Load.Score), ties to the lowest shard
+// index. It equalizes backlog, which is what minimizes queueing delay
+// under heterogeneous load.
+type LeastLoaded struct{}
+
+// Name implements Placement.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Placement.
+func (LeastLoaded) Pick(j job.Job, cands []Candidate) int {
+	best := 0
+	bestScore := cands[0].Load.Score()
+	for i := 1; i < len(cands); i++ {
+		if s := cands[i].Load.Score(); s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// BestFit routes by node demand: among shards that can start the job
+// immediately (enough free nodes), pick the tightest fit — fewest free
+// nodes left over — so wide holes are preserved for wide jobs. When no
+// shard can start the job now, it falls back to least-loaded. Ties go
+// to the lowest shard index.
+type BestFit struct{}
+
+// Name implements Placement.
+func (BestFit) Name() string { return "best-fit" }
+
+// Pick implements Placement.
+func (BestFit) Pick(j job.Job, cands []Candidate) int {
+	best, bestSlack := -1, 0
+	for i, c := range cands {
+		slack := c.Load.FreeNodes - j.Nodes
+		if slack < 0 || c.Load.Waiting > 0 {
+			// Not startable now: no free room, or jobs already queued
+			// ahead of it.
+			continue
+		}
+		if best < 0 || slack < bestSlack {
+			best, bestSlack = i, slack
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return LeastLoaded{}.Pick(j, cands)
+}
+
+// HashByUser routes every job of one user to the same shard (cache and
+// estimator affinity: per-user runtime history stays on one shard), by
+// hashing the user ID over the candidate list. Jobs of unknown users
+// (User 0) hash together.
+type HashByUser struct{}
+
+// Name implements Placement.
+func (HashByUser) Name() string { return "hash-by-user" }
+
+// Pick implements Placement.
+func (HashByUser) Pick(j job.Job, cands []Candidate) int {
+	return int(splitmix64(uint64(int64(j.User))) % uint64(len(cands)))
+}
+
+// splitmix64 is the standard 64-bit finalizer; it spreads consecutive
+// user IDs uniformly over shards.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,660 @@
+// Package federation shards one machine's node space across N
+// independent scheduling engines and fronts them with a Router: jobs
+// are placed onto a shard by a pluggable placement policy, a periodic
+// rebalance pass migrates still-queued (never started — non-preemption
+// is preserved) jobs from overloaded to underloaded shards, and the
+// router aggregates state, metrics and records into one whole-machine
+// view with global node IDs.
+//
+// Each shard runs the full scheduling policy (backfill or discrepancy
+// search) over its own partition of the nodes, so a shard's decisions
+// are bit-identical to a standalone engine fed the same jobs — the
+// 1-shard federation differential test pins that down against the bare
+// engine on every suite month. The scalability claim is that per-shard
+// search cost shrinks with per-shard queue depth while shards decide
+// concurrently; cmd/searchbench -federation measures it.
+//
+// A job wider than every shard's partition cannot run anywhere and is
+// rejected with ErrTooWide: partitioning trades maximum job width for
+// decision throughput.
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"schedsearch/internal/engine"
+	"schedsearch/internal/job"
+	"schedsearch/internal/metrics"
+	"schedsearch/internal/sim"
+)
+
+// ErrTooWide is wrapped by Submit/SubmitJob when a job needs more nodes
+// than the widest shard's partition (test with errors.Is).
+var ErrTooWide = errors.New("job wider than every shard")
+
+// Config configures a Router and its shards.
+type Config struct {
+	// Capacity is the whole machine size in nodes; it is partitioned
+	// near-evenly across Shards (the first Capacity%Shards shards get
+	// one extra node).
+	Capacity int
+	// Shards is the number of engine partitions (>= 1).
+	Shards int
+	// Policy constructs shard i's scheduling policy. It is called once
+	// per shard incarnation (again after a crash/rebuild); shards must
+	// not share policy state.
+	Policy func(shard int) sim.Policy
+	// Placement picks the shard for each admitted job; nil means
+	// LeastLoaded.
+	Placement Placement
+	// Clock drives every shard; nil means one shared NewRealClock(1).
+	Clock engine.Clock
+	// Estimator, when non-nil, constructs shard i's estimator (fresh
+	// per incarnation). Per-user history is per-shard; the hash-by-user
+	// placement keeps a user's jobs on one shard so the history stays
+	// whole.
+	Estimator func(shard int) sim.Estimator
+	// UseRequested, Measured, MeasureStart and MeasureEnd are passed
+	// through to every shard (see engine.Config).
+	UseRequested bool
+	Measured     func(id int) bool
+	MeasureStart job.Time
+	MeasureEnd   job.Time
+	// Observer, when non-nil, constructs shard i's observer (fresh per
+	// incarnation, as engine.Rebuild requires). Note that per-shard
+	// oracles see migrations as withdrawals and late-stamped
+	// admissions; the global verdict is oracle.CheckFederation over
+	// the per-shard records.
+	Observer func(shard int) sim.Observer
+	// RebalanceEvery is the period of the rebalance pass on the shared
+	// clock; 0 disables rebalancing. With one shard the pass never
+	// runs.
+	RebalanceEvery job.Duration
+	// MaxMigrationsPerPass bounds one rebalance pass (default 8).
+	MaxMigrationsPerPass int
+}
+
+// Router is the federation front-end. All methods are goroutine-safe.
+type Router struct {
+	mu     sync.Mutex
+	cfg    Config
+	clock  engine.Clock
+	place  Placement
+	shards []engine.Shard
+	caps   []int
+	bases  []int
+
+	dir      map[int]int // job ID -> shard index, for the job's lifetime
+	nextID   int
+	draining bool
+	failure  error
+
+	polName        string
+	explicitWindow bool
+
+	rebArmed         bool
+	migrations       int64
+	rebalances       int64
+	routingDecisions int64
+	routingNs        int64
+}
+
+// PartitionCapacity splits total nodes near-evenly into n partitions:
+// every partition gets total/n nodes and the first total%n partitions
+// one extra, so the sizes sum to total and differ by at most one.
+func PartitionCapacity(total, n int) ([]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("federation: %d shards", n)
+	}
+	if total < n {
+		return nil, fmt.Errorf("federation: capacity %d < %d shards", total, n)
+	}
+	caps := make([]int, n)
+	base, extra := total/n, total%n
+	for i := range caps {
+		caps[i] = base
+		if i < extra {
+			caps[i]++
+		}
+	}
+	return caps, nil
+}
+
+// New builds the router and its N shard engines.
+func New(cfg Config) (*Router, error) {
+	if cfg.Policy == nil {
+		return nil, errors.New("federation: nil policy factory")
+	}
+	caps, err := PartitionCapacity(cfg.Capacity, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = engine.NewRealClock(1)
+	}
+	if cfg.Placement == nil {
+		cfg.Placement = LeastLoaded{}
+	}
+	if cfg.MaxMigrationsPerPass == 0 {
+		cfg.MaxMigrationsPerPass = 8
+	}
+	r := &Router{
+		cfg:    cfg,
+		clock:  cfg.Clock,
+		place:  cfg.Placement,
+		caps:   caps,
+		dir:    make(map[int]int),
+		nextID: 1,
+	}
+	r.explicitWindow = !(cfg.MeasureStart == 0 && cfg.MeasureEnd == 0)
+	base := 0
+	for i := range caps {
+		r.bases = append(r.bases, base)
+		base += caps[i]
+		e, err := engine.New(r.shardConfig(i))
+		if err != nil {
+			return nil, err
+		}
+		r.shards = append(r.shards, e)
+	}
+	r.polName = r.shards[0].Metrics().Policy
+	return r, nil
+}
+
+// shardConfig assembles shard i's engine configuration with fresh
+// policy/estimator/observer instances (New and RebuildShard both use
+// it — a rebuilt incarnation gets fresh instances like a restarted
+// process).
+func (r *Router) shardConfig(i int) engine.Config {
+	ec := engine.Config{
+		Capacity:     r.caps[i],
+		Policy:       r.cfg.Policy(i),
+		Clock:        r.clock,
+		UseRequested: r.cfg.UseRequested,
+		Measured:     r.cfg.Measured,
+		MeasureStart: r.cfg.MeasureStart,
+		MeasureEnd:   r.cfg.MeasureEnd,
+	}
+	if r.cfg.Estimator != nil {
+		ec.Estimator = r.cfg.Estimator(i)
+	}
+	if r.cfg.Observer != nil {
+		if obs := r.cfg.Observer(i); obs != nil {
+			ec.Observer = obs
+		}
+	}
+	return ec
+}
+
+// NumShards returns the shard count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// ShardCapacities returns a copy of the partition sizes, by shard.
+func (r *Router) ShardCapacities() []int {
+	return append([]int(nil), r.caps...)
+}
+
+// ShardRecords returns shard i's completion records with shard-local
+// node IDs (oracle.CheckFederation consumes these).
+func (r *Router) ShardRecords(i int) []sim.Record {
+	r.mu.Lock()
+	s := r.shards[i]
+	r.mu.Unlock()
+	return s.Records()
+}
+
+// Submit admits a new job: the router assigns the next free global ID,
+// places the job on a shard, and the shard stamps the submit time.
+func (r *Router) Submit(spec job.Job) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	spec.ID = r.nextID
+	if err := r.routeLocked(spec); err != nil {
+		return 0, err
+	}
+	return spec.ID, nil
+}
+
+// SubmitJob admits a job keeping its caller-assigned ID (trace replay),
+// placing it on a shard.
+func (r *Router) SubmitJob(j job.Job) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.routeLocked(j)
+}
+
+func (r *Router) routeLocked(j job.Job) error {
+	if r.failure != nil {
+		return r.failure
+	}
+	if r.draining {
+		return engine.ErrDraining
+	}
+	if j.ID < 1 {
+		return fmt.Errorf("federation: invalid job ID %d", j.ID)
+	}
+	if _, dup := r.dir[j.ID]; dup {
+		return fmt.Errorf("federation: %w: %d", engine.ErrDuplicateID, j.ID)
+	}
+	// The same normalization the engine applies at admission, so
+	// validation against the whole machine sees the job the shard will.
+	if j.Request < j.Runtime {
+		j.Request = j.Runtime
+	}
+	if err := j.Validate(r.cfg.Capacity); err != nil {
+		return fmt.Errorf("federation: %w", err)
+	}
+	t0 := time.Now()
+	cands := r.candidatesLocked(j)
+	if len(cands) == 0 {
+		widest := 0
+		for _, c := range r.caps {
+			if c > widest {
+				widest = c
+			}
+		}
+		return fmt.Errorf("federation: %w: job %d needs %d nodes, widest shard has %d",
+			ErrTooWide, j.ID, j.Nodes, widest)
+	}
+	pick := cands[r.place.Pick(j, cands)].Shard
+	r.routingNs += time.Since(t0).Nanoseconds()
+	r.routingDecisions++
+	if err := r.shards[pick].SubmitJob(j); err != nil {
+		return err
+	}
+	r.dir[j.ID] = pick
+	if j.ID >= r.nextID {
+		r.nextID = j.ID + 1
+	}
+	r.armRebalanceLocked()
+	return nil
+}
+
+// candidatesLocked lists the shards whose partition can hold the job at
+// all, with their current loads.
+func (r *Router) candidatesLocked(j job.Job) []Candidate {
+	cands := make([]Candidate, 0, len(r.shards))
+	for i, s := range r.shards {
+		if j.Nodes > r.caps[i] {
+			continue
+		}
+		cands = append(cands, Candidate{Shard: i, Load: s.Load()})
+	}
+	return cands
+}
+
+// armRebalanceLocked keeps at most one rebalance timer outstanding. The
+// timer re-arms itself only while jobs are outstanding, so a
+// virtual-clock replay terminates; the next submission re-arms it.
+func (r *Router) armRebalanceLocked() {
+	if r.cfg.RebalanceEvery <= 0 || len(r.shards) < 2 || r.rebArmed || r.draining {
+		return
+	}
+	r.rebArmed = true
+	r.clock.AfterFunc(r.cfg.RebalanceEvery, r.onRebalance)
+}
+
+func (r *Router) onRebalance() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rebArmed = false
+	loads := make([]engine.Load, len(r.shards))
+	outstanding := 0
+	for i, s := range r.shards {
+		loads[i] = s.Load()
+		outstanding += loads[i].Waiting + loads[i].Running
+	}
+	if !r.draining {
+		r.rebalances++
+		for n := 0; n < r.cfg.MaxMigrationsPerPass; n++ {
+			if !r.migrateOneLocked(loads) {
+				break
+			}
+		}
+	}
+	if outstanding > 0 {
+		r.armRebalanceLocked()
+	}
+}
+
+// migrateOneLocked moves one still-queued job from the most to the
+// least loaded shard if — and only if — the move strictly reduces the
+// pair's maximum load score, which rules out oscillation. Candidates
+// are taken from the back of the source queue (the youngest arrivals),
+// so the migration disturbs the source shard's arrival-order queue as
+// little as possible. Reports whether a job moved.
+func (r *Router) migrateOneLocked(loads []engine.Load) bool {
+	src, dst := 0, 0
+	for i := 1; i < len(loads); i++ {
+		if loads[i].Score() > loads[src].Score() {
+			src = i
+		}
+		if loads[i].Score() < loads[dst].Score() {
+			dst = i
+		}
+	}
+	if src == dst || loads[src].Score() <= loads[dst].Score() {
+		return false
+	}
+	queue := r.shards[src].Queue()
+	for k := len(queue) - 1; k >= 0; k-- {
+		st := queue[k]
+		if st.Job.Nodes > r.caps[dst] {
+			continue
+		}
+		est := st.Estimate
+		if est < 1 {
+			est = st.Job.Request
+		}
+		if est < 1 {
+			est = 1
+		}
+		d := int64(st.Job.Nodes) * est
+		// The move must leave the destination strictly below the
+		// source's old score, or it just trades places.
+		if loads[dst].Score()+float64(d)/float64(loads[dst].Capacity) >= loads[src].Score() {
+			continue
+		}
+		j, err := r.shards[src].Withdraw(st.Job.ID)
+		if err != nil {
+			// The job started between Queue() and Withdraw (real
+			// clock); try an earlier arrival.
+			continue
+		}
+		if err := r.shards[dst].Admit(j); err != nil {
+			// Undo: the job must not be lost. Re-admission to its own
+			// shard cannot fail outside a fatal engine error.
+			if err2 := r.shards[src].Admit(j); err2 != nil {
+				r.failLocked(fmt.Errorf("federation: job %d lost in migration %d->%d: %v; re-admit: %v",
+					j.ID, src, dst, err, err2))
+			}
+			return false
+		}
+		r.dir[j.ID] = dst
+		r.migrations++
+		loads[src].Waiting--
+		loads[src].QueuedNodeSec -= d
+		loads[dst].Waiting++
+		loads[dst].QueuedNodeSec += d
+		return true
+	}
+	return false
+}
+
+func (r *Router) failLocked(err error) {
+	if r.failure == nil {
+		r.failure = err
+	}
+}
+
+// Job returns the job's current status, with node IDs mapped to the
+// global node space.
+func (r *Router) Job(id int) (engine.JobStatus, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	si, ok := r.dir[id]
+	if !ok {
+		return engine.JobStatus{}, false
+	}
+	st, ok := r.shards[si].Job(id)
+	if !ok {
+		return engine.JobStatus{}, false
+	}
+	for k := range st.NodeIDs {
+		st.NodeIDs[k] += r.bases[si]
+	}
+	return st, true
+}
+
+// JobShard returns the shard currently (or finally) responsible for the
+// job.
+func (r *Router) JobShard(id int) (int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	si, ok := r.dir[id]
+	return si, ok
+}
+
+// Queue returns every waiting job across the shards, in global arrival
+// order (submit time, then ID).
+func (r *Router) Queue() []engine.JobStatus {
+	r.mu.Lock()
+	shards := append([]engine.Shard(nil), r.shards...)
+	r.mu.Unlock()
+	var out []engine.JobStatus
+	for _, s := range shards {
+		out = append(out, s.Queue()...)
+	}
+	sort.Slice(out, func(i, k int) bool {
+		if out[i].Job.Submit != out[k].Job.Submit {
+			return out[i].Job.Submit < out[k].Job.Submit
+		}
+		return out[i].Job.ID < out[k].Job.ID
+	})
+	return out
+}
+
+// Machine returns the whole-machine occupancy snapshot: total capacity
+// and free nodes, and the running set merged across shards in (start,
+// ID) order.
+func (r *Router) Machine() engine.Machine {
+	r.mu.Lock()
+	shards := append([]engine.Shard(nil), r.shards...)
+	r.mu.Unlock()
+	m := engine.Machine{Now: r.clock.Now(), Capacity: r.cfg.Capacity}
+	for _, s := range shards {
+		sm := s.Machine()
+		m.FreeNodes += sm.FreeNodes
+		m.Running = append(m.Running, sm.Running...)
+	}
+	sort.Slice(m.Running, func(i, k int) bool {
+		if m.Running[i].Start != m.Running[k].Start {
+			return m.Running[i].Start < m.Running[k].Start
+		}
+		return m.Running[i].ID < m.Running[k].ID
+	})
+	return m
+}
+
+// Records returns the federation's completion records merged into
+// global (end time, job ID) order, with node IDs mapped to the global
+// node space — the same shape a standalone engine of the whole machine
+// emits.
+func (r *Router) Records() []sim.Record {
+	r.mu.Lock()
+	shards := append([]engine.Shard(nil), r.shards...)
+	bases := append([]int(nil), r.bases...)
+	r.mu.Unlock()
+	var merged []sim.Record
+	for i, s := range shards {
+		for _, rec := range s.Records() {
+			if len(rec.NodeIDs) > 0 {
+				ids := make([]int, len(rec.NodeIDs))
+				for k, n := range rec.NodeIDs {
+					ids[k] = n + bases[i]
+				}
+				rec.NodeIDs = ids
+			}
+			merged = append(merged, rec)
+		}
+	}
+	sort.Slice(merged, func(i, k int) bool {
+		if merged[i].End != merged[k].End {
+			return merged[i].End < merged[k].End
+		}
+		return merged[i].Job.ID < merged[k].Job.ID
+	})
+	return merged
+}
+
+// Metrics returns the whole-machine running report in the ordinary
+// engine.Metrics schema: the summary is computed over the merged global
+// records, counters are aggregated across shards. A federated
+// GET /v1/metrics is therefore directly comparable with a standalone
+// engine's.
+func (r *Router) Metrics() engine.Metrics {
+	per := r.shardMetrics()
+	now := r.clock.Now()
+	measureEnd := now
+	if r.explicitWindow {
+		measureEnd = r.cfg.MeasureEnd
+	}
+	records := r.Records()
+	res := &sim.Result{
+		Policy:       r.polName,
+		Records:      records,
+		Capacity:     r.cfg.Capacity,
+		MeasureStart: r.cfg.MeasureStart,
+		MeasureEnd:   measureEnd,
+	}
+	m := engine.Metrics{
+		Policy:   r.polName,
+		NowS:     now,
+		Capacity: r.cfg.Capacity,
+	}
+	var wallMs, busyMs, decideMsSum float64
+	for _, pm := range per {
+		res.Decisions += int(pm.Engine.Decisions)
+		res.AvgQueueLen += pm.Summary.AvgQueueLen
+		m.Jobs.Waiting += pm.Jobs.Waiting
+		m.Jobs.Running += pm.Jobs.Running
+		m.Jobs.Done += pm.Jobs.Done
+		m.Draining = m.Draining || pm.Draining
+		c := &m.Engine
+		c.Decisions += pm.Engine.Decisions
+		c.PolicyPanics += pm.Engine.PolicyPanics
+		c.SearchNodes += pm.Engine.SearchNodes
+		c.SearchLeaves += pm.Engine.SearchLeaves
+		c.BudgetHits += pm.Engine.BudgetHits
+		wallMs += pm.Engine.SearchWallMs
+		busyMs += pm.Engine.SearchWallMs * pm.Engine.SearchSpeedup
+		decideMsSum += pm.Engine.AvgDecideMs * float64(pm.Engine.Decisions)
+		if pm.Engine.MaxDecideMs > m.Engine.MaxDecideMs {
+			m.Engine.MaxDecideMs = pm.Engine.MaxDecideMs
+		}
+		if pm.Error != "" && m.Error == "" {
+			m.Error = pm.Error
+		}
+	}
+	m.Engine.SearchWallMs = wallMs
+	if wallMs > 0 {
+		m.Engine.SearchSpeedup = busyMs / wallMs
+	}
+	if m.Engine.Decisions > 0 {
+		m.Engine.AvgDecideMs = decideMsSum / float64(m.Engine.Decisions)
+	}
+	m.Summary = metrics.Summarize(res)
+	r.mu.Lock()
+	if r.failure != nil && m.Error == "" {
+		m.Error = r.failure.Error()
+	}
+	m.Draining = m.Draining || r.draining
+	r.mu.Unlock()
+	return m
+}
+
+// Federation returns the sharded detail report: per-shard metrics and
+// partition geometry plus the router's placement/rebalance counters.
+func (r *Router) Federation() engine.FederationMetrics {
+	per := r.shardMetrics()
+	r.mu.Lock()
+	caps := append([]int(nil), r.caps...)
+	bases := append([]int(nil), r.bases...)
+	fm := engine.AggregateShards(per, caps, bases)
+	fm.Placement = r.place.Name()
+	fm.Migrations = r.migrations
+	fm.RebalancePasses = r.rebalances
+	fm.RoutingDecisions = r.routingDecisions
+	fm.RoutingNs = r.routingNs
+	r.mu.Unlock()
+	fm.Global = r.Metrics()
+	return fm
+}
+
+func (r *Router) shardMetrics() []engine.Metrics {
+	r.mu.Lock()
+	shards := append([]engine.Shard(nil), r.shards...)
+	r.mu.Unlock()
+	per := make([]engine.Metrics, len(shards))
+	for i, s := range shards {
+		per[i] = s.Metrics()
+	}
+	return per
+}
+
+// RebuildShard simulates a crash of shard i: the shard's committed
+// journal is checkpointed, a fresh engine (fresh policy, estimator and
+// observer instances, same clock) is rebuilt from it via
+// engine.Rebuild, and the router swaps it in. The other shards keep
+// scheduling throughout; the abandoned incarnation's timers may still
+// fire but mutate only the discarded engine.
+func (r *Router) RebuildShard(i int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i < 0 || i >= len(r.shards) {
+		return fmt.Errorf("federation: rebuild shard %d of %d", i, len(r.shards))
+	}
+	cp := r.shards[i].Checkpoint()
+	ne, err := engine.Rebuild(r.shardConfig(i), cp)
+	if err != nil {
+		return err
+	}
+	r.shards[i] = ne
+	return nil
+}
+
+// Drain stops admitting jobs on the router and every shard, then blocks
+// until all shards have emptied (or ctx is cancelled). Rebalancing
+// stops with admission — a drain must not shuffle the remaining
+// backlog.
+func (r *Router) Drain(ctx context.Context) error {
+	r.mu.Lock()
+	r.draining = true
+	shards := append([]engine.Shard(nil), r.shards...)
+	r.mu.Unlock()
+	errs := make(chan error, len(shards))
+	for _, s := range shards {
+		s := s
+		go func() { errs <- s.Drain(ctx) }()
+	}
+	var first error
+	for range shards {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Draining reports whether Drain has been requested.
+func (r *Router) Draining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.draining
+}
+
+// Err returns the first fatal error: a lost-job migration failure or
+// any shard engine's fatal.
+func (r *Router) Err() error {
+	r.mu.Lock()
+	shards := append([]engine.Shard(nil), r.shards...)
+	failure := r.failure
+	r.mu.Unlock()
+	if failure != nil {
+		return failure
+	}
+	for _, s := range shards {
+		if err := s.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Now returns the shared clock's current time.
+func (r *Router) Now() job.Time { return r.clock.Now() }

@@ -1,0 +1,75 @@
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+)
+
+// CheckFederation verifies the global invariants of a sharded
+// (federated) run from its per-shard completion records:
+//
+//  1. Partition: the shard capacities sum to the machine size, so the
+//     shards together model exactly the one machine.
+//  2. Locality: every node ID a shard reports lies inside that shard's
+//     own partition [0, cap_i) — a shard cannot schedule onto another
+//     shard's nodes.
+//  3. Everything CheckRecords enforces on the merged global schedule —
+//     in particular job conservation across migrations (every submitted
+//     job completes exactly once, on exactly one shard, regardless of
+//     how often it migrated while queued) and no cross-shard node
+//     oversubscription, checked on the global node space after mapping
+//     each shard's local node IDs to machine node IDs.
+//
+// submitted may be nil to skip record-vs-submission matching, as in
+// CheckRecords. shardRecords[i] is shard i's completion records in the
+// shard's own (end time, job ID) order, with shard-local node IDs — the
+// federation router's per-shard Records().
+func CheckFederation(total int, shardCaps []int, submitted []job.Job, shardRecords [][]sim.Record) error {
+	if len(shardCaps) != len(shardRecords) {
+		return &Violation{Invariant: "malformed",
+			Detail: fmt.Sprintf("%d shard capacities, %d shard record sets", len(shardCaps), len(shardRecords))}
+	}
+	sum := 0
+	for i, c := range shardCaps {
+		if c < 1 {
+			return &Violation{Invariant: "partition", Detail: fmt.Sprintf("shard %d capacity %d", i, c)}
+		}
+		sum += c
+	}
+	if sum != total {
+		return &Violation{Invariant: "partition",
+			Detail: fmt.Sprintf("shard capacities sum to %d, machine size is %d", sum, total)}
+	}
+
+	var merged []sim.Record
+	base := 0
+	for si, recs := range shardRecords {
+		for _, r := range recs {
+			mapped := r
+			if len(r.NodeIDs) > 0 {
+				mapped.NodeIDs = make([]int, len(r.NodeIDs))
+				for k, n := range r.NodeIDs {
+					if n < 0 || n >= shardCaps[si] {
+						return &Violation{Invariant: "oversubscription", JobID: r.Job.ID,
+							Detail: fmt.Sprintf("shard %d allocated node %d outside its partition [0,%d)", si, n, shardCaps[si])}
+					}
+					mapped.NodeIDs[k] = base + n
+				}
+			}
+			merged = append(merged, mapped)
+		}
+		base += shardCaps[si]
+	}
+	// CheckRecords wants global (end time, job ID) completion order;
+	// each shard's stream is already ordered, the merge is not.
+	sort.Slice(merged, func(i, k int) bool {
+		if merged[i].End != merged[k].End {
+			return merged[i].End < merged[k].End
+		}
+		return merged[i].Job.ID < merged[k].Job.ID
+	})
+	return CheckRecords(total, submitted, merged)
+}

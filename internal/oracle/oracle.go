@@ -210,6 +210,29 @@ func (o *Oracle) ObserveFinish(f sim.Finished) {
 	o.finished[id] = true
 }
 
+// ObserveWithdraw implements sim.WithdrawObserver: a federation
+// migration removed a still-waiting job from this shard's queue. The
+// job leaves the oracle's books entirely — it is re-admitted (and
+// re-checked) wherever it lands. Withdrawing a job that is running,
+// finished, or was never admitted is a violation.
+func (o *Oracle) ObserveWithdraw(j job.Job) {
+	id := j.ID
+	switch {
+	case o.finished[id]:
+		o.violate("conservation", id, "withdrawn after completing")
+	default:
+		if _, running := o.started[id]; running {
+			o.violate("preemption", id, "withdrawn while running")
+			return
+		}
+		if _, known := o.submitted[id]; !known {
+			o.violate("conservation", id, "withdrawn but never admitted")
+			return
+		}
+		delete(o.submitted, id)
+	}
+}
+
 // Err returns the first violation observed so far, or nil.
 func (o *Oracle) Err() error {
 	if len(o.violations) == 0 {

@@ -102,3 +102,63 @@ func TestAccuracyEmpty(t *testing.T) {
 		t.Error("empty accuracy not zero")
 	}
 }
+
+func TestUserHistorySingleObservation(t *testing.T) {
+	// One completed job is a full prediction basis: the "average" of a
+	// single runtime is that runtime, not a blend with the request.
+	p := NewUserHistory()
+	p.Observe(j(1, 4, 30*job.Minute, 10*job.Hour))
+	if got := p.Estimate(j(2, 4, 0, 10*job.Hour)); got != 30*job.Minute {
+		t.Errorf("single-history estimate = %v, want 30m", got)
+	}
+}
+
+func TestUserHistoryZeroHistoryUserAmongOthers(t *testing.T) {
+	// A user with no completions falls back to the request even when
+	// the predictor holds rich history for everyone else.
+	p := NewUserHistory()
+	for u := 1; u <= 5; u++ {
+		p.Observe(j(u, u, job.Hour, 2*job.Hour))
+		p.Observe(j(u+10, u, job.Hour, 2*job.Hour))
+	}
+	if got := p.Estimate(j(100, 9, 0, 7*job.Hour)); got != 7*job.Hour {
+		t.Errorf("zero-history user estimate = %v, want the request (7h)", got)
+	}
+}
+
+func TestUserHistoryObservedRuntimeAboveOwnRequest(t *testing.T) {
+	// History can hold runtimes longer than a NEW job's request (the
+	// user asked for less this time); the cap must apply at estimate
+	// time, per job, not at observation time.
+	p := NewUserHistory()
+	p.Observe(j(1, 3, 8*job.Hour, 8*job.Hour))
+	p.Observe(j(2, 3, 6*job.Hour, 6*job.Hour))
+	if got := p.Estimate(j(3, 3, 0, job.Hour)); got != job.Hour {
+		t.Errorf("estimate = %v, want capped at the new request (1h)", got)
+	}
+	// And the uncapped history is still intact for a roomier request.
+	if got := p.Estimate(j(4, 3, 0, 24*job.Hour)); got != 7*job.Hour {
+		t.Errorf("estimate = %v, want the 7h history average", got)
+	}
+}
+
+func TestUserHistoryZeroWindowActsAsOne(t *testing.T) {
+	p := &UserHistory{Window: 0}
+	p.Observe(j(1, 2, job.Hour, 2*job.Hour))
+	p.Observe(j(2, 2, 3*job.Hour, 4*job.Hour))
+	// Window 0 clamps to 1: only the newest runtime is kept.
+	if got := p.Estimate(j(3, 2, 0, 10*job.Hour)); got != 3*job.Hour {
+		t.Errorf("window-0 estimate = %v, want newest runtime (3h)", got)
+	}
+}
+
+func TestUserHistoryEstimateDoesNotLearn(t *testing.T) {
+	// Estimate must be read-only: asking twice (or for a different
+	// user) must not seed history.
+	p := NewUserHistory()
+	p.Estimate(j(1, 6, 0, job.Hour))
+	p.Estimate(j(2, 6, 0, job.Hour))
+	if got := p.Estimate(j(3, 6, 0, 5*job.Hour)); got != 5*job.Hour {
+		t.Errorf("estimate after estimates = %v, want the request (5h)", got)
+	}
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"schedsearch/internal/engine"
+)
+
+// acceptsPromText decides the /v1/metrics representation from the
+// request's Accept header: the Prometheus text exposition format is
+// served only when the client prefers text/plain strictly over
+// application/json (a scraper's "text/plain;version=0.0.4;q=0.5,
+// */*;q=0.1" does; a browser's "*/*" and an absent header keep the
+// JSON default). Ties go to JSON.
+func acceptsPromText(accept string) bool {
+	qText, qJSON := 0.0, 0.0
+	for _, part := range strings.Split(accept, ",") {
+		fields := strings.Split(part, ";")
+		mtype := strings.ToLower(strings.TrimSpace(fields[0]))
+		if mtype == "" {
+			continue
+		}
+		q := 1.0
+		for _, p := range fields[1:] {
+			p = strings.TrimSpace(p)
+			if v, ok := strings.CutPrefix(p, "q="); ok {
+				if f, err := strconv.ParseFloat(v, 64); err == nil {
+					q = f
+				}
+			}
+		}
+		switch mtype {
+		case "text/plain", "text/*":
+			if q > qText {
+				qText = q
+			}
+		case "application/json", "application/*":
+			if q > qJSON {
+				qJSON = q
+			}
+		case "*/*":
+			if q > qText {
+				qText = q
+			}
+			if q > qJSON {
+				qJSON = q
+			}
+		}
+	}
+	return qText > qJSON
+}
+
+// promContentType is the Prometheus text exposition content type.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// writeProm renders the running metrics — and, for a federated backend,
+// the per-shard report — in the Prometheus text exposition format.
+func writeProm(w http.ResponseWriter, m engine.Metrics, fed *engine.FederationMetrics) {
+	w.Header().Set("Content-Type", promContentType)
+	var b strings.Builder
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n",
+			name, help, name, name, promFloat(v))
+	}
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %s\n",
+			name, help, name, name, promFloat(v))
+	}
+
+	gauge("schedsearch_capacity_nodes", "Machine size in nodes.", float64(m.Capacity))
+	draining := 0.0
+	if m.Draining {
+		draining = 1
+	}
+	gauge("schedsearch_draining", "1 while the daemon is draining.", draining)
+
+	fmt.Fprintf(&b, "# HELP schedsearch_jobs Admitted jobs by state.\n# TYPE schedsearch_jobs gauge\n")
+	fmt.Fprintf(&b, "schedsearch_jobs{state=\"waiting\"} %d\n", m.Jobs.Waiting)
+	fmt.Fprintf(&b, "schedsearch_jobs{state=\"running\"} %d\n", m.Jobs.Running)
+	fmt.Fprintf(&b, "schedsearch_jobs{state=\"done\"} %d\n", m.Jobs.Done)
+
+	counter("schedsearch_decisions_total", "Scheduling decision points.", float64(m.Engine.Decisions))
+	counter("schedsearch_policy_panics_total", "Recovered policy panics (FCFS fallbacks).", float64(m.Engine.PolicyPanics))
+	counter("schedsearch_search_nodes_total", "Search tree nodes expanded.", float64(m.Engine.SearchNodes))
+	counter("schedsearch_search_leaves_total", "Search tree leaves evaluated.", float64(m.Engine.SearchLeaves))
+	counter("schedsearch_search_budget_hits_total", "Search budget cutoffs.", float64(m.Engine.BudgetHits))
+	counter("schedsearch_search_wall_seconds_total", "Wall time spent searching.", m.Engine.SearchWallMs/1e3)
+	gauge("schedsearch_decide_avg_ms", "Mean decision latency in milliseconds.", m.Engine.AvgDecideMs)
+	gauge("schedsearch_decide_max_ms", "Max decision latency in milliseconds.", m.Engine.MaxDecideMs)
+
+	gauge("schedsearch_measured_jobs", "Completed measured jobs in the summary.", float64(m.Summary.Jobs))
+	gauge("schedsearch_avg_wait_hours", "Mean wait of measured jobs in hours.", m.Summary.AvgWaitH)
+	gauge("schedsearch_avg_bounded_slowdown", "Mean bounded slowdown of measured jobs.", m.Summary.AvgBoundedSlowdown)
+	gauge("schedsearch_avg_queue_len", "Time-averaged queue length.", m.Summary.AvgQueueLen)
+	gauge("schedsearch_utilized_load", "Delivered fraction of machine capacity.", m.Summary.UtilizedLoad)
+
+	if fed != nil {
+		gauge("schedsearch_shards", "Engine shards in the federation.", float64(fed.Shards))
+		counter("schedsearch_migrations_total", "Queued jobs migrated between shards.", float64(fed.Migrations))
+		counter("schedsearch_rebalance_passes_total", "Rebalance passes run.", float64(fed.RebalancePasses))
+		counter("schedsearch_routing_decisions_total", "Placement decisions made.", float64(fed.RoutingDecisions))
+		counter("schedsearch_routing_seconds_total", "Wall time spent placing jobs.", float64(fed.RoutingNs)/1e9)
+		fmt.Fprintf(&b, "# HELP schedsearch_shard_util Utilized load by shard.\n# TYPE schedsearch_shard_util gauge\n")
+		for i, u := range fed.PerShardUtil {
+			fmt.Fprintf(&b, "schedsearch_shard_util{shard=\"%d\"} %s\n", i, promFloat(u))
+		}
+		fmt.Fprintf(&b, "# HELP schedsearch_shard_jobs Admitted jobs by shard and state.\n# TYPE schedsearch_shard_jobs gauge\n")
+		for _, sh := range fed.PerShard {
+			fmt.Fprintf(&b, "schedsearch_shard_jobs{shard=\"%d\",state=\"waiting\"} %d\n", sh.Shard, sh.Jobs.Waiting)
+			fmt.Fprintf(&b, "schedsearch_shard_jobs{shard=\"%d\",state=\"running\"} %d\n", sh.Shard, sh.Jobs.Running)
+			fmt.Fprintf(&b, "schedsearch_shard_jobs{shard=\"%d\",state=\"done\"} %d\n", sh.Shard, sh.Jobs.Done)
+		}
+	}
+
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// promFloat renders a value the way the exposition format wants:
+// decimal, no exponent surprises for integers.
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

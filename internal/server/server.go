@@ -6,7 +6,13 @@
 //	GET  /v1/queue     the waiting queue, in queue order
 //	GET  /v1/machine   machine occupancy snapshot
 //	GET  /v1/metrics   running Summary + engine counters (engine.Metrics)
+//	GET  /v1/federation  per-shard federation report (federated daemons only)
 //	POST /v1/drain     stop admitting, finish running jobs, then shut down
+//
+// GET /v1/metrics also speaks the Prometheus text exposition format:
+// a request whose Accept header prefers text/plain over
+// application/json gets schedsearch_* gauges and counters instead of
+// the JSON report.
 //
 // All responses are JSON; errors are a structured
 // {"error": "...", "code": "..."} body with a matching status code
@@ -28,9 +34,30 @@ import (
 	"schedsearch/internal/job"
 )
 
-// Server is the HTTP front end of one engine.
+// Backend is what the server fronts: a bare *engine.Engine or a
+// *federation.Router (both satisfy it). Submissions, queries and the
+// drain all pass through this interface untouched.
+type Backend interface {
+	Submit(spec job.Job) (int, error)
+	SubmitJob(j job.Job) error
+	Job(id int) (engine.JobStatus, bool)
+	Queue() []engine.JobStatus
+	Machine() engine.Machine
+	Metrics() engine.Metrics
+	Drain(ctx context.Context) error
+	Now() job.Time
+}
+
+// FederationBackend is a Backend that can report per-shard federation
+// metrics; serving one enables GET /v1/federation.
+type FederationBackend interface {
+	Backend
+	Federation() engine.FederationMetrics
+}
+
+// Server is the HTTP front end of one backend.
 type Server struct {
-	e   *engine.Engine
+	e   Backend
 	mux *http.ServeMux
 
 	drainOnce sync.Once
@@ -39,9 +66,9 @@ type Server struct {
 	onDrained func()
 }
 
-// New returns a server for the engine. onDrained, if non-nil, is called
-// once after a POST /v1/drain has fully drained the engine.
-func New(e *engine.Engine, onDrained func()) *Server {
+// New returns a server for the backend. onDrained, if non-nil, is
+// called once after a POST /v1/drain has fully drained the backend.
+func New(e Backend, onDrained func()) *Server {
 	s := &Server{e: e, mux: http.NewServeMux(), onDrained: onDrained}
 	s.mux.HandleFunc("POST /v1/jobs", s.submit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.job)
@@ -49,6 +76,9 @@ func New(e *engine.Engine, onDrained func()) *Server {
 	s.mux.HandleFunc("GET /v1/machine", s.machine)
 	s.mux.HandleFunc("GET /v1/metrics", s.metrics)
 	s.mux.HandleFunc("POST /v1/drain", s.drain)
+	if _, ok := e.(FederationBackend); ok {
+		s.mux.HandleFunc("GET /v1/federation", s.federation)
+	}
 	return s
 }
 
@@ -251,7 +281,22 @@ func (s *Server) machine(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.e.Metrics())
+	m := s.e.Metrics()
+	if acceptsPromText(r.Header.Get("Accept")) {
+		var fed *engine.FederationMetrics
+		if fb, ok := s.e.(FederationBackend); ok {
+			f := fb.Federation()
+			fed = &f
+		}
+		writeProm(w, m, fed)
+		return
+	}
+	writeJSON(w, http.StatusOK, m)
+}
+
+func (s *Server) federation(w http.ResponseWriter, r *http.Request) {
+	fb := s.e.(FederationBackend) // route is only registered for one
+	writeJSON(w, http.StatusOK, fb.Federation())
 }
 
 // DrainResponse is the POST /v1/drain body.

@@ -93,6 +93,54 @@ func (l *Ledger) SetEstimate(id int, estimate job.Duration) bool {
 	return false
 }
 
+// Withdraw removes the waiting job with the given ID from the queue,
+// preserving the arrival order of the remaining jobs, and returns it.
+// Running or completed jobs cannot be withdrawn (non-preemption); the
+// second result is false when the ID is not in the queue. An attached
+// WithdrawObserver sees the removal.
+func (l *Ledger) Withdraw(id int) (job.Job, bool) {
+	for i := range l.queue {
+		if l.queue[i].j.ID != id {
+			continue
+		}
+		j := l.queue[i].j
+		l.queue = append(l.queue[:i], l.queue[i+1:]...)
+		if wo, ok := l.obs.(WithdrawObserver); ok {
+			wo.ObserveWithdraw(j)
+		}
+		return j, true
+	}
+	return job.Job{}, false
+}
+
+// Demand sums the outstanding work on the ledger at now, in
+// node-seconds: queued is Σ nodes × planning time over waiting jobs
+// (the estimate once fixed, else the request, floored at one second),
+// remaining is Σ nodes × remaining predicted time over running jobs
+// (floored at one second per job — a job past its predicted end still
+// holds its nodes). The federation router's placement and rebalance
+// passes consume these through engine.Load.
+func (l *Ledger) Demand(now job.Time) (queued, remaining int64) {
+	for _, q := range l.queue {
+		est := q.estimate
+		if est < 1 {
+			est = q.j.Request
+		}
+		if est < 1 {
+			est = 1
+		}
+		queued += int64(q.j.Nodes) * est
+	}
+	for _, r := range l.running {
+		rem := r.predictedEnd - now
+		if rem < 1 {
+			rem = 1
+		}
+		remaining += int64(r.j.Nodes) * rem
+	}
+	return queued, remaining
+}
+
 // QueueIndex returns the current queue position of the waiting job with
 // the given ID.
 func (l *Ledger) QueueIndex(id int) (int, bool) {

@@ -24,6 +24,19 @@ type Observer interface {
 	ObserveFinish(f Finished)
 }
 
+// WithdrawObserver is an optional Observer extension: implementations
+// additionally see still-waiting jobs leaving the queue without
+// starting. The federation layer (internal/federation) withdraws a
+// queued job from one shard and admits it on another when rebalancing;
+// an observer that tracks job conservation needs to see the withdrawal
+// or it would report the migrated job as lost.
+type WithdrawObserver interface {
+	Observer
+	// ObserveWithdraw fires when a waiting job is removed from the
+	// queue without being started.
+	ObserveWithdraw(j job.Job)
+}
+
 // SetObserver attaches an observer to the ledger (nil detaches). The
 // observer sees every Enqueue, committed Start and PopDue from then on.
 func (l *Ledger) SetObserver(obs Observer) { l.obs = obs }

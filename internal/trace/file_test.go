@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"schedsearch/internal/job"
+	"schedsearch/internal/workload"
 )
 
 func sampleJobs() []job.Job {
@@ -84,5 +85,43 @@ func TestReadSWFFileErrors(t *testing.T) {
 	jobs, _, err := ReadSWFFile(empty)
 	if err != nil || len(jobs) != 0 {
 		t.Errorf("empty file: %v jobs, err %v", jobs, err)
+	}
+}
+
+// TestSuiteMonthFileRoundTripGzip exports a whole suite month — the
+// month's jobs plus its warm-up/cool-down margins, exactly the slice a
+// replay consumes — through the gzip file path and reads it back: every
+// job attribute and the submit order must survive, so a month exported
+// with wlgen replays identically to the in-memory suite.
+func TestSuiteMonthFileRoundTripGzip(t *testing.T) {
+	suite := workload.NewSuite(workload.Config{Seed: 5, JobScale: 0.05})
+	in, _, err := suite.Input("9/03", workload.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Jobs) == 0 {
+		t.Fatal("empty month slice")
+	}
+	path := filepath.Join(t.TempDir(), "month.swf.gz")
+	if err := WriteSWFFile(path, in.Jobs, Header{MaxNodes: in.Capacity, Computer: "suite 9/03"}); err != nil {
+		t.Fatal(err)
+	}
+	got, h, err := ReadSWFFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.MaxNodes != in.Capacity {
+		t.Errorf("header MaxNodes %d, want %d", h.MaxNodes, in.Capacity)
+	}
+	if len(got) != len(in.Jobs) {
+		t.Fatalf("%d jobs after round trip, want %d", len(got), len(in.Jobs))
+	}
+	for i := range got {
+		if got[i] != in.Jobs[i] {
+			t.Fatalf("job %d differs after gzip file round trip:\n got %+v\nwant %+v", i, got[i], in.Jobs[i])
+		}
+		if i > 0 && got[i].Submit < got[i-1].Submit {
+			t.Fatalf("submit order broken at %d", i)
+		}
 	}
 }
