@@ -107,3 +107,51 @@ func TestChaosSoakFederation(t *testing.T) {
 		t.Error("no migration occurred across the whole soak; the rebalance path went untested")
 	}
 }
+
+// TestChaosSoakIngest soaks the batched ingest path: seeded client
+// fleets pushing bursts past the accept-queue bound, slow clients
+// trickling items, disconnects abandoning tickets mid-batch, duplicate
+// IDs and a quota storm — all at once, per seed, across policies.
+// chaos.RunIngest fails on any invariant violation: a lost or
+// double-committed job, an accepted duplicate, queue memory past
+// MaxPending (the bounded-backpressure guarantee), or an oracle
+// violation in the final schedule.
+func TestChaosSoakIngest(t *testing.T) {
+	seeds := 10
+	if testing.Short() {
+		seeds = 3
+	}
+	policies := []struct {
+		name string
+		make func() sim.Policy
+	}{
+		{"FCFS-backfill", func() sim.Policy { return schedsearch.FCFSBackfill() }},
+		{"DDS-lxf-dynB", func() sim.Policy {
+			return schedsearch.NewSearchScheduler(schedsearch.DDS, schedsearch.HeuristicLXF,
+				schedsearch.DynamicBound(), 100)
+		}},
+	}
+	for _, pol := range policies {
+		pol := pol
+		t.Run(pol.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := uint64(1); seed <= uint64(seeds); seed++ {
+				res, err := chaos.RunIngest(chaos.IngestConfig{
+					Seed:   seed,
+					Faults: chaos.AllIngestFaults,
+					Policy: pol.make,
+					Jobs:   120,
+				})
+				if err != nil {
+					t.Fatalf("seed %d: %v (reproduce: chaos.RunIngest with this seed and AllIngestFaults)", seed, err)
+				}
+				if res.Shed == 0 {
+					t.Fatalf("seed %d: no batch was ever shed; the burst never pressed the bound", seed)
+				}
+				t.Logf("seed %d: %d committed, %d shed+retried, %d dups rejected, %d quota-rejected, peak pending %d/%d",
+					seed, len(res.Records), res.Shed, res.DupRejected,
+					len(res.QuotaRejected), res.Stats.PeakPending, res.Stats.MaxPending)
+			}
+		})
+	}
+}

@@ -6,13 +6,37 @@
 //
 //	schedd -policy DDS/lxf/dynB -L 1000 -addr :8080
 //
-// submits go to POST /v1/jobs, state is at GET /v1/jobs/{id},
-// GET /v1/queue, GET /v1/machine and GET /v1/metrics, and
+// submits go to POST /v1/jobs (a JSON object, or a JSON array for a
+// batched submit with per-item results), state is at GET /v1/jobs/{id},
+// GET /v1/queue, GET /v1/machine and GET /v1/metrics, liveness and
+// readiness at GET /v1/healthz and GET /v1/readyz, and
 // POST /v1/drain stops admission, lets the machine empty, and shuts
 // the daemon down. -speedup N runs the engine clock N× faster than
 // wall time (useful for demos: hours of schedule in seconds).
 // GET /v1/metrics also serves the Prometheus text exposition format to
 // clients whose Accept header prefers text/plain.
+//
+// Durability and ingest (serving mode):
+//
+//	schedd -journal sched.journal -group-commit 64 -compact-every 4096
+//
+// -journal appends every committed scheduling event to a JSON-lines
+// file, fsynced every -group-commit appends (1 = every commit);
+// -compact-every N folds the file into a checkpoint snapshot once the
+// tail exceeds N events, bounding recovery cost by live state rather
+// than history. On start, a non-empty journal is recovered: the engine
+// rebuilds its committed state and the clock resumes at the last
+// journaled instant. With -shards > 1 each shard appends to
+// <path>.shard-N (write-only durability; crash recovery from shard
+// journals is not wired into start-up).
+//
+// Submissions are admitted through a bounded async accept queue:
+// -ingest-pending caps accepted-but-uncommitted items (a saturated
+// queue answers 503 with Retry-After; 0 disables the queue and admits
+// synchronously), -ingest-batch caps how many items the committer
+// folds into one journal fsync, and -quota-rate/-quota-burst put a
+// per-user token bucket in front of admission (429 per item when
+// exhausted; rate 0 disables quotas).
 //
 // Federation mode:
 //
@@ -74,6 +98,7 @@ import (
 	"schedsearch/internal/core"
 	"schedsearch/internal/engine"
 	"schedsearch/internal/federation"
+	"schedsearch/internal/ingest"
 	"schedsearch/internal/job"
 	"schedsearch/internal/oracle"
 	"schedsearch/internal/server"
@@ -101,6 +126,14 @@ func main() {
 		shards    = flag.Int("shards", 1, "engine shards; >1 federates the machine behind a routing front-end")
 		placement = flag.String("placement", "least-loaded", "federation placement policy: least-loaded, best-fit or hash-by-user")
 		rebalance = flag.Int64("rebalance", 60, "federation rebalance period in engine seconds (0 = off)")
+
+		journalPath  = flag.String("journal", "", "append committed events to this journal file and recover from it on start (serving mode; federation appends to <path>.shard-N)")
+		groupCommit  = flag.Int("group-commit", 64, "journal appends per fsync (1 = fsync every commit)")
+		compactEvery = flag.Int("compact-every", 4096, "fold the journal into a checkpoint once the tail exceeds N events (0 = never compact)")
+		ingPending   = flag.Int("ingest-pending", 4096, "accept-queue bound on accepted-but-uncommitted submissions; saturated submits get 503 + Retry-After (0 = admit synchronously, no queue)")
+		ingBatch     = flag.Int("ingest-batch", 64, "max submissions the ingest committer folds into one commit group (= one journal fsync)")
+		quotaRate    = flag.Float64("quota-rate", 0, "per-user admission tokens per engine second (0 = no quotas)")
+		quotaBurst   = flag.Float64("quota-burst", 32, "per-user token bucket size")
 	)
 	flag.Parse()
 
@@ -149,9 +182,28 @@ func main() {
 		}
 		return
 	}
-	if err := serve(mkPolicy, *addr, *capacity, *requested, *speedup, chaosOn, fed); err != nil {
+	dur := durOptions{path: *journalPath, group: *groupCommit, compactEvery: *compactEvery}
+	ing := ingOptions{pending: *ingPending, batch: *ingBatch, quotaRate: *quotaRate, quotaBurst: *quotaBurst}
+	if err := serve(mkPolicy, *addr, *capacity, *requested, *speedup, chaosOn, fed, dur, ing); err != nil {
 		fatal(err)
 	}
+}
+
+// durOptions carry the journal flags; an empty path disables the
+// journal.
+type durOptions struct {
+	path         string
+	group        int
+	compactEvery int
+}
+
+// ingOptions carry the accept-queue flags; pending <= 0 admits
+// synchronously without a queue.
+type ingOptions struct {
+	pending    int
+	batch      int
+	quotaRate  float64
+	quotaBurst float64
 }
 
 // fedOptions carry the federation flags; shards <= 1 means a bare
@@ -168,6 +220,7 @@ type backend interface {
 	server.Backend
 	Records() []sim.Record
 	Err() error
+	Now() job.Time
 }
 
 // verify renders the chaos-mode verdict after a run. A bare engine is
@@ -211,15 +264,39 @@ func fatal(err error) {
 // HTTP API. POST /v1/drain (or SIGINT/SIGTERM) triggers a graceful
 // shutdown once the machine has emptied.
 func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested bool,
-	speedup float64, chaosOn bool, fed fedOptions) error {
-	clock := engine.NewRealClock(speedup)
+	speedup float64, chaosOn bool, fed fedOptions, dur durOptions, ing ingOptions) error {
+	// A non-empty single-engine journal is recovered before the clock
+	// starts: the rebuilt engine resumes at the last journaled instant,
+	// so re-armed completion timers fire in the future, never the past.
+	var recovered *engine.Checkpoint
+	start := job.Time(0)
+	if dur.path != "" && fed.shards <= 1 {
+		if st, err := os.Stat(dur.path); err == nil && st.Size() > 0 {
+			cp, err := engine.LoadCheckpoint(dur.path)
+			if err != nil {
+				return err
+			}
+			recovered = &cp
+			if cp.Base != nil && cp.Base.At > start {
+				start = cp.Base.At
+			}
+			for _, ev := range cp.Events {
+				if ev.At > start {
+					start = ev.At
+				}
+			}
+		}
+	}
+	clock := engine.NewRealClockAt(start, speedup)
+
 	var (
-		bk     backend
-		router *federation.Router
-		orc    *oracle.Oracle
+		bk       backend
+		router   *federation.Router
+		orc      *oracle.Oracle
+		journals []*engine.FileJournal
 	)
 	if fed.shards > 1 {
-		r, err := federation.New(federation.Config{
+		fcfg := federation.Config{
 			Capacity:       capacity,
 			Shards:         fed.shards,
 			Policy:         mkPolicy,
@@ -227,7 +304,25 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 			Clock:          clock,
 			UseRequested:   requested,
 			RebalanceEvery: fed.rebalance,
-		})
+		}
+		if dur.path != "" {
+			// Shard journals are opened up front so factory calls (initial
+			// construction and any crash-rebuild) cannot fail; a rebuild of
+			// shard i keeps appending to the same open file.
+			journals = make([]*engine.FileJournal, fed.shards)
+			for i := range journals {
+				fj, err := engine.OpenFileJournal(fmt.Sprintf("%s.shard-%d", dur.path, i), dur.group)
+				if err != nil {
+					return err
+				}
+				journals[i] = fj
+			}
+			fcfg.Journal = func(shard int) engine.JournalSink { return journals[shard] }
+			fcfg.CompactEvery = dur.compactEvery
+			fmt.Fprintf(os.Stderr, "schedd: journaling %d shards to %s.shard-N (write-only; start-up recovery is single-engine)\n",
+				fed.shards, dur.path)
+		}
+		r, err := federation.New(fcfg)
 		if err != nil {
 			return err
 		}
@@ -247,11 +342,57 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 			// Observer the ledger's nil check cannot see.
 			cfg.Observer = orc
 		}
-		e, err := engine.New(cfg)
+		if dur.path != "" {
+			fj, err := engine.OpenFileJournal(dur.path, dur.group)
+			if err != nil {
+				return err
+			}
+			journals = append(journals, fj)
+			cfg.Journal = fj
+			cfg.CompactEvery = dur.compactEvery
+		}
+		var e *engine.Engine
+		var err error
+		if recovered != nil {
+			e, err = engine.Rebuild(cfg, *recovered)
+			if err != nil {
+				return fmt.Errorf("recover %s: %w", dur.path, err)
+			}
+			base := 0
+			if recovered.Base != nil {
+				base = len(recovered.Base.Done) + len(recovered.Base.Running) + len(recovered.Base.Waiting)
+			}
+			fmt.Fprintf(os.Stderr, "schedd: recovered %s (%d base jobs + %d tail events), engine clock resumed at t=%d\n",
+				dur.path, base, len(recovered.Events), start)
+		} else {
+			e, err = engine.New(cfg)
+			if err != nil {
+				return err
+			}
+		}
+		bk = e
+	}
+
+	// The accept queue sits between the HTTP layer and the backend:
+	// batched submits commit through it in arrival order, one journal
+	// fsync per committer group.
+	var q *ingest.Queue
+	var opts []server.Option
+	if ing.pending > 0 {
+		qcfg := ingest.Config{
+			Backend:    bk,
+			MaxPending: ing.pending,
+			MaxBatch:   ing.batch,
+		}
+		if ing.quotaRate > 0 {
+			qcfg.Quotas = ingest.NewQuotas(ing.quotaRate, ing.quotaBurst, bk.Now)
+		}
+		var err error
+		q, err = ingest.NewQueue(qcfg)
 		if err != nil {
 			return err
 		}
-		bk = e
+		opts = append(opts, server.WithIngest(q))
 	}
 
 	ln, err := net.Listen("tcp", addr)
@@ -262,13 +403,17 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 	httpSrv.Handler = server.New(bk, func() {
 		// Drained: stop accepting connections and let main return.
 		_ = httpSrv.Shutdown(context.Background())
-	})
+	}, opts...)
 
-	// SIGINT/SIGTERM drain like POST /v1/drain does.
+	// SIGINT/SIGTERM drain like POST /v1/drain does: accepted batches
+	// commit first, then admission stops and the machine empties.
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigCh
+		if q != nil {
+			q.Flush()
+		}
 		_ = bk.Drain(context.Background())
 		_ = httpSrv.Shutdown(context.Background())
 	}()
@@ -283,6 +428,14 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 	}
 	if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 		return err
+	}
+	if q != nil {
+		q.Close()
+	}
+	for _, fj := range journals {
+		if err := fj.Close(); err != nil {
+			return err
+		}
 	}
 	if err := bk.Err(); err != nil {
 		return err

@@ -4,9 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
+	"schedsearch/internal/benchmeta"
 	"schedsearch/internal/core"
 	"schedsearch/internal/engine"
 	"schedsearch/internal/federation"
@@ -41,14 +41,10 @@ type fedResult struct {
 
 // fedReport is the BENCH_federation.json schema.
 type fedReport struct {
-	GeneratedBy string      `json:"generated_by"`
-	GOOS        string      `json:"goos"`
-	GOARCH      string      `json:"goarch"`
-	NumCPU      int         `json:"num_cpu"`
-	GOMAXPROCS  int         `json:"gomaxprocs"`
-	Policy      string      `json:"policy"`
-	Capacity    int         `json:"capacity"`
-	Results     []fedResult `json:"results"`
+	benchmeta.Meta
+	Policy   string      `json:"policy"`
+	Capacity int         `json:"capacity"`
+	Results  []fedResult `json:"results"`
 }
 
 // fedBenchJobs builds the deterministic synthetic workload for the
@@ -96,12 +92,8 @@ func runFederationBench(outPath string, shardCounts []int, jobsN, limit, capacit
 	jobs := fedBenchJobs(jobsN, minCaps[len(minCaps)-1])
 
 	rep := fedReport{
-		GeneratedBy: "searchbench -federation",
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Capacity:    capacity,
+		Meta:     benchmeta.Collect("searchbench -federation"),
+		Capacity: capacity,
 	}
 	var baseWallMs float64
 	for _, shards := range shardCounts {

@@ -1,0 +1,273 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"schedsearch/internal/benchmeta"
+	"schedsearch/internal/engine"
+	"schedsearch/internal/ingest"
+	"schedsearch/internal/job"
+	"schedsearch/internal/policy"
+)
+
+// ingestBenchConfig shapes the -ingest load test.
+type ingestBenchConfig struct {
+	// Fleets are the client counts to measure, one load level each.
+	Fleets []int
+	// Jobs is the total submissions per level, split across the fleet.
+	Jobs int
+	// Batch is the items per client batch.
+	Batch int
+	// MaxPending bounds the accept queue; clients that hit ErrSaturated
+	// back off and retry, so saturations show up as retries and
+	// latency, never as lost jobs.
+	MaxPending int
+	// Users is the simulated user-ID space (~1M by default); quota
+	// buckets are provisioned lazily, so memory tracks active users.
+	Users int
+}
+
+// ingestResult is one load level's measurement.
+type ingestResult struct {
+	Clients   int `json:"clients"`
+	Jobs      int `json:"jobs"`
+	BatchSize int `json:"batch_size"`
+
+	WallMs        float64 `json:"wall_ms"`
+	SubmitsPerSec float64 `json:"submits_per_sec"`
+	// Accept latency is the queue's accept-to-commit histogram:
+	// conservative (bucket upper bound) quantiles in microseconds.
+	AcceptP50Us int64 `json:"accept_p50_us"`
+	AcceptP99Us int64 `json:"accept_p99_us"`
+	AcceptMaxUs int64 `json:"accept_max_us"`
+
+	// Backpressure: whole-batch bounces, the retries that re-landed
+	// them, and the pending high-water mark (never above MaxPending).
+	Saturations int64 `json:"saturations"`
+	Retries     int64 `json:"retries"`
+	PeakPending int   `json:"peak_pending"`
+	// SyncGroups and EventsPerSync show group commit at work: jobs
+	// per journal fsync grows with concurrency.
+	SyncGroups    int64   `json:"sync_groups"`
+	JournalSyncs  int64   `json:"journal_syncs"`
+	EventsPerSync float64 `json:"events_per_sync"`
+	// ActiveUsers is the number of live quota buckets at the end;
+	// PeakHeapMB the sampled heap high-water mark for the level.
+	ActiveUsers int     `json:"active_users"`
+	PeakHeapMB  float64 `json:"peak_heap_mb"`
+}
+
+// ingestReport is the BENCH_ingest.json schema.
+type ingestReport struct {
+	benchmeta.Meta
+	Capacity   int            `json:"capacity"`
+	MaxPending int            `json:"max_pending"`
+	UserSpace  int            `json:"user_space"`
+	Results    []ingestResult `json:"results"`
+}
+
+// runIngestBench measures the batched accept path at each fleet size:
+// N clients submit ID-less batches drawn from a huge user space
+// through the accept queue into an engine journaling to a real file
+// (real fsyncs — group commit is what makes the numbers). The virtual
+// clock never advances, so the measurement isolates admission cost
+// (validation, quota check, queueing, ledger insert, journal append,
+// group fsync) from scheduling cost.
+func runIngestBench(outPath string, cfg ingestBenchConfig) error {
+	dir, err := os.MkdirTemp("", "searchbench-ingest")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	rep := ingestReport{
+		Meta:       benchmeta.Collect("searchbench -ingest"),
+		Capacity:   1024,
+		MaxPending: cfg.MaxPending,
+		UserSpace:  cfg.Users,
+	}
+	for _, fleet := range cfg.Fleets {
+		r, err := runIngestLevel(filepath.Join(dir, fmt.Sprintf("journal-%d.log", fleet)), fleet, cfg, rep.Capacity)
+		if err != nil {
+			return fmt.Errorf("ingest bench: %d clients: %w", fleet, err)
+		}
+		rep.Results = append(rep.Results, *r)
+		fmt.Fprintf(os.Stderr, "ingest clients=%d: %.0f submits/s, accept p50 %dµs p99 %dµs, %d saturations, %.1f events/fsync, peak heap %.1f MB\n",
+			fleet, r.SubmitsPerSec, r.AcceptP50Us, r.AcceptP99Us, r.Saturations, r.EventsPerSync, r.PeakHeapMB)
+	}
+
+	w := os.Stdout
+	if outPath != "-" {
+		w, err = os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer w.Close()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func runIngestLevel(journalPath string, fleet int, cfg ingestBenchConfig, capacity int) (*ingestResult, error) {
+	fj, err := engine.OpenFileJournal(journalPath, 64)
+	if err != nil {
+		return nil, err
+	}
+	defer fj.Close()
+	e, err := engine.New(engine.Config{
+		Capacity: capacity,
+		Policy:   policy.FCFSBackfill(),
+		Clock:    engine.NewVirtualClock(),
+		Journal:  fj,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Quotas sized so an honest load never trips them: the bench
+	// measures their bookkeeping cost, not rejections.
+	q, err := ingest.NewQueue(ingest.Config{
+		Backend:    e,
+		MaxPending: cfg.MaxPending,
+		MaxBatch:   64,
+		Quotas:     ingest.NewQuotas(1000, 256, e.Now),
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer q.Close()
+
+	// Sample the heap high-water mark while the storm runs.
+	var peakHeap atomic.Uint64
+	sampleStop := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			for {
+				old := peakHeap.Load()
+				if ms.HeapAlloc <= old || peakHeap.CompareAndSwap(old, ms.HeapAlloc) {
+					break
+				}
+			}
+			select {
+			case <-sampleStop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}()
+
+	perClient := cfg.Jobs / fleet
+	var retries atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, fleet)
+	runtime.GC()
+	t0 := time.Now()
+	for c := 0; c < fleet; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Each client walks its own arithmetic stride through the
+			// user space — deterministic, collision-light, ~1M distinct
+			// users across the fleet at scale.
+			user := c * 7919
+			batch := make([]job.Job, 0, cfg.Batch)
+			flush := func() error {
+				if len(batch) == 0 {
+					return nil
+				}
+				for {
+					results, err := q.SubmitBatch(batch)
+					if errors.Is(err, ingest.ErrSaturated) {
+						retries.Add(1)
+						time.Sleep(200 * time.Microsecond)
+						continue
+					}
+					if err != nil {
+						return err
+					}
+					for _, it := range results {
+						if it.Err != nil {
+							return fmt.Errorf("job %d/%d rejected: %w", c, it.Index, it.Err)
+						}
+					}
+					batch = batch[:0]
+					return nil
+				}
+			}
+			for i := 0; i < perClient; i++ {
+				user = (user + 104729) % cfg.Users
+				rt := job.Duration(300 + (i*2311)%14400)
+				batch = append(batch, job.Job{
+					Nodes:   1 + (i*13)%64,
+					Runtime: rt,
+					Request: rt,
+					User:    user,
+				})
+				if len(batch) == cfg.Batch {
+					if err := flush(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+			if err := flush(); err != nil {
+				errs <- err
+			}
+		}(c)
+	}
+	wg.Wait()
+	q.Flush()
+	wall := time.Since(t0)
+	close(sampleStop)
+	sampleWG.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+	if err := e.Err(); err != nil {
+		return nil, err
+	}
+
+	st := q.Stats()
+	jobs := perClient * fleet
+	if st.Committed != int64(jobs) {
+		return nil, fmt.Errorf("committed %d of %d jobs", st.Committed, jobs)
+	}
+	js := fj.Stats()
+	r := &ingestResult{
+		Clients:      fleet,
+		Jobs:         jobs,
+		BatchSize:    cfg.Batch,
+		WallMs:       float64(wall.Nanoseconds()) / 1e6,
+		AcceptP50Us:  st.Latency.P50Us,
+		AcceptP99Us:  st.Latency.P99Us,
+		AcceptMaxUs:  st.Latency.MaxUs,
+		Saturations:  st.Saturations,
+		Retries:      retries.Load(),
+		PeakPending:  st.PeakPending,
+		SyncGroups:   st.SyncGroups,
+		JournalSyncs: js.Syncs,
+		ActiveUsers:  st.QuotaUsers,
+		PeakHeapMB:   float64(peakHeap.Load()) / (1 << 20),
+	}
+	if wall > 0 {
+		r.SubmitsPerSec = float64(jobs) / wall.Seconds()
+	}
+	if js.Syncs > 0 {
+		r.EventsPerSync = float64(js.Appends) / float64(js.Syncs)
+	}
+	return r, nil
+}

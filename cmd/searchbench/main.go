@@ -23,6 +23,15 @@
 // measured:
 //
 //	searchbench -federation -shards 1,2,4 -fedjobs 400 -fedlimit 200
+//
+// Ingest mode (-ingest) load-tests the accept path (internal/ingest):
+// concurrent client fleets push batched submissions from a ~1M-user ID
+// space through the accept queue into an engine with a group-commit
+// file journal (real fsyncs), and BENCH_ingest.json reports, per load
+// level, submission throughput, accept-to-commit latency quantiles,
+// backpressure activity and peak heap:
+//
+//	searchbench -ingest -clients 4,16,64 -ingestjobs 50000
 package main
 
 import (
@@ -30,11 +39,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
+	"schedsearch/internal/benchmeta"
 	"schedsearch/internal/core"
 	"schedsearch/internal/job"
 	"schedsearch/internal/sim"
@@ -59,15 +68,11 @@ type benchResult struct {
 
 // report is the BENCH_search.json schema.
 type report struct {
-	GeneratedBy string        `json:"generated_by"`
-	GOOS        string        `json:"goos"`
-	GOARCH      string        `json:"goarch"`
-	NumCPU      int           `json:"num_cpu"`
-	GOMAXPROCS  int           `json:"gomaxprocs"`
-	Workers     int           `json:"workers"`
-	Heuristic   string        `json:"heuristic"`
-	Bound       string        `json:"bound"`
-	Results     []benchResult `json:"results"`
+	benchmeta.Meta
+	Workers   int           `json:"workers"`
+	Heuristic string        `json:"heuristic"`
+	Bound     string        `json:"bound"`
+	Results   []benchResult `json:"results"`
 }
 
 func main() {
@@ -82,25 +87,52 @@ func main() {
 		shards  = flag.String("shards", "1,2,4", "shard counts to measure in -federation mode")
 		fedJobs = flag.Int("fedjobs", 400, "synthetic jobs per federation replay")
 		fedLim  = flag.Int("fedlimit", 200, "search node limit per decision in -federation mode")
+
+		ingMode    = flag.Bool("ingest", false, "load-test the batched ingest path instead of the search hot path")
+		clients    = flag.String("clients", "4,16,64", "client fleet sizes (load levels) in -ingest mode")
+		ingJobs    = flag.Int("ingestjobs", 50000, "total jobs per load level in -ingest mode")
+		ingBatch   = flag.Int("ingestbatch", 32, "jobs per client batch in -ingest mode")
+		ingPending = flag.Int("ingestpending", 4096, "accept-queue bound (MaxPending) in -ingest mode")
+		ingUsers   = flag.Int("ingestusers", 1_000_000, "simulated user ID space in -ingest mode")
 	)
 	flag.Parse()
 
-	if *fedMode {
-		shardCounts, err := parseInts(*shards)
-		if err != nil {
-			fatal(err)
-		}
-		outPath := *out
+	outPath := func(def string) string {
 		outSet := false
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "out" {
 				outSet = true
 			}
 		})
-		if !outSet {
-			outPath = "BENCH_federation.json"
+		if outSet {
+			return *out
 		}
-		if err := runFederationBench(outPath, shardCounts, *fedJobs, *fedLim, 128); err != nil {
+		return def
+	}
+
+	if *fedMode {
+		shardCounts, err := parseInts(*shards)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runFederationBench(outPath("BENCH_federation.json"), shardCounts, *fedJobs, *fedLim, 128); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *ingMode {
+		fleets, err := parseInts(*clients)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runIngestBench(outPath("BENCH_ingest.json"), ingestBenchConfig{
+			Fleets:     fleets,
+			Jobs:       *ingJobs,
+			Batch:      *ingBatch,
+			MaxPending: *ingPending,
+			Users:      *ingUsers,
+		}); err != nil {
 			fatal(err)
 		}
 		return
@@ -116,14 +148,10 @@ func main() {
 	}
 
 	rep := report{
-		GeneratedBy: "searchbench",
-		GOOS:        runtime.GOOS,
-		GOARCH:      runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Workers:     *workers,
-		Heuristic:   core.HeuristicLXF.String(),
-		Bound:       core.DynamicBound().String(),
+		Meta:      benchmeta.Collect("searchbench"),
+		Workers:   *workers,
+		Heuristic: core.HeuristicLXF.String(),
+		Bound:     core.DynamicBound().String(),
 	}
 	if rep.Workers == core.AutoWorkers {
 		rep.Workers = rep.GOMAXPROCS

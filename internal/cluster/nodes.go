@@ -70,6 +70,34 @@ func (s *NodeSet) Alloc(k int) ([]int, error) {
 	return ids, nil
 }
 
+// Claim allocates exactly the given nodes. Restoring a compacted
+// checkpoint must put every running job back onto its recorded nodes —
+// lowest-first Alloc would renumber them — so Claim validates that each
+// requested node is free, then takes all of them atomically: on error
+// nothing is claimed.
+func (s *NodeSet) Claim(ids []int) error {
+	for _, id := range ids {
+		if id < 0 || id >= s.total {
+			return fmt.Errorf("cluster: Claim of invalid node %d", id)
+		}
+		if s.words[id/64]&(1<<(id%64)) == 0 {
+			return fmt.Errorf("cluster: Claim of allocated node %d", id)
+		}
+	}
+	seen := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		if seen[id] {
+			return fmt.Errorf("cluster: Claim of node %d twice", id)
+		}
+		seen[id] = true
+	}
+	for _, id := range ids {
+		s.words[id/64] &^= 1 << (id % 64)
+	}
+	s.free -= len(ids)
+	return nil
+}
+
 // Release frees previously allocated nodes. Releasing a node that is
 // already free or out of range is an error (a double-free bug in the
 // caller).

@@ -37,6 +37,7 @@ type Timer interface {
 // to 1/Speedup wall seconds.
 type RealClock struct {
 	origin  time.Time
+	start   job.Time
 	speedup float64
 }
 
@@ -45,15 +46,24 @@ type RealClock struct {
 // time). A speedup of 3600 replays an hour of engine time per wall
 // second.
 func NewRealClock(speedup float64) *RealClock {
+	return NewRealClockAt(0, speedup)
+}
+
+// NewRealClockAt returns a wall clock whose timeline starts at `start`
+// engine seconds instead of zero. A daemon rebuilding from a journal
+// resumes its clock at the last committed timestamp, so replayed
+// history stays in the past (a rebuilt engine whose clock restarted at
+// zero would violate start-before-arrival on every recovered job).
+func NewRealClockAt(start job.Time, speedup float64) *RealClock {
 	if speedup <= 0 {
 		speedup = 1
 	}
-	return &RealClock{origin: time.Now(), speedup: speedup}
+	return &RealClock{origin: time.Now(), start: start, speedup: speedup}
 }
 
 // Now implements Clock.
 func (c *RealClock) Now() job.Time {
-	return job.Time(time.Since(c.origin).Seconds() * c.speedup)
+	return c.start + job.Time(time.Since(c.origin).Seconds()*c.speedup)
 }
 
 // AfterFunc implements Clock via time.AfterFunc.

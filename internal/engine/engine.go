@@ -64,6 +64,16 @@ type Config struct {
 	// rebuilt engine the observer re-observes the replayed history
 	// first, so attach a fresh observer to each Rebuild.
 	Observer sim.Observer
+	// Journal, when non-nil, receives every committed event for
+	// persistence (see JournalSink). The engine calls Commit at each
+	// mutation boundary; a group-committing sink defers the fsync until
+	// its group fills or SyncJournal forces it. Sink errors are fatal.
+	Journal JournalSink
+	// CompactEvery, when > 0, folds the journal into a Base snapshot
+	// (truncating the event tail, in memory and in the sink) whenever
+	// the tail reaches this many events, so Rebuild cost stays bounded
+	// on long-running daemons.
+	CompactEvery int
 }
 
 // State is a job's lifecycle position.
@@ -118,6 +128,13 @@ type Engine struct {
 	nextID  int
 	records []sim.Record
 	journal []Event
+	// base is the folded journal prefix after a compaction (nil until
+	// the first Compact); journal holds only the tail since.
+	base        *Base
+	compactions int64
+	// replaying suppresses sink writes while Rebuild re-applies
+	// recovered history (the sink already holds those events).
+	replaying bool
 
 	decidePending bool
 	finishTimer   Timer
@@ -237,8 +254,57 @@ func (e *Engine) submitLocked(j job.Job, preserveSubmit bool) error {
 	e.noteQueueChange(now)
 	e.l.Enqueue(j, 0) // estimated lazily at the decision point
 	e.jobs[j.ID] = &JobStatus{Job: j, State: StateWaiting}
-	e.journal = append(e.journal, Event{Kind: EvSubmit, At: now, Job: j})
+	e.appendEvent(Event{Kind: EvSubmit, At: now, Job: j})
 	e.requestDecide()
+	e.commitLocked()
+	return e.fatal
+}
+
+// appendEvent commits one event to the in-memory journal and, outside
+// of rebuild replay, to the configured sink. A sink write failure is
+// fatal: the engine must not keep scheduling decisions it cannot
+// recover.
+func (e *Engine) appendEvent(ev Event) {
+	e.journal = append(e.journal, ev)
+	if e.cfg.Journal != nil && !e.replaying {
+		if err := e.cfg.Journal.Append(ev); err != nil {
+			e.setFatal(fmt.Errorf("engine: journal append: %w", err))
+		}
+	}
+}
+
+// commitLocked marks a mutation boundary: the sink gets its chance to
+// fsync (group commit decides whether it actually does), and the
+// journal auto-compacts once the tail is long enough.
+func (e *Engine) commitLocked() {
+	if e.fatal != nil {
+		return
+	}
+	if e.cfg.Journal != nil {
+		if err := e.cfg.Journal.Commit(); err != nil {
+			e.setFatal(fmt.Errorf("engine: journal commit: %w", err))
+			return
+		}
+	}
+	if e.cfg.CompactEvery > 0 && len(e.journal) >= e.cfg.CompactEvery {
+		_ = e.compactLocked()
+	}
+}
+
+// SyncJournal forces any group-buffered journal writes to stable
+// storage. The ingest committer calls it once per accepted batch group
+// — the group-commit boundary: a batch is acknowledged to its clients
+// only after this returns.
+func (e *Engine) SyncJournal() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cfg.Journal == nil {
+		return nil
+	}
+	if err := e.cfg.Journal.Sync(); err != nil {
+		e.setFatal(fmt.Errorf("engine: journal sync: %w", err))
+		return e.fatal
+	}
 	return nil
 }
 
@@ -262,6 +328,7 @@ func (e *Engine) onDecide() {
 	if now := e.clock.Now(); e.l.QueueLen() > e.maxQ && now >= e.intStart && now < e.intEnd {
 		e.maxQ = e.l.QueueLen()
 	}
+	e.commitLocked()
 	e.armFinish()
 	e.checkIdle()
 }
@@ -274,6 +341,7 @@ func (e *Engine) onFinish() {
 	if e.l.QueueLen() > 0 {
 		e.requestDecide()
 	}
+	e.commitLocked()
 	e.armFinish()
 	e.checkIdle()
 }
@@ -294,7 +362,7 @@ func (e *Engine) completeDue() {
 			Job: f.Job, Start: f.Start, End: f.End,
 			NodeIDs: f.NodeIDs, Measured: measured,
 		})
-		e.journal = append(e.journal, Event{Kind: EvFinish, At: f.End, ID: f.Job.ID})
+		e.appendEvent(Event{Kind: EvFinish, At: f.End, ID: f.Job.ID})
 		st := e.jobs[f.Job.ID]
 		st.State = StateDone
 		st.End = f.End
@@ -315,7 +383,7 @@ func (e *Engine) estimate(j job.Job) job.Duration {
 	if st := e.jobs[j.ID]; st != nil {
 		st.Estimate = est
 	}
-	e.journal = append(e.journal, Event{Kind: EvEstimate, At: e.clock.Now(), ID: j.ID, Estimate: est})
+	e.appendEvent(Event{Kind: EvEstimate, At: e.clock.Now(), ID: j.ID, Estimate: est})
 	return est
 }
 
@@ -359,7 +427,7 @@ func (e *Engine) decideLocked() {
 		st.State = StateRunning
 		st.Start = s.Start
 		st.NodeIDs = s.NodeIDs
-		e.journal = append(e.journal, Event{
+		e.appendEvent(Event{
 			Kind: EvStart, At: now, ID: s.Job.ID,
 			NodeIDs: append([]int(nil), s.NodeIDs...),
 		})
@@ -568,9 +636,10 @@ func (e *Engine) Withdraw(id int) (job.Job, error) {
 		return job.Job{}, e.fatal
 	}
 	delete(e.jobs, id)
-	e.journal = append(e.journal, Event{Kind: EvWithdraw, At: now, ID: id})
+	e.appendEvent(Event{Kind: EvWithdraw, At: now, ID: id})
+	e.commitLocked()
 	e.checkIdle()
-	return j, nil
+	return j, e.fatal
 }
 
 // Load is a cheap occupancy summary of one engine, consumed by the

@@ -1,0 +1,323 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"schedsearch/internal/job"
+)
+
+// JournalSink persists the engine's committed event journal. The engine
+// calls Append for every committed event (under its own mutex, so
+// implementations see a serialized stream) and Commit at the end of
+// every mutation (a submit, a decision, a completion batch, a
+// withdrawal). A sink is free to defer durability inside Commit — that
+// is the group-commit lever — but Sync must make everything appended so
+// far durable before returning. Compact atomically replaces the
+// persisted journal with a Base snapshot, truncating the event tail.
+//
+// A sink error is fatal to the engine: a scheduler that cannot journal
+// its decisions must stop taking them rather than diverge from its
+// recovery image.
+type JournalSink interface {
+	Append(ev Event) error
+	Commit() error
+	Sync() error
+	Compact(base Base) error
+}
+
+// JournalStats counts a sink's work; the engine surfaces them in
+// Metrics when the sink implements StatsReporter.
+type JournalStats struct {
+	// Appends is the number of events appended.
+	Appends int64 `json:"appends"`
+	// Syncs is the number of fsync boundaries — the group-commit
+	// effectiveness measure is Appends/Syncs.
+	Syncs int64 `json:"syncs"`
+	// Compactions is the number of Compact calls.
+	Compactions int64 `json:"compactions"`
+}
+
+// StatsReporter is the optional sink extension surfacing JournalStats.
+type StatsReporter interface {
+	Stats() JournalStats
+}
+
+// FileJournal is a durable JournalSink: a JSON-lines file holding an
+// optional leading {"base": ...} snapshot followed by {"ev": ...}
+// events in commit order. Commit fsyncs only once `group` events have
+// accumulated since the last sync (group commit); Sync forces the
+// boundary early (the ingest committer calls it once per accepted
+// batch group, so a batch is acknowledged only after its events are
+// durable). Compact rewrites the file atomically (temp file + rename).
+type FileJournal struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	w       *bufio.Writer
+	group   int
+	pending int
+	stats   JournalStats
+}
+
+// OpenFileJournal opens (creating if needed, appending if not) the
+// journal at path. group is the number of events coalesced per fsync
+// boundary; values < 1 mean 1 (sync every commit — the serial
+// baseline).
+func OpenFileJournal(path string, group int) (*FileJournal, error) {
+	if group < 1 {
+		group = 1
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("engine: open journal: %w", err)
+	}
+	return &FileJournal{path: path, f: f, w: bufio.NewWriter(f), group: group}, nil
+}
+
+// Path returns the journal file path.
+func (fj *FileJournal) Path() string { return fj.path }
+
+// Append implements JournalSink; the event is buffered until the next
+// fsync boundary.
+func (fj *FileJournal) Append(ev Event) error {
+	fj.mu.Lock()
+	defer fj.mu.Unlock()
+	if fj.f == nil {
+		return errors.New("engine: journal closed")
+	}
+	if err := writeLine(fj.w, journalLine{Ev: eventToWire(ev)}); err != nil {
+		return err
+	}
+	fj.pending++
+	fj.stats.Appends++
+	return nil
+}
+
+// Commit implements JournalSink: it fsyncs only when the group is full.
+func (fj *FileJournal) Commit() error {
+	fj.mu.Lock()
+	defer fj.mu.Unlock()
+	if fj.pending < fj.group {
+		return nil
+	}
+	return fj.syncLocked()
+}
+
+// Sync implements JournalSink: everything appended becomes durable.
+func (fj *FileJournal) Sync() error {
+	fj.mu.Lock()
+	defer fj.mu.Unlock()
+	if fj.pending == 0 {
+		return nil
+	}
+	return fj.syncLocked()
+}
+
+func (fj *FileJournal) syncLocked() error {
+	if fj.f == nil {
+		return errors.New("engine: journal closed")
+	}
+	if err := fj.w.Flush(); err != nil {
+		return fmt.Errorf("engine: journal flush: %w", err)
+	}
+	if err := fj.f.Sync(); err != nil {
+		return fmt.Errorf("engine: journal sync: %w", err)
+	}
+	fj.pending = 0
+	fj.stats.Syncs++
+	return nil
+}
+
+// Compact implements JournalSink: the file is atomically replaced by
+// one holding only the base snapshot, so recovery cost is bounded by
+// the live state, not the history length.
+func (fj *FileJournal) Compact(base Base) error {
+	fj.mu.Lock()
+	defer fj.mu.Unlock()
+	if fj.f == nil {
+		return errors.New("engine: journal closed")
+	}
+	tmp := fj.path + ".compact"
+	nf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("engine: journal compact: %w", err)
+	}
+	nw := bufio.NewWriter(nf)
+	if err := writeLine(nw, journalLine{Base: &base}); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := nw.Flush(); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("engine: journal compact: %w", err)
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("engine: journal compact: %w", err)
+	}
+	if err := os.Rename(tmp, fj.path); err != nil {
+		nf.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("engine: journal compact: %w", err)
+	}
+	// The rename is durable once the directory entry is synced.
+	if dir, derr := os.Open(filepath.Dir(fj.path)); derr == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	old := fj.f
+	fj.f = nf
+	fj.w = nw
+	fj.pending = 0
+	fj.stats.Compactions++
+	fj.stats.Syncs++
+	old.Close()
+	return nil
+}
+
+// Stats implements StatsReporter.
+func (fj *FileJournal) Stats() JournalStats {
+	fj.mu.Lock()
+	defer fj.mu.Unlock()
+	return fj.stats
+}
+
+// Close syncs any buffered events and closes the file.
+func (fj *FileJournal) Close() error {
+	fj.mu.Lock()
+	defer fj.mu.Unlock()
+	if fj.f == nil {
+		return nil
+	}
+	var err error
+	if fj.pending > 0 {
+		err = fj.syncLocked()
+	}
+	if cerr := fj.f.Close(); err == nil {
+		err = cerr
+	}
+	fj.f = nil
+	return err
+}
+
+// journalLine is one line of the JSON-lines journal file: exactly one
+// of Base (the leading compaction snapshot) or Ev (a tail event).
+type journalLine struct {
+	Base *Base      `json:"base,omitempty"`
+	Ev   *eventWire `json:"ev,omitempty"`
+}
+
+// eventWire is the on-disk shape of an Event; pointers and omitempty
+// keep the common lines short.
+type eventWire struct {
+	Kind     uint8        `json:"k"`
+	At       job.Time     `json:"t"`
+	Job      *job.Job     `json:"job,omitempty"`
+	ID       int          `json:"id,omitempty"`
+	Estimate job.Duration `json:"est,omitempty"`
+	NodeIDs  []int        `json:"nodes,omitempty"`
+}
+
+func eventToWire(ev Event) *eventWire {
+	w := &eventWire{Kind: uint8(ev.Kind), At: ev.At, ID: ev.ID, Estimate: ev.Estimate, NodeIDs: ev.NodeIDs}
+	if ev.Kind == EvSubmit {
+		j := ev.Job
+		w.Job = &j
+	}
+	return w
+}
+
+func eventFromWire(w *eventWire) Event {
+	ev := Event{Kind: EventKind(w.Kind), At: w.At, ID: w.ID, Estimate: w.Estimate, NodeIDs: w.NodeIDs}
+	if w.Job != nil {
+		ev.Job = *w.Job
+	}
+	return ev
+}
+
+func writeLine(w *bufio.Writer, line journalLine) error {
+	buf, err := json.Marshal(line)
+	if err != nil {
+		return fmt.Errorf("engine: journal encode: %w", err)
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("engine: journal write: %w", err)
+	}
+	if err := w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("engine: journal write: %w", err)
+	}
+	return nil
+}
+
+// LoadJournal reads a journal file back: the optional leading base
+// snapshot and the event tail in commit order. A torn final line (a
+// crash mid-write before the fsync boundary) is ignored — those events
+// were never acknowledged — but corruption anywhere else is an error.
+func LoadJournal(path string) (*Base, []Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: load journal: %w", err)
+	}
+	defer f.Close()
+	var base *Base
+	var events []Event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	lineNo := 0
+	var torn error
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line journalLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			torn = fmt.Errorf("engine: load journal: line %d: %w", lineNo, err)
+			continue
+		}
+		if torn != nil {
+			// A decodable line after a broken one is corruption, not a
+			// torn tail.
+			return nil, nil, torn
+		}
+		switch {
+		case line.Base != nil:
+			if lineNo != 1 {
+				return nil, nil, fmt.Errorf("engine: load journal: base snapshot at line %d (must be first)", lineNo)
+			}
+			base = line.Base
+		case line.Ev != nil:
+			events = append(events, eventFromWire(line.Ev))
+		default:
+			return nil, nil, fmt.Errorf("engine: load journal: line %d holds neither base nor event", lineNo)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("engine: load journal: %w", err)
+	}
+	return base, events, nil
+}
+
+// LoadCheckpoint reads a journal file into a Checkpoint ready for
+// Rebuild. The decide-pending flag is not persisted; it is set
+// unconditionally — Rebuild only acts on it when jobs are waiting, and
+// an extra decision request on a queue the lost engine had already
+// decided is absorbed by the coalescing (the policy sees the same
+// snapshot it already answered).
+func LoadCheckpoint(path string) (Checkpoint, error) {
+	base, events, err := LoadJournal(path)
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	return Checkpoint{Base: base, Events: events, DecidePending: true}, nil
+}

@@ -1,0 +1,379 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"schedsearch/internal/job"
+	"schedsearch/internal/oracle"
+	"schedsearch/internal/policy"
+	"schedsearch/internal/sim"
+	"schedsearch/internal/workload"
+)
+
+// journalInput is a small month for file-journal tests: enough jobs to
+// exercise every event kind without making fsync loops slow.
+func journalInput(t *testing.T) sim.Input {
+	t.Helper()
+	suite := workload.NewSuite(workload.Config{Seed: 23, JobScale: 0.02})
+	in, _, err := suite.Input("6/03", workload.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// runWithJournal drives a trace through an engine wired to a
+// FileJournal and returns the engine (journal synced and closed).
+func runWithJournal(t *testing.T, in sim.Input, path string, group, compactEvery int) *Engine {
+	t.Helper()
+	fj, err := OpenFileJournal(path, group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := NewVirtualClock()
+	e, err := New(Config{
+		Capacity: in.Capacity, Policy: policy.FCFSBackfill(), Clock: vc,
+		MeasureStart: in.MeasureStart, MeasureEnd: in.MeasureEnd,
+		Journal: fj, CompactEvery: compactEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range in.Jobs {
+		j := j
+		vc.AfterFunc(j.Submit, func() {
+			if err := e.SubmitJob(j); err != nil {
+				t.Errorf("submit job %d: %v", j.ID, err)
+			}
+		})
+	}
+	vc.Run()
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SyncJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestFileJournalRoundtrip: the on-disk journal decodes back to the
+// exact event sequence the engine holds in memory, and a rebuild from
+// the loaded checkpoint reproduces the records.
+func TestFileJournalRoundtrip(t *testing.T) {
+	in := journalInput(t)
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	e := runWithJournal(t, in, path, 8, 0)
+
+	base, events, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != nil {
+		t.Fatal("uncompacted journal decoded a base")
+	}
+	mem := e.Checkpoint().Events
+	if len(events) != len(mem) {
+		t.Fatalf("loaded %d events, engine holds %d", len(events), len(mem))
+	}
+	for i := range events {
+		if !reflect.DeepEqual(events[i], mem[i]) {
+			t.Fatalf("event %d: loaded %+v, engine %+v", i, events[i], mem[i])
+		}
+	}
+
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Rebuild(Config{
+		Capacity: in.Capacity, Policy: policy.FCFSBackfill(), Clock: NewVirtualClock(),
+		MeasureStart: in.MeasureStart, MeasureEnd: in.MeasureEnd,
+	}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffRecords(t, e.Records(), re.Records())
+}
+
+// TestFileJournalCompactedRoundtrip: with auto-compaction on, the file
+// holds a base line plus a bounded tail, and rebuilding from it still
+// reproduces the full record set.
+func TestFileJournalCompactedRoundtrip(t *testing.T) {
+	in := journalInput(t)
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	const every = 32
+	e := runWithJournal(t, in, path, 8, every)
+
+	base, events, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == nil {
+		t.Fatal("compacted journal has no base line")
+	}
+	tail := e.Checkpoint().Events
+	if len(events) != len(tail) {
+		t.Fatalf("file tail %d events, engine tail %d", len(events), len(tail))
+	}
+	if len(events) > every+in.Capacity {
+		t.Fatalf("tail %d events, want bounded near %d", len(events), every)
+	}
+
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Rebuild(Config{
+		Capacity: in.Capacity, Policy: policy.FCFSBackfill(), Clock: NewVirtualClock(),
+		MeasureStart: in.MeasureStart, MeasureEnd: in.MeasureEnd,
+	}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffRecords(t, e.Records(), re.Records())
+	if err := oracle.CheckRecords(in.Capacity, in.Jobs, re.Records()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileJournalCrashRecovery simulates a daemon crash: half the
+// month runs against a journal, the process "dies", a new engine loads
+// the checkpoint from disk and the remaining jobs arrive. Every job
+// must complete exactly once and the combined schedule must satisfy
+// the oracle. (Bit-identity to an uninterrupted run is not asserted
+// here: disk recovery conservatively schedules a decision on wake,
+// which may legitimately reorder the queue; the in-memory differential
+// in compact_test.go covers bit-identity.)
+func TestFileJournalCrashRecovery(t *testing.T) {
+	in := journalInput(t)
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	half := len(in.Jobs) / 2
+	tCrash := in.Jobs[half].Submit
+
+	fj, err := OpenFileJournal(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := NewVirtualClock()
+	e1, err := New(Config{
+		Capacity: in.Capacity, Policy: policy.FCFSBackfill(), Clock: vc, Journal: fj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range in.Jobs[:half] {
+		j := j
+		vc.AfterFunc(j.Submit, func() {
+			if err := e1.SubmitJob(j); err != nil {
+				t.Errorf("submit job %d: %v", j.ID, err)
+			}
+		})
+	}
+	vc.AdvanceTo(tCrash)
+	if err := e1.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e1.SyncJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fj.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Rebuild(Config{
+		Capacity: in.Capacity, Policy: policy.FCFSBackfill(), Clock: vc,
+	}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range in.Jobs[half:] {
+		j := j
+		vc.AfterFunc(j.Submit-vc.Now(), func() {
+			if err := e2.SubmitJob(j); err != nil {
+				t.Errorf("submit job %d: %v", j.ID, err)
+			}
+		})
+	}
+	vc.Run()
+	if err := e2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	recs := e2.Records()
+	if len(recs) != len(in.Jobs) {
+		t.Fatalf("%d records after recovery, want %d", len(recs), len(in.Jobs))
+	}
+	seen := map[int]bool{}
+	for _, r := range recs {
+		if seen[r.Job.ID] {
+			t.Fatalf("job %d completed twice", r.Job.ID)
+		}
+		seen[r.Job.ID] = true
+	}
+	if err := oracle.CheckRecords(in.Capacity, in.Jobs, recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileJournalGroupCommit: with group=16, the journal coalesces
+// commit boundaries into roughly appends/16 fsyncs instead of one per
+// event.
+func TestFileJournalGroupCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	fj, err := OpenFileJournal(path, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		ev := Event{Kind: EvSubmit, At: job.Time(i), Job: job.Job{ID: i + 1, Nodes: 1, Runtime: 60}}
+		if err := fj.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := fj.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := fj.Stats()
+	if st.Appends != n {
+		t.Fatalf("appends %d, want %d", st.Appends, n)
+	}
+	if want := int64(n / 16); st.Syncs != want {
+		t.Fatalf("syncs %d, want %d (group commit not coalescing)", st.Syncs, want)
+	}
+	if err := fj.Sync(); err != nil { // flush the partial group
+		t.Fatal(err)
+	}
+	if st := fj.Stats(); st.Syncs != n/16+1 {
+		t.Fatalf("syncs after explicit Sync %d, want %d", st.Syncs, n/16+1)
+	}
+	if err := fj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, events, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != n {
+		t.Fatalf("loaded %d events, want %d", len(events), n)
+	}
+}
+
+// TestLoadJournalTornTail: a torn final line (the crash wrote half a
+// record) is tolerated; garbage in the middle of the file is not.
+func TestLoadJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	fj, err := OpenFileJournal(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ev := Event{Kind: EvSubmit, At: job.Time(i), Job: job.Job{ID: i + 1, Nodes: 1, Runtime: 60}}
+		if err := fj.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fj.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn tail: append half a JSON object with no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"ev":{"k":1,"t":99`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, events, err := LoadJournal(path)
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("loaded %d events, want 3", len(events))
+	}
+
+	// Mid-file corruption: a broken line followed by a good one errors.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, []byte("\n"+`{"ev":{"k":1,"t":100,"job":{"ID":9,"Nodes":1,"Runtime":60}}}`+"\n")...)
+	if err := os.WriteFile(path, raw, 0644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadJournal(path); err == nil {
+		t.Fatal("mid-file corruption silently ignored")
+	}
+}
+
+// TestFileJournalCompactRewritesFile: an explicit Compact rewrites the
+// file to a base line (atomic rename), after which LoadCheckpoint sees
+// the base and an empty tail.
+func TestFileJournalCompactRewritesFile(t *testing.T) {
+	in := journalInput(t)
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	fj, err := OpenFileJournal(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := NewVirtualClock()
+	e, err := New(Config{
+		Capacity: in.Capacity, Policy: policy.FCFSBackfill(), Clock: vc, Journal: fj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range in.Jobs {
+		j := j
+		vc.AfterFunc(j.Submit, func() {
+			if err := e.SubmitJob(j); err != nil {
+				t.Errorf("submit job %d: %v", j.ID, err)
+			}
+		})
+	}
+	vc.Run()
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	base, events, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == nil {
+		t.Fatal("compacted file has no base")
+	}
+	if len(events) != 0 {
+		t.Fatalf("compacted file has %d tail events, want 0", len(events))
+	}
+	if len(base.Done) != len(in.Jobs) {
+		t.Fatalf("base holds %d done jobs, want %d", len(base.Done), len(in.Jobs))
+	}
+	cp, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Rebuild(Config{
+		Capacity: in.Capacity, Policy: policy.FCFSBackfill(), Clock: NewVirtualClock(),
+	}, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffRecords(t, e.Records(), re.Records())
+}

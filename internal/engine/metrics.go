@@ -30,6 +30,15 @@ type Counters struct {
 	// milliseconds (always wall time, even on a virtual clock).
 	AvgDecideMs float64 `json:"avg_decide_ms"`
 	MaxDecideMs float64 `json:"max_decide_ms"`
+	// JournalTail is the in-memory event-tail length since the last
+	// compaction; Compactions counts journal compactions. When a
+	// persistent sink reports stats, JournalAppends and JournalSyncs
+	// meter group-commit effectiveness (events per fsync is their
+	// ratio).
+	JournalTail    int64 `json:"journal_tail,omitempty"`
+	Compactions    int64 `json:"journal_compactions,omitempty"`
+	JournalAppends int64 `json:"journal_appends,omitempty"`
+	JournalSyncs   int64 `json:"journal_syncs,omitempty"`
 }
 
 // JobCounts breaks the admitted jobs down by state.
@@ -116,6 +125,13 @@ func (e *Engine) countersLocked() Counters {
 		c.AvgDecideMs = float64(e.decideDur.Microseconds()) / 1000 / float64(e.decisions)
 	}
 	c.MaxDecideMs = float64(e.decideMax.Microseconds()) / 1000
+	c.JournalTail = int64(len(e.journal))
+	c.Compactions = e.compactions
+	if sr, ok := e.cfg.Journal.(StatsReporter); ok {
+		st := sr.Stats()
+		c.JournalAppends = st.Appends
+		c.JournalSyncs = st.Syncs
+	}
 	if sch, ok := e.cfg.Policy.(*core.Scheduler); ok {
 		st := sch.SearchStats
 		c.SearchNodes = st.Nodes

@@ -63,6 +63,9 @@ type Event struct {
 // Checkpoint is a consistent snapshot of the engine's committed
 // history, sufficient to Rebuild an equivalent engine after a crash.
 type Checkpoint struct {
+	// Base, when non-nil, is the folded journal prefix of the last
+	// compaction; Events then holds only the tail committed since.
+	Base *Base
 	// Events is the committed event journal in commit order.
 	Events []Event
 	// DecidePending records whether a coalesced decision was scheduled
@@ -78,11 +81,18 @@ type Checkpoint struct {
 func (e *Engine) Checkpoint() Checkpoint {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return Checkpoint{
+	cp := Checkpoint{
 		Events:        append([]Event(nil), e.journal...),
 		DecidePending: e.decidePending,
 		Draining:      e.draining,
 	}
+	if e.base != nil {
+		// Compaction replaces e.base wholesale and never mutates it in
+		// place, so a struct copy suffices.
+		b := *e.base
+		cp.Base = &b
+	}
+	return cp
 }
 
 // Rebuild reconstructs an engine from a checkpoint: the committed
@@ -102,18 +112,43 @@ func (e *Engine) Checkpoint() Checkpoint {
 // counters (decisions, latency) and the max-queue statistic restart at
 // the rebuild point; the committed schedule and the queue-length
 // integral do not.
+//
+// A compacted checkpoint (cp.Base != nil) restores the base state
+// directly — running jobs land on their exact recorded nodes, so the
+// tail replays onto identical allocations — and then replays the tail.
+// A base is committed history that was already observed before the
+// compaction, so Config.Observer is ignored on a compacted rebuild
+// (replaying restored state through an observer would violate the
+// oracle's monotonicity and conservation invariants); verify compacted
+// rebuilds offline with oracle.CheckRecords instead.
+//
+// Config.Journal is not written during the replay itself — on crash
+// recovery the sink already holds exactly these events — but live
+// events after the rebuild flow to it as usual.
 func Rebuild(cfg Config, cp Checkpoint) (*Engine, error) {
+	if cp.Base != nil {
+		cfg.Observer = nil
+	}
 	e, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.replaying = true
+	if cp.Base != nil {
+		if err := e.restoreBaseLocked(*cp.Base); err != nil {
+			return nil, err
+		}
+		b := *cp.Base
+		e.base = &b
+	}
 	for i, ev := range cp.Events {
 		if err := e.replayEvent(i, ev, cp.Events); err != nil {
 			return nil, err
 		}
 	}
+	e.replaying = false
 	e.draining = cp.Draining
 	e.armFinish()
 	if cp.DecidePending && e.l.QueueLen() > 0 {

@@ -77,6 +77,11 @@ type Config struct {
 	RebalanceEvery job.Duration
 	// MaxMigrationsPerPass bounds one rebalance pass (default 8).
 	MaxMigrationsPerPass int
+	// Journal, when non-nil, constructs shard i's journal sink (fresh
+	// per incarnation; on crash recovery the sink reopens the shard's
+	// journal file). CompactEvery is passed through to every shard.
+	Journal      func(shard int) engine.JournalSink
+	CompactEvery int
 }
 
 // Router is the federation front-end. All methods are goroutine-safe.
@@ -179,6 +184,10 @@ func (r *Router) shardConfig(i int) engine.Config {
 		Measured:     r.cfg.Measured,
 		MeasureStart: r.cfg.MeasureStart,
 		MeasureEnd:   r.cfg.MeasureEnd,
+		CompactEvery: r.cfg.CompactEvery,
+	}
+	if r.cfg.Journal != nil {
+		ec.Journal = r.cfg.Journal(i)
 	}
 	if r.cfg.Estimator != nil {
 		ec.Estimator = r.cfg.Estimator(i)
@@ -606,6 +615,25 @@ func (r *Router) RebuildShard(i int) error {
 	}
 	r.shards[i] = ne
 	return nil
+}
+
+// SyncJournal forces group-buffered journal writes on every shard to
+// stable storage, so a federated backend satisfies ingest.Syncer: the
+// ingest committer makes a whole accepted batch group durable across
+// all shards with one call. Shards without a journal sink are no-ops.
+func (r *Router) SyncJournal() error {
+	r.mu.Lock()
+	shards := append([]engine.Shard(nil), r.shards...)
+	r.mu.Unlock()
+	var first error
+	for _, sh := range shards {
+		if s, ok := sh.(interface{ SyncJournal() error }); ok {
+			if err := s.SyncJournal(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }
 
 // Drain stops admitting jobs on the router and every shard, then blocks

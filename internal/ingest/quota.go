@@ -1,0 +1,103 @@
+package ingest
+
+import (
+	"sync"
+
+	"schedsearch/internal/job"
+)
+
+// Quotas rate-limits admissions per user with token buckets: each user
+// accrues Rate tokens per engine-time second up to Burst, and every
+// accepted item spends one. The engine clock (not the wall clock)
+// drives refill, so quota behavior is deterministic under replay and
+// scales with -speedup like everything else.
+//
+// Memory stays proportional to the recently active user population,
+// not the user-ID space: a bucket that has refilled to Burst carries
+// no information (a fresh bucket starts full), so a lazy sweep deletes
+// full buckets as time passes. With ~1M simulated users hammering the
+// daemon, only the users seen within the last Burst/Rate seconds hold
+// a bucket.
+type Quotas struct {
+	mu    sync.Mutex
+	rate  float64 // tokens per second
+	burst float64
+	now   func() job.Time
+
+	buckets   map[int]*bucket
+	lastSweep job.Time
+	// sweepEvery spaces the lazy sweeps, in engine seconds.
+	sweepEvery job.Duration
+}
+
+type bucket struct {
+	tokens float64
+	last   job.Time
+}
+
+// NewQuotas returns a quota table: rate tokens per second, bursts up
+// to burst, with time read from now (pass the backend's clock —
+// engine.Engine.Now fits). rate and burst are clamped to be positive.
+func NewQuotas(rate, burst float64, now func() job.Time) *Quotas {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	sweep := job.Duration(burst/rate) + 1
+	return &Quotas{
+		rate:       rate,
+		burst:      burst,
+		now:        now,
+		buckets:    make(map[int]*bucket),
+		sweepEvery: sweep,
+	}
+}
+
+// Allow spends one token from the user's bucket, reporting false when
+// the bucket is empty (the item is rejected with ErrQuota).
+func (q *Quotas) Allow(user int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	q.maybeSweep(now)
+	b := q.buckets[user]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[user] = b
+	} else if now > b.last {
+		b.tokens += float64(now-b.last) * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// maybeSweep drops buckets that have refilled to Burst (indistinguish-
+// able from absent) at most once per sweepEvery seconds, bounding the
+// table by the recently active users.
+func (q *Quotas) maybeSweep(now job.Time) {
+	if now-q.lastSweep < q.sweepEvery {
+		return
+	}
+	q.lastSweep = now
+	for user, b := range q.buckets {
+		if float64(now-b.last)*q.rate+b.tokens >= q.burst {
+			delete(q.buckets, user)
+		}
+	}
+}
+
+// Users returns the number of live buckets (recently active users).
+func (q *Quotas) Users() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"schedsearch/internal/engine"
+	"schedsearch/internal/ingest"
+	"schedsearch/internal/job"
+)
+
+// maxBatchItems caps the jobs in one batched submit. It exists so a
+// body full of `{}` items cannot buy 1 MiB worth of queue slots with
+// one request; larger workloads split across requests.
+const maxBatchItems = 4096
+
+// retryAfterSeconds is the Retry-After hint attached to backpressure
+// rejections: the accept queue drains in milliseconds, so the shortest
+// expressible delay is honest.
+const retryAfterSeconds = "1"
+
+// BatchItemResult is one item's outcome in a BatchResponse. Status is
+// the HTTP status the item would have received as a single submit
+// (201, 400, 409, 429, 503), so clients reuse their single-submit
+// error handling per item.
+type BatchItemResult struct {
+	Index  int    `json:"index"`
+	ID     int    `json:"id,omitempty"`
+	Status int    `json:"status"`
+	Code   string `json:"code,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// BatchResponse is the POST /v1/jobs body for an array request: the
+// batch itself succeeds (HTTP 200) even when individual items were
+// rejected — one bad job does not reject its neighbors.
+type BatchResponse struct {
+	Accepted int               `json:"accepted"`
+	Rejected int               `json:"rejected"`
+	Items    []BatchItemResult `json:"items"`
+}
+
+// submitStatus maps an admission error to its HTTP status and stable
+// error code; both the single and the batched submit path use it.
+func submitStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, engine.ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, engine.ErrDuplicateID):
+		return http.StatusConflict, "duplicate_id"
+	case errors.Is(err, ingest.ErrQuota):
+		return http.StatusTooManyRequests, "quota_exceeded"
+	default:
+		return http.StatusBadRequest, "invalid_job"
+	}
+}
+
+// specFromRequest converts one SubmitRequest to the job the backend
+// admits.
+func specFromRequest(req SubmitRequest) job.Job {
+	return job.Job{
+		ID:      req.ID,
+		Nodes:   req.Nodes,
+		Runtime: req.RuntimeS,
+		Request: req.RequestS,
+		User:    req.User,
+	}
+}
+
+// submitBatch handles an array-bodied POST /v1/jobs through the ingest
+// queue: per-item results, group-committed admission, explicit
+// backpressure. body is the raw request payload (already bounded by
+// MaxBytesReader).
+func (s *Server) submitBatch(w http.ResponseWriter, body []byte) {
+	if s.ingest == nil {
+		writeError(w, http.StatusBadRequest, "batch_unsupported",
+			errors.New("batched submits need the ingest queue (run with -ingest-pending > 0)"))
+		return
+	}
+	var reqs []SubmitRequest
+	if err := json.Unmarshal(body, &reqs); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", err)
+		return
+	}
+	if len(reqs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty_batch", errors.New("batch holds no jobs"))
+		return
+	}
+	if len(reqs) > maxBatchItems {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch_too_large",
+			fmt.Errorf("batch of %d jobs exceeds the %d-item cap", len(reqs), maxBatchItems))
+		return
+	}
+	jobs := make([]job.Job, len(reqs))
+	pre := make([]*BatchItemResult, len(reqs)) // resolved before enqueue
+	for i, req := range reqs {
+		if req.ID < 0 {
+			pre[i] = &BatchItemResult{
+				Index: i, Status: http.StatusBadRequest, Code: "invalid_job",
+				Error: fmt.Sprintf("invalid job ID %d", req.ID),
+			}
+			continue
+		}
+		jobs[i] = specFromRequest(req)
+	}
+	// Submit only the items that passed the cheap checks, remembering
+	// their original indexes.
+	live := make([]job.Job, 0, len(jobs))
+	idx := make([]int, 0, len(jobs))
+	for i := range jobs {
+		if pre[i] == nil {
+			live = append(live, jobs[i])
+			idx = append(idx, i)
+		}
+	}
+	var results []ingest.ItemResult
+	if len(live) > 0 {
+		var err error
+		results, err = s.ingest.SubmitBatch(live)
+		if err != nil {
+			s.writeSaturated(w, err)
+			return
+		}
+	}
+	resp := BatchResponse{Items: make([]BatchItemResult, len(reqs))}
+	for i := range reqs {
+		if pre[i] != nil {
+			resp.Items[i] = *pre[i]
+			continue
+		}
+		resp.Items[i] = BatchItemResult{Index: i, Status: http.StatusCreated}
+	}
+	for k, r := range results {
+		i := idx[k]
+		if r.Err != nil {
+			status, code := submitStatus(r.Err)
+			resp.Items[i] = BatchItemResult{
+				Index: i, Status: status, Code: code, Error: r.Err.Error(),
+			}
+			continue
+		}
+		resp.Items[i] = BatchItemResult{Index: i, ID: r.ID, Status: http.StatusCreated}
+	}
+	for _, it := range resp.Items {
+		if it.Status == http.StatusCreated {
+			resp.Accepted++
+		} else {
+			resp.Rejected++
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeSaturated renders a whole-request backpressure rejection: 503
+// with a Retry-After hint. Nothing of the batch was queued.
+func (s *Server) writeSaturated(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", retryAfterSeconds)
+	code := "saturated"
+	if errors.Is(err, ingest.ErrClosed) {
+		code = "draining"
+	}
+	writeError(w, http.StatusServiceUnavailable, code, err)
+}
+
+// firstJSONByte returns the first non-whitespace byte of the body ('['
+// selects the batch path).
+func firstJSONByte(body []byte) byte {
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) == 0 {
+		return 0
+	}
+	return trimmed[0]
+}
+
+// HealthResponse is the GET /v1/healthz body.
+type HealthResponse struct {
+	OK bool `json:"ok"`
+}
+
+// ReadyResponse is the GET /v1/readyz body; Ready is false (and the
+// status 503) while the backend drains or the accept queue is
+// saturated.
+type ReadyResponse struct {
+	Ready     bool `json:"ready"`
+	Draining  bool `json:"draining"`
+	Saturated bool `json:"saturated"`
+}
+
+// healthz is liveness: the process is up and serving.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{OK: true})
+}
+
+// drainer is the optional backend surface readiness consults; both
+// *engine.Engine and *federation.Router have it.
+type drainer interface {
+	Draining() bool
+}
+
+// readyz is readiness: 200 only while the daemon is admitting work.
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	resp := ReadyResponse{Ready: true}
+	if d, ok := s.e.(drainer); ok {
+		resp.Draining = d.Draining()
+	} else {
+		resp.Draining = s.e.Metrics().Draining
+	}
+	if s.ingest != nil && !s.ingest.Ready() {
+		resp.Saturated = true
+	}
+	resp.Ready = !resp.Draining && !resp.Saturated
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}

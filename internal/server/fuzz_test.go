@@ -1,0 +1,114 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"schedsearch/internal/engine"
+	"schedsearch/internal/ingest"
+	"schedsearch/internal/policy"
+)
+
+// FuzzBatchSubmit throws arbitrary bodies at POST /v1/jobs with the
+// ingest queue attached — malformed JSON, object/array confusion,
+// huge batches against the item cap, mixed valid and invalid items —
+// and asserts the structural contract: the handler never panics (a
+// 500 would reveal one; ServeHTTP converts panics to 500), every
+// response is one JSON document, and a 200 batch response accounts
+// for every submitted item exactly once with a sane per-item status.
+func FuzzBatchSubmit(f *testing.F) {
+	seeds := []string{
+		`[{"nodes":4,"runtime_s":3600}]`,
+		`[{"nodes":1,"runtime_s":60},{"nodes":0,"runtime_s":60}]`,
+		`[{"id":5,"nodes":2,"runtime_s":600},{"id":5,"nodes":2,"runtime_s":600}]`,
+		`[{"id":-1,"nodes":1,"runtime_s":60}]`,
+		`[]`,
+		`[{}]`,
+		`[null]`,
+		`["x"]`,
+		`[{"nodes":4,`,
+		`{"nodes":4,"runtime_s":3600}`,
+		`   [ {"nodes":1,"runtime_s":1} ]`,
+		`[[{"nodes":1}]]`,
+		`[{"nodes":1,"runtime_s":60,"user":-3}]`,
+		`[{"nodes":1,"runtime_s":-60}]`,
+		`[{"nodes":99999999,"runtime_s":60}]`,
+		`[{"nodes":1,"runtime_s":9223372036854775807}]`,
+		"[" + strings.Repeat(`{"nodes":1,"runtime_s":60},`, 64) + `{"nodes":1,"runtime_s":60}]`,
+		"[" + strings.Repeat(`{},`, 5000) + `{}]`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		e, err := engine.New(engine.Config{
+			Capacity: 64,
+			Policy:   policy.FCFSBackfill(),
+			Clock:    engine.NewVirtualClock(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := ingest.NewQueue(ingest.Config{Backend: e})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer q.Close()
+		srv := New(e, nil, WithIngest(q))
+
+		r := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(string(body)))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, r)
+
+		if w.Code == http.StatusInternalServerError {
+			t.Fatalf("handler panicked on %q", body)
+		}
+		var probe any
+		if err := json.Unmarshal(w.Body.Bytes(), &probe); err != nil {
+			t.Fatalf("non-JSON response %q to body %q", w.Body.String(), body)
+		}
+		if w.Code != http.StatusOK {
+			return // single-submit 201s and structured errors: done
+		}
+		if firstJSONByte(body) != '[' {
+			return // 200 only comes from the batch path
+		}
+		var resp BatchResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("200 response is not a BatchResponse: %q", w.Body.String())
+		}
+		if len(resp.Items) == 0 || len(resp.Items) > maxBatchItems {
+			t.Fatalf("batch response with %d items", len(resp.Items))
+		}
+		if resp.Accepted+resp.Rejected != len(resp.Items) {
+			t.Fatalf("accounting broken: %d accepted + %d rejected != %d items",
+				resp.Accepted, resp.Rejected, len(resp.Items))
+		}
+		for i, it := range resp.Items {
+			if it.Index != i {
+				t.Fatalf("item %d carries index %d", i, it.Index)
+			}
+			switch it.Status {
+			case http.StatusCreated:
+				if it.ID <= 0 {
+					t.Fatalf("accepted item %d has ID %d", i, it.ID)
+				}
+			case http.StatusBadRequest, http.StatusConflict,
+				http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				if it.Code == "" {
+					t.Fatalf("rejected item %d has no error code: %+v", i, it)
+				}
+			default:
+				t.Fatalf("item %d has unexpected status %d", i, it.Status)
+			}
+		}
+		// The queue must account for everything it accepted.
+		q.Flush()
+		if st := q.Stats(); st.Accepted != st.Committed+st.Rejected {
+			t.Fatalf("queue accounting broken after batch: %+v", st)
+		}
+	})
+}

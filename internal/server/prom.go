@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"schedsearch/internal/engine"
+	"schedsearch/internal/ingest"
 )
 
 // acceptsPromText decides the /v1/metrics representation from the
@@ -57,8 +58,10 @@ func acceptsPromText(accept string) bool {
 const promContentType = "text/plain; version=0.0.4; charset=utf-8"
 
 // writeProm renders the running metrics — and, for a federated backend,
-// the per-shard report — in the Prometheus text exposition format.
-func writeProm(w http.ResponseWriter, m engine.Metrics, fed *engine.FederationMetrics) {
+// the per-shard report, and, with an ingest queue attached, the accept
+// path's counters and latency histogram — in the Prometheus text
+// exposition format.
+func writeProm(w http.ResponseWriter, m engine.Metrics, fed *engine.FederationMetrics, ing *ingest.Stats) {
 	w.Header().Set("Content-Type", promContentType)
 	var b strings.Builder
 
@@ -92,6 +95,11 @@ func writeProm(w http.ResponseWriter, m engine.Metrics, fed *engine.FederationMe
 	gauge("schedsearch_decide_avg_ms", "Mean decision latency in milliseconds.", m.Engine.AvgDecideMs)
 	gauge("schedsearch_decide_max_ms", "Max decision latency in milliseconds.", m.Engine.MaxDecideMs)
 
+	gauge("schedsearch_journal_tail_events", "In-memory journal tail length since the last compaction.", float64(m.Engine.JournalTail))
+	counter("schedsearch_journal_compactions_total", "Journal checkpoint compactions.", float64(m.Engine.Compactions))
+	counter("schedsearch_journal_appends_total", "Events appended to the persistent journal.", float64(m.Engine.JournalAppends))
+	counter("schedsearch_journal_syncs_total", "Journal fsync boundaries (group commits).", float64(m.Engine.JournalSyncs))
+
 	gauge("schedsearch_measured_jobs", "Completed measured jobs in the summary.", float64(m.Summary.Jobs))
 	gauge("schedsearch_avg_wait_hours", "Mean wait of measured jobs in hours.", m.Summary.AvgWaitH)
 	gauge("schedsearch_avg_bounded_slowdown", "Mean bounded slowdown of measured jobs.", m.Summary.AvgBoundedSlowdown)
@@ -114,6 +122,32 @@ func writeProm(w http.ResponseWriter, m engine.Metrics, fed *engine.FederationMe
 			fmt.Fprintf(&b, "schedsearch_shard_jobs{shard=\"%d\",state=\"running\"} %d\n", sh.Shard, sh.Jobs.Running)
 			fmt.Fprintf(&b, "schedsearch_shard_jobs{shard=\"%d\",state=\"done\"} %d\n", sh.Shard, sh.Jobs.Done)
 		}
+	}
+
+	if ing != nil {
+		gauge("schedsearch_ingest_pending", "Items accepted but not yet committed.", float64(ing.Pending))
+		gauge("schedsearch_ingest_peak_pending", "High-water pending item count.", float64(ing.PeakPending))
+		gauge("schedsearch_ingest_max_pending", "Configured pending bound (backpressure threshold).", float64(ing.MaxPending))
+		counter("schedsearch_ingest_accepted_total", "Items accepted into the queue.", float64(ing.Accepted))
+		counter("schedsearch_ingest_committed_total", "Items admitted to the backend.", float64(ing.Committed))
+		counter("schedsearch_ingest_rejected_total", "Items rejected at admission (duplicates, invalid, draining).", float64(ing.Rejected))
+		counter("schedsearch_ingest_quota_rejected_total", "Items rejected by per-user quotas.", float64(ing.QuotaRejected))
+		counter("schedsearch_ingest_saturations_total", "Whole batches rejected with 503 backpressure.", float64(ing.Saturations))
+		counter("schedsearch_ingest_batches_total", "Batches accepted.", float64(ing.Batches))
+		counter("schedsearch_ingest_sync_groups_total", "Committer groups (journal fsync boundaries).", float64(ing.SyncGroups))
+		if ing.QuotaUsers > 0 {
+			gauge("schedsearch_ingest_quota_users", "Live per-user token buckets.", float64(ing.QuotaUsers))
+		}
+		lat := ing.Latency
+		fmt.Fprintf(&b, "# HELP schedsearch_ingest_accept_latency_seconds Accept-to-commit latency.\n# TYPE schedsearch_ingest_accept_latency_seconds histogram\n")
+		for i, le := range lat.BucketLeUs {
+			fmt.Fprintf(&b, "schedsearch_ingest_accept_latency_seconds_bucket{le=\"%s\"} %d\n",
+				promFloat(float64(le)/1e6), lat.BucketCount[i])
+		}
+		fmt.Fprintf(&b, "schedsearch_ingest_accept_latency_seconds_bucket{le=\"+Inf\"} %d\n", lat.Count)
+		fmt.Fprintf(&b, "schedsearch_ingest_accept_latency_seconds_sum %s\n",
+			promFloat(lat.AvgUs*float64(lat.Count)/1e6))
+		fmt.Fprintf(&b, "schedsearch_ingest_accept_latency_seconds_count %d\n", lat.Count)
 	}
 
 	w.WriteHeader(http.StatusOK)

@@ -2,12 +2,21 @@
 // HTTP/JSON API:
 //
 //	POST /v1/jobs      submit a job            {"nodes":8,"runtime_s":3600}
+//	                   or a batch of jobs      [{...}, {...}] → per-item results
 //	GET  /v1/jobs/{id} one job's state         waiting | running | done
 //	GET  /v1/queue     the waiting queue, in queue order
 //	GET  /v1/machine   machine occupancy snapshot
 //	GET  /v1/metrics   running Summary + engine counters (engine.Metrics)
+//	GET  /v1/healthz   liveness (always 200 while serving)
+//	GET  /v1/readyz    readiness (503 while draining or ingest-saturated)
 //	GET  /v1/federation  per-shard federation report (federated daemons only)
 //	POST /v1/drain     stop admitting, finish running jobs, then shut down
+//
+// With an ingest queue attached (WithIngest), submissions flow through
+// the async accept path: array bodies get per-item results (one bad
+// job rejects only itself), per-user token-bucket quotas answer 429,
+// and a saturated accept queue answers 503 with a Retry-After hint
+// instead of buffering unboundedly.
 //
 // GET /v1/metrics also speaks the Prometheus text exposition format:
 // a request whose Accept header prefers text/plain over
@@ -26,11 +35,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
 
 	"schedsearch/internal/engine"
+	"schedsearch/internal/ingest"
 	"schedsearch/internal/job"
 )
 
@@ -59,6 +70,11 @@ type FederationBackend interface {
 type Server struct {
 	e   Backend
 	mux *http.ServeMux
+	// ingest, when configured (WithIngest), carries submissions through
+	// the async accept queue: batched POST /v1/jobs bodies become
+	// per-item results, quotas and backpressure apply, and admissions
+	// are group-committed to the journal.
+	ingest *ingest.Queue
 
 	drainOnce sync.Once
 	// onDrained runs once, after a requested drain completes (the
@@ -66,15 +82,30 @@ type Server struct {
 	onDrained func()
 }
 
+// Option customizes a Server at construction.
+type Option func(*Server)
+
+// WithIngest routes submissions through the given accept queue. The
+// queue must front the same backend the server does; its lifecycle
+// (Close) stays with the caller.
+func WithIngest(q *ingest.Queue) Option {
+	return func(s *Server) { s.ingest = q }
+}
+
 // New returns a server for the backend. onDrained, if non-nil, is
 // called once after a POST /v1/drain has fully drained the backend.
-func New(e Backend, onDrained func()) *Server {
+func New(e Backend, onDrained func(), opts ...Option) *Server {
 	s := &Server{e: e, mux: http.NewServeMux(), onDrained: onDrained}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("POST /v1/jobs", s.submit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.job)
 	s.mux.HandleFunc("GET /v1/queue", s.queue)
 	s.mux.HandleFunc("GET /v1/machine", s.machine)
 	s.mux.HandleFunc("GET /v1/metrics", s.metrics)
+	s.mux.HandleFunc("GET /v1/healthz", s.healthz)
+	s.mux.HandleFunc("GET /v1/readyz", s.readyz)
 	s.mux.HandleFunc("POST /v1/drain", s.drain)
 	if _, ok := e.(FederationBackend); ok {
 		s.mux.HandleFunc("GET /v1/federation", s.federation)
@@ -172,9 +203,12 @@ func (s *Server) jobResponse(st engine.JobStatus) JobResponse {
 	return resp
 }
 
+// submit handles POST /v1/jobs. The body is either a single job object
+// (the original API, response shape unchanged) or an array of jobs —
+// the batched path through the ingest queue with per-item results.
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
-	var req SubmitRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large", err)
@@ -183,35 +217,51 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_json", err)
 		return
 	}
+	if firstJSONByte(body) == '[' {
+		s.submitBatch(w, body)
+		return
+	}
+	var req SubmitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_json", err)
+		return
+	}
 	if req.ID < 0 {
 		writeError(w, http.StatusBadRequest, "invalid_job",
 			fmt.Errorf("invalid job ID %d", req.ID))
 		return
 	}
-	spec := job.Job{
-		ID:      req.ID,
-		Nodes:   req.Nodes,
-		Runtime: req.RuntimeS,
-		Request: req.RequestS,
-		User:    req.User,
-	}
+	spec := specFromRequest(req)
 	id := req.ID
-	var err error
-	if id == 0 {
-		id, err = s.e.Submit(spec)
-	} else {
-		err = s.e.SubmitJob(spec)
-	}
-	if err != nil {
-		switch {
-		case errors.Is(err, engine.ErrDraining):
-			writeError(w, http.StatusServiceUnavailable, "draining", err)
-		case errors.Is(err, engine.ErrDuplicateID):
-			writeError(w, http.StatusConflict, "duplicate_id", err)
-		default:
-			writeError(w, http.StatusBadRequest, "invalid_job", err)
+	if s.ingest != nil {
+		// Single submits share the ingest path so quotas and
+		// backpressure apply uniformly; the response shape is the same.
+		results, qerr := s.ingest.SubmitBatch([]job.Job{spec})
+		if qerr != nil {
+			s.writeSaturated(w, qerr)
+			return
 		}
-		return
+		if rerr := results[0].Err; rerr != nil {
+			status, code := submitStatus(rerr)
+			if status == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", retryAfterSeconds)
+			}
+			writeError(w, status, code, rerr)
+			return
+		}
+		id = results[0].ID
+	} else {
+		var serr error
+		if id == 0 {
+			id, serr = s.e.Submit(spec)
+		} else {
+			serr = s.e.SubmitJob(spec)
+		}
+		if serr != nil {
+			status, code := submitStatus(serr)
+			writeError(w, status, code, serr)
+			return
+		}
 	}
 	st, _ := s.e.Job(id)
 	writeJSON(w, http.StatusCreated, s.jobResponse(st))
@@ -282,13 +332,27 @@ func (s *Server) machine(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	m := s.e.Metrics()
+	var ing *ingest.Stats
+	if s.ingest != nil {
+		st := s.ingest.Stats()
+		ing = &st
+	}
 	if acceptsPromText(r.Header.Get("Accept")) {
 		var fed *engine.FederationMetrics
 		if fb, ok := s.e.(FederationBackend); ok {
 			f := fb.Federation()
 			fed = &f
 		}
-		writeProm(w, m, fed)
+		writeProm(w, m, fed, ing)
+		return
+	}
+	if ing != nil {
+		// Wrap rather than mutate the schema: the JSON report stays an
+		// engine.Metrics with an extra ingest section.
+		writeJSON(w, http.StatusOK, struct {
+			engine.Metrics
+			Ingest *ingest.Stats `json:"ingest"`
+		}{m, ing})
 		return
 	}
 	writeJSON(w, http.StatusOK, m)

@@ -207,6 +207,65 @@ func (l *Ledger) PopDue(now job.Time) (Finished, bool) {
 	return f, true
 }
 
+// RunningState is one running job's full restorable state, as captured
+// for a compacted checkpoint base: unlike Snapshot's RunningJob it
+// carries the whole job and the concrete node assignment.
+type RunningState struct {
+	Job          job.Job
+	Start        job.Time
+	PredictedEnd job.Time
+	NodeIDs      []int
+}
+
+// RunningStates returns the running set in internal slot order — the
+// order Snapshot presents to policies — with full jobs and node
+// assignments. Checkpoint compaction captures it; restoring the same
+// sequence through Place reproduces the slot layout exactly, so a
+// rebuilt ledger hands policies byte-identical snapshots.
+func (l *Ledger) RunningStates() []RunningState {
+	out := make([]RunningState, len(l.running))
+	for i, r := range l.running {
+		out[i] = RunningState{
+			Job:          r.j,
+			Start:        r.start,
+			PredictedEnd: r.predictedEnd,
+			NodeIDs:      append([]int(nil), r.nodeIDs...),
+		}
+	}
+	return out
+}
+
+// Place restores one running job from a checkpoint base onto its exact
+// recorded nodes. Node allocation is lowest-free-first, a pure function
+// of the allocated set, so replaying a tail after restoring every base
+// job onto its original nodes allocates identically to the full-history
+// replay. Place emits no observer events: a base is committed history,
+// already observed before the checkpoint (compacted rebuilds are
+// verified offline with oracle.CheckRecords instead). Call it in
+// RunningStates order.
+func (l *Ledger) Place(j job.Job, start, predictedEnd job.Time, nodeIDs []int) error {
+	if len(nodeIDs) != j.Nodes {
+		return fmt.Errorf("sim: place job %d: %d node IDs for %d nodes", j.ID, len(nodeIDs), j.Nodes)
+	}
+	if err := l.nodes.Claim(nodeIDs); err != nil {
+		return fmt.Errorf("sim: place job %d: %v", j.ID, err)
+	}
+	l.free -= j.Nodes
+	rt := j.Runtime
+	if rt < 1 {
+		rt = 1
+	}
+	slot := len(l.running)
+	l.running = append(l.running, running{
+		j:            j,
+		start:        start,
+		predictedEnd: predictedEnd,
+		nodeIDs:      append([]int(nil), nodeIDs...),
+	})
+	l.events.push(finishEvent{at: start + rt, slot: slot, id: j.ID})
+	return nil
+}
+
 // Snapshot builds the read-only system state a policy sees at a
 // decision point.
 func (l *Ledger) Snapshot(now job.Time) *Snapshot {
