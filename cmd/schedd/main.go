@@ -26,9 +26,11 @@
 // tail exceeds N events, bounding recovery cost by live state rather
 // than history. On start, a non-empty journal is recovered: the engine
 // rebuilds its committed state and the clock resumes at the last
-// journaled instant. With -shards > 1 each shard appends to
+// journaled instant (any torn tail from the crash is truncated before
+// appending resumes). With -shards > 1 each shard appends to
 // <path>.shard-N (write-only durability; crash recovery from shard
-// journals is not wired into start-up).
+// journals is not wired into start-up, so non-empty shard journals are
+// rotated to <path>.shard-N.old on start rather than appended to).
 //
 // Submissions are admitted through a bounded async accept queue:
 // -ingest-pending caps accepted-but-uncommitted items (a saturated
@@ -272,7 +274,9 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 	start := job.Time(0)
 	if dur.path != "" && fed.shards <= 1 {
 		if st, err := os.Stat(dur.path); err == nil && st.Size() > 0 {
-			cp, err := engine.LoadCheckpoint(dur.path)
+			// RecoverCheckpoint truncates any torn tail, so the O_APPEND
+			// handle opened below starts on a clean line boundary.
+			cp, err := engine.RecoverCheckpoint(dur.path)
 			if err != nil {
 				return err
 			}
@@ -308,14 +312,30 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 		if dur.path != "" {
 			// Shard journals are opened up front so factory calls (initial
 			// construction and any crash-rebuild) cannot fail; a rebuild of
-			// shard i keeps appending to the same open file.
+			// shard i keeps appending to the same open file. Federated
+			// start-up does not recover from shard journals, so a leftover
+			// non-empty file is rotated aside rather than appended to —
+			// interleaving a fresh run (restarted clock, reused job IDs)
+			// after the old run's events would corrupt both.
 			journals = make([]*engine.FileJournal, fed.shards)
+			rotated := 0
 			for i := range journals {
-				fj, err := engine.OpenFileJournal(fmt.Sprintf("%s.shard-%d", dur.path, i), dur.group)
+				spath := fmt.Sprintf("%s.shard-%d", dur.path, i)
+				if st, err := os.Stat(spath); err == nil && st.Size() > 0 {
+					if err := os.Rename(spath, spath+".old"); err != nil {
+						return fmt.Errorf("rotate shard journal %s: %w", spath, err)
+					}
+					rotated++
+				}
+				fj, err := engine.OpenFileJournal(spath, dur.group)
 				if err != nil {
 					return err
 				}
 				journals[i] = fj
+			}
+			if rotated > 0 {
+				fmt.Fprintf(os.Stderr, "schedd: rotated %d non-empty shard journals to %s.shard-N.old (federated start-up does not recover them)\n",
+					rotated, dur.path)
 			}
 			fcfg.Journal = func(shard int) engine.JournalSink { return journals[shard] }
 			fcfg.CompactEvery = dur.compactEvery

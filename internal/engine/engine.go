@@ -639,7 +639,13 @@ func (e *Engine) Withdraw(id int) (job.Job, error) {
 	e.appendEvent(Event{Kind: EvWithdraw, At: now, ID: id})
 	e.commitLocked()
 	e.checkIdle()
-	return j, e.fatal
+	if e.fatal != nil {
+		// The journal commit failed after the in-memory withdrawal was
+		// applied; like the other mutation paths, a fatal error returns
+		// the zero job — state is indeterminate and the engine is dead.
+		return job.Job{}, e.fatal
+	}
+	return j, nil
 }
 
 // Load is a cheap occupancy summary of one engine, consumed by the

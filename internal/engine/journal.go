@@ -2,9 +2,11 @@ package engine
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -259,53 +261,87 @@ func writeLine(w *bufio.Writer, line journalLine) error {
 }
 
 // LoadJournal reads a journal file back: the optional leading base
-// snapshot and the event tail in commit order. A torn final line (a
-// crash mid-write before the fsync boundary) is ignored — those events
-// were never acknowledged — but corruption anywhere else is an error.
+// snapshot and the event tail in commit order. A torn tail (a crash
+// mid-write before the fsync boundary: a line that fails to decode, or
+// any data after the file's last newline — a sync flushes each line's
+// trailing newline before the fsync that acknowledges it, so such data
+// was never acknowledged) is ignored, but corruption anywhere else is
+// an error. Lines are read without a length cap, so a compacted base
+// snapshot of any size loads back.
 func LoadJournal(path string) (*Base, []Event, error) {
+	base, events, _, err := loadJournal(path)
+	return base, events, err
+}
+
+// loadJournal is LoadJournal plus the byte offset just past the last
+// cleanly-parsed, newline-terminated line — the length recovery
+// truncates the file to so post-crash appends start on a clean line
+// boundary.
+func loadJournal(path string) (*Base, []Event, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, fmt.Errorf("engine: load journal: %w", err)
+		return nil, nil, 0, fmt.Errorf("engine: load journal: %w", err)
 	}
 	defer f.Close()
-	var base *Base
-	var events []Event
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
-	lineNo := 0
-	var torn error
-	for sc.Scan() {
-		lineNo++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
-		}
-		var line journalLine
-		if err := json.Unmarshal(raw, &line); err != nil {
-			torn = fmt.Errorf("engine: load journal: line %d: %w", lineNo, err)
-			continue
-		}
-		if torn != nil {
-			// A decodable line after a broken one is corruption, not a
-			// torn tail.
-			return nil, nil, torn
-		}
-		switch {
-		case line.Base != nil:
-			if lineNo != 1 {
-				return nil, nil, fmt.Errorf("engine: load journal: base snapshot at line %d (must be first)", lineNo)
+	var (
+		base   *Base
+		events []Event
+		r      = bufio.NewReaderSize(f, 1<<20)
+		off    int64 // bytes consumed so far
+		valid  int64 // offset past the last fully-parsed line
+		lineNo int
+		torn   error
+	)
+	for {
+		raw, rerr := r.ReadBytes('\n')
+		if len(raw) > 0 {
+			lineNo++
+			off += int64(len(raw))
+			terminated := raw[len(raw)-1] == '\n'
+			data := bytes.TrimRight(raw, "\r\n")
+			switch {
+			case len(data) == 0:
+				if terminated && torn == nil {
+					valid = off
+				}
+			case !terminated:
+				// Data past the final newline was never acknowledged —
+				// a torn tail even when it happens to decode. Keeping it
+				// would let the next O_APPEND write merge onto it.
+				torn = fmt.Errorf("engine: load journal: line %d: no trailing newline", lineNo)
+			default:
+				var line journalLine
+				if err := json.Unmarshal(data, &line); err != nil {
+					torn = fmt.Errorf("engine: load journal: line %d: %w", lineNo, err)
+					break
+				}
+				if torn != nil {
+					// A decodable line after a broken one is corruption,
+					// not a torn tail.
+					return nil, nil, 0, torn
+				}
+				switch {
+				case line.Base != nil:
+					if lineNo != 1 {
+						return nil, nil, 0, fmt.Errorf("engine: load journal: base snapshot at line %d (must be first)", lineNo)
+					}
+					base = line.Base
+				case line.Ev != nil:
+					events = append(events, eventFromWire(line.Ev))
+				default:
+					return nil, nil, 0, fmt.Errorf("engine: load journal: line %d holds neither base nor event", lineNo)
+				}
+				valid = off
 			}
-			base = line.Base
-		case line.Ev != nil:
-			events = append(events, eventFromWire(line.Ev))
-		default:
-			return nil, nil, fmt.Errorf("engine: load journal: line %d holds neither base nor event", lineNo)
+		}
+		if rerr != nil {
+			if rerr == io.EOF {
+				break
+			}
+			return nil, nil, 0, fmt.Errorf("engine: load journal: %w", rerr)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("engine: load journal: %w", err)
-	}
-	return base, events, nil
+	return base, events, valid, nil
 }
 
 // LoadCheckpoint reads a journal file into a Checkpoint ready for
@@ -318,6 +354,26 @@ func LoadCheckpoint(path string) (Checkpoint, error) {
 	base, events, err := LoadJournal(path)
 	if err != nil {
 		return Checkpoint{}, err
+	}
+	return Checkpoint{Base: base, Events: events, DecidePending: true}, nil
+}
+
+// RecoverCheckpoint is LoadCheckpoint for crash recovery: it also
+// truncates any torn tail off the file, so a subsequently-opened
+// append handle (OpenFileJournal opens O_APPEND) starts on a clean
+// line boundary. Without the truncation the first post-recovery event
+// would merge onto the partial line, and the merged garbage — followed
+// by decodable lines — reads as mid-file corruption on the next
+// restart.
+func RecoverCheckpoint(path string) (Checkpoint, error) {
+	base, events, valid, err := loadJournal(path)
+	if err != nil {
+		return Checkpoint{}, err
+	}
+	if st, serr := os.Stat(path); serr == nil && st.Size() > valid {
+		if terr := os.Truncate(path, valid); terr != nil {
+			return Checkpoint{}, fmt.Errorf("engine: truncate torn journal tail: %w", terr)
+		}
 	}
 	return Checkpoint{Base: base, Events: events, DecidePending: true}, nil
 }

@@ -320,6 +320,122 @@ func TestLoadJournalTornTail(t *testing.T) {
 	}
 }
 
+// TestRecoverCheckpointTruncatesTornTail reproduces the post-crash
+// append hazard: a torn final line must be truncated before the
+// journal is reopened O_APPEND, or the first post-recovery event
+// merges onto the partial line and the *next* restart reads the merged
+// garbage as mid-file corruption.
+func TestRecoverCheckpointTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	fj, err := OpenFileJournal(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ev := Event{Kind: EvSubmit, At: job.Time(i), Job: job.Job{ID: i + 1, Nodes: 1, Runtime: 60}}
+		if err := fj.Append(ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := fj.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"ev":{"k":1,"t":99`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cp, err := RecoverCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Events) != 3 {
+		t.Fatalf("recovered %d events, want 3", len(cp.Events))
+	}
+
+	// The first fsync-acknowledged event after recovery must land on a
+	// clean line boundary and survive the next load.
+	fj2, err := OpenFileJournal(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Event{Kind: EvSubmit, At: 100, Job: job.Job{ID: 4, Nodes: 1, Runtime: 60}}
+	if err := fj2.Append(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := fj2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fj2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, events, err := LoadJournal(path)
+	if err != nil {
+		t.Fatalf("journal unreadable after post-recovery append: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("loaded %d events after post-recovery append, want 4", len(events))
+	}
+	if events[3].Job.ID != 4 {
+		t.Fatalf("post-recovery event holds job %d, want 4", events[3].Job.ID)
+	}
+}
+
+// TestLoadJournalUnterminatedTail: a final line missing its newline was
+// never fsync-acknowledged (a sync flushes the trailing newline before
+// the fsync that acknowledges it), so it is dropped even when it
+// decodes — keeping it would let the next O_APPEND write merge onto
+// it.
+func TestLoadJournalUnterminatedTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	fj, err := OpenFileJournal(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Event{Kind: EvSubmit, At: 0, Job: job.Job{ID: 1, Nodes: 1, Runtime: 60}}
+	if err := fj.Append(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := fj.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate the (decodable) line without its trailing newline.
+	complete := int64(len(raw))
+	if err := os.WriteFile(path, append(raw, raw[:len(raw)-1]...), 0644); err != nil {
+		t.Fatal(err)
+	}
+	_, events, err := LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("loaded %d events, want 1 (unterminated tail kept)", len(events))
+	}
+	if _, err := RecoverCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != complete {
+		t.Fatalf("recovered journal is %d bytes, want %d (tail truncated)", st.Size(), complete)
+	}
+}
+
 // TestFileJournalCompactRewritesFile: an explicit Compact rewrites the
 // file to a base line (atomic rename), after which LoadCheckpoint sees
 // the base and an empty tail.

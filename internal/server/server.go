@@ -262,10 +262,26 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, status, code, serr)
 			return
 		}
+		// Without an ingest queue there is no committer to force the
+		// group-commit boundary, so a 201 must carry its own fsync — a
+		// group-buffered journal would otherwise lose acknowledged
+		// submits on crash.
+		if js, ok := s.e.(journalSyncer); ok {
+			if err := js.SyncJournal(); err != nil {
+				writeError(w, http.StatusInternalServerError, "journal", err)
+				return
+			}
+		}
 	}
 	st, _ := s.e.Job(id)
 	writeJSON(w, http.StatusCreated, s.jobResponse(st))
 }
+
+// journalSyncer is the optional Backend surface (both *engine.Engine
+// and *federation.Router have it) the synchronous submit path uses to
+// make each acknowledged submit durable when no ingest queue fronts
+// the backend.
+type journalSyncer interface{ SyncJournal() error }
 
 func (s *Server) job(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -178,5 +179,42 @@ func TestServerDrain(t *testing.T) {
 	}
 	if _, resp := f.do(t, "GET", "/v1/metrics", ""); resp["draining"] != true {
 		t.Fatalf("metrics %v, want draining=true", resp)
+	}
+}
+
+// TestServerSingleSubmitSyncsJournal: without an ingest queue there is
+// no committer to force the group-commit boundary, so a 201 on the
+// synchronous submit path must carry its own fsync — a group-buffered
+// journal would otherwise lose acknowledged submits on crash.
+func TestServerSingleSubmitSyncsJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	fj, err := engine.OpenFileJournal(path, 64) // group >> 1: Commit alone never syncs
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := engine.NewVirtualClock()
+	e, err := engine.New(engine.Config{
+		Capacity: 8, Policy: policy.FCFSBackfill(), Clock: vc, Journal: fj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(e, nil)
+	r := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(`{"nodes":4,"runtime_s":3600}`))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, r)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("submit: %d %s", w.Code, w.Body.String())
+	}
+	if st := fj.Stats(); st.Syncs == 0 {
+		t.Fatalf("acknowledged submit left %d appends unsynced (stats %+v)", st.Appends, st)
+	}
+	// The acknowledged submit is already on disk.
+	_, events, err := engine.LoadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 || events[0].Kind != engine.EvSubmit {
+		t.Fatalf("journal holds %d events, want the acknowledged EvSubmit first", len(events))
 	}
 }
