@@ -114,6 +114,8 @@ func main() {
 		policyArg = flag.String("policy", "DDS/lxf/dynB", "scheduling policy name (see ParsePolicy)")
 		nodeLimit = flag.Int("L", 1000, "search node limit per decision")
 		workers   = flag.Int("workers", 1, "parallel search workers for search policies (0 or 1 sequential, -1 one per CPU)")
+		warm      = flag.Bool("warm", false, "warm-start the search from the previous decision's best ordering (search policies)")
+		slo       = flag.Duration("slo", 0, "per-decision latency SLO; adapts the node budget to the observed ns/node rate (0 = fixed -L)")
 		capacity  = flag.Int("capacity", workload.Capacity, "machine size in nodes")
 		addr      = flag.String("addr", ":8080", "HTTP listen address (serving mode)")
 		requested = flag.Bool("requested", false, "policies plan with requested runtimes (R* = R)")
@@ -152,6 +154,8 @@ func main() {
 		}
 		if sch, ok := pol.(*core.Scheduler); ok {
 			sch.Workers = *workers
+			sch.WarmStart = *warm
+			sch.SLO = *slo
 		}
 		if chaosOn {
 			// The seed varies the injection cadence, so different seeds

@@ -7,9 +7,9 @@
 //
 // Policies: FCFS-backfill, LXF-backfill, SJF-backfill, LXFW-backfill,
 // Selective-backfill, Relaxed-backfill, Slack-backfill, Lookahead, and
-// search policies of the form ALGO/HEUR/BOUND with ALGO in {DDS, LDS},
-// HEUR in {fcfs, lxf} and BOUND either "dynB" or a fixed bound like
-// "100h".
+// search policies of the form ALGO/HEUR/BOUND with ALGO in {DDS, LDS,
+// DFS, ADDS, CDDS}, HEUR in {fcfs, lxf} and BOUND either "dynB" or a
+// fixed bound like "100h".
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"schedsearch"
 	"schedsearch/internal/core"
@@ -36,6 +37,8 @@ func main() {
 		policyArg = flag.String("policy", "DDS/lxf/dynB", "policy name")
 		nodeLimit = flag.Int("L", 1000, "search node limit per decision")
 		workers   = flag.Int("workers", 1, "parallel search workers for search policies (0 or 1 sequential, -1 one per CPU)")
+		warm      = flag.Bool("warm", false, "warm-start the search from the previous decision's best ordering (search policies)")
+		slo       = flag.Duration("slo", 0, "per-decision latency SLO; adapts the node budget to the observed ns/node rate (0 = fixed -L)")
 		load      = flag.Float64("load", 0, "target offered load (0 = original)")
 		seed      = flag.Uint64("seed", 1, "workload generation seed")
 		scale     = flag.Float64("scale", 1, "job-count/duration scale factor")
@@ -48,11 +51,12 @@ func main() {
 	)
 	flag.Parse()
 
+	opts := searchOpts{nodeLimit: *nodeLimit, workers: *workers, warm: *warm, slo: *slo}
 	var err error
 	if *swfIn != "" {
-		err = runSWF(*swfIn, *capacity, *policyArg, *nodeLimit, *workers, *requested, *verbose, *timeline, *jsonOut)
+		err = runSWF(*swfIn, *capacity, *policyArg, opts, *requested, *verbose, *timeline, *jsonOut)
 	} else {
-		err = run(*month, *policyArg, *nodeLimit, *workers, *load, *seed, *scale, *requested, *verbose, *timeline, *jsonOut)
+		err = run(*month, *policyArg, opts, *load, *seed, *scale, *requested, *verbose, *timeline, *jsonOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "schedsim:", err)
@@ -60,15 +64,25 @@ func main() {
 	}
 }
 
-// parsePolicy builds the policy and applies the worker count to search
-// schedulers (other policies have no search to parallelize).
-func parsePolicy(policyArg string, nodeLimit, workers int) (sim.Policy, error) {
-	pol, err := schedsearch.ParsePolicy(policyArg, nodeLimit)
+// searchOpts bundles the flags that only apply to search schedulers.
+type searchOpts struct {
+	nodeLimit int
+	workers   int
+	warm      bool
+	slo       time.Duration
+}
+
+// parsePolicy builds the policy and applies the search-only options to
+// search schedulers (other policies ignore them).
+func parsePolicy(policyArg string, o searchOpts) (sim.Policy, error) {
+	pol, err := schedsearch.ParsePolicy(policyArg, o.nodeLimit)
 	if err != nil {
 		return nil, err
 	}
 	if sch, ok := pol.(*core.Scheduler); ok {
-		sch.Workers = workers
+		sch.Workers = o.workers
+		sch.WarmStart = o.warm
+		sch.SLO = o.slo
 	}
 	return pol, nil
 }
@@ -82,7 +96,7 @@ func emitJSON(res *sim.Result, s metrics.Summary, pol sim.Policy) error {
 }
 
 // runSWF simulates a policy over an external SWF trace.
-func runSWF(path string, capacity int, policyArg string, nodeLimit, workers int, requested, verbose bool, timeline int, jsonOut bool) error {
+func runSWF(path string, capacity int, policyArg string, opts searchOpts, requested, verbose bool, timeline int, jsonOut bool) error {
 	jobs, header, err := trace.ReadSWFFile(path)
 	if err != nil {
 		return err
@@ -99,7 +113,7 @@ func runSWF(path string, capacity int, policyArg string, nodeLimit, workers int,
 			capacity = j.Nodes
 		}
 	}
-	pol, err := parsePolicy(policyArg, nodeLimit, workers)
+	pol, err := parsePolicy(policyArg, opts)
 	if err != nil {
 		return err
 	}
@@ -123,13 +137,13 @@ func runSWF(path string, capacity int, policyArg string, nodeLimit, workers int,
 	return nil
 }
 
-func run(month, policyArg string, nodeLimit, workers int, load float64, seed uint64, scale float64, requested, verbose bool, timeline int, jsonOut bool) error {
+func run(month, policyArg string, opts searchOpts, load float64, seed uint64, scale float64, requested, verbose bool, timeline int, jsonOut bool) error {
 	suite := workload.NewSuite(workload.Config{Seed: seed, JobScale: scale})
 	in, m, err := suite.Input(month, workload.SimOptions{TargetLoad: load, UseRequested: requested})
 	if err != nil {
 		return err
 	}
-	pol, err := parsePolicy(policyArg, nodeLimit, workers)
+	pol, err := parsePolicy(policyArg, opts)
 	if err != nil {
 		return err
 	}
@@ -196,6 +210,15 @@ func printSummary(res *sim.Result, s metrics.Summary, pol sim.Policy) {
 			st.Decisions, st.Nodes, st.Leaves, st.BudgetHits)
 		fmt.Printf("  search time: %.1f ms wall, speedup %.2fx\n",
 			float64(st.WallNs)/1e6, st.Speedup())
+		if sch.WarmStart && st.Decisions > 0 {
+			fmt.Printf("  warm start: %d seeded decisions, seed held %d, avg nodes-to-best %.1f\n",
+				st.WarmDecisions, st.WarmSeedHeld,
+				float64(st.NodesToBest)/float64(st.Decisions))
+		}
+		if sch.SLO > 0 && st.Decisions > 0 {
+			fmt.Printf("  slo %v: avg effective L %.0f\n",
+				sch.SLO, float64(st.EffectiveLimitSum)/float64(st.Decisions))
+		}
 	}
 }
 

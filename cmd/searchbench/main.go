@@ -43,6 +43,7 @@ import (
 	"strings"
 	"time"
 
+	"schedsearch"
 	"schedsearch/internal/benchmeta"
 	"schedsearch/internal/core"
 	"schedsearch/internal/job"
@@ -73,6 +74,10 @@ type report struct {
 	Heuristic string        `json:"heuristic"`
 	Bound     string        `json:"bound"`
 	Results   []benchResult `json:"results"`
+	// Warm is the cold-vs-warm comparison over closed-loop month
+	// replays; the bench aborts if warm start ever commits a schedule
+	// differing from cold at equal effective budget.
+	Warm []warmResult `json:"warm,omitempty"`
 }
 
 func main() {
@@ -83,6 +88,9 @@ func main() {
 		algos   = flag.String("algos", "DDS,LDS", "search algorithms to measure")
 		minTime = flag.Duration("time", 200*time.Millisecond, "minimum measurement time per configuration")
 		workers = flag.Int("workers", core.AutoWorkers, "parallel worker count (-1 one per CPU)")
+
+		warmAlgos = flag.String("warmalgos", "DDS,CDDS", "algorithms for the cold-vs-warm month replays (empty = skip)")
+		warmLimit = flag.Int("warmlimit", 1000, "node budget L for the cold-vs-warm replays")
 		fedMode = flag.Bool("federation", false, "benchmark the sharded federation instead of the search hot path")
 		shards  = flag.String("shards", "1,2,4", "shard counts to measure in -federation mode")
 		fedJobs = flag.Int("fedjobs", 400, "synthetic jobs per federation replay")
@@ -157,16 +165,11 @@ func main() {
 		rep.Workers = rep.GOMAXPROCS
 	}
 
-	for _, algoName := range strings.Split(*algos, ",") {
-		var algo core.Algorithm
-		switch strings.TrimSpace(algoName) {
-		case "DDS":
-			algo = core.DDS
-		case "LDS":
-			algo = core.LDS
-		default:
-			fatal(fmt.Errorf("unknown algorithm %q (want DDS or LDS)", algoName))
-		}
+	benchAlgos, err := parseAlgos(*algos)
+	if err != nil {
+		fatal(err)
+	}
+	for _, algo := range benchAlgos {
 		for _, depth := range ds {
 			snap := benchSnapshot(depth)
 			for _, limit := range ls {
@@ -178,6 +181,14 @@ func main() {
 					r.SpeedupVsSeq)
 			}
 		}
+	}
+
+	if *warmAlgos != "" {
+		was, err := parseAlgos(*warmAlgos)
+		if err != nil {
+			fatal(err)
+		}
+		rep.Warm = runWarmBench(was, schedsearch.MonthLabels(), *warmLimit)
 	}
 
 	var w *os.File
@@ -200,6 +211,26 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "searchbench:", err)
 	os.Exit(1)
+}
+
+// parseAlgos resolves a comma-separated algorithm list.
+func parseAlgos(csv string) ([]core.Algorithm, error) {
+	var out []core.Algorithm
+	for _, f := range strings.Split(csv, ",") {
+		switch strings.TrimSpace(f) {
+		case "DDS":
+			out = append(out, core.DDS)
+		case "LDS":
+			out = append(out, core.LDS)
+		case "ADDS":
+			out = append(out, core.ADDS)
+		case "CDDS":
+			out = append(out, core.CDDS)
+		default:
+			return nil, fmt.Errorf("unknown algorithm %q (want DDS, LDS, ADDS or CDDS)", f)
+		}
+	}
+	return out, nil
 }
 
 func parseInts(csv string) ([]int, error) {

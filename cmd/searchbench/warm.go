@@ -1,0 +1,121 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"schedsearch"
+	"schedsearch/internal/core"
+	"schedsearch/internal/sim"
+)
+
+// Warm-start benchmark: replay deterministic suite months in a closed
+// loop, the warm-started scheduler committing while a cold twin decides
+// every snapshot. The run FAILS if the two ever commit different
+// schedules — warm start is required to be a pure accounting win at
+// equal effective budget — and the report records how many fewer nodes
+// the warm search needed to have its best schedule in hand.
+
+// warmResult is one (algorithm, month) cold-vs-warm comparison.
+type warmResult struct {
+	Algo      string `json:"algo"`
+	Month     string `json:"month"`
+	NodeLimit int    `json:"node_limit"`
+	Decisions int    `json:"decisions"`
+	// NodesToBest: cumulative nodes spent before the last incumbent
+	// improvement, summed over decisions. The ratio is cold/warm — how
+	// many times earlier the warm search holds its final schedule.
+	ColdNodesToBest  int64   `json:"cold_nodes_to_best"`
+	WarmNodesToBest  int64   `json:"warm_nodes_to_best"`
+	NodesToBestRatio float64 `json:"nodes_to_best_ratio"`
+	// Per-decision search wall time for each scheduler over the same
+	// committed trajectory.
+	ColdNsPerDecision int64 `json:"cold_ns_per_decision"`
+	WarmNsPerDecision int64 `json:"warm_ns_per_decision"`
+	// SeedHeldPct is the share of seeded decisions where no enumerated
+	// schedule beat the carried seed (the plan survived the queue delta).
+	SeedHeldPct float64 `json:"seed_held_pct"`
+}
+
+// warmMirror lets the warm scheduler commit while the cold twin shadows
+// it, fataling on the first divergence.
+type warmMirror struct {
+	cold, warm *core.Scheduler
+	month      string
+	decisions  int
+}
+
+func (m *warmMirror) Name() string { return m.warm.Name() }
+
+func (m *warmMirror) Decide(snap *sim.Snapshot) []int {
+	m.decisions++
+	coldStarts := append([]int(nil), m.cold.Decide(snap)...)
+	warmStarts := m.warm.Decide(snap)
+	diverged := len(coldStarts) != len(warmStarts)
+	if !diverged {
+		for i := range coldStarts {
+			if coldStarts[i] != warmStarts[i] {
+				diverged = true
+				break
+			}
+		}
+	}
+	if diverged || m.cold.LastCost() != m.warm.LastCost() {
+		fatal(fmt.Errorf("%s %s decision %d: warm commit diverged from cold (warm %v cost %v, cold %v cost %v)",
+			m.warm.Name(), m.month, m.decisions,
+			warmStarts, m.warm.LastCost(), coldStarts, m.cold.LastCost()))
+	}
+	return warmStarts
+}
+
+// runWarmBench replays each month once per algorithm and returns the
+// cold-vs-warm rows for the report.
+func runWarmBench(algos []core.Algorithm, months []string, limit int) []warmResult {
+	suite := schedsearch.NewSuite(schedsearch.SuiteConfig{Seed: 6, JobScale: 0.05})
+	var out []warmResult
+	for _, algo := range algos {
+		for _, month := range months {
+			cold := core.New(algo, core.HeuristicLXF, core.DynamicBound(), limit)
+			warm := core.New(algo, core.HeuristicLXF, core.DynamicBound(), limit)
+			warm.WarmStart = true
+			m := &warmMirror{cold: cold, warm: warm, month: month}
+			if _, _, err := schedsearch.RunMonth(suite, month, schedsearch.SimOptions{TargetLoad: 0.95}, m); err != nil {
+				fatal(err)
+			}
+			cs, ws := cold.SearchStats, warm.SearchStats
+			if cs.Nodes != ws.Nodes || cs.Leaves != ws.Leaves {
+				fatal(fmt.Errorf("%s %s: warm enumeration differs from cold (%d/%d vs %d/%d nodes/leaves)",
+					algo, month, ws.Nodes, ws.Leaves, cs.Nodes, cs.Leaves))
+			}
+			r := warmResult{
+				Algo:            algo.String(),
+				Month:           month,
+				NodeLimit:       limit,
+				Decisions:       m.decisions,
+				ColdNodesToBest: cs.NodesToBest,
+				WarmNodesToBest: ws.NodesToBest,
+			}
+			if ws.NodesToBest > 0 {
+				r.NodesToBestRatio = float64(cs.NodesToBest) / float64(ws.NodesToBest)
+			} else if cs.NodesToBest > 0 {
+				r.NodesToBestRatio = float64(cs.NodesToBest)
+			} else {
+				r.NodesToBestRatio = 1
+			}
+			if cs.Decisions > 0 {
+				r.ColdNsPerDecision = cs.WallNs / int64(cs.Decisions)
+			}
+			if ws.Decisions > 0 {
+				r.WarmNsPerDecision = ws.WallNs / int64(ws.Decisions)
+			}
+			if ws.WarmDecisions > 0 {
+				r.SeedHeldPct = 100 * float64(ws.WarmSeedHeld) / float64(ws.WarmDecisions)
+			}
+			fmt.Fprintf(os.Stderr, "warm %s %s L=%d: nodes-to-best %d cold vs %d warm (%.2fx), seed held %.0f%%\n",
+				r.Algo, month, limit, r.ColdNodesToBest, r.WarmNodesToBest,
+				r.NodesToBestRatio, r.SeedHeldPct)
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -18,6 +18,8 @@ func FuzzParsePolicy(f *testing.F) {
 		"DDS/lxf/fixB=100h", "LDS/fcfs/30m", "DFS/lxf/90s", "DDS/fcfs/0h",
 		"DDS/lxf/", "DDS//dynB", "//", "DDS/lxf/99999999999999999999h",
 		"dds/LXF/DYNB", " FCFS-backfill", "FCFS-backfill ",
+		"CDDS/lxf/dynB", "ADDS/fcfs/dynB", "CDDS/fcfs/fixB=100h",
+		"ADDS/lxf/30m", "cdds/lxf/dynB", "ADDS//dynB",
 	} {
 		f.Add(seed)
 	}

@@ -62,7 +62,7 @@ func TestHeuristicOrderFCFS(t *testing.T) {
 		{Job: job.Job{ID: 1, Submit: 50}},
 		{Job: job.Job{ID: 3, Submit: 100}},
 	}
-	orderJobs(jobs, HeuristicFCFS, 1000)
+	orderJobs(jobs, HeuristicFCFS, 1000, nil)
 	want := []int{1, 2, 3}
 	for i, w := range want {
 		if jobs[i].Job.ID != w {
@@ -78,7 +78,7 @@ func TestHeuristicOrderLXF(t *testing.T) {
 		{Job: job.Job{ID: 2, Submit: 9000}, Estimate: 100},  // bsld (1000+100)/100 = 11
 		{Job: job.Job{ID: 3, Submit: 5000}, Estimate: 5000}, // bsld 2
 	}
-	orderJobs(jobs, HeuristicLXF, now)
+	orderJobs(jobs, HeuristicLXF, now, nil)
 	if jobs[0].Job.ID != 2 {
 		t.Fatalf("largest-slowdown job not first: %v", jobs[0].Job.ID)
 	}

@@ -1,0 +1,146 @@
+package core
+
+// Adjacent discrepancy search (Lahimer, Lopez & Haouari: climbing
+// depth-bounded adjacent discrepancy search, arXiv:1103.1516).
+//
+// ADDS is DDS with every discrepancy restricted to the branch adjacent
+// to the heuristic choice: at any level the search takes branch rank 0
+// (the heuristic) or rank 1 (the adjacent discrepancy), never deeper.
+// The restricted tree holds 2^(n-1) leaves — the orderings reachable by
+// swapping a job with its heuristic neighbor at any subset of levels —
+// partitioned by iteration exactly like DDS: iteration i forces the
+// rank-1 branch at level i-1, branches freely over {0, 1} above it and
+// follows the heuristic below.
+//
+// CDDS adds climbing: the reference ordering the ranks are measured
+// against starts as the heuristic order; whenever a sweep improves the
+// incumbent, the free list is relinked to the incumbent ordering and
+// the sweep restarts from the shallowest discrepancy. With an unbounded
+// budget CDDS terminates at a local optimum of the adjacent
+// neighborhood (a full sweep without improvement); under a budget it
+// aborts like every other algorithm, with the iteration-0 schedule
+// always in hand.
+
+// addsDFS explores iteration iter of ADDS from the given level: like
+// ddsDFS but with branching restricted to ranks {0, 1} everywhere.
+func (s *searchState) addsDFS(level, iter int) {
+	n := len(s.ordered)
+	if level == n {
+		s.leaf()
+		return
+	}
+	heuristicOnly := iter == 0 || level > iter-1
+	forced := iter > 0 && level == iter-1
+	b := 0
+	for oi := s.freeHead; oi >= 0; oi = s.freeNext[oi] {
+		if forced && b == 0 {
+			b++
+			continue
+		}
+		b++
+		if !s.visit(oi, func() { s.addsDFS(level+1, iter) }) {
+			return
+		}
+		if heuristicOnly || b >= 2 {
+			break
+		}
+	}
+}
+
+// runADDS runs the full adjacent sweep: iteration 0 is the heuristic
+// path, iteration i forces the adjacent discrepancy at level i-1.
+func (s *searchState) runADDS() {
+	n := len(s.ordered)
+	s.addsDFS(0, 0)
+	for i := 1; i <= n-1 && !s.aborted; i++ {
+		s.addsDFS(0, i)
+	}
+}
+
+// runCDDS runs climbing ADDS: sweep the adjacent iterations against the
+// current reference ordering; on improvement, re-anchor the reference
+// to the incumbent and restart the sweep. Terminates on a full sweep
+// without improvement (a local optimum of the adjacent neighborhood) or
+// on budget.
+func (s *searchState) runCDDS() {
+	n := len(s.ordered)
+	s.addsDFS(0, 0) // evaluate the initial (heuristic) reference
+	if n < 2 {
+		return
+	}
+	for {
+		improved := false
+		ref := s.bestCost // incumbent at sweep start (iteration 0 set it)
+		for i := 1; i <= n-1; i++ {
+			s.addsDFS(0, i)
+			if s.aborted {
+				return
+			}
+			if s.bestCost.Less(ref) {
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			return
+		}
+		// Each climb strictly improves the incumbent, so the loop
+		// terminates: costs cannot cycle downward forever over a finite
+		// leaf set.
+		s.climbToBest()
+	}
+}
+
+// climbToBest re-anchors the search on the incumbent: the free list is
+// relinked into bestPath order (so branch rank 0 now follows the
+// incumbent ordering) and the placement memo is re-recorded from the
+// incumbent's known starts — the new reference path's prefixes are
+// served from the memo without re-running EarliestFit.
+func (s *searchState) climbToBest() {
+	order := s.bestPath
+	n := len(order)
+	for l, oi := range order {
+		if l > 0 {
+			s.freePrev[oi] = order[l-1]
+		} else {
+			s.freePrev[oi] = -1
+			s.freeHead = oi
+		}
+		if l < n-1 {
+			s.freeNext[oi] = order[l+1]
+		} else {
+			s.freeNext[oi] = -1
+		}
+	}
+	s.memoPath = append(s.memoPath[:0], order...)
+	s.memoStart = s.memoStart[:0]
+	for _, oi := range order {
+		s.memoStart = append(s.memoStart, s.bestStart[oi])
+	}
+	s.memoMatched = 0
+	s.memoRecord = false
+}
+
+// addsIterNodes returns the number of visit() calls ADDS iteration i
+// performs on an n-job tree (saturating at satCap): levels above the
+// forced depth branch two ways, the forced level takes exactly the
+// adjacent branch, and each of the 2^(i-1) surviving paths runs
+// heuristically to depth n. Iteration 0 is the heuristic path.
+func addsIterNodes(n, i int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if i == 0 {
+		return int64(n)
+	}
+	var total int64
+	p := int64(1) // 2^l running product
+	for l := 0; l <= i-2; l++ {
+		p = satMul(p, 2) // 2^(l+1) visits at free level l
+		total = satAdd(total, p)
+	}
+	// p == 2^(i-1): one forced visit per prefix, then n-i heuristic
+	// levels per path.
+	total = satAdd(total, satMul(p, int64(n-i+1)))
+	return total
+}

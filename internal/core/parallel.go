@@ -56,6 +56,11 @@ type iterResult struct {
 	path     []int
 	nodes    int64
 	leaves   int64
+	// improv logs the iteration-local incumbent improvements (cost and
+	// local node counter); the merge threads the global incumbent —
+	// warm seed included — through these logs in ascending iteration
+	// order, reproducing the sequential nodesToBest exactly.
+	improv []improvement
 }
 
 // satCap is the saturation ceiling for tree-node counts: any count at
@@ -159,6 +164,8 @@ func (sch *Scheduler) iterNodes(n, iter int) int64 {
 		return sch.shard.ldsIterNodes(n, iter)
 	case DDS:
 		return ddsIterNodes(n, iter)
+	case ADDS:
+		return addsIterNodes(n, iter)
 	default:
 		panic("core: iterNodes on non-iterative algorithm")
 	}
@@ -211,8 +218,10 @@ func (sch *Scheduler) parallelWorkers(n int) int {
 	if w <= 1 {
 		return 1
 	}
-	if sch.Prune || (sch.Algorithm != LDS && sch.Algorithm != DDS) {
-		return 1 // pruning couples iterations; DFS has no iteration structure
+	if sch.Prune || (sch.Algorithm != LDS && sch.Algorithm != DDS && sch.Algorithm != ADDS) {
+		// Pruning couples iterations; DFS has no iteration structure;
+		// CDDS climbs, which makes each iteration depend on the last.
+		return 1
 	}
 	if n < 2 {
 		return 1
@@ -273,7 +282,12 @@ func (sch *Scheduler) runParallel(snap *sim.Snapshot, workers int) bool {
 
 	// Deterministic merge: ascending iteration order, strict
 	// improvement only — ties keep the lowest iteration, matching the
-	// sequential scan.
+	// sequential scan. The nodes-to-best incumbent (seeded by seedWarm
+	// on warm decisions) is threaded through the per-iteration
+	// improvement logs the same way: an improvement counts only if it
+	// beats everything from earlier iterations and the seed, and its
+	// node position is the sum of the preceding iterations' spend plus
+	// its local counter — exactly the sequential node counter.
 	s.nodes, s.leaves = 0, 0
 	s.bestFound = false
 	s.aborted = aborted
@@ -281,6 +295,13 @@ func (sch *Scheduler) runParallel(snap *sim.Snapshot, workers int) bool {
 		r := &results[i]
 		if !r.run {
 			continue
+		}
+		for _, im := range r.improv {
+			if !s.ntbSet || im.cost.Less(s.ntbCost) {
+				s.ntbCost = im.cost
+				s.ntbSet = true
+				s.nodesToBest = s.nodes + im.nodes
+			}
 		}
 		s.nodes += r.nodes
 		s.leaves += r.leaves
@@ -317,12 +338,20 @@ func (ws *searchState) runIteration(algo Algorithm, t iterTask, r *iterResult) {
 	// sequential run they replay already holds the iteration-0 schedule
 	// when the budget trips.
 	ws.hardBudget = t.iter > 0
+	// Log iteration-local incumbent improvements for the merge's
+	// nodes-to-best replay.
+	ws.ntbSet = false
+	ws.nodesToBest = 0
+	ws.recordImprov = true
+	ws.improv = ws.improv[:0]
 
 	switch algo {
 	case LDS:
 		ws.ldsDFS(0, t.iter)
 	case DDS:
 		ws.ddsDFS(0, t.iter)
+	case ADDS:
+		ws.addsDFS(0, t.iter)
 	default:
 		panic("core: runIteration on non-iterative algorithm")
 	}
@@ -331,6 +360,7 @@ func (ws *searchState) runIteration(algo Algorithm, t iterTask, r *iterResult) {
 	r.nodes = ws.nodes
 	r.leaves = ws.leaves
 	r.found = ws.bestFound
+	r.improv = append(r.improv[:0], ws.improv...)
 	if ws.bestFound {
 		r.cost = ws.bestCost
 		r.startNow = append(r.startNow[:0], ws.bestStartNow...)

@@ -31,6 +31,8 @@ func seqIterNodes(snap *sim.Snapshot, algo Algorithm, iter int) int64 {
 		s.ldsDFS(0, iter)
 	case DDS:
 		s.ddsDFS(0, iter)
+	case ADDS:
+		s.addsDFS(0, iter)
 	}
 	return s.nodes
 }

@@ -27,6 +27,21 @@ const (
 	// heuristic schedule, which is why the paper uses discrepancy
 	// search instead (demonstrated by the ext-dfs experiment).
 	DFS
+	// ADDS is adjacent depth-bounded discrepancy search (the
+	// depth-bounded member of Lahimer, Lopez & Haouari's adjacent
+	// family): DDS with every discrepancy restricted to the branch
+	// adjacent to the heuristic one, so iteration i explores the
+	// orderings whose per-level branch rank is at most 1 with the
+	// deepest rank-1 choice exactly at level i-1. The restricted tree
+	// holds 2^(n-1) leaves instead of n!, concentrating the budget on
+	// near-heuristic orderings.
+	ADDS
+	// CDDS is climbing ADDS: the reference ordering the discrepancies
+	// are taken against starts as the heuristic order and is re-anchored
+	// to the incumbent whenever a sweep improves it, restarting the
+	// sweep from the shallowest discrepancy. The search ends at a local
+	// optimum of the adjacent neighborhood (or on budget).
+	CDDS
 )
 
 // String returns the paper's tag for the algorithm.
@@ -38,6 +53,10 @@ func (a Algorithm) String() string {
 		return "DDS"
 	case DFS:
 		return "DFS"
+	case ADDS:
+		return "ADDS"
+	case CDDS:
+		return "CDDS"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
@@ -91,6 +110,26 @@ type Stats struct {
 	// sequential search it equals WallNs; for parallel search the ratio
 	// BusyNs/WallNs is the effective parallelism (see Speedup).
 	BusyNs int64
+	// NodesToBest sums, over decisions, the node count at which the
+	// search last improved its incumbent (the warm seed counts as the
+	// initial incumbent when WarmStart is on, at zero nodes). Lower
+	// means the best schedule was in hand earlier; NodesToBest/Decisions
+	// is the average search effort actually needed per decision.
+	NodesToBest int64
+	// WarmDecisions counts decisions seeded from a carried ordering;
+	// WarmSeedNodes counts the job placements spent evaluating those
+	// seeds (charged separately from Nodes — the seed is not part of the
+	// enumerated tree); WarmSeedHeld counts warm decisions where no
+	// enumerated schedule beat the seed's cost.
+	WarmDecisions int
+	WarmSeedNodes int64
+	WarmSeedHeld  int
+	// EffectiveLimit is the node budget applied at the most recent
+	// decision and EffectiveLimitSum its total across decisions
+	// (EffectiveLimitSum/Decisions is the average effective L). Both
+	// track NodeLimit unless an SLO adapts the budget per decision.
+	EffectiveLimit    int
+	EffectiveLimitSum int64
 }
 
 // Speedup returns the effective search parallelism: summed worker busy
@@ -137,6 +176,27 @@ type Scheduler struct {
 	// additive. Custom Cost functions returning negative components
 	// must leave this off. Off by default (paper-faithful search).
 	Prune bool
+	// WarmStart makes Decide incremental: the previous decision's best
+	// ordering is carried across decision points (departed jobs
+	// dropped, arrivals spliced in at their heuristic rank), evaluated
+	// once against the new profile, and installed as the initial
+	// incumbent. The seed never enters the enumeration and is never
+	// committable, so warm-started search commits bit-identical
+	// schedules to cold search at equal budget; what it buys is
+	// NodesToBest (the seed usually already is the best reachable
+	// schedule, so the effort needed to re-find it drops to ~zero) and,
+	// with Prune on, a bound that is tight from the first enumerated
+	// leaf onward.
+	WarmStart bool
+	// SLO, when positive, makes the node budget adaptive: an
+	// exponentially weighted average of the observed ns/node converts
+	// the per-decision latency target into an effective NodeLimit for
+	// each decision (clamped to [1, 1<<30]; the first decision, with no
+	// rate observed yet, uses NodeLimit). Stats.EffectiveLimit records
+	// the result. Adaptive budgets depend on wall-clock measurements,
+	// so runs with an SLO are NOT bit-reproducible across machines or
+	// runs — leave it zero where determinism matters.
+	SLO time.Duration
 
 	// SearchStats accumulates effort counters across the run.
 	SearchStats Stats
@@ -144,6 +204,8 @@ type Scheduler struct {
 	lastPlan  []PlannedStart
 	startsBuf []int
 	s         searchState // reusable scratch (sequential search + merge target)
+	warm      warmState   // WarmStart carry + scratch
+	nsPerNode float64     // EWMA of observed search pace (SLO budget)
 
 	// Parallel-search scratch, reused across decisions.
 	wstates []*searchState
@@ -164,49 +226,106 @@ func (sch *Scheduler) Name() string {
 	return fmt.Sprintf("%s/%s/%s", sch.Algorithm, sch.Heuristic, sch.Bound)
 }
 
+// maxAdaptiveLimit caps the node budget an SLO can grant per decision.
+const maxAdaptiveLimit = 1 << 30
+
+// effectiveLimit resolves the node budget for the next decision: the
+// configured NodeLimit, or — with an SLO set and a pace estimate in
+// hand — the node count the latency target buys at the observed pace.
+func (sch *Scheduler) effectiveLimit() int {
+	limit := sch.NodeLimit
+	if limit < 1 {
+		limit = 1
+	}
+	if sch.SLO > 0 && sch.nsPerNode > 0 {
+		l := float64(sch.SLO.Nanoseconds()) / sch.nsPerNode
+		switch {
+		case l < 1:
+			limit = 1
+		case l > maxAdaptiveLimit:
+			limit = maxAdaptiveLimit
+		default:
+			limit = int(l)
+		}
+	}
+	return limit
+}
+
+// observePace folds one decision's measured ns/node into the EWMA the
+// SLO budget converts from (alpha 0.2: a few decisions to adapt, stable
+// against one slow decision).
+func (sch *Scheduler) observePace(wallNs, nodes int64) {
+	if wallNs <= 0 || nodes <= 0 {
+		return
+	}
+	obs := float64(wallNs) / float64(nodes)
+	if sch.nsPerNode <= 0 {
+		sch.nsPerNode = obs
+		return
+	}
+	sch.nsPerNode += 0.2 * (obs - sch.nsPerNode)
+}
+
 // Decide implements sim.Policy. The returned slice is reused by the
 // next Decide.
 func (sch *Scheduler) Decide(snap *sim.Snapshot) []int {
 	n := len(snap.Queue)
 	if n == 0 {
+		// Nothing to schedule — and nothing from the previous decision
+		// is still planned, so LastPlan/LastCost must not report stale
+		// data and the warm carry has no survivors.
+		sch.lastPlan = sch.lastPlan[:0]
+		sch.s.bestCost = Cost{}
+		sch.s.bestFound = false
+		sch.warm.valid = false
 		return nil
 	}
 	cost := sch.Cost
 	if cost == nil {
 		cost = HierarchicalCost
 	}
-	limit := sch.NodeLimit
-	if limit < 1 {
-		limit = 1
-	}
+	limit := sch.effectiveLimit()
+	sch.SearchStats.EffectiveLimit = limit
+	sch.SearchStats.EffectiveLimitSum += int64(limit)
 
 	t0 := time.Now()
 	s := &sch.s
 	s.reset(snap, sch.Heuristic, sch.Bound.At(snap), cost, limit)
 	s.prune = sch.Prune
+	if sch.WarmStart {
+		sch.seedWarm(s)
+	}
 	parallel := false
 	if workers := sch.parallelWorkers(n); workers > 1 {
 		parallel = sch.runParallel(snap, workers)
 	}
 	if !parallel {
+		s.memoRecord = true // iteration 0 records the heuristic-path starts
 		switch sch.Algorithm {
 		case LDS:
 			s.runLDS()
 		case DDS:
 			s.runDDS()
 		case DFS:
+			s.memoRecord = false // no iteration structure to replay against
 			s.runDFS(0)
+		case ADDS:
+			s.runADDS()
+		case CDDS:
+			s.runCDDS()
 		default:
 			panic(fmt.Sprintf("core: unknown algorithm %d", sch.Algorithm))
 		}
 	}
 	wall := time.Since(t0).Nanoseconds()
+	sch.observePace(wall, s.nodes)
 
 	sch.SearchStats.Decisions++
 	sch.SearchStats.Nodes += s.nodes
 	sch.SearchStats.Leaves += s.leaves
 	sch.SearchStats.Pruned += s.pruned
 	sch.SearchStats.WallNs += wall
+	sch.SearchStats.NodesToBest += s.nodesToBest
 	if !parallel {
 		sch.SearchStats.BusyNs += wall
 	}
@@ -214,6 +333,9 @@ func (sch *Scheduler) Decide(snap *sim.Snapshot) []int {
 		sch.SearchStats.BudgetHits++
 	} else {
 		sch.SearchStats.Exhausted++
+	}
+	if sch.WarmStart {
+		sch.carryBest(s)
 	}
 
 	starts := sch.startsBuf[:0]
@@ -266,8 +388,9 @@ type searchState struct {
 	nodes  int64
 	leaves int64
 
-	prof    *cluster.Profile
-	ordered []sim.WaitingJob // heuristic branch order
+	prof      *cluster.Profile
+	ordered   []sim.WaitingJob // heuristic branch order
+	orderKeys []float64        // scratch: precomputed heuristic sort keys
 
 	// Unused jobs form a doubly-linked free list over ordered indices,
 	// so enumerating and claiming the b-th unused job is O(1) instead
@@ -295,9 +418,49 @@ type searchState struct {
 	// equivalent sequential run the iteration-0 schedule already exists.
 	hardBudget bool
 
+	// Warm seed: the carried ordering's cost, installed before the
+	// search runs. The seed is never committable — it only initializes
+	// the nodes-to-best incumbent and, with prune on, tightens the
+	// branch-and-bound bound once an enumerated schedule exists.
+	seedCost Cost
+	seedSet  bool
+
+	// Nodes-to-best incumbent: strictly tighter than bestCost when the
+	// warm seed is better than anything enumerated. nodesToBest is the
+	// node counter at the incumbent's last improvement (0 when the seed
+	// was never beaten).
+	ntbCost     Cost
+	ntbSet      bool
+	nodesToBest int64
+	// recordImprov makes leaf() log every incumbent improvement
+	// (parallel workers only; the merge threads the global incumbent
+	// through the per-iteration logs to reproduce the sequential
+	// nodesToBest exactly).
+	recordImprov bool
+	improv       []improvement
+
+	// Memo of the current reference path's placements, keyed on the
+	// surviving ordered prefix: while the partial path matches
+	// memoPath, each level's start time is known from iteration 0 (or,
+	// for CDDS, the last climb target), so visit skips the EarliestFit
+	// scan and places directly. Sound because an identical placement
+	// prefix yields an identical profile, hence an identical earliest
+	// fit; bit-identical by construction.
+	memoPath    []int
+	memoStart   []job.Time
+	memoMatched int // length of the curPath prefix matching memoPath
+	memoRecord  bool
+
 	// leafHook, when set (tests only), observes every complete path in
 	// exploration order.
 	leafHook func(path []int, cost Cost)
+}
+
+// improvement is one incumbent improvement inside a single iteration:
+// the cost reached and the iteration-local node counter at that leaf.
+type improvement struct {
+	cost  Cost
+	nodes int64
 }
 
 func (s *searchState) reset(snap *sim.Snapshot, h Heuristic, bound job.Duration, cost CostFn, limit int) {
@@ -309,7 +472,7 @@ func (s *searchState) reset(snap *sim.Snapshot, h Heuristic, bound job.Duration,
 	s.hardBudget = false
 
 	s.ordered = append(s.ordered[:0], snap.Queue...)
-	orderJobs(s.ordered, h, snap.Now)
+	s.orderKeys = orderJobs(s.ordered, h, snap.Now, s.orderKeys)
 
 	s.resetSearch()
 	s.resetProfile(snap)
@@ -342,6 +505,15 @@ func (s *searchState) resetSearch() {
 	s.bestFound = false
 	s.aborted = false
 	s.curCost = Cost{}
+	s.seedSet = false
+	s.ntbSet = false
+	s.nodesToBest = 0
+	s.recordImprov = false
+	s.improv = s.improv[:0]
+	s.memoPath = s.memoPath[:0]
+	s.memoStart = s.memoStart[:0]
+	s.memoMatched = 0
+	s.memoRecord = false
 
 	s.freeNext = resizeInts(s.freeNext, n)
 	s.freePrev = resizeInts(s.freePrev, n)
@@ -405,40 +577,51 @@ func resizeInts(xs []int, n int) []int {
 }
 
 // orderJobs sorts jobs into the heuristic's branch order with
-// deterministic tiebreaks. Insertion sort keeps the hot path
+// deterministic tiebreaks, reusing (and returning) keys as scratch for
+// the precomputed sort keys. Insertion sort keeps the hot path
 // allocation-free (sort.SliceStable allocates for its closure and
 // reflection swapper); queues are tens of jobs, and both orders are
-// total (ID tiebreak), so the result matches any stable sort.
-func orderJobs(jobs []sim.WaitingJob, h Heuristic, now job.Time) {
-	var less func(a, b *sim.WaitingJob) bool
+// total (ID tiebreak), so the result matches any stable sort. The LXF
+// slowdown key is computed once per job, not once per comparison — the
+// key is a pure function of (submit, estimate, now), so the order is
+// bit-identical to recomputing inside the comparator.
+func orderJobs(jobs []sim.WaitingJob, h Heuristic, now job.Time, keys []float64) []float64 {
 	switch h {
 	case HeuristicFCFS:
-		less = func(a, b *sim.WaitingJob) bool {
-			if a.Job.Submit != b.Job.Submit {
-				return a.Job.Submit < b.Job.Submit
+		for i := 1; i < len(jobs); i++ {
+			for k := i; k > 0 && fcfsLess(&jobs[k], &jobs[k-1]); k-- {
+				jobs[k], jobs[k-1] = jobs[k-1], jobs[k]
 			}
-			return a.Job.ID < b.Job.ID
 		}
 	case HeuristicLXF:
-		less = func(a, b *sim.WaitingJob) bool {
-			sa := job.BoundedSlowdownAt(a.Job.Submit, a.Estimate, now)
-			sb := job.BoundedSlowdownAt(b.Job.Submit, b.Estimate, now)
-			if sa != sb {
-				return sa > sb
+		keys = keys[:0]
+		for i := range jobs {
+			keys = append(keys, job.BoundedSlowdownAt(jobs[i].Job.Submit, jobs[i].Estimate, now))
+		}
+		for i := 1; i < len(jobs); i++ {
+			for k := i; k > 0 && lxfLess(keys[k], keys[k-1], &jobs[k], &jobs[k-1]); k-- {
+				jobs[k], jobs[k-1] = jobs[k-1], jobs[k]
+				keys[k], keys[k-1] = keys[k-1], keys[k]
 			}
-			if a.Job.Submit != b.Job.Submit {
-				return a.Job.Submit < b.Job.Submit
-			}
-			return a.Job.ID < b.Job.ID
 		}
 	default:
 		panic(fmt.Sprintf("core: unknown heuristic %d", h))
 	}
-	for i := 1; i < len(jobs); i++ {
-		for k := i; k > 0 && less(&jobs[k], &jobs[k-1]); k-- {
-			jobs[k], jobs[k-1] = jobs[k-1], jobs[k]
-		}
+	return keys
+}
+
+func fcfsLess(a, b *sim.WaitingJob) bool {
+	if a.Job.Submit != b.Job.Submit {
+		return a.Job.Submit < b.Job.Submit
 	}
+	return a.Job.ID < b.Job.ID
+}
+
+func lxfLess(sa, sb float64, a, b *sim.WaitingJob) bool {
+	if sa != sb {
+		return sa > sb
+	}
+	return fcfsLess(a, b)
 }
 
 // overBudget reports whether the node budget is spent; the search keeps
@@ -495,7 +678,24 @@ func (s *searchState) visit(oi int, down func()) bool {
 	if est < 1 {
 		est = 1
 	}
-	start, pl := s.prof.PlaceEarliest(s.now, w.Job.Nodes, est)
+	level := len(s.curPath)
+	var start job.Time
+	var pl cluster.Placement
+	memoHit := s.memoMatched == level && level < len(s.memoPath) && s.memoPath[level] == oi
+	if memoHit {
+		// The path so far equals the memoized reference prefix, so the
+		// profile is in the exact state it was when the reference path
+		// placed this job: its earliest fit is already known.
+		start = s.memoStart[level]
+		pl = s.prof.Place(start, w.Job.Nodes, est)
+		s.memoMatched = level + 1
+	} else {
+		start, pl = s.prof.PlaceEarliest(s.now, w.Job.Nodes, est)
+		if s.memoRecord {
+			s.memoPath = append(s.memoPath, oi)
+			s.memoStart = append(s.memoStart, start)
+		}
+	}
 	delta := s.cost(w, start, s.now, s.bound)
 	prevCost := s.curCost
 	s.curCost = s.curCost.Add(delta)
@@ -505,23 +705,39 @@ func (s *searchState) visit(oi int, down func()) bool {
 	s.curPath = append(s.curPath, oi)
 
 	// Branch and bound: per-job costs are non-negative, so the partial
-	// cost lower-bounds every completion of this path.
-	if s.prune && s.bestFound && !s.curCost.Less(s.bestCost) {
+	// cost lower-bounds every completion of this path. Once an
+	// enumerated schedule exists, a better warm seed tightens the bound
+	// further (the first leaf is exempt so a complete schedule can
+	// always be committed).
+	if s.prune && s.bestFound && !s.curCost.Less(s.pruneBound()) {
 		s.pruned++
 	} else {
 		down()
 	}
 
 	s.curPath = s.curPath[:len(s.curPath)-1]
+	if memoHit {
+		s.memoMatched = level
+	}
 	s.relink(oi)
 	s.curCost = prevCost
 	s.prof.Undo(pl)
 	return !s.aborted
 }
 
+// pruneBound is the branch-and-bound cutoff: the best enumerated cost,
+// tightened by the warm seed when the seed is better.
+func (s *searchState) pruneBound() Cost {
+	if s.seedSet && s.seedCost.Less(s.bestCost) {
+		return s.seedCost
+	}
+	return s.bestCost
+}
+
 // leaf records the completed schedule if it beats the best so far.
 func (s *searchState) leaf() {
 	s.leaves++
+	s.memoRecord = false // iteration 0's path is complete
 	if s.leafHook != nil {
 		s.leafHook(s.curPath, s.curCost)
 	}
@@ -531,6 +747,16 @@ func (s *searchState) leaf() {
 		copy(s.bestStartNow, s.curStartNow)
 		copy(s.bestStart, s.curStart)
 		s.bestPath = append(s.bestPath[:0], s.curPath...)
+	}
+	// Nodes-to-best incumbent: includes the warm seed, so it only moves
+	// when a leaf beats everything seen — including the carried plan.
+	if !s.ntbSet || s.curCost.Less(s.ntbCost) {
+		s.ntbCost = s.curCost
+		s.ntbSet = true
+		s.nodesToBest = s.nodes
+		if s.recordImprov {
+			s.improv = append(s.improv, improvement{cost: s.curCost, nodes: s.nodes})
+		}
 	}
 }
 

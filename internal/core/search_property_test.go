@@ -48,6 +48,8 @@ func iterationLeaves(t *testing.T, n int, algo Algorithm, iter int) [][]int {
 		s.ldsDFS(0, iter)
 	case DDS:
 		s.ddsDFS(0, iter)
+	case ADDS:
+		s.addsDFS(0, iter)
 	}
 	if s.aborted {
 		t.Fatalf("n=%d %s iter=%d aborted with unlimited budget", n, algo, iter)

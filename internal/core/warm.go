@@ -1,0 +1,124 @@
+package core
+
+import (
+	"schedsearch/internal/cluster"
+)
+
+// Warm-started (incremental) search. Between consecutive decision
+// points the queue typically changes by one job, so the previous
+// decision's best ordering is usually still the best reachable
+// schedule. WarmStart carries that ordering across decisions by job ID,
+// drops departed jobs, splices arrivals in at their heuristic rank, and
+// evaluates the result once against the new availability profile. The
+// seed is deliberately kept OUT of the enumeration: the committed
+// schedule is still the argmin over enumerated leaves, so warm and cold
+// search commit bit-identical schedules at equal budget (the keystone
+// differential enforces this over every suite month). What the seed
+// changes is accounting and pruning: it initializes the nodes-to-best
+// incumbent (Stats.NodesToBest drops to ~0 on decisions where the
+// carried plan is never beaten) and, with Prune on, joins the
+// branch-and-bound cutoff as soon as one enumerated schedule exists.
+
+// warmState is the carry between decisions plus reusable scratch.
+type warmState struct {
+	// valid marks order as the previous decision's best ordering.
+	valid bool
+	// order is the carried ordering as job IDs (robust against queue
+	// reordering and arrivals/departures between decisions).
+	order []int
+
+	pos  map[int]int         // scratch: job ID -> current ordered index
+	seq  []int               // scratch: spliced seed as ordered indices
+	undo []cluster.Placement // scratch: seed evaluation undo stack
+}
+
+// seedWarm builds the warm seed for the current decision from the
+// carried ordering and installs its cost as the initial incumbent. The
+// search state must be freshly reset.
+func (sch *Scheduler) seedWarm(s *searchState) {
+	w := &sch.warm
+	if !w.valid || len(w.order) == 0 {
+		return
+	}
+	n := len(s.ordered)
+	if w.pos == nil {
+		w.pos = make(map[int]int, n)
+	}
+	clear(w.pos)
+	for oi := range s.ordered {
+		w.pos[s.ordered[oi].Job.ID] = oi
+	}
+
+	// Survivors keep their carried relative order; consuming the map
+	// entries as we go leaves exactly the arrivals behind.
+	seq := w.seq[:0]
+	for _, id := range w.order {
+		if oi, ok := w.pos[id]; ok {
+			seq = append(seq, oi)
+			delete(w.pos, id)
+		}
+	}
+	// Arrivals splice in at their heuristic rank (their index in the
+	// branch order, clamped to the current seed length), most urgent
+	// first so earlier insertions do not displace later ones.
+	for oi := 0; oi < n; oi++ {
+		if _, ok := w.pos[s.ordered[oi].Job.ID]; !ok {
+			continue
+		}
+		at := oi
+		if at > len(seq) {
+			at = len(seq)
+		}
+		seq = append(seq, 0)
+		copy(seq[at+1:], seq[at:])
+		seq[at] = oi
+	}
+	w.seq = seq
+
+	cost := s.evalOrder(seq, &w.undo)
+	s.seedCost = cost
+	s.seedSet = true
+	s.ntbCost = cost
+	s.ntbSet = true
+	s.nodesToBest = 0
+	sch.SearchStats.WarmDecisions++
+	sch.SearchStats.WarmSeedNodes += int64(len(seq))
+}
+
+// carryBest records the committed ordering for the next decision and
+// updates the seed-held counter. Called after the search ran.
+func (sch *Scheduler) carryBest(s *searchState) {
+	if s.seedSet && s.bestFound && !s.bestCost.Less(s.seedCost) {
+		sch.SearchStats.WarmSeedHeld++
+	}
+	w := &sch.warm
+	w.order = w.order[:0]
+	for _, oi := range s.bestPath {
+		w.order = append(w.order, s.ordered[oi].Job.ID)
+	}
+	w.valid = len(w.order) == len(s.ordered) && len(w.order) > 0
+}
+
+// evalOrder scores one complete ordering (ordered indices) against the
+// decision profile, restoring the profile before returning. Placements
+// are charged to the caller (Stats.WarmSeedNodes), not to s.nodes: the
+// seed is not part of the enumerated tree.
+func (s *searchState) evalOrder(order []int, undo *[]cluster.Placement) Cost {
+	var total Cost
+	u := (*undo)[:0]
+	for _, oi := range order {
+		w := s.ordered[oi]
+		est := w.Estimate
+		if est < 1 {
+			est = 1
+		}
+		start, pl := s.prof.PlaceEarliest(s.now, w.Job.Nodes, est)
+		u = append(u, pl)
+		total = total.Add(s.cost(w, start, s.now, s.bound))
+	}
+	for i := len(u) - 1; i >= 0; i-- {
+		s.prof.Undo(u[i])
+	}
+	*undo = u
+	return total
+}

@@ -6,8 +6,9 @@ import (
 )
 
 // histBuckets is the number of log-spaced latency buckets: bucket i
-// counts samples under 2^i microseconds, the last bucket is +Inf.
-// 2^30 µs ≈ 18 minutes, far past any sane accept latency.
+// counts samples strictly under 2^i microseconds (a sample of exactly
+// 2^i µs lands in bucket i+1), the last bucket is +Inf. 2^30 µs ≈ 18
+// minutes, far past any sane accept latency.
 const histBuckets = 32
 
 // Hist is a log-bucketed latency histogram (power-of-two microsecond
@@ -15,12 +16,11 @@ const histBuckets = 32
 // lock-cheap observation — the shape Prometheus histograms expect.
 // The zero value is ready to use.
 type Hist struct {
-	mu      sync.Mutex
-	counts  [histBuckets]int64
-	total   int64
-	sumUs   int64
-	maxUs   int64
-	samples int64
+	mu     sync.Mutex
+	counts [histBuckets]int64
+	total  int64
+	sumUs  int64
+	maxUs  int64
 }
 
 // bucketFor returns the index of the first bucket whose upper bound
@@ -55,7 +55,6 @@ func (h *Hist) ObserveN(d time.Duration, n int) {
 	if us > h.maxUs {
 		h.maxUs = us
 	}
-	h.samples += int64(n)
 	h.mu.Unlock()
 }
 

@@ -53,7 +53,7 @@ func TestParsePolicyErrors(t *testing.T) {
 // bound combinations — and the shorthand bound spellings must build the
 // same policy as the canonical "fixB=" form Scheduler.Name emits.
 func TestParsePolicyRoundTrips(t *testing.T) {
-	algos := []core.Algorithm{core.LDS, core.DDS, core.DFS}
+	algos := []core.Algorithm{core.LDS, core.DDS, core.DFS, core.ADDS, core.CDDS}
 	heurs := []core.Heuristic{core.HeuristicFCFS, core.HeuristicLXF}
 	bounds := []core.BoundSpec{
 		core.DynamicBound(),

@@ -78,6 +78,8 @@ type (
 const (
 	LDS            = core.LDS
 	DDS            = core.DDS
+	ADDS           = core.ADDS
+	CDDS           = core.CDDS
 	HeuristicFCFS  = core.HeuristicFCFS
 	HeuristicLXF   = core.HeuristicLXF
 	Hour           = job.Hour
@@ -218,7 +220,8 @@ func ExcessiveWait(res *Result, thresholdH float64) Excess {
 // are named "FCFS-backfill", "LXF-backfill", "SJF-backfill",
 // "LXFW-backfill", "Selective-backfill", "Relaxed-backfill",
 // "Slack-backfill" and "Lookahead"; search policies follow the paper's
-// ALGO/HEUR/BOUND scheme, e.g. "DDS/lxf/dynB" or "LDS/fcfs/100h".
+// ALGO/HEUR/BOUND scheme, e.g. "DDS/lxf/dynB" or "LDS/fcfs/100h";
+// ALGO is one of DDS, LDS, DFS, ADDS or CDDS.
 // Fixed bounds accept both the shorthand ("100h", "30m", "90s") and
 // the canonical spelling Scheduler.Name emits ("fixB=100h"), and the
 // names the built policies report ("LXF&W-backfill",
@@ -264,6 +267,10 @@ func ParsePolicy(name string, nodeLimit int) (Policy, error) {
 		algo = core.LDS
 	case "DFS":
 		algo = core.DFS
+	case "ADDS":
+		algo = core.ADDS
+	case "CDDS":
+		algo = core.CDDS
 	default:
 		return nil, fmt.Errorf("schedsearch: unknown search algorithm %q", parts[0])
 	}

@@ -1,0 +1,138 @@
+package schedsearch_test
+
+import (
+	"testing"
+
+	"schedsearch"
+	"schedsearch/internal/core"
+	"schedsearch/internal/sim"
+)
+
+// warmMirrorPolicy drives a month with a warm-started scheduler while a
+// cold twin decides every snapshot, failing on the first decision where
+// they diverge in committed starts, best cost or planned starts. The
+// warm decisions are the ones the simulator commits, so a divergence
+// would compound into different snapshots — identical month-end stats
+// prove warm-start equivalence end to end.
+type warmMirrorPolicy struct {
+	t          *testing.T
+	cold, warm *core.Scheduler
+	decisions  int
+}
+
+func (m *warmMirrorPolicy) Name() string { return m.warm.Name() }
+
+func (m *warmMirrorPolicy) Decide(snap *sim.Snapshot) []int {
+	m.decisions++
+	coldStarts := append([]int(nil), m.cold.Decide(snap)...)
+	warmStarts := m.warm.Decide(snap)
+	if len(coldStarts) != len(warmStarts) {
+		m.t.Fatalf("%s decision %d: warm starts %v, cold %v",
+			m.warm.Name(), m.decisions, warmStarts, coldStarts)
+	}
+	for i := range coldStarts {
+		if coldStarts[i] != warmStarts[i] {
+			m.t.Fatalf("%s decision %d: warm starts %v, cold %v",
+				m.warm.Name(), m.decisions, warmStarts, coldStarts)
+		}
+	}
+	if m.cold.LastCost() != m.warm.LastCost() {
+		m.t.Fatalf("%s decision %d: warm cost %v, cold %v",
+			m.warm.Name(), m.decisions, m.warm.LastCost(), m.cold.LastCost())
+	}
+	coldPlan, warmPlan := m.cold.LastPlan(), m.warm.LastPlan()
+	if len(coldPlan) != len(warmPlan) {
+		m.t.Fatalf("%s decision %d: plan lengths %d vs %d",
+			m.warm.Name(), m.decisions, len(warmPlan), len(coldPlan))
+	}
+	for i := range coldPlan {
+		if coldPlan[i] != warmPlan[i] {
+			m.t.Fatalf("%s decision %d: plan[%d] %+v warm, %+v cold",
+				m.warm.Name(), m.decisions, i, warmPlan[i], coldPlan[i])
+		}
+	}
+	return warmStarts
+}
+
+// TestWarmStartSuiteDifferential is the keystone acceptance test of the
+// incremental search: across every suite month, warm-started Decide
+// must commit bit-identical schedules to cold Decide at equal effective
+// budget on every decision point of a closed-loop simulation, with
+// identical enumeration counters — while reaching the best schedule in
+// no more nodes than cold search ever does. DDS and CDDS cover the
+// whole suite; LDS and ADDS ride two months each to bound runtime.
+func TestWarmStartSuiteDifferential(t *testing.T) {
+	suite := schedsearch.NewSuite(schedsearch.SuiteConfig{Seed: 6, JobScale: 0.025})
+	months := map[core.Algorithm][]string{
+		core.DDS:  schedsearch.MonthLabels(),
+		core.CDDS: schedsearch.MonthLabels(),
+		core.LDS:  {"7/03", "1/04"},
+		core.ADDS: {"7/03", "1/04"},
+	}
+	var ntbCold, ntbWarm int64
+	for _, algo := range []core.Algorithm{core.DDS, core.CDDS, core.LDS, core.ADDS} {
+		for _, month := range months[algo] {
+			cold := core.New(algo, core.HeuristicLXF, core.DynamicBound(), 24)
+			warm := core.New(algo, core.HeuristicLXF, core.DynamicBound(), 24)
+			warm.WarmStart = true
+			m := &warmMirrorPolicy{t: t, cold: cold, warm: warm}
+			sum, _, err := schedsearch.RunMonth(suite, month, schedsearch.SimOptions{TargetLoad: 0.95}, m)
+			if err != nil {
+				t.Fatalf("%s %s: %v", algo, month, err)
+			}
+			if sum.Jobs == 0 {
+				t.Fatalf("%s %s: no jobs measured", algo, month)
+			}
+			cs, ws := cold.SearchStats, warm.SearchStats
+			if cs.Nodes != ws.Nodes || cs.Leaves != ws.Leaves ||
+				cs.BudgetHits != ws.BudgetHits || cs.Exhausted != ws.Exhausted {
+				t.Fatalf("%s %s: effort nodes/leaves/hits/exhausted %d/%d/%d/%d warm, %d/%d/%d/%d cold",
+					algo, month, ws.Nodes, ws.Leaves, ws.BudgetHits, ws.Exhausted,
+					cs.Nodes, cs.Leaves, cs.BudgetHits, cs.Exhausted)
+			}
+			if ws.NodesToBest > cs.NodesToBest {
+				t.Errorf("%s %s: warm nodes-to-best %d exceeds cold %d",
+					algo, month, ws.NodesToBest, cs.NodesToBest)
+			}
+			if ws.WarmDecisions == 0 {
+				t.Errorf("%s %s: no decision was ever seeded", algo, month)
+			}
+			ntbCold += cs.NodesToBest
+			ntbWarm += ws.NodesToBest
+		}
+	}
+	if ntbWarm >= ntbCold {
+		t.Errorf("warm start saved nothing: nodes-to-best %d warm, %d cold", ntbWarm, ntbCold)
+	}
+	t.Logf("nodes-to-best: cold %d, warm %d (%.2fx fewer)",
+		ntbCold, ntbWarm, float64(ntbCold)/float64(max64(ntbWarm, 1)))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestWarmParallelSuiteDifferential composes the two equivalences: a
+// warm-started parallel scheduler against a warm-started sequential one
+// over a pair of months, NodesToBest included (the parallel merge
+// replays the sequential improvement order exactly).
+func TestWarmParallelSuiteDifferential(t *testing.T) {
+	suite := schedsearch.NewSuite(schedsearch.SuiteConfig{Seed: 6, JobScale: 0.025})
+	for _, month := range []string{"7/03", "1/04"} {
+		seq := core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), 24)
+		par := core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), 24)
+		seq.WarmStart, par.WarmStart = true, true
+		par.Workers = 4
+		m := &mirrorPolicy{t: t, seq: seq, par: par}
+		if _, _, err := schedsearch.RunMonth(suite, month, schedsearch.SimOptions{TargetLoad: 0.95}, m); err != nil {
+			t.Fatalf("%s: %v", month, err)
+		}
+		if seq.SearchStats.NodesToBest != par.SearchStats.NodesToBest {
+			t.Fatalf("%s: nodes-to-best %d parallel, %d sequential",
+				month, par.SearchStats.NodesToBest, seq.SearchStats.NodesToBest)
+		}
+	}
+}
