@@ -108,6 +108,68 @@ func TestChaosSoakFederation(t *testing.T) {
 	}
 }
 
+// TestChaosSoakFederationRemote soaks the out-of-process federation:
+// every shard is a real engine+HTTP-server process-equivalent with its
+// own journal, the router drives them over TCP, and on top of the full
+// in-process fault mix one shard process is killed outright and
+// restarted from its journal while partition faults (refused
+// connections, black-hole timeouts, responses dropped after delivery —
+// including mid-migration) hit the wire between the router and a
+// seeded shard. chaos.RunFederationRemote fails on any invariant
+// violation: an acknowledged job lost, a job admitted on two shards,
+// or an oracle violation in the merged schedule.
+func TestChaosSoakFederationRemote(t *testing.T) {
+	seeds := 6
+	if testing.Short() {
+		seeds = 2
+	}
+	totalReroutes := int64(0)
+	for _, place := range []federation.Placement{
+		federation.LeastLoaded{}, federation.HashByUser{},
+	} {
+		place := place
+		t.Run(place.Name(), func(t *testing.T) {
+			for seed := uint64(1); seed <= uint64(seeds); seed++ {
+				res, err := chaos.RunFederationRemote(chaos.RemoteFederationConfig{
+					FederationConfig: chaos.FederationConfig{
+						Config: chaos.Config{
+							Seed:   seed,
+							Faults: chaos.AllFaults | chaos.FaultPartition,
+							Policy: func() sim.Policy {
+								return schedsearch.NewSearchScheduler(schedsearch.DDS, schedsearch.HeuristicLXF,
+									schedsearch.DynamicBound(), 100)
+							},
+							Jobs: 80,
+						},
+						Shards:         4,
+						Placement:      place,
+						RebalanceEvery: 120,
+					},
+					Dir:          t.TempDir(),
+					GossipEvery:  45,
+					WorkStealing: true,
+				})
+				if err != nil {
+					t.Fatalf("seed %d: %v (reproduce: chaos.RunFederationRemote with this seed)", seed, err)
+				}
+				if len(res.Records) == 0 {
+					t.Fatalf("seed %d: no jobs completed", seed)
+				}
+				if res.RebuiltShard < 0 {
+					t.Fatalf("seed %d: the shard-process kill/restart never fired", seed)
+				}
+				totalReroutes += res.Reroutes
+				t.Logf("seed %d: %d completed, %d rejected, %d wire-uncertain, shard %d killed+restarted, shard %d partitioned, %d reroutes, %d migrations",
+					seed, len(res.Records), res.Rejected, res.Uncertain,
+					res.RebuiltShard, res.PartitionedShard, res.Reroutes, res.Federation.Migrations)
+			}
+		})
+	}
+	if totalReroutes == 0 {
+		t.Error("no submission was ever rerouted across the whole soak; the degraded-routing path went untested")
+	}
+}
+
 // TestChaosSoakIngest soaks the batched ingest path: seeded client
 // fleets pushing bursts past the accept-queue bound, slow clients
 // trickling items, disconnects abandoning tickets mid-batch, duplicate

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -57,6 +58,151 @@ func TestSchedsimJSON(t *testing.T) {
 	}
 	if m.Summary.UtilizedLoad <= 0 || m.Summary.UtilizedLoad > 1 {
 		t.Errorf("utilized load %v out of range", m.Summary.UtilizedLoad)
+	}
+}
+
+// TestScheddFanout is the end-to-end multi-process federation test: a
+// schedd supervisor spawns four shard child processes (each a full
+// daemon with its own journal), fronts them over real TCP, and the
+// whole cluster schedules submitted jobs, reports per-shard readiness
+// and federation metrics, then drains — children and supervisor all
+// exiting cleanly.
+func TestScheddFanout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a 5-process schedd cluster")
+	}
+	dir := t.TempDir()
+	bin := buildCmd(t, dir, "schedd")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0", "-fanout", "4", "-policy", "DDS/lxf/dynB", "-L", "200",
+		"-capacity", "32", "-speedup", "600", "-gossip", "30", "-steal",
+		"-journal", filepath.Join(dir, "fan.journal"))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	reader := bufio.NewReader(stdout)
+	line, err := reader.ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading listen line: %v (stderr: %s)", err, stderr.String())
+	}
+	if !strings.Contains(line, "4 remote shards") {
+		t.Fatalf("startup line %q does not announce the remote federation", line)
+	}
+	i := strings.LastIndex(line, "listening on ")
+	if i < 0 {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	base := "http://" + strings.TrimSpace(line[i+len("listening on "):])
+
+	getJSON := func(path string, wantStatus int) map[string]any {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if wantStatus != 0 && resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", path, err)
+		}
+		return m
+	}
+
+	// Readiness must carry the per-shard breakdown: four healthy shard
+	// processes behind the front-end.
+	ready := getJSON("/v1/readyz", http.StatusOK)
+	if ready["ready"] != true {
+		t.Fatalf("readyz: %v", ready)
+	}
+	shards, _ := ready["shards"].([]any)
+	if len(shards) != 4 {
+		t.Fatalf("readyz shards %v, want 4", ready["shards"])
+	}
+	for _, sh := range shards {
+		if sh.(map[string]any)["healthy"] != true {
+			t.Fatalf("unhealthy shard at boot: %v", sh)
+		}
+	}
+
+	// Submit eight 4-node jobs (each shard partition holds 8 nodes);
+	// every one must complete on some shard, over the wire.
+	var ids []int
+	for k := 0; k < 8; k++ {
+		body := fmt.Sprintf(`{"nodes":4,"runtime_s":300,"user":%d}`, k)
+		resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /v1/jobs: %v", err)
+		}
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatalf("POST /v1/jobs: bad JSON: %v", err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 400 {
+			t.Fatalf("POST /v1/jobs: %d %v", resp.StatusCode, m)
+		}
+		ids = append(ids, int(m["id"].(float64)))
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for _, id := range ids {
+		for {
+			st := getJSON(fmt.Sprintf("/v1/jobs/%d", id), 0)
+			if st["state"] == "done" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %d stuck in state %v", id, st["state"])
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	fedRep := getJSON("/v1/federation", http.StatusOK)
+	if fedRep["shards"] != float64(4) {
+		t.Fatalf("federation report %v, want 4 shards", fedRep["shards"])
+	}
+
+	// Drain: must propagate to every child, which then exit on their
+	// own; the supervisor reaps them and exits cleanly.
+	resp, err := http.Post(base+"/v1/drain", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST /v1/drain: %v", err)
+	}
+	resp.Body.Close()
+	restCh := make(chan struct{}, 1)
+	go func() {
+		io.Copy(io.Discard, reader)
+		restCh <- struct{}{}
+	}()
+	select {
+	case <-restCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("schedd supervisor did not exit after drain")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("schedd exit: %v (stderr: %s)", err, stderr.String())
+	}
+
+	// Each shard child journaled its own events.
+	for s := 0; s < 4; s++ {
+		fi, err := os.Stat(filepath.Join(dir, fmt.Sprintf("fan.journal.shard-%d", s)))
+		if err != nil {
+			t.Fatalf("shard %d journal: %v", s, err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("shard %d journal is empty", s)
+		}
 	}
 }
 

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+
+	"schedsearch/internal/federation"
+)
+
+// spawnShardProcs launches n schedd shard child processes on loopback
+// ports (fanout mode): each child re-executes this binary with the
+// pass-through policy flags in baseArgs plus its own near-even slice of
+// capacity, and — when dur.path is set — its own journal at
+// <path>.shard-N with the supervisor's group-commit and compaction
+// settings. The children's listen addresses are read from their
+// parseable "listening on HOST:PORT" start-up lines; base URLs are
+// returned in shard order once every child is accepting.
+//
+// Leftover non-empty shard journals are rotated to <path>.shard-N.old
+// first, matching the in-process federated start-up: the front-end
+// assigns job IDs from 1 on every boot, so resuming a child over an old
+// run's events would collide IDs across incarnations.
+//
+// On a partial boot failure every already-started child is killed and
+// reaped before the error returns.
+func spawnShardProcs(n, capacity int, baseArgs []string, dur durOptions) (urls []string, procs []*exec.Cmd, err error) {
+	caps, err := federation.PartitionCapacity(capacity, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer func() {
+		if err != nil {
+			for _, c := range procs {
+				_ = c.Process.Kill()
+				_ = c.Wait()
+			}
+		}
+	}()
+	rotated := 0
+	for i := 0; i < n; i++ {
+		args := append([]string(nil), baseArgs...)
+		args = append(args, "-addr", "127.0.0.1:0", "-capacity", strconv.Itoa(caps[i]))
+		if dur.path != "" {
+			spath := fmt.Sprintf("%s.shard-%d", dur.path, i)
+			if st, serr := os.Stat(spath); serr == nil && st.Size() > 0 {
+				if rerr := os.Rename(spath, spath+".old"); rerr != nil {
+					return nil, nil, fmt.Errorf("rotate shard journal %s: %w", spath, rerr)
+				}
+				rotated++
+			}
+			args = append(args,
+				"-journal", spath,
+				"-group-commit", strconv.Itoa(dur.group),
+				"-compact-every", strconv.Itoa(dur.compactEvery))
+		}
+		cmd := exec.Command(self, args...)
+		cmd.Stderr = os.Stderr
+		stdout, perr := cmd.StdoutPipe()
+		if perr != nil {
+			err = perr
+			return nil, nil, err
+		}
+		if err = cmd.Start(); err != nil {
+			return nil, nil, err
+		}
+		procs = append(procs, cmd)
+		br := bufio.NewReader(stdout)
+		line, rerr := br.ReadString('\n')
+		if rerr != nil {
+			err = fmt.Errorf("shard %d: reading its listen line: %w", i, rerr)
+			return nil, nil, err
+		}
+		k := strings.LastIndex(line, "listening on ")
+		if k < 0 {
+			err = fmt.Errorf("shard %d: unexpected start-up line %q", i, line)
+			return nil, nil, err
+		}
+		urls = append(urls, "http://"+strings.TrimSpace(line[k+len("listening on "):]))
+		// Keep the child's stdout drained (it prints final metrics JSON
+		// on exit) so it never blocks on a full pipe.
+		go io.Copy(io.Discard, br)
+		fmt.Fprintf(os.Stderr, "schedd: shard %d/%d: %d nodes at %s\n", i, n, caps[i], urls[i])
+	}
+	if rotated > 0 {
+		fmt.Fprintf(os.Stderr, "schedd: rotated %d non-empty shard journals to %s.shard-N.old (fanout start-up does not resume them)\n",
+			rotated, dur.path)
+	}
+	return urls, procs, nil
+}

@@ -47,12 +47,34 @@
 // -shards N > 1 partitions the machine across N engine shards behind a
 // routing front-end (internal/federation): each shard runs the full
 // policy over its own node partition, -placement picks the routing
-// policy (least-loaded, best-fit or hash-by-user), and -rebalance T
+// policy (least-loaded, best-fit or hash-by-user), -rebalance T
 // migrates still-queued jobs from overloaded to underloaded shards
-// every T seconds (0 disables). GET /v1/federation reports the
-// per-shard breakdown. Jobs wider than every shard's partition are
-// rejected (serving) or skipped with a note (replay). Works in both
-// serving and replay modes.
+// every T seconds (0 disables), and -gossip T polls every shard's load
+// on a period (with -steal letting idle shards take queued work from
+// the most loaded). GET /v1/federation reports the per-shard
+// breakdown. Jobs wider than every shard's partition are rejected
+// (serving) or skipped with a note (replay). Works in both serving and
+// replay modes.
+//
+// Distributed federation (serving mode):
+//
+//	schedd -fanout 16 -capacity 512 -policy DDS/lxf/dynB -journal sched.journal
+//	schedd -join http://10.0.0.1:8080,http://10.0.0.2:8080
+//
+// -fanout N spawns N schedd shard child processes on loopback ports —
+// each owns its near-even slice of -capacity, runs the forwarded
+// policy flags, and (with -journal) appends to its own
+// <path>.shard-N journal it recovers independently — then serves as
+// the federation front-end over them. -join instead fronts shard
+// daemons that are already running (anywhere reachable), discovering
+// their capacities over the wire. Either way the shards are driven
+// through per-call timeouts with bounded retries; an unreachable
+// shard's work is routed around it (GET /v1/readyz answers 503 with
+// the per-shard breakdown while any shard is dark), certain-failure
+// submissions are rerouted, and wire-uncertain migration steps are
+// parked and reconciled on the gossip tick instead of being retried
+// blindly. A drain (POST /v1/drain or SIGINT/SIGTERM) propagates to
+// every shard; fanout children exit with the supervisor.
 //
 // Replay mode:
 //
@@ -89,8 +111,11 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -130,6 +155,10 @@ func main() {
 		shards    = flag.Int("shards", 1, "engine shards; >1 federates the machine behind a routing front-end")
 		placement = flag.String("placement", "least-loaded", "federation placement policy: least-loaded, best-fit or hash-by-user")
 		rebalance = flag.Int64("rebalance", 60, "federation rebalance period in engine seconds (0 = off)")
+		gossip    = flag.Int64("gossip", 60, "federation load-gossip period in engine seconds (0 = off); remote federations also reconcile parked wire-uncertain migration steps on this tick")
+		steal     = flag.Bool("steal", false, "enable the gossip pass's work-stealing step: a shard with free nodes and an empty queue takes queued work from the most loaded shard")
+		join      = flag.String("join", "", "serve as a federation front-end over these already-running out-of-process shard daemons (comma-separated base URLs, e.g. http://10.0.0.1:8080,http://10.0.0.2:8080)")
+		fanout    = flag.Int("fanout", 0, "spawn N schedd shard child processes on loopback ports and front them (serving mode; each child owns its slice of -capacity and, with -journal, its own <path>.shard-N journal)")
 
 		journalPath  = flag.String("journal", "", "append committed events to this journal file and recover from it on start (serving mode; federation appends to <path>.shard-N)")
 		groupCommit  = flag.Int("group-commit", 64, "journal appends per fsync (1 = fsync every commit)")
@@ -173,8 +202,52 @@ func main() {
 	if chaosOn {
 		fmt.Fprintf(os.Stderr, "schedd: chaos mode on (seed %d): injecting policy panics and latency\n", *chaosSeed)
 	}
-	fed := fedOptions{shards: *shards, rebalance: job.Duration(*rebalance)}
-	if *shards > 1 {
+	fed := fedOptions{
+		shards:    *shards,
+		rebalance: job.Duration(*rebalance),
+		gossip:    job.Duration(*gossip),
+		steal:     *steal,
+		fanout:    *fanout,
+	}
+	if *join != "" {
+		for _, u := range strings.Split(*join, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				fed.join = append(fed.join, u)
+			}
+		}
+	}
+	remote := len(fed.join) > 0 || fed.fanout > 0
+	if remote {
+		if len(fed.join) > 0 && fed.fanout > 0 {
+			fatal(errors.New("-join and -fanout are mutually exclusive"))
+		}
+		if fed.fanout == 1 || fed.fanout < 0 {
+			fatal(fmt.Errorf("-fanout %d: want at least 2 shard processes", fed.fanout))
+		}
+		if *shards > 1 {
+			fatal(errors.New("-shards federates in process; drop it when using -join or -fanout"))
+		}
+		if *virtual || *swfIn != "" {
+			fatal(errors.New("-join/-fanout are serving-mode only (replay has no remote shards)"))
+		}
+		if chaosOn {
+			fatal(errors.New("-chaos is not supported on a remote federation front-end"))
+		}
+		// Children re-run this binary with the policy flags forwarded;
+		// they admit synchronously (no accept queue) — batching belongs
+		// to the front-end, and migration steps bypass ingest anyway.
+		fed.childArgs = []string{
+			"-policy", *policyArg,
+			"-L", strconv.Itoa(*nodeLimit),
+			"-workers", strconv.Itoa(*workers),
+			fmt.Sprintf("-warm=%v", *warm),
+			"-slo", slo.String(),
+			fmt.Sprintf("-requested=%v", *requested),
+			"-speedup", strconv.FormatFloat(*speedup, 'g', -1, 64),
+			"-ingest-pending", "0",
+		}
+	}
+	if *shards > 1 || remote {
 		place, err := federation.ParsePlacement(*placement)
 		if err != nil {
 			fatal(err)
@@ -212,13 +285,24 @@ type ingOptions struct {
 	quotaBurst float64
 }
 
-// fedOptions carry the federation flags; shards <= 1 means a bare
-// engine.
+// fedOptions carry the federation flags; shards <= 1 with neither join
+// URLs nor a fanout count means a bare engine.
 type fedOptions struct {
 	shards    int
 	placement federation.Placement
 	rebalance job.Duration
+	gossip    job.Duration
+	steal     bool
+	// join lists out-of-process shard base URLs to front; fanout spawns
+	// that many shard child processes instead. Either makes serve build
+	// a remote federation (RemoteShard clients behind the router).
+	join      []string
+	fanout    int
+	childArgs []string // pass-through flags for fanout children
 }
+
+// remote reports whether the federation is out of process.
+func (f fedOptions) remote() bool { return len(f.join) > 0 || f.fanout > 0 }
 
 // backend is what both run modes drive: a bare *engine.Engine or a
 // *federation.Router.
@@ -276,7 +360,7 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 	// so re-armed completion timers fire in the future, never the past.
 	var recovered *engine.Checkpoint
 	start := job.Time(0)
-	if dur.path != "" && fed.shards <= 1 {
+	if dur.path != "" && fed.shards <= 1 && !fed.remote() {
 		if st, err := os.Stat(dur.path); err == nil && st.Size() > 0 {
 			// RecoverCheckpoint truncates any torn tail, so the O_APPEND
 			// handle opened below starts on a clean line boundary.
@@ -302,8 +386,44 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 		router   *federation.Router
 		orc      *oracle.Oracle
 		journals []*engine.FileJournal
+		children []*exec.Cmd
 	)
-	if fed.shards > 1 {
+	defer func() {
+		// Fanout children normally exit on their own after the drain the
+		// router forwards to them; this reap catches error paths (and is
+		// a no-op kill on an already-exited child).
+		for _, c := range children {
+			_ = c.Process.Kill()
+			_ = c.Wait()
+		}
+	}()
+	if fed.remote() {
+		urls := fed.join
+		if fed.fanout > 0 {
+			var err error
+			urls, children, err = spawnShardProcs(fed.fanout, capacity, fed.childArgs, dur)
+			if err != nil {
+				return err
+			}
+		} else if dur.path != "" {
+			fmt.Fprintf(os.Stderr, "schedd: -journal is ignored with -join (each shard daemon owns its journal)\n")
+		}
+		shardClients := make([]engine.Shard, len(urls))
+		for i, u := range urls {
+			shardClients[i] = federation.NewRemoteShard(u, federation.RemoteShardOptions{})
+		}
+		r, err := federation.NewWithShards(federation.Config{
+			Clock:          clock,
+			Placement:      fed.placement,
+			RebalanceEvery: fed.rebalance,
+			GossipEvery:    fed.gossip,
+			WorkStealing:   fed.steal,
+		}, shardClients)
+		if err != nil {
+			return err
+		}
+		bk, router = r, r
+	} else if fed.shards > 1 {
 		fcfg := federation.Config{
 			Capacity:       capacity,
 			Shards:         fed.shards,
@@ -312,6 +432,8 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 			Clock:          clock,
 			UseRequested:   requested,
 			RebalanceEvery: fed.rebalance,
+			GossipEvery:    fed.gossip,
+			WorkStealing:   fed.steal,
 		}
 		if dur.path != "" {
 			// Shard journals are opened up front so factory calls (initial
@@ -444,8 +566,12 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 
 	// The test harness and shell scripts parse this line for the port.
 	if router != nil {
-		fmt.Printf("schedd: policy %s on %d nodes (%d shards, %s placement), listening on %s\n",
-			bk.Metrics().Policy, capacity, fed.shards, fed.placement.Name(), ln.Addr())
+		kind := ""
+		if fed.remote() {
+			kind = " remote"
+		}
+		fmt.Printf("schedd: policy %s on %d nodes (%d%s shards, %s placement), listening on %s\n",
+			bk.Metrics().Policy, bk.Metrics().Capacity, router.NumShards(), kind, fed.placement.Name(), ln.Addr())
 	} else {
 		fmt.Printf("schedd: policy %s on %d nodes, listening on %s\n",
 			bk.Metrics().Policy, capacity, ln.Addr())
@@ -464,6 +590,23 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 	if err := bk.Err(); err != nil {
 		return err
 	}
+	// A drained fanout child exits by itself once its machine empties;
+	// reap them here so their journals are closed before we report. A
+	// child that never got the drain (its wire was down during
+	// shutdown) is killed after a grace period rather than hanging the
+	// supervisor.
+	for _, c := range children {
+		c := c
+		done := make(chan struct{})
+		go func() { _ = c.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			_ = c.Process.Kill()
+			<-done
+		}
+	}
+	children = nil
 	if chaosOn {
 		if err := verify(orc, bk, router); err != nil {
 			return err
@@ -507,6 +650,8 @@ func replay(mkPolicy func(int) sim.Policy, swfIn, month string, seed uint64, sca
 			MeasureStart:   input.MeasureStart,
 			MeasureEnd:     input.MeasureEnd,
 			RebalanceEvery: fed.rebalance,
+			GossipEvery:    fed.gossip,
+			WorkStealing:   fed.steal,
 		})
 		if err != nil {
 			return err

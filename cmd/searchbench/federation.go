@@ -45,6 +45,14 @@ type fedReport struct {
 	Policy   string      `json:"policy"`
 	Capacity int         `json:"capacity"`
 	Results  []fedResult `json:"results"`
+	// Remote repeats the sweep with every shard out of process: a full
+	// engine behind its own HTTP server on a real TCP listener, driven
+	// through federation.RemoteShard — the same workload and shard
+	// counts, now paying the wire (JSON serialization, HTTP round
+	// trips, remote load probes). SpeedupVs1Shard here is against the
+	// remote 1-shard baseline, so the column isolates scaling from
+	// wire overhead.
+	Remote []fedResult `json:"remote,omitempty"`
 }
 
 // fedBenchJobs builds the deterministic synthetic workload for the
@@ -73,10 +81,74 @@ func fedBenchJobs(n, maxWidth int) []job.Job {
 	return jobs
 }
 
+// fedMeasure replays jobs through one pre-built router on vc and
+// returns the measurement. label prefixes the stderr progress line;
+// *baseWallMs is the sweep's 1-shard baseline (set on the first run).
+func fedMeasure(vc *engine.VirtualClock, router *federation.Router, shards int,
+	jobs []job.Job, capacity int, baseWallMs *float64, label string) (fedResult, error) {
+	for _, j := range jobs {
+		j := j
+		vc.AfterFunc(j.Submit, func() {
+			if err := router.SubmitJob(j); err != nil {
+				fatal(fmt.Errorf("%s bench: submit job %d on %d shards: %w", label, j.ID, shards, err))
+			}
+		})
+	}
+	t0 := time.Now()
+	vc.Run()
+	wall := time.Since(t0)
+	if err := router.Err(); err != nil {
+		return fedResult{}, err
+	}
+	if got := len(router.Records()); got != len(jobs) {
+		return fedResult{}, fmt.Errorf("%s bench: %d shards completed %d of %d jobs", label, shards, got, len(jobs))
+	}
+	// The bench doubles as a correctness probe: every measured run
+	// must pass the global federation sweep (for the remote sweep the
+	// shard states cross the wire to get here).
+	shardRecs := make([][]sim.Record, router.NumShards())
+	for i := range shardRecs {
+		shardRecs[i] = router.ShardRecords(i)
+	}
+	if err := oracle.CheckFederation(capacity, router.ShardCapacities(), nil, shardRecs); err != nil {
+		return fedResult{}, fmt.Errorf("%s bench: %d shards: %w", label, shards, err)
+	}
+
+	fm := router.Federation()
+	r := fedResult{
+		Shards:      shards,
+		Placement:   fm.Placement,
+		Jobs:        len(jobs),
+		WallMs:      float64(wall.Nanoseconds()) / 1e6,
+		Decisions:   fm.Global.Engine.Decisions,
+		AvgDecideMs: fm.Global.Engine.AvgDecideMs,
+		MaxDecideMs: fm.Global.Engine.MaxDecideMs,
+		Migrations:  fm.Migrations,
+	}
+	if wall > 0 {
+		r.JobsPerSec = float64(len(jobs)) / wall.Seconds()
+	}
+	if fm.RoutingDecisions > 0 {
+		r.RoutingNsPerJob = fm.RoutingNs / fm.RoutingDecisions
+	}
+	if shards == 1 || *baseWallMs == 0 {
+		*baseWallMs = r.WallMs
+	}
+	if r.WallMs > 0 {
+		r.SpeedupVs1Shard = *baseWallMs / r.WallMs
+	}
+	fmt.Fprintf(os.Stderr, "%s shards=%d: %.0f ms wall, %.0f jobs/s, avg decide %.3f ms, %d migrations\n",
+		label, shards, r.WallMs, r.JobsPerSec, r.AvgDecideMs, r.Migrations)
+	return r, nil
+}
+
 // runFederationBench replays the same synthetic workload through a
 // 1-shard, 2-shard, ... federation and reports decision latency and
 // throughput per shard count into outPath (BENCH_federation.json).
-func runFederationBench(outPath string, shardCounts []int, jobsN, limit, capacity int) error {
+// With remote the sweep is repeated against out-of-process-style
+// shards (engine + HTTP server on a real TCP listener behind a
+// RemoteShard client) into the report's "remote" section.
+func runFederationBench(outPath string, shardCounts []int, jobsN, limit, capacity int, remote bool) error {
 	maxShards := 1
 	for _, s := range shardCounts {
 		if s > maxShards {
@@ -111,59 +183,28 @@ func runFederationBench(outPath string, shardCounts []int, jobsN, limit, capacit
 			return err
 		}
 		rep.Policy = router.Metrics().Policy
-		for _, j := range jobs {
-			j := j
-			vc.AfterFunc(j.Submit, func() {
-				if err := router.SubmitJob(j); err != nil {
-					fatal(fmt.Errorf("federation bench: submit job %d on %d shards: %w", j.ID, shards, err))
-				}
-			})
-		}
-		t0 := time.Now()
-		vc.Run()
-		wall := time.Since(t0)
-		if err := router.Err(); err != nil {
+		r, err := fedMeasure(vc, router, shards, jobs, capacity, &baseWallMs, "federation")
+		if err != nil {
 			return err
 		}
-		if got := len(router.Records()); got != len(jobs) {
-			return fmt.Errorf("federation bench: %d shards completed %d of %d jobs", shards, got, len(jobs))
-		}
-		// The bench doubles as a correctness probe: every measured run
-		// must pass the global federation sweep.
-		shardRecs := make([][]sim.Record, router.NumShards())
-		for i := range shardRecs {
-			shardRecs[i] = router.ShardRecords(i)
-		}
-		if err := oracle.CheckFederation(capacity, router.ShardCapacities(), nil, shardRecs); err != nil {
-			return fmt.Errorf("federation bench: %d shards: %w", shards, err)
-		}
-
-		fm := router.Federation()
-		r := fedResult{
-			Shards:      shards,
-			Placement:   fm.Placement,
-			Jobs:        len(jobs),
-			WallMs:      float64(wall.Nanoseconds()) / 1e6,
-			Decisions:   fm.Global.Engine.Decisions,
-			AvgDecideMs: fm.Global.Engine.AvgDecideMs,
-			MaxDecideMs: fm.Global.Engine.MaxDecideMs,
-			Migrations:  fm.Migrations,
-		}
-		if wall > 0 {
-			r.JobsPerSec = float64(len(jobs)) / wall.Seconds()
-		}
-		if fm.RoutingDecisions > 0 {
-			r.RoutingNsPerJob = fm.RoutingNs / fm.RoutingDecisions
-		}
-		if shards == 1 || baseWallMs == 0 {
-			baseWallMs = r.WallMs
-		}
-		if r.WallMs > 0 {
-			r.SpeedupVs1Shard = baseWallMs / r.WallMs
-		}
 		rep.Results = append(rep.Results, r)
-		fmt.Fprintf(os.Stderr, "federation shards=%d: %.0f ms wall, %.0f jobs/s, avg decide %.3f ms, %d migrations\n",
-			shards, r.WallMs, r.JobsPerSec, r.AvgDecideMs, r.Migrations)
+	}
+
+	if remote {
+		var remoteBaseMs float64
+		for _, shards := range shardCounts {
+			vc := engine.NewVirtualClock()
+			router, stopShards, err := newRemoteFederation(vc, capacity, shards, limit)
+			if err != nil {
+				return err
+			}
+			r, err := fedMeasure(vc, router, shards, jobs, capacity, &remoteBaseMs, "federation-remote")
+			stopShards()
+			if err != nil {
+				return err
+			}
+			rep.Remote = append(rep.Remote, r)
+		}
 	}
 
 	w := os.Stdout

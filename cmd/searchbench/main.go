@@ -24,6 +24,15 @@
 //
 //	searchbench -federation -shards 1,2,4 -fedjobs 400 -fedlimit 200
 //
+// Adding -remote repeats the federation sweep with every shard out of
+// process: each shard is a full engine behind its own HTTP server on a
+// real TCP loopback listener, driven through federation.RemoteShard
+// clients — the report gains a "remote" section measuring the same
+// workload over the wire (JSON serialization, HTTP round trips, remote
+// load probes), so the scaling curve and the wire tax are separable:
+//
+//	searchbench -federation -remote -shards 1,4,16
+//
 // Ingest mode (-ingest) load-tests the accept path (internal/ingest):
 // concurrent client fleets push batched submissions from a ~1M-user ID
 // space through the accept queue into an engine with a group-commit
@@ -91,10 +100,11 @@ func main() {
 
 		warmAlgos = flag.String("warmalgos", "DDS,CDDS", "algorithms for the cold-vs-warm month replays (empty = skip)")
 		warmLimit = flag.Int("warmlimit", 1000, "node budget L for the cold-vs-warm replays")
-		fedMode = flag.Bool("federation", false, "benchmark the sharded federation instead of the search hot path")
-		shards  = flag.String("shards", "1,2,4", "shard counts to measure in -federation mode")
-		fedJobs = flag.Int("fedjobs", 400, "synthetic jobs per federation replay")
-		fedLim  = flag.Int("fedlimit", 200, "search node limit per decision in -federation mode")
+		fedMode   = flag.Bool("federation", false, "benchmark the sharded federation instead of the search hot path")
+		shards    = flag.String("shards", "1,2,4", "shard counts to measure in -federation mode")
+		fedJobs   = flag.Int("fedjobs", 400, "synthetic jobs per federation replay")
+		fedLim    = flag.Int("fedlimit", 200, "search node limit per decision in -federation mode")
+		fedRemote = flag.Bool("remote", false, "in -federation mode, also sweep out-of-process shards (each an engine behind its own HTTP server on real TCP, driven through federation.RemoteShard) into the report's \"remote\" section")
 
 		ingMode    = flag.Bool("ingest", false, "load-test the batched ingest path instead of the search hot path")
 		clients    = flag.String("clients", "4,16,64", "client fleet sizes (load levels) in -ingest mode")
@@ -123,7 +133,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runFederationBench(outPath("BENCH_federation.json"), shardCounts, *fedJobs, *fedLim, 128); err != nil {
+		if err := runFederationBench(outPath("BENCH_federation.json"), shardCounts, *fedJobs, *fedLim, 128, *fedRemote); err != nil {
 			fatal(err)
 		}
 		return

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"schedsearch/internal/core"
+	"schedsearch/internal/engine"
+	"schedsearch/internal/federation"
+	"schedsearch/internal/server"
+)
+
+// newRemoteFederation boots one out-of-process-style shard per
+// partition — a full engine behind its own HTTP server on a real TCP
+// loopback listener — and fronts them with federation.RemoteShard
+// clients, so every submission, load probe, migration step and record
+// fetch crosses the wire as JSON. The shards share the bench's virtual
+// clock: calls resolve synchronously inside timer callbacks, so the
+// replay stays deterministic while the measured wall time includes the
+// full HTTP serialization cost. stop tears the servers down.
+func newRemoteFederation(vc *engine.VirtualClock, capacity, shards, limit int) (*federation.Router, func(), error) {
+	caps, err := federation.PartitionCapacity(capacity, shards)
+	if err != nil {
+		return nil, nil, err
+	}
+	var servers []*http.Server
+	stop := func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+	}
+	clients := make([]engine.Shard, shards)
+	for i := range clients {
+		e, err := engine.New(engine.Config{
+			Capacity: caps[i],
+			Policy:   core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), limit),
+			Clock:    vc,
+		})
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, fmt.Errorf("federation bench: shard %d listen: %w", i, err)
+		}
+		srv := &http.Server{Handler: server.New(e, nil)}
+		go srv.Serve(ln)
+		servers = append(servers, srv)
+		clients[i] = federation.NewRemoteShard("http://"+ln.Addr().String(), federation.RemoteShardOptions{
+			Timeout: 30 * time.Second,
+			Sleep:   func(time.Duration) {},
+		})
+	}
+	router, err := federation.NewWithShards(federation.Config{
+		Clock:          vc,
+		RebalanceEvery: 600,
+	}, clients)
+	if err != nil {
+		stop()
+		return nil, nil, err
+	}
+	return router, stop, nil
+}

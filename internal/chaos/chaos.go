@@ -60,6 +60,12 @@ const (
 	// FaultCrashRebuild kills the engine mid-run and resumes from a
 	// Checkpoint via engine.Rebuild on the same clock.
 	FaultCrashRebuild
+	// FaultPartition injects wire faults between the router and one
+	// out-of-process shard (connection refused, black-hole timeouts,
+	// responses dropped after delivery). Only RunFederationRemote
+	// honors it; it is deliberately NOT part of AllFaults so the
+	// in-process soak matrices keep their historical fault mix.
+	FaultPartition
 )
 
 // AllFaults enables every fault class.
@@ -79,6 +85,7 @@ var faultNames = []struct {
 	{FaultPolicyPanic, "policy-panic"},
 	{FaultPolicyLatency, "policy-latency"},
 	{FaultCrashRebuild, "crash-rebuild"},
+	{FaultPartition, "partition"},
 }
 
 // String names the enabled fault classes.

@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+
+	"schedsearch/internal/federation"
+)
+
+// TestRunFederationRemote drives the out-of-process federation chaos
+// harness through its full fault mix: real TCP shard servers, a
+// whole-process shard kill with a journal-rebuild restart, and
+// partition windows (refused connections, black-hole timeouts,
+// dropped responses) between the router and one shard. A nil error is
+// the machine-checked certificate: no acknowledged job lost, none
+// double-admitted, merged schedule oracle-clean.
+func TestRunFederationRemote(t *testing.T) {
+	for _, seed := range []uint64{3, 9} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			res, err := RunFederationRemote(RemoteFederationConfig{
+				FederationConfig: FederationConfig{
+					Config: Config{
+						Seed:   seed,
+						Faults: AllFaults | FaultPartition,
+						Policy: dds,
+						Jobs:   80,
+					},
+					Shards:         4,
+					Placement:      federation.LeastLoaded{},
+					RebalanceEvery: 120,
+				},
+				Dir:          t.TempDir(),
+				GossipEvery:  45,
+				WorkStealing: true,
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v (reproduce: chaos.RunFederationRemote with this seed)", seed, err)
+			}
+			if len(res.Records) == 0 {
+				t.Fatal("no jobs completed")
+			}
+			if res.RebuiltShard < 0 {
+				t.Fatal("the shard-process kill/restart never fired")
+			}
+			if res.PartitionedShard < 0 {
+				t.Fatal("no partition windows were injected")
+			}
+			t.Logf("seed %d: %d completed, %d rejected, %d wire-uncertain, shard %d killed+restarted, shard %d partitioned, %d reroutes, %d migrations, %d steals",
+				seed, len(res.Records), res.Rejected, res.Uncertain,
+				res.RebuiltShard, res.PartitionedShard, res.Reroutes,
+				res.Federation.Migrations, res.Federation.Steals)
+		})
+	}
+}
+
+// TestRunFederationRemotePartitionOnly isolates the partition fault:
+// no crash, no policy faults — any job loss or double admission is
+// then attributable to the wire-failure handling alone (reroute only
+// on certain failures, park-and-reconcile on uncertain ones).
+func TestRunFederationRemotePartitionOnly(t *testing.T) {
+	res, err := RunFederationRemote(RemoteFederationConfig{
+		FederationConfig: FederationConfig{
+			Config: Config{
+				Seed:   5,
+				Faults: FaultPartition,
+				Policy: fcfs,
+				Jobs:   60,
+			},
+			Shards:         3,
+			Placement:      federation.LeastLoaded{},
+			RebalanceEvery: 90,
+		},
+		Dir:         t.TempDir(),
+		GossipEvery: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartitionedShard < 0 {
+		t.Fatal("no partition windows were injected")
+	}
+	t.Logf("%d completed, %d wire-uncertain, %d reroutes, %d pending at end",
+		len(res.Records), res.Uncertain, res.Reroutes, res.Pending)
+}
+
+// TestRunFederationRemoteValidation covers the config seams.
+func TestRunFederationRemoteValidation(t *testing.T) {
+	if _, err := RunFederationRemote(RemoteFederationConfig{
+		FederationConfig: FederationConfig{
+			Config: Config{Seed: 1, Policy: fcfs},
+			Shards: 1,
+		},
+		Dir: t.TempDir(),
+	}); err == nil {
+		t.Fatal("1-shard remote federation must be rejected")
+	}
+	if _, err := RunFederationRemote(RemoteFederationConfig{
+		FederationConfig: FederationConfig{
+			Config: Config{Seed: 1, Policy: fcfs},
+			Shards: 2,
+		},
+	}); err == nil {
+		t.Fatal("missing Dir must be rejected")
+	}
+	if got := FaultPartition.String(); got != "partition" {
+		t.Fatalf("FaultPartition.String() = %q", got)
+	}
+}

@@ -128,6 +128,14 @@ type Engine struct {
 	nextID  int
 	records []sim.Record
 	journal []Event
+	// withdrawn tombstones every job Withdraw removed, keyed by ID.
+	// They make migration withdrawals idempotent over a lossy wire: a
+	// retried Withdraw whose original landed finds the tombstone and
+	// returns the same job instead of "not queued". Rebuild repopulates
+	// them from EvWithdraw replay, so they survive a crash; compaction
+	// folds the journal but keeps the in-memory tombstones for the
+	// incarnation's lifetime. Bounded by the shard's migration count.
+	withdrawn map[int]job.Job
 	// base is the folded journal prefix after a compaction (nil until
 	// the first Compact); journal holds only the tail since.
 	base        *Base
@@ -174,14 +182,15 @@ func New(cfg Config) (*Engine, error) {
 	}
 	l.SetObserver(cfg.Observer)
 	e := &Engine{
-		cfg:      cfg,
-		clock:    cfg.Clock,
-		l:        l,
-		jobs:     make(map[int]*JobStatus),
-		nextID:   1,
-		done:     make(chan struct{}),
-		intStart: cfg.MeasureStart,
-		intEnd:   cfg.MeasureEnd,
+		cfg:       cfg,
+		clock:     cfg.Clock,
+		l:         l,
+		jobs:      make(map[int]*JobStatus),
+		withdrawn: make(map[int]job.Job),
+		nextID:    1,
+		done:      make(chan struct{}),
+		intStart:  cfg.MeasureStart,
+		intEnd:    cfg.MeasureEnd,
 	}
 	e.explicitWindow = !(e.intStart == 0 && e.intEnd == 0)
 	if !e.explicitWindow {
@@ -254,6 +263,11 @@ func (e *Engine) submitLocked(j job.Job, preserveSubmit bool) error {
 	e.noteQueueChange(now)
 	e.l.Enqueue(j, 0) // estimated lazily at the decision point
 	e.jobs[j.ID] = &JobStatus{Job: j, State: StateWaiting}
+	// A re-admission (migration undo, or a job bouncing back) retires
+	// the withdraw tombstone: from here on the job's fate is this
+	// incarnation's queue, and a stale tombstone must never satisfy a
+	// future withdraw retry.
+	delete(e.withdrawn, j.ID)
 	e.appendEvent(Event{Kind: EvSubmit, At: now, Job: j})
 	e.requestDecide()
 	e.commitLocked()
@@ -636,6 +650,7 @@ func (e *Engine) Withdraw(id int) (job.Job, error) {
 		return job.Job{}, e.fatal
 	}
 	delete(e.jobs, id)
+	e.withdrawn[id] = j
 	e.appendEvent(Event{Kind: EvWithdraw, At: now, ID: id})
 	e.commitLocked()
 	e.checkIdle()
@@ -646,6 +661,20 @@ func (e *Engine) Withdraw(id int) (job.Job, error) {
 		return job.Job{}, e.fatal
 	}
 	return j, nil
+}
+
+// Withdrawn reports whether a Withdraw for the job ID has committed in
+// this engine (and not been superseded by a re-admission), returning
+// the withdrawn job. The federation's remote-shard withdraw handler
+// uses it to answer a retried Withdraw whose original landed with the
+// same job instead of an error — the idempotency seam that keeps a
+// migration from dropping or duplicating a job when an acknowledgment
+// is lost on the wire.
+func (e *Engine) Withdrawn(id int) (job.Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.withdrawn[id]
+	return j, ok
 }
 
 // Load is a cheap occupancy summary of one engine, consumed by the

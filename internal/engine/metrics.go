@@ -195,6 +195,13 @@ type FederationMetrics struct {
 	// passes; RebalancePasses counts the passes themselves.
 	Migrations      int64 `json:"migrations"`
 	RebalancePasses int64 `json:"rebalance_passes"`
+	// Steals counts queued jobs pulled onto idle shards by the
+	// work-stealing gossip pass; GossipPasses counts those passes.
+	// Reroutes counts submissions re-placed after an unreachable
+	// shard refused delivery (remote federations only).
+	Steals       int64 `json:"steals,omitempty"`
+	GossipPasses int64 `json:"gossip_passes,omitempty"`
+	Reroutes     int64 `json:"reroutes,omitempty"`
 	// RoutingDecisions and RoutingNs meter the router's placement cost:
 	// calls to the placement policy and total wall time spent choosing
 	// a shard (load collection included).
@@ -206,6 +213,19 @@ type FederationMetrics struct {
 	// Global is the whole-machine view in the ordinary metrics schema
 	// (the same report a federated GET /v1/metrics serves).
 	Global Metrics `json:"global"`
+}
+
+// ShardHealth is one shard's reachability as seen from the federation
+// router. For in-process shards Healthy mirrors Err() == nil; for
+// remote shards it reflects the last wire interaction (a shard whose
+// last call failed — connection refused, timeout, dropped response —
+// is unhealthy until a call succeeds again). The server's
+// GET /v1/readyz reports the per-shard breakdown and answers 503 while
+// any shard is unhealthy.
+type ShardHealth struct {
+	Shard   int    `json:"shard"`
+	Healthy bool   `json:"healthy"`
+	Err     string `json:"err,omitempty"`
 }
 
 // AggregateShards fills the per-shard portion of a FederationMetrics

@@ -171,6 +171,7 @@ func (e *Engine) replayEvent(i int, ev Event, events []Event) error {
 		e.noteQueueChange(ev.At)
 		e.l.Enqueue(j, 0)
 		e.jobs[j.ID] = &JobStatus{Job: j, State: StateWaiting}
+		delete(e.withdrawn, j.ID)
 		if j.ID >= e.nextID {
 			e.nextID = j.ID + 1
 		}
@@ -237,6 +238,10 @@ func (e *Engine) replayEvent(i int, ev Event, events []Event) error {
 		if _, ok := e.l.Withdraw(ev.ID); !ok {
 			return fmt.Errorf("engine: rebuild: event %d: withdrawn job %d not in queue", i, ev.ID)
 		}
+		// Repopulate the idempotency tombstone: a rebuilt shard must
+		// still answer a retried Withdraw whose original committed
+		// before the crash.
+		e.withdrawn[ev.ID] = st.Job
 		delete(e.jobs, ev.ID)
 	default:
 		return fmt.Errorf("engine: rebuild: event %d: unknown kind %d", i, int(ev.Kind))

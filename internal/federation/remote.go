@@ -1,0 +1,645 @@
+package federation
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"schedsearch/internal/engine"
+	"schedsearch/internal/job"
+	"schedsearch/internal/sim"
+	"schedsearch/internal/wire"
+)
+
+// ErrUnreachable marks a wire failure where the request was certainly
+// never processed (connection refused, no route): the operation did
+// not happen and may be safely redirected elsewhere. The router's
+// degraded mode reroutes submissions on it.
+var ErrUnreachable = errors.New("federation: shard unreachable")
+
+// ErrUncertain marks a wire failure where the request MAY have been
+// processed (timeout or connection loss after the request was sent,
+// retries exhausted): the operation's outcome is unknown. Mutations
+// failing this way must not be blindly redirected — the router parks
+// uncertain migrations for reconciliation instead.
+var ErrUncertain = errors.New("federation: request outcome unknown")
+
+// RemoteShardOptions tunes a RemoteShard's wire behavior.
+type RemoteShardOptions struct {
+	// Timeout bounds each HTTP call (default 5s).
+	Timeout time.Duration
+	// Retries is how many times a failed call is retried (default 2,
+	// so 3 attempts total). Structured API errors are never retried —
+	// only transport failures.
+	Retries int
+	// Backoff is the first retry's delay, doubling per attempt
+	// (default 25ms).
+	Backoff time.Duration
+	// Sleep replaces time.Sleep between retries (tests and
+	// virtual-clock harnesses pass a no-op).
+	Sleep func(time.Duration)
+	// Transport replaces the HTTP transport (fault injection).
+	Transport http.RoundTripper
+}
+
+// RemoteShard drives one out-of-process schedd shard through its HTTP
+// API, implementing the same engine.Shard seam the router uses for
+// in-process engines: submissions, withdraw/admit migration steps,
+// load snapshots, records, metrics and checkpoints all cross the wire
+// as JSON.
+//
+// Every call carries a per-call timeout and bounded retries with
+// exponential backoff. Failures are classified: a dial error means the
+// request was never delivered (certain, safe to reroute), anything
+// after the request may have been sent is uncertain — mutations then
+// resolve the uncertainty by reading the shard back (submit/admit
+// verify the job landed; withdraw retries against the shard's
+// idempotent tombstone) and only report ErrUncertain once retries are
+// exhausted with the shard still dark.
+//
+// The shard's reachability is tracked across calls (Healthy); the
+// router skips unhealthy shards when placing work and readyz reports
+// the per-shard breakdown. All methods are goroutine-safe.
+type RemoteShard struct {
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+	retries int
+	backoff time.Duration
+	sleep   func(time.Duration)
+
+	mu sync.Mutex
+	// lastErr is the transport outcome of the most recent attempt (nil
+	// after any response from the shard, including API errors).
+	lastErr error
+	// remoteFatal is a fatal error the shard itself reported via
+	// metrics (engine.Metrics.Error).
+	remoteFatal error
+	// Cached last-known views, served when the shard is unreachable so
+	// degraded routing still has loads to compare (and a front-end can
+	// report final metrics for shard daemons that exited after a
+	// drain).
+	lastLoad     engine.Load
+	haveLoad     bool
+	lastMetrics  engine.Metrics
+	haveMetrics  bool
+	lastNow      job.Time
+	lastDraining bool
+}
+
+// NewRemoteShard returns a client for the shard at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func NewRemoteShard(baseURL string, opts RemoteShardOptions) *RemoteShard {
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	} else if opts.Retries == 0 {
+		opts.Retries = 2
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 25 * time.Millisecond
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	tr := opts.Transport
+	if tr == nil {
+		tr = http.DefaultTransport
+	}
+	return &RemoteShard{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      &http.Client{Transport: tr},
+		timeout: opts.Timeout,
+		retries: opts.Retries,
+		backoff: opts.Backoff,
+		sleep:   opts.Sleep,
+	}
+}
+
+// Addr returns the shard's base URL.
+func (rs *RemoteShard) Addr() string { return rs.base }
+
+// Healthy returns nil when the last wire interaction reached the shard
+// and the shard reports no fatal error; otherwise the blocking error.
+func (rs *RemoteShard) Healthy() error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.lastErr != nil {
+		return rs.lastErr
+	}
+	return rs.remoteFatal
+}
+
+// apiError is a structured error body answered by the shard: the shard
+// is alive and definitively rejected the request.
+type apiError struct {
+	Status int
+	Code   string
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("remote shard: %d %s: %s", e.Status, e.Code, e.Msg)
+}
+
+// mapAPIError translates wire error codes back into the sentinel
+// errors in-process shards return, so the router's error handling is
+// transport-agnostic.
+func mapAPIError(ae *apiError) error {
+	switch ae.Code {
+	case "duplicate_id":
+		return fmt.Errorf("%w: %v", engine.ErrDuplicateID, ae)
+	case "draining":
+		return fmt.Errorf("%w (%v)", engine.ErrDraining, ae)
+	case "not_queued", "unknown_job":
+		return fmt.Errorf("%w: %v", engine.ErrNotQueued, ae)
+	}
+	return ae
+}
+
+// isDialError reports whether the transport failure happened before
+// the request could have been delivered — the one class of failure
+// where "it did not happen" is certain.
+func isDialError(err error) bool {
+	var oe *net.OpError
+	return errors.As(err, &oe) && oe.Op == "dial"
+}
+
+// maxResponseBytes bounds response bodies the client will buffer; a
+// hostile or corrupted shard cannot balloon the router's memory.
+const maxResponseBytes = 64 << 20
+
+// once performs a single HTTP attempt. A returned *apiError means the
+// shard answered; any other error is a transport failure. Health is
+// updated either way.
+func (rs *RemoteShard) once(method, path string, reqBody, out any) error {
+	var body io.Reader
+	if reqBody != nil {
+		b, err := json.Marshal(reqBody)
+		if err != nil {
+			return fmt.Errorf("federation: encode %s: %w", path, err)
+		}
+		body = bytes.NewReader(b)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), rs.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, method, rs.base+path, body)
+	if err != nil {
+		return err
+	}
+	if reqBody != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rs.hc.Do(req)
+	if err != nil {
+		rs.markFail(err)
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes+1))
+	if err != nil {
+		rs.markFail(err)
+		return err
+	}
+	if len(data) > maxResponseBytes {
+		err := fmt.Errorf("federation: %s %s: response exceeds %d bytes", method, path, maxResponseBytes)
+		rs.markFail(err)
+		return err
+	}
+	// Any complete response proves the shard alive, even a rejection.
+	rs.markOK()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var er wire.ErrorResponse
+		_ = json.Unmarshal(data, &er)
+		if er.Error == "" {
+			er.Error = strings.TrimSpace(string(data))
+		}
+		return &apiError{Status: resp.StatusCode, Code: er.Code, Msg: er.Error}
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			// A garbled success body: the operation's outcome on the
+			// shard is fine, but the caller cannot use the answer.
+			// Treated as a transport-class failure (retryable).
+			return fmt.Errorf("federation: decode %s %s: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+func (rs *RemoteShard) markOK() {
+	rs.mu.Lock()
+	rs.lastErr = nil
+	rs.mu.Unlock()
+}
+
+func (rs *RemoteShard) markFail(err error) {
+	rs.mu.Lock()
+	rs.lastErr = err
+	rs.mu.Unlock()
+}
+
+func (rs *RemoteShard) backoffFor(attempt int) time.Duration {
+	d := rs.backoff
+	for i := 1; i < attempt; i++ {
+		d *= 2
+	}
+	return d
+}
+
+// get performs an idempotent GET with retries; exhaustion wraps
+// ErrUnreachable.
+func (rs *RemoteShard) get(path string, out any) error {
+	var lastErr error
+	for a := 0; a <= rs.retries; a++ {
+		if a > 0 {
+			rs.sleep(rs.backoffFor(a))
+		}
+		err := rs.once(http.MethodGet, path, nil, out)
+		if err == nil {
+			return nil
+		}
+		var ae *apiError
+		if errors.As(err, &ae) {
+			return mapAPIError(ae)
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("%w: GET %s: %v", ErrUnreachable, path, lastErr)
+}
+
+// postJobVerified delivers a job-admitting POST (SubmitJob or the
+// migration Admit) with landed-verification: after an uncertain
+// transport failure, a duplicate-ID rejection on retry — or the job
+// simply being present on the shard — means the original landed and is
+// success, not an error.
+func (rs *RemoteShard) postJobVerified(path string, reqBody any, id int) error {
+	uncertain := false
+	var lastErr error
+	for a := 0; a <= rs.retries; a++ {
+		if a > 0 {
+			rs.sleep(rs.backoffFor(a))
+		}
+		err := rs.once(http.MethodPost, path, reqBody, nil)
+		if err == nil {
+			return nil
+		}
+		var ae *apiError
+		if errors.As(err, &ae) {
+			if ae.Code == "duplicate_id" && uncertain {
+				// A prior attempt's outcome was unknown; the duplicate
+				// proves it landed. Verify the job exists to rule out a
+				// genuine ID collision with someone else's job.
+				if _, ok, lerr := rs.lookup(id); lerr == nil && ok {
+					return nil
+				}
+			}
+			return mapAPIError(ae)
+		}
+		lastErr = err
+		if !isDialError(err) {
+			uncertain = true
+			// The request may have been processed with the response
+			// lost; read the shard back before resending.
+			if st, ok, lerr := rs.lookup(id); lerr == nil && ok && st.Job.ID == id {
+				return nil
+			}
+		}
+	}
+	if uncertain {
+		return fmt.Errorf("%w: POST %s job %d: %v", ErrUncertain, path, id, lastErr)
+	}
+	return fmt.Errorf("%w: POST %s job %d: %v", ErrUnreachable, path, id, lastErr)
+}
+
+// lookup fetches one job's status; ok=false with nil error means the
+// shard answered "no such job".
+func (rs *RemoteShard) lookup(id int) (engine.JobStatus, bool, error) {
+	var jr wire.JobResponse
+	err := rs.once(http.MethodGet, fmt.Sprintf("/v1/jobs/%d", id), nil, &jr)
+	if err == nil {
+		return statusFromResponse(jr), true, nil
+	}
+	var ae *apiError
+	if errors.As(err, &ae) {
+		if ae.Status == http.StatusNotFound {
+			return engine.JobStatus{}, false, nil
+		}
+		return engine.JobStatus{}, false, mapAPIError(ae)
+	}
+	return engine.JobStatus{}, false, err
+}
+
+// statusFromResponse reconstructs an engine.JobStatus from the public
+// job schema.
+func statusFromResponse(jr wire.JobResponse) engine.JobStatus {
+	st := engine.JobStatus{
+		Job: job.Job{
+			ID: jr.ID, Submit: jr.SubmitS, Nodes: jr.Nodes,
+			Runtime: jr.RuntimeS, Request: jr.RequestS, User: jr.User,
+		},
+		Estimate: jr.EstimateS,
+		NodeIDs:  jr.NodeIDs,
+	}
+	switch jr.State {
+	case engine.StateRunning.String():
+		st.State = engine.StateRunning
+	case engine.StateDone.String():
+		st.State = engine.StateDone
+	default:
+		st.State = engine.StateWaiting
+	}
+	if jr.StartS != nil {
+		st.Start = *jr.StartS
+	}
+	if jr.EndS != nil {
+		st.End = *jr.EndS
+	}
+	return st
+}
+
+// SubmitJob admits a job with a caller-assigned ID on the shard (the
+// shard stamps the submit time from its own clock).
+func (rs *RemoteShard) SubmitJob(j job.Job) error {
+	return rs.postJobVerified("/v1/jobs", wire.SubmitRequest{
+		ID: j.ID, Nodes: j.Nodes, RuntimeS: j.Runtime, RequestS: j.Request, User: j.User,
+	}, j.ID)
+}
+
+// Admit admits a migrated job preserving its ID and submit time.
+func (rs *RemoteShard) Admit(j job.Job) error {
+	return rs.postJobVerified("/v1/shard/admit", wire.JobToWire(j), j.ID)
+}
+
+// Withdraw removes a still-queued job from the shard and returns it.
+// The shard's withdraw tombstone makes retries idempotent: if the
+// original landed and only the acknowledgment was lost, the retry
+// returns the same job instead of failing.
+func (rs *RemoteShard) Withdraw(id int) (job.Job, error) {
+	uncertain := false
+	var lastErr error
+	for a := 0; a <= rs.retries; a++ {
+		if a > 0 {
+			rs.sleep(rs.backoffFor(a))
+		}
+		var resp wire.WithdrawResponse
+		err := rs.once(http.MethodPost, "/v1/shard/withdraw", wire.WithdrawRequest{ID: id}, &resp)
+		if err == nil {
+			return resp.Job.ToJob(), nil
+		}
+		var ae *apiError
+		if errors.As(err, &ae) {
+			return job.Job{}, mapAPIError(ae)
+		}
+		lastErr = err
+		if !isDialError(err) {
+			uncertain = true
+		}
+	}
+	if uncertain {
+		return job.Job{}, fmt.Errorf("%w: withdraw job %d: %v", ErrUncertain, id, lastErr)
+	}
+	return job.Job{}, fmt.Errorf("%w: withdraw job %d: %v", ErrUnreachable, id, lastErr)
+}
+
+// LookupJob distinguishes "the shard answered: no such job" (ok=false,
+// nil error) from "the shard could not be asked" (non-nil error) —
+// reconciling an uncertain submission needs the difference Job's
+// boolean cannot carry.
+func (rs *RemoteShard) LookupJob(id int) (engine.JobStatus, bool, error) {
+	return rs.lookup(id)
+}
+
+// Job returns the job's status on the shard; false when the shard does
+// not know the job or cannot be reached.
+func (rs *RemoteShard) Job(id int) (engine.JobStatus, bool) {
+	var jr wire.JobResponse
+	if err := rs.get(fmt.Sprintf("/v1/jobs/%d", id), &jr); err != nil {
+		return engine.JobStatus{}, false
+	}
+	return statusFromResponse(jr), true
+}
+
+// Queue returns the shard's waiting queue in arrival order; nil when
+// unreachable.
+func (rs *RemoteShard) Queue() []engine.JobStatus {
+	var qr wire.QueueResponse
+	if err := rs.get("/v1/queue", &qr); err != nil {
+		return nil
+	}
+	out := make([]engine.JobStatus, len(qr.Jobs))
+	for i, jr := range qr.Jobs {
+		out[i] = statusFromResponse(jr)
+	}
+	return out
+}
+
+// Machine returns the shard's occupancy snapshot.
+func (rs *RemoteShard) Machine() engine.Machine {
+	var mr wire.MachineResponse
+	if err := rs.get("/v1/machine", &mr); err != nil {
+		return engine.Machine{}
+	}
+	m := engine.Machine{
+		Now: mr.NowS, Capacity: mr.Capacity, FreeNodes: mr.FreeNodes,
+		Running: make([]sim.RunningJob, len(mr.Running)),
+	}
+	for i, rj := range mr.Running {
+		m.Running[i] = sim.RunningJob{
+			ID: rj.ID, Nodes: rj.Nodes, User: rj.User,
+			Start: rj.StartS, PredictedEnd: rj.PredictedEndS,
+		}
+	}
+	rs.mu.Lock()
+	rs.lastNow = m.Now
+	rs.mu.Unlock()
+	return m
+}
+
+// Load returns the shard's occupancy summary. It is called on every
+// placement decision, so it makes a single live attempt (no retries);
+// an unreachable shard answers with its last-known load — the gossip
+// cache — while the health mark steers placement away from it.
+func (rs *RemoteShard) Load() engine.Load {
+	var lr wire.LoadResponse
+	if err := rs.once(http.MethodGet, "/v1/shard/load", nil, &lr); err != nil {
+		rs.mu.Lock()
+		defer rs.mu.Unlock()
+		return rs.lastLoad
+	}
+	ld := engine.Load{
+		Capacity: lr.Capacity, FreeNodes: lr.FreeNodes,
+		Waiting: lr.Waiting, Running: lr.Running,
+		QueuedNodeSec: lr.QueuedNodeSec, RemainingNodeSec: lr.RemainingNodeSec,
+	}
+	rs.mu.Lock()
+	rs.lastLoad = ld
+	rs.haveLoad = true
+	rs.mu.Unlock()
+	return ld
+}
+
+// Probe fetches the shard's load with retries, for construction-time
+// capacity discovery. A shard that answered before and has since gone
+// dark answers from the cache — a router can be rebuilt around a
+// temporarily dead shard it had already joined.
+func (rs *RemoteShard) Probe() (engine.Load, error) {
+	var lr wire.LoadResponse
+	if err := rs.get("/v1/shard/load", &lr); err != nil {
+		rs.mu.Lock()
+		defer rs.mu.Unlock()
+		if rs.haveLoad {
+			return rs.lastLoad, nil
+		}
+		return engine.Load{}, err
+	}
+	ld := engine.Load{
+		Capacity: lr.Capacity, FreeNodes: lr.FreeNodes,
+		Waiting: lr.Waiting, Running: lr.Running,
+		QueuedNodeSec: lr.QueuedNodeSec, RemainingNodeSec: lr.RemainingNodeSec,
+	}
+	rs.mu.Lock()
+	rs.lastLoad = ld
+	rs.haveLoad = true
+	rs.mu.Unlock()
+	return ld, nil
+}
+
+// Metrics returns the shard's running report; when unreachable, the
+// last-known report (a shard daemon that exited after its drain keeps
+// its final numbers) or, with nothing cached, a minimal report
+// carrying the wire error.
+func (rs *RemoteShard) Metrics() engine.Metrics {
+	var m engine.Metrics
+	if err := rs.get("/v1/metrics", &m); err != nil {
+		rs.mu.Lock()
+		defer rs.mu.Unlock()
+		if rs.haveMetrics {
+			return rs.lastMetrics
+		}
+		return engine.Metrics{Error: err.Error()}
+	}
+	rs.mu.Lock()
+	rs.lastMetrics = m
+	rs.haveMetrics = true
+	rs.lastDraining = m.Draining
+	rs.lastNow = m.NowS
+	if m.Error != "" && rs.remoteFatal == nil {
+		rs.remoteFatal = fmt.Errorf("remote shard %s: %s", rs.base, m.Error)
+	}
+	rs.mu.Unlock()
+	return m
+}
+
+// Records returns the shard's completion records (shard-local node
+// IDs); nil when unreachable.
+func (rs *RemoteShard) Records() []sim.Record {
+	var resp wire.RecordsResponse
+	if err := rs.get("/v1/shard/records", &resp); err != nil {
+		return nil
+	}
+	out := make([]sim.Record, len(resp.Records))
+	for i, wr := range resp.Records {
+		out[i] = sim.Record{
+			Job: wr.Job.ToJob(), Start: wr.StartS, End: wr.EndS,
+			NodeIDs: wr.NodeIDs, Measured: wr.Measured,
+		}
+	}
+	return out
+}
+
+// Checkpoint fetches the shard's committed history; the zero
+// checkpoint when unreachable (remote shards rebuild themselves from
+// their own journals — the router never rebuilds them).
+func (rs *RemoteShard) Checkpoint() engine.Checkpoint {
+	var cp engine.Checkpoint
+	if err := rs.get("/v1/shard/checkpoint", &cp); err != nil {
+		return engine.Checkpoint{}
+	}
+	return cp
+}
+
+// Drain asks the shard to stop admitting and waits (polling) until its
+// backlog is empty or ctx is done. A shard daemon exits by itself once
+// its drain completes, so a connection refused after the drain was
+// acknowledged means done-and-gone, not failure — without this, the
+// poll would chase a process that has already finished everything it
+// was asked to.
+func (rs *RemoteShard) Drain(ctx context.Context) error {
+	if err := rs.once(http.MethodPost, "/v1/drain", nil, nil); err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) {
+			return mapAPIError(ae)
+		}
+		return fmt.Errorf("%w: drain: %v", ErrUnreachable, err)
+	}
+	for {
+		var m engine.Metrics
+		err := rs.once(http.MethodGet, "/v1/metrics", nil, &m)
+		if err == nil {
+			rs.mu.Lock()
+			rs.lastMetrics = m
+			rs.haveMetrics = true
+			rs.lastDraining = m.Draining
+			rs.mu.Unlock()
+			if m.Jobs.Waiting == 0 && m.Jobs.Running == 0 {
+				return nil
+			}
+		} else if isDialError(err) {
+			// The shard accepted the drain and has since stopped
+			// listening: a drained schedd only exits once its machine is
+			// empty.
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		rs.sleep(20 * time.Millisecond)
+	}
+}
+
+// Draining reports the shard's drain state as of the last metrics
+// fetch (live when reachable).
+func (rs *RemoteShard) Draining() bool {
+	var m engine.Metrics
+	if err := rs.once(http.MethodGet, "/v1/metrics", nil, &m); err == nil {
+		rs.mu.Lock()
+		rs.lastDraining = m.Draining
+		rs.mu.Unlock()
+		return m.Draining
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.lastDraining
+}
+
+// Err returns a fatal error the shard has reported over the wire, nil
+// otherwise. Reachability is Healthy's business, not Err's — a
+// partitioned shard is unhealthy, not failed.
+func (rs *RemoteShard) Err() error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.remoteFatal
+}
+
+// Now returns the shard's clock as of the last snapshot that carried
+// it (shards run their own clocks; the router keeps its own time).
+func (rs *RemoteShard) Now() job.Time {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.lastNow
+}
+
+var _ engine.Shard = (*RemoteShard)(nil)

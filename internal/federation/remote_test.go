@@ -1,0 +1,542 @@
+package federation
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"schedsearch/internal/core"
+	"schedsearch/internal/engine"
+	"schedsearch/internal/job"
+	"schedsearch/internal/policy"
+	"schedsearch/internal/server"
+	"schedsearch/internal/sim"
+	"schedsearch/internal/workload"
+)
+
+func noSleep(time.Duration) {}
+
+// startShardProc boots one "shard process": an engine fronted by its
+// own HTTP server on a real TCP listener, dialed back through a
+// RemoteShard client. Everything a federation router does to it
+// crosses the wire as JSON.
+func startShardProc(t *testing.T, ec engine.Config, opts RemoteShardOptions) (*engine.Engine, *RemoteShard) {
+	t.Helper()
+	e, err := engine.New(ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(e, nil))
+	t.Cleanup(ts.Close)
+	if opts.Sleep == nil {
+		opts.Sleep = noSleep
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	return e, NewRemoteShard(ts.URL, opts)
+}
+
+// TestRemoteShardMatchesInProcess is the distributed keystone
+// differential: a 4-shard federation whose shards are separate schedd
+// HTTP processes must commit a bit-identical schedule — starts, ends,
+// node IDs, completion order, decision counts, whole summary — to the
+// in-process 4-shard router on every suite month. The shard processes
+// share the router's virtual clock, and every HTTP call resolves
+// synchronously inside the timer callback that issued it, so the
+// (time, seq) timer discipline is preserved exactly while every
+// submission, migration withdraw/admit, and load snapshot crosses real
+// TCP and the JSON wire schema.
+func TestRemoteShardMatchesInProcess(t *testing.T) {
+	suite := workload.NewSuite(workload.Config{Seed: 11, JobScale: 0.025})
+	newPolicy := func() sim.Policy {
+		return core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), 64)
+	}
+	const shards = 4
+	for _, month := range workload.MonthLabels() {
+		month := month
+		t.Run(month, func(t *testing.T) {
+			in, _, err := suite.Input(month, workload.SimOptions{TargetLoad: 0.9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Partitioned shards can't hold the widest jobs; drop them
+			// from the input up front.
+			shardCap := in.Capacity / shards
+			jobs := in.Jobs[:0]
+			for _, j := range in.Jobs {
+				if j.Nodes <= shardCap {
+					jobs = append(jobs, j)
+				}
+			}
+			in.Jobs = jobs
+
+			// In-process reference run.
+			ref := replayRouter(t, in, Config{
+				Shards:         shards,
+				Policy:         func(int) sim.Policy { return newPolicy() },
+				RebalanceEvery: 10 * job.Minute,
+			})
+
+			// Remote run: same partition, each shard its own process
+			// behind HTTP.
+			caps, err := PartitionCapacity(in.Capacity, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vc := engine.NewVirtualClock()
+			measured := in.Measured
+			isMeasured := func(id int) bool { return measured[id] }
+			if measured == nil {
+				isMeasured = func(int) bool { return true }
+			}
+			remotes := make([]engine.Shard, shards)
+			for i := 0; i < shards; i++ {
+				_, rs := startShardProc(t, engine.Config{
+					Capacity:     caps[i],
+					Policy:       newPolicy(),
+					Clock:        vc,
+					UseRequested: in.UseRequested,
+					MeasureStart: in.MeasureStart,
+					MeasureEnd:   in.MeasureEnd,
+					Measured:     isMeasured,
+				}, RemoteShardOptions{})
+				remotes[i] = rs
+			}
+			rr, err := NewWithShards(Config{
+				Clock:          vc,
+				RebalanceEvery: 10 * job.Minute,
+				UseRequested:   in.UseRequested,
+				MeasureStart:   in.MeasureStart,
+				MeasureEnd:     in.MeasureEnd,
+				Measured:       isMeasured,
+			}, remotes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, j := range in.Jobs {
+				j := j
+				vc.AfterFunc(j.Submit, func() {
+					if err := rr.SubmitJob(j); err != nil {
+						t.Errorf("remote submit job %d: %v", j.ID, err)
+					}
+				})
+			}
+			vc.Run()
+			if err := rr.Err(); err != nil {
+				t.Fatal(err)
+			}
+
+			refRecs, remRecs := ref.Records(), rr.Records()
+			if len(refRecs) != len(remRecs) {
+				t.Fatalf("in-process completed %d jobs, remote %d", len(refRecs), len(remRecs))
+			}
+			for i := range refRecs {
+				if refRecs[i].Job.ID != remRecs[i].Job.ID {
+					t.Fatalf("completion order diverges at %d: in-process job %d, remote job %d",
+						i, refRecs[i].Job.ID, remRecs[i].Job.ID)
+				}
+				if recordKey(refRecs[i]) != recordKey(remRecs[i]) {
+					t.Fatalf("job %d: in-process %s, remote %s",
+						refRecs[i].Job.ID, recordKey(refRecs[i]), recordKey(remRecs[i]))
+				}
+			}
+			refM, remM := ref.Metrics(), rr.Metrics()
+			if refM.Engine.Decisions != remM.Engine.Decisions {
+				t.Errorf("in-process made %d decisions, remote %d",
+					refM.Engine.Decisions, remM.Engine.Decisions)
+			}
+			if refM.Summary != remM.Summary {
+				t.Errorf("summaries diverge:\nin-process %+v\nremote     %+v", refM.Summary, remM.Summary)
+			}
+			refF, remF := ref.Federation(), rr.Federation()
+			if refF.Migrations != remF.Migrations {
+				t.Errorf("in-process migrated %d jobs, remote %d", refF.Migrations, remF.Migrations)
+			}
+			for _, sh := range rr.ShardHealth() {
+				if !sh.Healthy {
+					t.Errorf("shard %d unhealthy after clean run: %s", sh.Shard, sh.Err)
+				}
+			}
+			checkFederationRun(t, rr, in.Jobs)
+		})
+	}
+}
+
+// TestWorkStealingFillsIdleShard pins the gossip steal step down: all
+// load is steered onto one shard (hash-by-user, a single user), the
+// rebalance pass is off, and stealing alone must spread the backlog
+// onto the idle shard without losing or restarting anyone.
+func TestWorkStealingFillsIdleShard(t *testing.T) {
+	vc := engine.NewVirtualClock()
+	r, err := New(Config{
+		Capacity:     64,
+		Shards:       2,
+		Clock:        vc,
+		Placement:    HashByUser{},
+		Policy:       func(int) sim.Policy { return policy.FCFSBackfill() },
+		GossipEvery:  30,
+		WorkStealing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted []job.Job
+	vc.AfterFunc(0, func() {
+		for i := 0; i < 12; i++ {
+			rt := job.Duration(3600)
+			id, err := r.Submit(job.Job{Nodes: 16, Runtime: rt, Request: rt, User: 7})
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			st, ok := r.Job(id)
+			if !ok {
+				t.Errorf("job %d vanished after submit", id)
+				return
+			}
+			submitted = append(submitted, st.Job)
+		}
+	})
+	vc.Run()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	fm := r.Federation()
+	if fm.GossipPasses == 0 {
+		t.Fatal("gossip pass never ran")
+	}
+	if fm.Steals == 0 {
+		t.Fatal("idle shard never stole from the overloaded one")
+	}
+	if got := len(r.Records()); got != len(submitted) {
+		t.Fatalf("completed %d of %d jobs", got, len(submitted))
+	}
+	// One shard alone needs 6 waves of 2×16-node hour jobs; with the
+	// idle shard stealing, the pile splits and the makespan shrinks.
+	last := r.Records()[len(r.Records())-1]
+	if last.End > 4*3600 {
+		t.Errorf("makespan %ds — stealing did not spread the backlog", last.End)
+	}
+	checkFederationRun(t, r, submitted)
+}
+
+// dropResponses is a fault transport: matching requests are performed
+// server-side but their responses are lost, so the client sees an
+// uncertain transport failure whose operation actually landed — the
+// nastiest wire failure a migration step can take.
+type dropResponses struct {
+	mu   sync.Mutex
+	path string
+	n    int // drop the first n matching responses
+	hits int
+}
+
+func (d *dropResponses) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	drop := d.n > 0 && req.URL.Path == d.path
+	if drop {
+		d.n--
+		d.hits++
+	}
+	d.mu.Unlock()
+	if drop {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("fault: response to %s dropped", d.path)
+	}
+	return resp, nil
+}
+
+// TestWithdrawRetryIdempotent loses the acknowledgment of a migration
+// withdraw whose operation landed. The client's retry must hit the
+// source shard's tombstone and return the same job — exactly once: the
+// job ends up on the destination, is gone from the source, and both
+// journals agree after a rebuild.
+func TestWithdrawRetryIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	vc := engine.NewVirtualClock()
+	newShard := func(name string, fault http.RoundTripper) (*engine.Engine, *RemoteShard, string) {
+		path := filepath.Join(dir, name+".journal")
+		fj, err := engine.OpenFileJournal(path, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, rs := startShardProc(t, engine.Config{
+			Capacity: 32,
+			Policy:   policy.FCFSBackfill(),
+			Clock:    vc,
+			Journal:  fj,
+		}, RemoteShardOptions{Transport: fault})
+		return e, rs, path
+	}
+	fault := &dropResponses{path: "/v1/shard/withdraw", n: 1}
+	srcEng, src, srcPath := newShard("src", fault)
+	dstEng, dst, dstPath := newShard("dst", nil)
+
+	jBlock := job.Job{ID: 1, Nodes: 32, Runtime: 7200, Request: 7200}
+	jMove := job.Job{ID: 2, Nodes: 8, Runtime: 600, Request: 600}
+	vc.AfterFunc(0, func() {
+		if err := src.SubmitJob(jBlock); err != nil {
+			t.Errorf("submit blocker: %v", err)
+		}
+		if err := src.SubmitJob(jMove); err != nil {
+			t.Errorf("submit mover: %v", err)
+		}
+	})
+	vc.AfterFunc(60, func() {
+		// First wire attempt lands but the ack is dropped; the client
+		// retries and must get the tombstoned job back.
+		j, err := src.Withdraw(jMove.ID)
+		if err != nil {
+			t.Errorf("withdraw with dropped ack: %v", err)
+			return
+		}
+		if j.ID != jMove.ID || j.Nodes != jMove.Nodes {
+			t.Errorf("withdraw returned %+v, want job %d", j, jMove.ID)
+		}
+		if err := dst.Admit(j); err != nil {
+			t.Errorf("admit on destination: %v", err)
+		}
+	})
+	vc.Run()
+	if fault.hits != 1 {
+		t.Fatalf("fault transport dropped %d responses, want 1", fault.hits)
+	}
+	if _, ok := srcEng.Job(jMove.ID); ok {
+		t.Error("moved job still present on the source shard")
+	}
+	st, ok := dstEng.Job(jMove.ID)
+	if !ok || st.State != engine.StateDone {
+		t.Fatalf("moved job on destination: ok=%v state=%v", ok, st.State)
+	}
+	if st.Job.Submit != 0 {
+		t.Errorf("migration reset the submit time to %d", st.Job.Submit)
+	}
+
+	// Journal truth: exactly one submit on each side, a withdraw on the
+	// source, and rebuilt engines agree the job lives on dst only.
+	if err := srcEng.SyncJournal(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dstEng.SyncJournal(); err != nil {
+		t.Fatal(err)
+	}
+	countEvents := func(path string, id int) (submits, withdraws int) {
+		t.Helper()
+		_, events, err := engine.LoadJournal(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range events {
+			switch {
+			case ev.Kind == engine.EvSubmit && ev.Job.ID == id:
+				submits++
+			case ev.Kind == engine.EvWithdraw && ev.ID == id:
+				withdraws++
+			}
+		}
+		return
+	}
+	if s, w := countEvents(srcPath, jMove.ID); s != 1 || w != 1 {
+		t.Errorf("source journal: %d submits, %d withdraws of job %d (want 1, 1)", s, w, jMove.ID)
+	}
+	if s, w := countEvents(dstPath, jMove.ID); s != 1 || w != 0 {
+		t.Errorf("destination journal: %d submits, %d withdraws of job %d (want 1, 0)", s, w, jMove.ID)
+	}
+}
+
+// TestAdmitRetryIdempotent loses the acknowledgment of a migration
+// admit whose operation landed. The client must detect the job is
+// already on the shard and report success without admitting a second
+// copy; an explicit second admit must surface the duplicate.
+func TestAdmitRetryIdempotent(t *testing.T) {
+	vc := engine.NewVirtualClock()
+	fault := &dropResponses{path: "/v1/shard/admit", n: 1}
+	e, rs := startShardProc(t, engine.Config{
+		Capacity: 32,
+		Policy:   policy.FCFSBackfill(),
+		Clock:    vc,
+	}, RemoteShardOptions{Transport: fault})
+
+	j := job.Job{ID: 9, Submit: 0, Nodes: 8, Runtime: 600, Request: 600}
+	vc.AfterFunc(0, func() {
+		if err := rs.Admit(j); err != nil {
+			t.Errorf("admit with dropped ack: %v", err)
+		}
+		if q := e.Queue(); len(q) != 0 {
+			// The admit triggers a decide at this instant; the job may
+			// be waiting or already started, but never duplicated.
+			if len(q) != 1 || q[0].Job.ID != j.ID {
+				t.Errorf("queue after retried admit: %+v", q)
+			}
+		}
+		if err := rs.Admit(j); !errors.Is(err, engine.ErrDuplicateID) {
+			t.Errorf("second admit: %v, want ErrDuplicateID", err)
+		}
+	})
+	vc.Run()
+	if fault.hits != 1 {
+		t.Fatalf("fault transport dropped %d responses, want 1", fault.hits)
+	}
+	st, ok := e.Job(j.ID)
+	if !ok || st.State != engine.StateDone {
+		t.Fatalf("job after run: ok=%v state=%v", ok, st.State)
+	}
+	if got := len(e.Records()); got != 1 {
+		t.Fatalf("%d completion records, want exactly 1", got)
+	}
+}
+
+// refuseDial is a fault transport simulating a dead process: every
+// request fails with a dial error, the one failure class the client
+// may treat as certainly-not-delivered.
+type refuseDial struct{}
+
+func (refuseDial) RoundTrip(req *http.Request) (*http.Response, error) {
+	return nil, &net.OpError{Op: "dial", Net: "tcp", Err: errors.New("connection refused")}
+}
+
+// stubBody answers every request 200 with a fixed body — the fuzz
+// harness's hostile shard.
+type stubBody struct{ data []byte }
+
+func (s stubBody) RoundTrip(req *http.Request) (*http.Response, error) {
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(bytes.NewReader(s.data)),
+		Header:     make(http.Header),
+	}, nil
+}
+
+// FuzzRemoteShardDecode fuzzes both ends of the shard wire protocol:
+// arbitrary bytes as request bodies against the server's shard
+// endpoints (must answer structured JSON errors, never panic, never a
+// bare 500), and the same bytes as a hostile shard's 200 response
+// bodies against every RemoteShard decode path (must return errors or
+// valid values, never panic).
+func FuzzRemoteShardDecode(f *testing.F) {
+	f.Add([]byte(`{"id":2}`))
+	f.Add([]byte(`{"id":-1}`))
+	f.Add([]byte(`{"job":{"id":3,"submit_s":5,"nodes":4,"runtime_s":60,"request_s":60,"user":1},"retried":true}`))
+	f.Add([]byte(`{"capacity":32,"free_nodes":16,"waiting":2,"running":1,"queued_node_sec":100,"remaining_node_sec":50}`))
+	f.Add([]byte(`{"records":[{"job":{"id":1},"start_s":0,"end_s":9,"measured":true}]}`))
+	f.Add([]byte(`{"id":9007199254740993,"nodes":-4,"runtime_s":-1}`))
+	f.Add([]byte(`[{"id":1},{"id":2}]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add(bytes.Repeat([]byte(`9`), 4096))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := engine.New(engine.Config{
+			Capacity: 32,
+			Policy:   policy.FCFSBackfill(),
+			Clock:    engine.NewVirtualClock(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := server.New(e, nil)
+		for _, path := range []string{"/v1/shard/admit", "/v1/shard/withdraw"} {
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, httptest.NewRequest("POST", path, bytes.NewReader(data)))
+			if w.Code == http.StatusInternalServerError {
+				t.Fatalf("POST %s with %q: bare 500: %s", path, data, w.Body.String())
+			}
+			if w.Code >= 400 {
+				var er server.ErrorResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Code == "" {
+					t.Fatalf("POST %s with %q: unstructured error %d: %s", path, data, w.Code, w.Body.String())
+				}
+			}
+		}
+
+		// Client side: every decode surface against a hostile 200 body.
+		rs := NewRemoteShard("http://shard", RemoteShardOptions{
+			Transport: stubBody{data: data},
+			Sleep:     noSleep,
+			Retries:   -1, // single attempt: the body never changes
+		})
+		rs.Load()
+		rs.Queue()
+		rs.Machine()
+		rs.Metrics()
+		rs.Records()
+		rs.Checkpoint()
+		rs.Job(7)
+		rs.LookupJob(7)
+		_, _ = rs.Withdraw(7)
+		_ = rs.Admit(job.Job{ID: 5, Nodes: 1, Runtime: 1, Request: 1})
+		_ = rs.SubmitJob(job.Job{ID: 6, Nodes: 1, Runtime: 1, Request: 1})
+	})
+}
+
+// TestRemoteShardUnreachable pins the error taxonomy down: a dead
+// process yields ErrUnreachable (certainly not delivered), health
+// reflects it, and the router reroutes submissions around the dark
+// shard while readyz-style health reports the breakdown.
+func TestRemoteShardUnreachable(t *testing.T) {
+	vc := engine.NewVirtualClock()
+	_, live := startShardProc(t, engine.Config{
+		Capacity: 32,
+		Policy:   policy.FCFSBackfill(),
+		Clock:    vc,
+	}, RemoteShardOptions{})
+	if _, err := live.Probe(); err != nil {
+		t.Fatal(err)
+	}
+	dead := NewRemoteShard("http://127.0.0.1:1", RemoteShardOptions{
+		Transport: refuseDial{},
+		Sleep:     noSleep,
+	})
+	if err := dead.SubmitJob(job.Job{ID: 1, Nodes: 1, Runtime: 1, Request: 1}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("dead shard submit: %v, want ErrUnreachable", err)
+	}
+	if dead.Healthy() == nil {
+		t.Fatal("dead shard reports healthy")
+	}
+
+	// A router fronting [live, dead] must route around the dead shard.
+	// The dead shard's capacity comes from a pre-warmed load cache so
+	// construction succeeds, mimicking a shard that died after joining.
+	dead.mu.Lock()
+	dead.lastLoad = engine.Load{Capacity: 32, FreeNodes: 32}
+	dead.haveLoad = true
+	dead.mu.Unlock()
+	r, err := NewWithShards(Config{Clock: vc}, []engine.Shard{live, dead})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc.AfterFunc(0, func() {
+		for i := 0; i < 4; i++ {
+			if _, err := r.Submit(job.Job{Nodes: 8, Runtime: 60, Request: 60}); err != nil {
+				t.Errorf("submit with one dark shard: %v", err)
+			}
+		}
+	})
+	vc.Run()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.Records()); got != 4 {
+		t.Fatalf("completed %d of 4 jobs with a dark shard", got)
+	}
+	health := r.ShardHealth()
+	if len(health) != 2 || !health[0].Healthy || health[1].Healthy {
+		t.Fatalf("shard health breakdown: %+v", health)
+	}
+}

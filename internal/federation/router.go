@@ -17,6 +17,15 @@
 // A job wider than every shard's partition cannot run anywhere and is
 // rejected with ErrTooWide: partitioning trades maximum job width for
 // decision throughput.
+//
+// Shards need not be in-process: NewWithShards fronts pre-built
+// engine.Shard values — typically RemoteShard clients driving
+// out-of-process schedd shards over HTTP. The router then runs in
+// degraded mode when shards go dark: submissions are rerouted around
+// unreachable shards (only on failures that certainly never
+// delivered), wire-uncertain migration steps are parked and
+// reconciled on the next gossip or rebalance tick, and per-shard
+// reachability is exported through ShardHealth for readiness probes.
 package federation
 
 import (
@@ -82,6 +91,17 @@ type Config struct {
 	// journal file). CompactEvery is passed through to every shard.
 	Journal      func(shard int) engine.JournalSink
 	CompactEvery int
+	// GossipEvery is the period of the load-gossip pass on the shared
+	// clock: the router polls every shard's load (which refreshes
+	// remote shards' reachability and cached loads), resolves parked
+	// wire-uncertain migration steps, and — with WorkStealing on —
+	// lets idle shards steal queued work. 0 disables the pass.
+	GossipEvery job.Duration
+	// WorkStealing enables the steal step of the gossip pass: a shard
+	// with free nodes and an empty queue takes the youngest fitting
+	// queued job from the most loaded shard, filling holes the
+	// score-driven rebalance pass is too conservative to fill.
+	WorkStealing bool
 }
 
 // Router is the federation front-end. All methods are goroutine-safe.
@@ -99,14 +119,68 @@ type Router struct {
 	draining bool
 	failure  error
 
+	// remote marks externally-owned shards (NewWithShards): the router
+	// neither constructs nor rebuilds them.
+	remote bool
+	// pending holds migration/submission steps whose wire outcome is
+	// unknown; resolvePendingLocked retires them on gossip and
+	// rebalance ticks.
+	pending []pendingMig
+
 	polName        string
 	explicitWindow bool
 
 	rebArmed         bool
+	gossipArmed      bool
 	migrations       int64
 	rebalances       int64
 	routingDecisions int64
 	routingNs        int64
+	reroutes         int64
+	steals           int64
+	gossips          int64
+}
+
+// healthChecker is the optional shard surface reporting reachability;
+// RemoteShard has it, in-process engines (always reachable) do not.
+type healthChecker interface {
+	Healthy() error
+}
+
+// loadProber is the optional shard surface for construction-time
+// capacity discovery with retries.
+type loadProber interface {
+	Probe() (engine.Load, error)
+}
+
+// jobProber distinguishes "the shard answered: no such job" from "the
+// shard could not be asked" — reconciliation of an uncertain
+// submission needs the difference that Job's boolean cannot carry.
+type jobProber interface {
+	LookupJob(id int) (engine.JobStatus, bool, error)
+}
+
+// Stages of a parked wire-uncertain step (pendingMig.stage).
+const (
+	// stageWithdraw: a migration withdraw's outcome is unknown — the
+	// job is on the source, or tombstoned there with the ack lost.
+	stageWithdraw = iota
+	// stageAdmit: the job is withdrawn and held by the router; its
+	// admission to pendingMig.shard has not certainly succeeded.
+	stageAdmit
+	// stageSubmit: a routed submission's outcome is unknown; the ID is
+	// burned and the directory entry provisional until the shard
+	// answers a lookup.
+	stageSubmit
+)
+
+// pendingMig is one parked step: the job (held only in stageAdmit),
+// the shard whose answer resolves it, and the stage.
+type pendingMig struct {
+	id    int
+	shard int
+	j     job.Job
+	stage int
 }
 
 // PartitionCapacity splits total nodes near-evenly into n partitions:
@@ -167,6 +241,60 @@ func New(cfg Config) (*Router, error) {
 		}
 		r.shards = append(r.shards, e)
 	}
+	r.polName = r.shards[0].Metrics().Policy
+	return r, nil
+}
+
+// NewWithShards fronts pre-built shards — typically RemoteShard
+// clients for out-of-process schedd shards — instead of constructing
+// in-process engines. Partition capacities are discovered from the
+// shards themselves, so cfg.Capacity, cfg.Shards and the per-shard
+// factories (Policy, Estimator, Observer, Journal) are ignored: each
+// shard process owns its policy and journal. cfg.Clock still drives
+// the router's own rebalance and gossip timers.
+func NewWithShards(cfg Config, shards []engine.Shard) (*Router, error) {
+	if len(shards) < 1 {
+		return nil, errors.New("federation: no shards")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = engine.NewRealClock(1)
+	}
+	if cfg.Placement == nil {
+		cfg.Placement = LeastLoaded{}
+	}
+	if cfg.MaxMigrationsPerPass == 0 {
+		cfg.MaxMigrationsPerPass = 8
+	}
+	r := &Router{
+		cfg:    cfg,
+		clock:  cfg.Clock,
+		place:  cfg.Placement,
+		shards: append([]engine.Shard(nil), shards...),
+		dir:    make(map[int]int),
+		nextID: 1,
+		remote: true,
+	}
+	r.explicitWindow = !(cfg.MeasureStart == 0 && cfg.MeasureEnd == 0)
+	total := 0
+	for i, s := range r.shards {
+		var ld engine.Load
+		if p, ok := s.(loadProber); ok {
+			var err error
+			if ld, err = p.Probe(); err != nil {
+				return nil, fmt.Errorf("federation: probe shard %d: %w", i, err)
+			}
+		} else {
+			ld = s.Load()
+		}
+		if ld.Capacity < 1 {
+			return nil, fmt.Errorf("federation: shard %d reports capacity %d", i, ld.Capacity)
+		}
+		r.caps = append(r.caps, ld.Capacity)
+		r.bases = append(r.bases, total)
+		total += ld.Capacity
+	}
+	r.cfg.Capacity = total
+	r.cfg.Shards = len(r.shards)
 	r.polName = r.shards[0].Metrics().Policy
 	return r, nil
 }
@@ -273,7 +401,34 @@ func (r *Router) routeLocked(j job.Job) error {
 	pick := cands[r.place.Pick(j, cands)].Shard
 	r.routingNs += time.Since(t0).Nanoseconds()
 	r.routingDecisions++
-	if err := r.shards[pick].SubmitJob(j); err != nil {
+	err := r.shards[pick].SubmitJob(j)
+	// Degraded mode: an unreachable shard certainly never saw the job,
+	// so it is safe to route around it. Uncertain failures are the
+	// opposite — the job MAY be admitted there, so rerouting could
+	// double-admit; the ID is burned, the directory entry parked, and
+	// the gossip tick resolves it by asking the shard once it answers.
+	for errors.Is(err, ErrUnreachable) && len(cands) > 1 {
+		rest := make([]Candidate, 0, len(cands)-1)
+		for _, c := range cands {
+			if c.Shard != pick {
+				rest = append(rest, c)
+			}
+		}
+		cands = rest
+		pick = cands[r.place.Pick(j, cands)].Shard
+		r.reroutes++
+		err = r.shards[pick].SubmitJob(j)
+	}
+	if err != nil {
+		if errors.Is(err, ErrUncertain) {
+			r.dir[j.ID] = pick
+			if j.ID >= r.nextID {
+				r.nextID = j.ID + 1
+			}
+			r.pending = append(r.pending, pendingMig{id: j.ID, shard: pick, stage: stageSubmit})
+			r.armRebalanceLocked()
+			r.armGossipLocked()
+		}
 		return err
 	}
 	r.dir[j.ID] = pick
@@ -281,20 +436,44 @@ func (r *Router) routeLocked(j job.Job) error {
 		r.nextID = j.ID + 1
 	}
 	r.armRebalanceLocked()
+	r.armGossipLocked()
 	return nil
 }
 
 // candidatesLocked lists the shards whose partition can hold the job at
-// all, with their current loads.
+// all, with their current loads. Unreachable shards are filtered out —
+// unless every capacity-eligible shard is dark, in which case all of
+// them are offered anyway (a submit attempt is also a probe, and
+// failing towards ErrUnreachable beats a spurious ErrTooWide: the
+// distinction between "no shard fits" and "the fitting shards are
+// down" is kept intact).
 func (r *Router) candidatesLocked(j job.Job) []Candidate {
 	cands := make([]Candidate, 0, len(r.shards))
+	var sick []Candidate
 	for i, s := range r.shards {
 		if j.Nodes > r.caps[i] {
 			continue
 		}
-		cands = append(cands, Candidate{Shard: i, Load: s.Load()})
+		c := Candidate{Shard: i, Load: s.Load()}
+		if !r.healthyLocked(i) {
+			sick = append(sick, c)
+			continue
+		}
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 {
+		return sick
 	}
 	return cands
+}
+
+// healthyLocked reports shard i's reachability; in-process shards are
+// always reachable.
+func (r *Router) healthyLocked(i int) bool {
+	if hc, ok := r.shards[i].(healthChecker); ok {
+		return hc.Healthy() == nil
+	}
+	return true
 }
 
 // armRebalanceLocked keeps at most one rebalance timer outstanding. The
@@ -312,6 +491,7 @@ func (r *Router) onRebalance() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.rebArmed = false
+	r.resolvePendingLocked()
 	loads := make([]engine.Load, len(r.shards))
 	outstanding := 0
 	for i, s := range r.shards {
@@ -326,9 +506,210 @@ func (r *Router) onRebalance() {
 			}
 		}
 	}
-	if outstanding > 0 {
+	if outstanding > 0 || len(r.pending) > 0 {
 		r.armRebalanceLocked()
 	}
+}
+
+// armGossipLocked keeps at most one gossip timer outstanding, with the
+// same only-while-outstanding re-arm discipline as the rebalance timer
+// so virtual-clock replays terminate.
+func (r *Router) armGossipLocked() {
+	if r.cfg.GossipEvery <= 0 || r.gossipArmed || r.draining {
+		return
+	}
+	r.gossipArmed = true
+	r.clock.AfterFunc(r.cfg.GossipEvery, r.onGossip)
+}
+
+// onGossip is the periodic load-gossip pass: poll every shard's load —
+// for remote shards that refreshes reachability and the cached
+// last-known load degraded routing falls back on — resolve parked
+// wire-uncertain steps, and optionally steal work onto idle shards.
+func (r *Router) onGossip() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gossipArmed = false
+	r.gossips++
+	r.resolvePendingLocked()
+	loads := make([]engine.Load, len(r.shards))
+	outstanding := 0
+	for i, s := range r.shards {
+		loads[i] = s.Load()
+		outstanding += loads[i].Waiting + loads[i].Running
+	}
+	if r.cfg.WorkStealing && !r.draining {
+		for n := 0; n < r.cfg.MaxMigrationsPerPass; n++ {
+			if !r.stealOneLocked(loads) {
+				break
+			}
+		}
+	}
+	if outstanding > 0 || len(r.pending) > 0 {
+		r.armGossipLocked()
+	}
+}
+
+// stealOneLocked lets the emptiest idle shard (free nodes, nothing
+// queued) take the youngest fitting queued job from the most loaded
+// shard. Where the rebalance pass equalizes load scores, stealing
+// targets outright idleness: a hole big enough to start the job now.
+// Reports whether a job moved.
+func (r *Router) stealOneLocked(loads []engine.Load) bool {
+	thief := -1
+	for i, ld := range loads {
+		if ld.Waiting == 0 && ld.FreeNodes > 0 && r.healthyLocked(i) {
+			if thief == -1 || ld.FreeNodes > loads[thief].FreeNodes {
+				thief = i
+			}
+		}
+	}
+	if thief == -1 {
+		return false
+	}
+	victim := -1
+	for i, ld := range loads {
+		if i == thief || ld.Waiting == 0 || !r.healthyLocked(i) {
+			continue
+		}
+		if victim == -1 || ld.Score() > loads[victim].Score() {
+			victim = i
+		}
+	}
+	if victim == -1 {
+		return false
+	}
+	queue := r.shards[victim].Queue()
+	for k := len(queue) - 1; k >= 0; k-- {
+		st := queue[k]
+		// Steal only what can start immediately on the thief's hole;
+		// anything else is the rebalance pass's business.
+		if st.Job.Nodes > loads[thief].FreeNodes {
+			continue
+		}
+		if !r.moveLocked(st.Job.ID, victim, thief) {
+			return false
+		}
+		r.steals++
+		est := st.Estimate
+		if est < 1 {
+			est = st.Job.Request
+		}
+		if est < 1 {
+			est = 1
+		}
+		d := int64(st.Job.Nodes) * est
+		loads[victim].Waiting--
+		loads[victim].QueuedNodeSec -= d
+		loads[thief].Waiting++
+		loads[thief].QueuedNodeSec += d
+		return true
+	}
+	return false
+}
+
+// moveLocked withdraws job id from src and admits it on dst, parking
+// any wire-uncertain step for later reconciliation. Reports whether
+// the job landed on dst; on false the job is back on src, parked
+// pending, or (certainly) still running on src.
+func (r *Router) moveLocked(id, src, dst int) bool {
+	j, err := r.shards[src].Withdraw(id)
+	if err != nil {
+		if errors.Is(err, ErrUncertain) {
+			// The withdraw may have committed with the ack lost; the
+			// source's tombstone will answer the reconciliation retry.
+			r.pending = append(r.pending, pendingMig{id: id, shard: src, stage: stageWithdraw})
+		}
+		// ErrUnreachable: certainly still queued on src. ErrNotQueued:
+		// started in the meantime. Either way, nothing moved.
+		return false
+	}
+	if err := r.shards[dst].Admit(j); err != nil {
+		if errors.Is(err, ErrUncertain) {
+			// May be admitted on dst — re-admitting to src could
+			// double-admit. Hold the job and let reconciliation finish
+			// the admit once dst answers.
+			r.dir[id] = dst
+			r.pending = append(r.pending, pendingMig{id: id, shard: dst, j: j, stage: stageAdmit})
+			return false
+		}
+		// Certainly not on dst (unreachable, or a definitive
+		// rejection): the job must not be lost — put it back.
+		if err2 := r.shards[src].Admit(j); err2 != nil {
+			if errors.Is(err2, ErrUncertain) || errors.Is(err2, ErrUnreachable) {
+				r.pending = append(r.pending, pendingMig{id: id, shard: src, j: j, stage: stageAdmit})
+				return false
+			}
+			r.failLocked(fmt.Errorf("federation: job %d lost in migration %d->%d: %v; re-admit: %v",
+				id, src, dst, err, err2))
+		}
+		return false
+	}
+	r.dir[id] = dst
+	return true
+}
+
+// resolvePendingLocked retries every parked wire-uncertain step once;
+// steps whose shard is still dark stay parked for the next tick.
+func (r *Router) resolvePendingLocked() {
+	if len(r.pending) == 0 {
+		return
+	}
+	var still []pendingMig
+	for _, p := range r.pending {
+		switch p.stage {
+		case stageWithdraw:
+			j, err := r.shards[p.shard].Withdraw(p.id)
+			if err == nil {
+				// Committed — originally (tombstone) or just now. The
+				// migration itself is stale; put the job back where it
+				// came from.
+				if aerr := r.shards[p.shard].Admit(j); aerr != nil {
+					if errors.Is(aerr, ErrUncertain) || errors.Is(aerr, ErrUnreachable) {
+						still = append(still, pendingMig{id: p.id, shard: p.shard, j: j, stage: stageAdmit})
+						continue
+					}
+					r.failLocked(fmt.Errorf("federation: job %d lost reconciling withdraw on shard %d: %v",
+						p.id, p.shard, aerr))
+				}
+				continue
+			}
+			if errors.Is(err, engine.ErrNotQueued) {
+				// Never withdrawn — the job started (or finished) on
+				// the source. Resolved.
+				continue
+			}
+			still = append(still, p)
+		case stageAdmit:
+			err := r.shards[p.shard].Admit(p.j)
+			if err == nil || errors.Is(err, engine.ErrDuplicateID) {
+				// Landed now, or had landed all along.
+				r.dir[p.id] = p.shard
+				continue
+			}
+			still = append(still, p)
+		case stageSubmit:
+			if pr, ok := r.shards[p.shard].(jobProber); ok {
+				_, present, err := pr.LookupJob(p.id)
+				if err != nil {
+					still = append(still, p)
+					continue
+				}
+				if present {
+					r.dir[p.id] = p.shard
+				} else {
+					// Certainly never admitted; free the directory
+					// entry (the ID stays burned).
+					delete(r.dir, p.id)
+				}
+				continue
+			}
+			if _, present := r.shards[p.shard].Job(p.id); !present {
+				delete(r.dir, p.id)
+			}
+		}
+	}
+	r.pending = still
 }
 
 // migrateOneLocked moves one still-queued job from the most to the
@@ -338,16 +719,21 @@ func (r *Router) onRebalance() {
 // so the migration disturbs the source shard's arrival-order queue as
 // little as possible. Reports whether a job moved.
 func (r *Router) migrateOneLocked(loads []engine.Load) bool {
-	src, dst := 0, 0
-	for i := 1; i < len(loads); i++ {
-		if loads[i].Score() > loads[src].Score() {
+	src, dst := -1, -1
+	for i := range loads {
+		// Dark shards neither give up nor receive work: their loads are
+		// stale caches and a migration leg against them can only park.
+		if !r.healthyLocked(i) {
+			continue
+		}
+		if src == -1 || loads[i].Score() > loads[src].Score() {
 			src = i
 		}
-		if loads[i].Score() < loads[dst].Score() {
+		if dst == -1 || loads[i].Score() < loads[dst].Score() {
 			dst = i
 		}
 	}
-	if src == dst || loads[src].Score() <= loads[dst].Score() {
+	if src == -1 || src == dst || loads[src].Score() <= loads[dst].Score() {
 		return false
 	}
 	queue := r.shards[src].Queue()
@@ -369,22 +755,15 @@ func (r *Router) migrateOneLocked(loads []engine.Load) bool {
 		if loads[dst].Score()+float64(d)/float64(loads[dst].Capacity) >= loads[src].Score() {
 			continue
 		}
-		j, err := r.shards[src].Withdraw(st.Job.ID)
-		if err != nil {
-			// The job started between Queue() and Withdraw (real
-			// clock); try an earlier arrival.
-			continue
-		}
-		if err := r.shards[dst].Admit(j); err != nil {
-			// Undo: the job must not be lost. Re-admission to its own
-			// shard cannot fail outside a fatal engine error.
-			if err2 := r.shards[src].Admit(j); err2 != nil {
-				r.failLocked(fmt.Errorf("federation: job %d lost in migration %d->%d: %v; re-admit: %v",
-					j.ID, src, dst, err, err2))
+		if !r.moveLocked(st.Job.ID, src, dst) {
+			// Started between Queue() and Withdraw (real clock): try an
+			// earlier arrival. Any wire trouble: stop the pass — the
+			// loads are suspect now.
+			if r.healthyLocked(src) && r.healthyLocked(dst) && len(r.pending) == 0 {
+				continue
 			}
 			return false
 		}
-		r.dir[j.ID] = dst
 		r.migrations++
 		loads[src].Waiting--
 		loads[src].QueuedNodeSec -= d
@@ -580,6 +959,9 @@ func (r *Router) Federation() engine.FederationMetrics {
 	fm.RebalancePasses = r.rebalances
 	fm.RoutingDecisions = r.routingDecisions
 	fm.RoutingNs = r.routingNs
+	fm.Reroutes = r.reroutes
+	fm.Steals = r.steals
+	fm.GossipPasses = r.gossips
 	r.mu.Unlock()
 	fm.Global = r.Metrics()
 	return fm
@@ -607,6 +989,9 @@ func (r *Router) RebuildShard(i int) error {
 	defer r.mu.Unlock()
 	if i < 0 || i >= len(r.shards) {
 		return fmt.Errorf("federation: rebuild shard %d of %d", i, len(r.shards))
+	}
+	if r.remote {
+		return errors.New("federation: remote shards rebuild from their own journals; restart the shard process instead")
 	}
 	cp := r.shards[i].Checkpoint()
 	ne, err := engine.Rebuild(r.shardConfig(i), cp)
@@ -682,6 +1067,41 @@ func (r *Router) Err() error {
 		}
 	}
 	return nil
+}
+
+// ShardHealth reports per-shard reachability for readiness probes: a
+// federated /v1/readyz answers 503 with this breakdown while any shard
+// is dark. In-process shards are unhealthy only on a fatal engine
+// error; remote shards additionally on wire unreachability. A shard
+// mid journal-rebuild holds the router lock, so probes block until the
+// rebuilt shard is swapped in rather than reporting it ready early.
+func (r *Router) ShardHealth() []engine.ShardHealth {
+	r.mu.Lock()
+	shards := append([]engine.Shard(nil), r.shards...)
+	r.mu.Unlock()
+	out := make([]engine.ShardHealth, len(shards))
+	for i, s := range shards {
+		out[i] = engine.ShardHealth{Shard: i, Healthy: true}
+		var err error
+		if hc, ok := s.(healthChecker); ok {
+			err = hc.Healthy()
+		} else {
+			err = s.Err()
+		}
+		if err != nil {
+			out[i].Healthy = false
+			out[i].Err = err.Error()
+		}
+	}
+	return out
+}
+
+// PendingReconciliations reports how many wire-uncertain steps are
+// parked awaiting a shard's answer (tests drain on zero).
+func (r *Router) PendingReconciliations() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.pending)
 }
 
 // Now returns the shared clock's current time.

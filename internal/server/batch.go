@@ -181,12 +181,16 @@ type HealthResponse struct {
 }
 
 // ReadyResponse is the GET /v1/readyz body; Ready is false (and the
-// status 503) while the backend drains or the accept queue is
-// saturated.
+// status 503) while the backend drains, the accept queue is saturated,
+// or — on a federated router — any shard is unreachable or rebuilding.
+// Shards carries the per-shard breakdown on federated backends so an
+// operator (or orchestrator) can see which shard is holding readiness
+// down.
 type ReadyResponse struct {
-	Ready     bool `json:"ready"`
-	Draining  bool `json:"draining"`
-	Saturated bool `json:"saturated"`
+	Ready     bool                 `json:"ready"`
+	Draining  bool                 `json:"draining"`
+	Saturated bool                 `json:"saturated"`
+	Shards    []engine.ShardHealth `json:"shards,omitempty"`
 }
 
 // healthz is liveness: the process is up and serving.
@@ -200,7 +204,17 @@ type drainer interface {
 	Draining() bool
 }
 
-// readyz is readiness: 200 only while the daemon is admitting work.
+// shardHealthReporter is the optional backend surface a federated
+// router exposes: per-shard reachability. Readiness consults it so a
+// router fronting an unreachable or rebuilding shard reports 503 with
+// the per-shard breakdown, instead of claiming readiness it cannot
+// honor for jobs routed to the dead shard.
+type shardHealthReporter interface {
+	ShardHealth() []engine.ShardHealth
+}
+
+// readyz is readiness: 200 only while the daemon is admitting work and
+// every federated shard is reachable.
 func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
 	resp := ReadyResponse{Ready: true}
 	if d, ok := s.e.(drainer); ok {
@@ -211,7 +225,16 @@ func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
 	if s.ingest != nil && !s.ingest.Ready() {
 		resp.Saturated = true
 	}
-	resp.Ready = !resp.Draining && !resp.Saturated
+	allShardsHealthy := true
+	if shr, ok := s.e.(shardHealthReporter); ok {
+		resp.Shards = shr.ShardHealth()
+		for _, sh := range resp.Shards {
+			if !sh.Healthy {
+				allShardsHealthy = false
+			}
+		}
+	}
+	resp.Ready = !resp.Draining && !resp.Saturated && allShardsHealthy
 	status := http.StatusOK
 	if !resp.Ready {
 		status = http.StatusServiceUnavailable

@@ -43,6 +43,7 @@ import (
 	"schedsearch/internal/engine"
 	"schedsearch/internal/ingest"
 	"schedsearch/internal/job"
+	"schedsearch/internal/wire"
 )
 
 // Backend is what the server fronts: a bare *engine.Engine or a
@@ -110,6 +111,12 @@ func New(e Backend, onDrained func(), opts ...Option) *Server {
 	if _, ok := e.(FederationBackend); ok {
 		s.mux.HandleFunc("GET /v1/federation", s.federation)
 	}
+	if sb, ok := e.(ShardBackend); ok {
+		// A bare engine can serve as one shard of a distributed
+		// federation; a federation router cannot (routers are not
+		// shards of other routers), so it never exposes these routes.
+		s.registerShardRoutes(sb)
+	}
 	return s
 }
 
@@ -133,45 +140,26 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// SubmitRequest is the POST /v1/jobs body.
-type SubmitRequest struct {
-	// ID optionally assigns the job ID (trace replay clients); 0 lets
-	// the engine assign the next free one. A taken ID is a 409.
-	ID int `json:"id"`
-	// Nodes is the number of whole nodes requested.
-	Nodes int `json:"nodes"`
-	// RuntimeS is the actual runtime in seconds (the engine
-	// self-completes the job after this long; a deployment against a
-	// real resource manager would take completions from it instead).
-	RuntimeS job.Duration `json:"runtime_s"`
-	// RequestS is the user-requested runtime limit in seconds;
-	// defaults to runtime_s.
-	RequestS job.Duration `json:"request_s"`
-	// User identifies the submitting user (optional).
-	User int `json:"user"`
-}
-
-// JobResponse describes one job's current state.
-type JobResponse struct {
-	ID    int    `json:"id"`
-	State string `json:"state"`
-	Nodes int    `json:"nodes"`
-	User  int    `json:"user"`
-
-	SubmitS   job.Time     `json:"submit_s"`
-	RuntimeS  job.Duration `json:"runtime_s"`
-	RequestS  job.Duration `json:"request_s"`
-	EstimateS job.Duration `json:"estimate_s,omitempty"`
-
-	// StartS/EndS are set once known; WaitS is the wait so far for
-	// waiting jobs and the final wait otherwise.
-	StartS *job.Time `json:"start_s,omitempty"`
-	EndS   *job.Time `json:"end_s,omitempty"`
-	WaitS  job.Time  `json:"wait_s"`
-	// BoundedSlowdown is set for completed jobs (the paper's measure).
-	BoundedSlowdown *float64 `json:"bounded_slowdown,omitempty"`
-	NodeIDs         []int    `json:"node_ids,omitempty"`
-}
+// The public wire DTOs live in internal/wire (the schema leaf shared
+// with federation.RemoteShard); the aliases keep this package's names
+// stable for handlers and tests.
+type (
+	// SubmitRequest is the POST /v1/jobs body.
+	SubmitRequest = wire.SubmitRequest
+	// JobResponse describes one job's current state.
+	JobResponse = wire.JobResponse
+	// QueueResponse is the GET /v1/queue body.
+	QueueResponse = wire.QueueResponse
+	// MachineResponse is the GET /v1/machine body.
+	MachineResponse = wire.MachineResponse
+	// RunningJob is one executing job in the machine snapshot.
+	RunningJob = wire.RunningJob
+	// DrainResponse is the POST /v1/drain body.
+	DrainResponse = wire.DrainResponse
+	// ErrorResponse is every error body: a human-readable message plus
+	// a stable machine-readable code clients can switch on.
+	ErrorResponse = wire.ErrorResponse
+)
 
 func (s *Server) jobResponse(st engine.JobStatus) JobResponse {
 	resp := JobResponse{
@@ -297,12 +285,6 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.jobResponse(st))
 }
 
-// QueueResponse is the GET /v1/queue body.
-type QueueResponse struct {
-	Length int           `json:"length"`
-	Jobs   []JobResponse `json:"jobs"`
-}
-
 func (s *Server) queue(w http.ResponseWriter, r *http.Request) {
 	q := s.e.Queue()
 	resp := QueueResponse{Length: len(q), Jobs: make([]JobResponse, len(q))}
@@ -310,23 +292,6 @@ func (s *Server) queue(w http.ResponseWriter, r *http.Request) {
 		resp.Jobs[i] = s.jobResponse(st)
 	}
 	writeJSON(w, http.StatusOK, resp)
-}
-
-// MachineResponse is the GET /v1/machine body.
-type MachineResponse struct {
-	NowS      job.Time     `json:"now_s"`
-	Capacity  int          `json:"capacity"`
-	FreeNodes int          `json:"free_nodes"`
-	Running   []RunningJob `json:"running"`
-}
-
-// RunningJob is one executing job in the machine snapshot.
-type RunningJob struct {
-	ID            int      `json:"id"`
-	Nodes         int      `json:"nodes"`
-	User          int      `json:"user"`
-	StartS        job.Time `json:"start_s"`
-	PredictedEndS job.Time `json:"predicted_end_s"`
 }
 
 func (s *Server) machine(w http.ResponseWriter, r *http.Request) {
@@ -379,12 +344,6 @@ func (s *Server) federation(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, fb.Federation())
 }
 
-// DrainResponse is the POST /v1/drain body.
-type DrainResponse struct {
-	Draining int `json:"draining"`
-	Running  int `json:"running"`
-}
-
 func (s *Server) drain(w http.ResponseWriter, r *http.Request) {
 	s.drainOnce.Do(func() {
 		go func() {
@@ -412,13 +371,6 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-// ErrorResponse is every error body: a human-readable message plus a
-// stable machine-readable code clients can switch on.
-type ErrorResponse struct {
-	Error string `json:"error"`
-	Code  string `json:"code"`
 }
 
 func writeError(w http.ResponseWriter, status int, code string, err error) {
