@@ -63,7 +63,15 @@ func spawnShardProcs(n, capacity int, baseArgs []string, dur durOptions) (urls [
 				"-compact-every", strconv.Itoa(dur.compactEvery))
 		}
 		cmd := exec.Command(self, args...)
-		cmd.Stderr = os.Stderr
+		// Children do not inherit the supervisor's stderr: N processes
+		// interleaving raw bytes on one descriptor shreds log lines.
+		// Each child's stderr is forwarded line-by-line through the
+		// supervisor's structured logger, tagged with the shard index.
+		stderr, perr := cmd.StderrPipe()
+		if perr != nil {
+			err = perr
+			return nil, nil, err
+		}
 		stdout, perr := cmd.StdoutPipe()
 		if perr != nil {
 			err = perr
@@ -72,6 +80,7 @@ func spawnShardProcs(n, capacity int, baseArgs []string, dur durOptions) (urls [
 		if err = cmd.Start(); err != nil {
 			return nil, nil, err
 		}
+		go forwardShardStderr(i, stderr)
 		procs = append(procs, cmd)
 		br := bufio.NewReader(stdout)
 		line, rerr := br.ReadString('\n')
@@ -88,11 +97,28 @@ func spawnShardProcs(n, capacity int, baseArgs []string, dur durOptions) (urls [
 		// Keep the child's stdout drained (it prints final metrics JSON
 		// on exit) so it never blocks on a full pipe.
 		go io.Copy(io.Discard, br)
-		fmt.Fprintf(os.Stderr, "schedd: shard %d/%d: %d nodes at %s\n", i, n, caps[i], urls[i])
+		logger.Info("spawned fanout shard", "shard", i, "shards", n, "nodes", caps[i], "url", urls[i])
 	}
 	if rotated > 0 {
-		fmt.Fprintf(os.Stderr, "schedd: rotated %d non-empty shard journals to %s.shard-N.old (fanout start-up does not resume them)\n",
-			rotated, dur.path)
+		logger.Warn("rotated non-empty shard journals (fanout start-up does not resume them)",
+			"count", rotated, "to", dur.path+".shard-N.old")
 	}
 	return urls, procs, nil
+}
+
+// forwardShardStderr relays one fanout child's stderr through the
+// supervisor's logger, one record per line, tagged with the child's
+// shard index. The child already emits structured slog text lines; the
+// forward keeps them whole (no interleaving mid-line with siblings)
+// and attributes them. The goroutine exits on the pipe's EOF when the
+// child does.
+func forwardShardStderr(shard int, r io.Reader) {
+	lg := logger.With("shard", shard)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		if line := strings.TrimRight(sc.Text(), " \t\r"); line != "" {
+			lg.Info(line)
+		}
+	}
 }

@@ -88,6 +88,24 @@
 // window as the offline simulator, so the summary is directly
 // comparable with `schedsim -json`.
 //
+// Observability:
+//
+//	schedd -policy DDS/lxf/dynB -trace-out trace.json -debug-addr 127.0.0.1:6060
+//
+// -trace-out enables cross-process tracing — every submission is
+// assigned a trace context (or continues the one in an incoming
+// X-Schedsearch-Trace header), carried through routing, shard wire
+// calls and the decide that starts the job — and writes the collected
+// spans on exit as Chrome trace-event JSON, loadable directly in
+// Perfetto or chrome://tracing. -debug-addr serves net/http/pprof on a
+// separate listener. -flight N keeps a ring of the last N scheduling
+// decisions (policy, queue depth, search effort, incumbent-cost
+// trajectory, commit summary) served at GET /v1/debug/decisions; the
+// recorder is inert — it reads only state the search already produced,
+// and never perturbs a schedule. Tracing and the flight recorder are
+// both bit-identical-off-vs-on by construction (the engine
+// differential tests pin this).
+//
 // Chaos mode (development):
 //
 //	schedd -virtual -month 7/03 -policy DDS/lxf/dynB -chaos 3
@@ -108,8 +126,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -127,6 +147,7 @@ import (
 	"schedsearch/internal/federation"
 	"schedsearch/internal/ingest"
 	"schedsearch/internal/job"
+	"schedsearch/internal/obs"
 	"schedsearch/internal/oracle"
 	"schedsearch/internal/server"
 	"schedsearch/internal/sim"
@@ -167,6 +188,11 @@ func main() {
 		ingBatch     = flag.Int("ingest-batch", 64, "max submissions the ingest committer folds into one commit group (= one journal fsync)")
 		quotaRate    = flag.Float64("quota-rate", 0, "per-user admission tokens per engine second (0 = no quotas)")
 		quotaBurst   = flag.Float64("quota-burst", 32, "per-user token bucket size")
+
+		traceOut    = flag.String("trace-out", "", "enable cross-process tracing and write the spans as Chrome trace-event JSON (Perfetto-loadable) to this file on exit")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this extra listen address (empty = off)")
+		flightSize  = flag.Int("flight", 256, "decision flight-recorder ring size, served at GET /v1/debug/decisions (0 = off)")
+		cachedLoads = flag.Bool("cached-loads", false, "federation placement probes the gossip-refreshed load cache instead of issuing a live per-shard load call on every submission (loads up to -gossip old)")
 	)
 	flag.Parse()
 
@@ -200,7 +226,7 @@ func main() {
 		return pol
 	}
 	if chaosOn {
-		fmt.Fprintf(os.Stderr, "schedd: chaos mode on (seed %d): injecting policy panics and latency\n", *chaosSeed)
+		logger.Info("chaos mode on: injecting policy panics and latency", "seed", *chaosSeed)
 	}
 	fed := fedOptions{
 		shards:    *shards,
@@ -255,17 +281,90 @@ func main() {
 		fed.placement = place
 	}
 
+	obsO := obsOptions{traceOut: *traceOut, debugAddr: *debugAddr, flight: *flightSize, cachedLoads: *cachedLoads}
 	if *virtual || *swfIn != "" {
-		if err := replay(mkPolicy, *swfIn, *month, *seed, *scale, *load, *capacity, *requested, chaosOn, fed); err != nil {
+		if err := replay(mkPolicy, *swfIn, *month, *seed, *scale, *load, *capacity, *requested, chaosOn, fed, obsO); err != nil {
 			fatal(err)
 		}
 		return
 	}
 	dur := durOptions{path: *journalPath, group: *groupCommit, compactEvery: *compactEvery}
 	ing := ingOptions{pending: *ingPending, batch: *ingBatch, quotaRate: *quotaRate, quotaBurst: *quotaBurst}
-	if err := serve(mkPolicy, *addr, *capacity, *requested, *speedup, chaosOn, fed, dur, ing); err != nil {
+	if err := serve(mkPolicy, *addr, *capacity, *requested, *speedup, chaosOn, fed, dur, ing, obsO); err != nil {
 		fatal(err)
 	}
+}
+
+// logger is the daemon's structured stderr logger; fanout children get
+// their own (their stderr is forwarded line-by-line through the
+// supervisor's, tagged with the shard index).
+var logger = obs.NewLogger(os.Stderr, "schedd")
+
+// obsOptions carry the observability flags. A non-empty traceOut turns
+// tracing on; flight <= 0 turns the decision flight recorder off.
+type obsOptions struct {
+	traceOut    string
+	debugAddr   string
+	flight      int
+	cachedLoads bool
+}
+
+// tracer builds the run's tracer, or nil when tracing is off.
+func (o obsOptions) tracer(now func() time.Time) *obs.Tracer {
+	if o.traceOut == "" {
+		return nil
+	}
+	return obs.NewTracer(obs.TracerOptions{Now: now})
+}
+
+// recorder builds the run's flight recorder, or nil when off.
+func (o obsOptions) recorder() *obs.FlightRecorder {
+	if o.flight <= 0 {
+		return nil
+	}
+	return obs.NewFlightRecorder(o.flight)
+}
+
+// writeTraceOut exports the collected spans as Chrome trace-event JSON;
+// a no-op unless -trace-out was given.
+func (o obsOptions) writeTraceOut(tr *obs.Tracer) error {
+	if o.traceOut == "" {
+		return nil
+	}
+	f, err := os.Create(o.traceOut)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	logger.Info("wrote trace", "path", o.traceOut, "spans", len(tr.Spans()), "dropped", tr.Dropped())
+	return nil
+}
+
+// serveDebug mounts net/http/pprof on its own listener, so profiling
+// never shares a port (or a mux) with the scheduling API.
+func (o obsOptions) serveDebug() (io.Closer, error) {
+	if o.debugAddr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", o.debugAddr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() { _ = http.Serve(ln, mux) }()
+	logger.Info("pprof debug server listening", "addr", ln.Addr().String())
+	return ln, nil
 }
 
 // durOptions carry the journal flags; an empty path disables the
@@ -327,8 +426,8 @@ func verify(orc *oracle.Oracle, bk backend, router *federation.Router) error {
 			return err
 		}
 		fm := router.Federation()
-		fmt.Fprintf(os.Stderr, "schedd: federation oracle verdict: clean (%d jobs on %d shards, %d migrations)\n",
-			len(bk.Records()), fm.Shards, fm.Migrations)
+		logger.Info("federation oracle verdict: clean",
+			"jobs", len(bk.Records()), "shards", fm.Shards, "migrations", fm.Migrations)
 		return nil
 	}
 	if orc == nil {
@@ -340,13 +439,13 @@ func verify(orc *oracle.Oracle, bk backend, router *federation.Router) error {
 	if err := oracle.CheckRecords(bk.Metrics().Capacity, nil, bk.Records()); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "schedd: chaos oracle verdict: clean (%d jobs, %d recovered panics)\n",
-		len(bk.Records()), bk.Metrics().Engine.PolicyPanics)
+	logger.Info("chaos oracle verdict: clean",
+		"jobs", len(bk.Records()), "recovered_panics", bk.Metrics().Engine.PolicyPanics)
 	return nil
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "schedd:", err)
+	logger.Error(err.Error())
 	os.Exit(1)
 }
 
@@ -354,7 +453,7 @@ func fatal(err error) {
 // HTTP API. POST /v1/drain (or SIGINT/SIGTERM) triggers a graceful
 // shutdown once the machine has emptied.
 func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested bool,
-	speedup float64, chaosOn bool, fed fedOptions, dur durOptions, ing ingOptions) error {
+	speedup float64, chaosOn bool, fed fedOptions, dur durOptions, ing ingOptions, obsO obsOptions) error {
 	// A non-empty single-engine journal is recovered before the clock
 	// starts: the rebuilt engine resumes at the last journaled instant,
 	// so re-armed completion timers fire in the future, never the past.
@@ -380,6 +479,8 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 		}
 	}
 	clock := engine.NewRealClockAt(start, speedup)
+	tr := obsO.tracer(nil)
+	flight := obsO.recorder()
 
 	var (
 		bk       backend
@@ -406,11 +507,14 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 				return err
 			}
 		} else if dur.path != "" {
-			fmt.Fprintf(os.Stderr, "schedd: -journal is ignored with -join (each shard daemon owns its journal)\n")
+			logger.Warn("-journal is ignored with -join (each shard daemon owns its journal)")
 		}
 		shardClients := make([]engine.Shard, len(urls))
 		for i, u := range urls {
-			shardClients[i] = federation.NewRemoteShard(u, federation.RemoteShardOptions{})
+			shardClients[i] = federation.NewRemoteShard(u, federation.RemoteShardOptions{
+				Logger: logger,
+				Tracer: tr,
+			})
 		}
 		r, err := federation.NewWithShards(federation.Config{
 			Clock:          clock,
@@ -418,6 +522,9 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 			RebalanceEvery: fed.rebalance,
 			GossipEvery:    fed.gossip,
 			WorkStealing:   fed.steal,
+			CachedLoads:    obsO.cachedLoads,
+			Tracer:         tr,
+			Logger:         obs.NewLogger(os.Stderr, "router"),
 		}, shardClients)
 		if err != nil {
 			return err
@@ -434,6 +541,10 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 			RebalanceEvery: fed.rebalance,
 			GossipEvery:    fed.gossip,
 			WorkStealing:   fed.steal,
+			CachedLoads:    obsO.cachedLoads,
+			Tracer:         tr,
+			Flight:         flight,
+			Logger:         obs.NewLogger(os.Stderr, "router"),
 		}
 		if dur.path != "" {
 			// Shard journals are opened up front so factory calls (initial
@@ -460,13 +571,13 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 				journals[i] = fj
 			}
 			if rotated > 0 {
-				fmt.Fprintf(os.Stderr, "schedd: rotated %d non-empty shard journals to %s.shard-N.old (federated start-up does not recover them)\n",
-					rotated, dur.path)
+				logger.Warn("rotated non-empty shard journals (federated start-up does not recover them)",
+					"count", rotated, "to", dur.path+".shard-N.old")
 			}
 			fcfg.Journal = func(shard int) engine.JournalSink { return journals[shard] }
 			fcfg.CompactEvery = dur.compactEvery
-			fmt.Fprintf(os.Stderr, "schedd: journaling %d shards to %s.shard-N (write-only; start-up recovery is single-engine)\n",
-				fed.shards, dur.path)
+			logger.Info("journaling shards (write-only; start-up recovery is single-engine)",
+				"shards", fed.shards, "path", dur.path+".shard-N")
 		}
 		r, err := federation.New(fcfg)
 		if err != nil {
@@ -482,6 +593,8 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 			Policy:       mkPolicy(0),
 			Clock:        clock,
 			UseRequested: requested,
+			Flight:       flight,
+			Tracer:       tr,
 		}
 		if orc != nil {
 			// Assigning a nil *Oracle directly would store a typed-nil
@@ -508,8 +621,8 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 			if recovered.Base != nil {
 				base = len(recovered.Base.Done) + len(recovered.Base.Running) + len(recovered.Base.Waiting)
 			}
-			fmt.Fprintf(os.Stderr, "schedd: recovered %s (%d base jobs + %d tail events), engine clock resumed at t=%d\n",
-				dur.path, base, len(recovered.Events), start)
+			logger.Info("recovered journal", "path", dur.path,
+				"base_jobs", base, "tail_events", len(recovered.Events), "resumed_t", int64(start))
 		} else {
 			e, err = engine.New(cfg)
 			if err != nil {
@@ -539,6 +652,25 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 			return err
 		}
 		opts = append(opts, server.WithIngest(q))
+	}
+	if flight != nil && !fed.remote() {
+		// A remote front-end has no in-process engines to record; each
+		// shard daemon serves its own /v1/debug/decisions.
+		opts = append(opts, server.WithFlight(flight))
+	}
+	if tr != nil {
+		shard := 0
+		if router != nil {
+			shard = -1 // the router's lane in the trace timeline
+		}
+		opts = append(opts, server.WithTracer(tr, shard))
+	}
+	dbg, err := obsO.serveDebug()
+	if err != nil {
+		return err
+	}
+	if dbg != nil {
+		defer dbg.Close()
 	}
 
 	ln, err := net.Listen("tcp", addr)
@@ -612,6 +744,9 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 			return err
 		}
 	}
+	if err := obsO.writeTraceOut(tr); err != nil {
+		return err
+	}
 	return printMetrics(bk, router)
 }
 
@@ -620,7 +755,7 @@ func serve(mkPolicy func(int) sim.Policy, addr string, capacity int, requested b
 // prints the final metrics. Each job is delivered by a clock timer at
 // its submit time, exactly like the engine's differential tests.
 func replay(mkPolicy func(int) sim.Policy, swfIn, month string, seed uint64, scale, load float64,
-	capacity int, requested bool, chaosOn bool, fed fedOptions) error {
+	capacity int, requested bool, chaosOn bool, fed fedOptions, obsO obsOptions) error {
 	input, err := replayInput(swfIn, month, seed, scale, load, capacity, requested)
 	if err != nil {
 		return err
@@ -633,6 +768,10 @@ func replay(mkPolicy func(int) sim.Policy, swfIn, month string, seed uint64, sca
 	}
 
 	vc := engine.NewVirtualClock()
+	// Replay span timestamps come from the virtual clock, so the trace
+	// timeline reads in engine time (span durations are still wall).
+	tr := obsO.tracer(func() time.Time { return time.Unix(int64(vc.Now()), 0) })
+	flight := obsO.recorder()
 	var (
 		bk     backend
 		router *federation.Router
@@ -652,6 +791,10 @@ func replay(mkPolicy func(int) sim.Policy, swfIn, month string, seed uint64, sca
 			RebalanceEvery: fed.rebalance,
 			GossipEvery:    fed.gossip,
 			WorkStealing:   fed.steal,
+			CachedLoads:    obsO.cachedLoads,
+			Tracer:         tr,
+			Flight:         flight,
+			Logger:         obs.NewLogger(os.Stderr, "router"),
 		})
 		if err != nil {
 			return err
@@ -669,6 +812,8 @@ func replay(mkPolicy func(int) sim.Policy, swfIn, month string, seed uint64, sca
 			Measured:     measured,
 			MeasureStart: input.MeasureStart,
 			MeasureEnd:   input.MeasureEnd,
+			Flight:       flight,
+			Tracer:       tr,
 		}
 		if orc != nil {
 			cfg.Observer = orc
@@ -679,6 +824,13 @@ func replay(mkPolicy func(int) sim.Policy, swfIn, month string, seed uint64, sca
 		}
 		bk = e
 	}
+	// The replay loop is the front door, so it mints the traces a live
+	// run's HTTP submit handler would (the router then adds route spans;
+	// the engine adds decide spans).
+	frontShard := 0
+	if router != nil {
+		frontShard = -1
+	}
 
 	var submitErr error
 	var once sync.Once
@@ -686,8 +838,18 @@ func replay(mkPolicy func(int) sim.Policy, swfIn, month string, seed uint64, sca
 	for _, j := range input.Jobs {
 		j := j
 		vc.AfterFunc(j.Submit, func() {
+			var tc obs.TraceContext
+			var t0 time.Time
+			if tr != nil {
+				tc = tr.Mint()
+				tr.Bind(j.ID, tc)
+				t0 = tr.Now()
+			}
 			err := bk.SubmitJob(j)
 			if err == nil {
+				if tr != nil {
+					tr.Record("submit", tc, j.ID, frontShard, t0, tr.Now().Sub(t0))
+				}
 				return
 			}
 			if errors.Is(err, federation.ErrTooWide) {
@@ -701,7 +863,7 @@ func replay(mkPolicy func(int) sim.Policy, swfIn, month string, seed uint64, sca
 	}
 	vc.Run()
 	if skipped > 0 {
-		fmt.Fprintf(os.Stderr, "schedd: skipped %d jobs wider than every shard partition\n", skipped)
+		logger.Warn("skipped jobs wider than every shard partition", "count", skipped)
 	}
 	if submitErr != nil {
 		return submitErr
@@ -713,6 +875,9 @@ func replay(mkPolicy func(int) sim.Policy, swfIn, month string, seed uint64, sca
 		if err := verify(orc, bk, router); err != nil {
 			return err
 		}
+	}
+	if err := obsO.writeTraceOut(tr); err != nil {
+		return err
 	}
 	return printMetrics(bk, router)
 }

@@ -25,6 +25,7 @@ import (
 	"schedsearch/internal/engine"
 	"schedsearch/internal/job"
 	"schedsearch/internal/metrics"
+	"schedsearch/internal/obs"
 	"schedsearch/internal/report"
 	"schedsearch/internal/sim"
 	"schedsearch/internal/trace"
@@ -48,10 +49,11 @@ func main() {
 		timeline  = flag.Int("timeline", 0, "render a timeline of the first N measured jobs")
 		capacity  = flag.Int("capacity", 0, "machine size for -swf (default: trace header MaxNodes, else widest job)")
 		jsonOut   = flag.Bool("json", false, "emit the run summary as JSON on stdout (the schema schedd's /v1/metrics serves)")
+		flightN   = flag.Int("flight", 0, "record the last N scheduling decisions (queue depth, search effort, incumbent trajectory, commit) and print them as JSON after the summary (0 = off)")
 	)
 	flag.Parse()
 
-	opts := searchOpts{nodeLimit: *nodeLimit, workers: *workers, warm: *warm, slo: *slo}
+	opts := searchOpts{nodeLimit: *nodeLimit, workers: *workers, warm: *warm, slo: *slo, flight: *flightN}
 	var err error
 	if *swfIn != "" {
 		err = runSWF(*swfIn, *capacity, *policyArg, opts, *requested, *verbose, *timeline, *jsonOut)
@@ -64,27 +66,105 @@ func main() {
 	}
 }
 
-// searchOpts bundles the flags that only apply to search schedulers.
+// searchOpts bundles the flags that only apply to search schedulers,
+// plus the flight-recorder size (which applies to every policy).
 type searchOpts struct {
 	nodeLimit int
 	workers   int
 	warm      bool
 	slo       time.Duration
+	flight    int
 }
 
 // parsePolicy builds the policy and applies the search-only options to
-// search schedulers (other policies ignore them).
-func parsePolicy(policyArg string, o searchOpts) (sim.Policy, error) {
+// search schedulers (other policies ignore them). With -flight N the
+// policy is wrapped in the passive flight-recorder shim; the returned
+// recorder is nil otherwise.
+func parsePolicy(policyArg string, o searchOpts) (sim.Policy, *obs.FlightRecorder, error) {
 	pol, err := schedsearch.ParsePolicy(policyArg, o.nodeLimit)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if sch, ok := pol.(*core.Scheduler); ok {
 		sch.Workers = o.workers
 		sch.WarmStart = o.warm
 		sch.SLO = o.slo
 	}
-	return pol, nil
+	if o.flight <= 0 {
+		return pol, nil, nil
+	}
+	f := obs.NewFlightRecorder(o.flight)
+	return &flightPolicy{inner: pol, f: f}, f, nil
+}
+
+// flightPolicy shims a policy into the offline flight recorder: after
+// each Decide it copies the decision's summary (search policies expose
+// the full search story; heuristics get the generic record) into the
+// ring. Strictly passive — it forwards the decision untouched, so
+// recorded and unrecorded runs schedule identically.
+type flightPolicy struct {
+	inner sim.Policy
+	f     *obs.FlightRecorder
+	rec   obs.DecisionRecord
+}
+
+func (p *flightPolicy) Name() string { return p.inner.Name() }
+
+func (p *flightPolicy) Decide(snap *sim.Snapshot) []int {
+	t0 := time.Now()
+	starts := p.inner.Decide(snap)
+	wall := time.Since(t0)
+	rec := &p.rec
+	startedBuf := rec.Started[:0]
+	trajBuf := rec.Trajectory[:0]
+	*rec = obs.DecisionRecord{
+		NowS:       int64(snap.Now),
+		Policy:     p.inner.Name(),
+		QueueDepth: len(snap.Queue),
+		WallUs:     wall.Microseconds(),
+	}
+	for _, qi := range starts {
+		startedBuf = append(startedBuf, snap.Queue[qi].Job.ID)
+	}
+	rec.Started = startedBuf
+	if ds, ok := p.inner.(interface{ LastDecision() core.DecisionSummary }); ok {
+		sum := ds.LastDecision()
+		rec.EffectiveLimit = sum.EffectiveLimit
+		rec.Nodes = sum.Nodes
+		rec.Leaves = sum.Leaves
+		rec.Pruned = sum.Pruned
+		rec.NodesToBest = sum.NodesToBest
+		rec.BudgetHit = sum.BudgetHit
+		rec.WarmSeeded = sum.WarmSeeded
+		rec.SeedHeld = sum.SeedHeld
+		rec.Parallel = sum.Parallel
+		if sum.BestFound {
+			rec.BestExcess = sum.BestCost[0]
+			rec.BestSlowdown = sum.BestCost[1]
+		}
+		for _, pt := range sum.Trajectory {
+			trajBuf = append(trajBuf, obs.TrajectoryPoint{
+				Nodes: pt.Nodes, Excess: pt.Cost[0], Slowdown: pt.Cost[1],
+			})
+		}
+	}
+	rec.Trajectory = trajBuf
+	p.f.Record(rec)
+	return starts
+}
+
+// printFlight dumps the recorded decisions as a JSON document on
+// stdout (after the summary; with -json it is the second document).
+func printFlight(f *obs.FlightRecorder) error {
+	if f == nil {
+		return nil
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Total     int64                `json:"total"`
+		Decisions []obs.DecisionRecord `json:"decisions"`
+	}{Total: f.Total(), Decisions: f.Snapshot()})
 }
 
 // emitJSON writes the run summary as machine-readable JSON in the
@@ -113,7 +193,7 @@ func runSWF(path string, capacity int, policyArg string, opts searchOpts, reques
 			capacity = j.Nodes
 		}
 	}
-	pol, err := parsePolicy(policyArg, opts)
+	pol, flight, err := parsePolicy(policyArg, opts)
 	if err != nil {
 		return err
 	}
@@ -126,15 +206,27 @@ func runSWF(path string, capacity int, policyArg string, opts searchOpts, reques
 	}
 	s := metrics.Summarize(res)
 	if jsonOut {
-		return emitJSON(res, s, pol)
+		if err := emitJSON(res, s, statsPolicy(pol)); err != nil {
+			return err
+		}
+		return printFlight(flight)
 	}
 	fmt.Printf("trace %s: %d jobs on %d nodes\n", path, s.Jobs, capacity)
-	printSummary(res, s, pol)
+	printSummary(res, s, statsPolicy(pol))
 	if verbose {
 		printGrid(metrics.ComputeClassGrid(res))
 	}
 	printTimeline(res, timeline)
-	return nil
+	return printFlight(flight)
+}
+
+// statsPolicy unwraps the flight shim so the search-statistics report
+// still sees the *core.Scheduler underneath.
+func statsPolicy(pol sim.Policy) sim.Policy {
+	if fp, ok := pol.(*flightPolicy); ok {
+		return fp.inner
+	}
+	return pol
 }
 
 func run(month, policyArg string, opts searchOpts, load float64, seed uint64, scale float64, requested, verbose bool, timeline int, jsonOut bool) error {
@@ -143,7 +235,7 @@ func run(month, policyArg string, opts searchOpts, load float64, seed uint64, sc
 	if err != nil {
 		return err
 	}
-	pol, err := parsePolicy(policyArg, opts)
+	pol, flight, err := parsePolicy(policyArg, opts)
 	if err != nil {
 		return err
 	}
@@ -157,17 +249,20 @@ func run(month, policyArg string, opts searchOpts, load float64, seed uint64, sc
 	}
 	s := metrics.Summarize(res)
 	if jsonOut {
-		return emitJSON(res, s, pol)
+		if err := emitJSON(res, s, statsPolicy(pol)); err != nil {
+			return err
+		}
+		return printFlight(flight)
 	}
 
 	fmt.Printf("month %s: %d jobs, offered load %.2f (spec %.2f)\n",
 		m.Spec.Label, s.Jobs, effectiveLoad(m, load), m.Spec.Load)
-	printSummary(res, s, pol)
+	printSummary(res, s, statsPolicy(pol))
 	if verbose {
 		printGrid(metrics.ComputeClassGrid(res))
 	}
 	printTimeline(res, timeline)
-	return nil
+	return printFlight(flight)
 }
 
 // printTimeline renders the first n measured jobs as queue/run bars.

@@ -11,6 +11,7 @@ import (
 	"schedsearch/internal/engine"
 	"schedsearch/internal/federation"
 	"schedsearch/internal/job"
+	"schedsearch/internal/obs"
 	"schedsearch/internal/oracle"
 	"schedsearch/internal/sim"
 )
@@ -53,6 +54,30 @@ type fedReport struct {
 	// remote 1-shard baseline, so the column isolates scaling from
 	// wire overhead.
 	Remote []fedResult `json:"remote,omitempty"`
+	// CachedLoads is the before/after for gossip-cached placement
+	// probing (federation.Config.CachedLoads), measured on the remote
+	// sweep's largest shard count: the same replay with live
+	// per-submission load probes (N HTTP round trips per submit) versus
+	// the cache the rebalance/gossip passes refresh, compared by the
+	// router's "route" span durations. Present only with -remote.
+	CachedLoads *cachedLoadsNote `json:"cached_loads,omitempty"`
+}
+
+// cachedLoadsNote is the routing-cost evidence for the cached-loads
+// placement option, from two traced replays of the identical workload.
+type cachedLoadsNote struct {
+	Shards int `json:"shards"`
+	// LiveRouteNsPerJob / CachedRouteNsPerJob average the router's
+	// "route" span (placement probe + pick + wire submit) per routed
+	// job, without and with the load cache.
+	LiveRouteNsPerJob   int64 `json:"live_route_span_ns_per_job"`
+	CachedRouteNsPerJob int64 `json:"cached_route_span_ns_per_job"`
+	// LiveProbeSpans / CachedProbeSpans count live per-shard load
+	// probes issued from the submit path (cached runs only probe live
+	// until the first rebalance/gossip pass fills the cache).
+	LiveProbeSpans   int64   `json:"live_probe_spans"`
+	CachedProbeSpans int64   `json:"cached_probe_spans"`
+	RouteSpeedup     float64 `json:"route_speedup"`
 }
 
 // fedBenchJobs builds the deterministic synthetic workload for the
@@ -142,13 +167,33 @@ func fedMeasure(vc *engine.VirtualClock, router *federation.Router, shards int,
 	return r, nil
 }
 
+// remoteTracedOnce boots a traced out-of-process federation, replays
+// jobs through it once, and returns the measurement with the run's
+// tracer (span stats, trace export). Span timestamps read in virtual
+// time; span durations are real wall.
+func remoteTracedOnce(jobs []job.Job, capacity, shards, limit int, cachedLoads bool, label string) (fedResult, *obs.Tracer, error) {
+	vc := engine.NewVirtualClock()
+	tr := obs.NewTracer(obs.TracerOptions{
+		Seed: 1,
+		Now:  func() time.Time { return time.Unix(int64(vc.Now()), 0) },
+	})
+	router, stopShards, err := newRemoteFederation(vc, capacity, shards, limit, tr, cachedLoads)
+	if err != nil {
+		return fedResult{}, nil, err
+	}
+	var base float64
+	r, err := fedMeasure(vc, router, shards, jobs, capacity, &base, label)
+	stopShards()
+	return r, tr, err
+}
+
 // runFederationBench replays the same synthetic workload through a
 // 1-shard, 2-shard, ... federation and reports decision latency and
 // throughput per shard count into outPath (BENCH_federation.json).
 // With remote the sweep is repeated against out-of-process-style
 // shards (engine + HTTP server on a real TCP listener behind a
 // RemoteShard client) into the report's "remote" section.
-func runFederationBench(outPath string, shardCounts []int, jobsN, limit, capacity int, remote bool) error {
+func runFederationBench(outPath string, shardCounts []int, jobsN, limit, capacity int, remote bool, traceOut string) error {
 	maxShards := 1
 	for _, s := range shardCounts {
 		if s > maxShards {
@@ -194,7 +239,7 @@ func runFederationBench(outPath string, shardCounts []int, jobsN, limit, capacit
 		var remoteBaseMs float64
 		for _, shards := range shardCounts {
 			vc := engine.NewVirtualClock()
-			router, stopShards, err := newRemoteFederation(vc, capacity, shards, limit)
+			router, stopShards, err := newRemoteFederation(vc, capacity, shards, limit, nil, false)
 			if err != nil {
 				return err
 			}
@@ -204,6 +249,53 @@ func runFederationBench(outPath string, shardCounts []int, jobsN, limit, capacit
 				return err
 			}
 			rep.Remote = append(rep.Remote, r)
+		}
+
+		// Cached-loads before/after at the largest shard count, both
+		// runs traced so the router's own route/probe spans measure the
+		// placement cost (tracing is schedule-inert, so the cached run
+		// differs from the live run only by the load-cache option).
+		_, liveTr, err := remoteTracedOnce(jobs, capacity, maxShards, limit, false, "federation-remote live-loads")
+		if err != nil {
+			return err
+		}
+		_, cachedTr, err := remoteTracedOnce(jobs, capacity, maxShards, limit, true, "federation-remote cached-loads")
+		if err != nil {
+			return err
+		}
+		note := &cachedLoadsNote{Shards: maxShards}
+		liveStats, cachedStats := liveTr.Stats(), cachedTr.Stats()
+		if st := liveStats["route"]; st.Count > 0 {
+			note.LiveRouteNsPerJob = st.TotalNs / st.Count
+		}
+		if st := cachedStats["route"]; st.Count > 0 {
+			note.CachedRouteNsPerJob = st.TotalNs / st.Count
+		}
+		note.LiveProbeSpans = liveStats["probe"].Count
+		note.CachedProbeSpans = cachedStats["probe"].Count
+		if note.CachedRouteNsPerJob > 0 {
+			note.RouteSpeedup = float64(note.LiveRouteNsPerJob) / float64(note.CachedRouteNsPerJob)
+		}
+		rep.CachedLoads = note
+		fmt.Fprintf(os.Stderr, "cached-loads shards=%d: route span %d ns/job live vs %d ns/job cached (%.1fx), live probes %d vs %d\n",
+			maxShards, note.LiveRouteNsPerJob, note.CachedRouteNsPerJob, note.RouteSpeedup,
+			note.LiveProbeSpans, note.CachedProbeSpans)
+
+		if traceOut != "" {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				return err
+			}
+			if err := liveTr.WriteTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			covered, total := liveTr.JobCoverage("submit", "route", "admit", "decide")
+			fmt.Fprintf(os.Stderr, "federation-remote trace: %d/%d jobs with a full submit→route→admit→decide span tree, %d spans → %s\n",
+				covered, total, len(liveTr.Spans()), traceOut)
 		}
 	}
 

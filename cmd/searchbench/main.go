@@ -105,6 +105,7 @@ func main() {
 		fedJobs   = flag.Int("fedjobs", 400, "synthetic jobs per federation replay")
 		fedLim    = flag.Int("fedlimit", 200, "search node limit per decision in -federation mode")
 		fedRemote = flag.Bool("remote", false, "in -federation mode, also sweep out-of-process shards (each an engine behind its own HTTP server on real TCP, driven through federation.RemoteShard) into the report's \"remote\" section")
+		fedTrace  = flag.String("trace-out", "", "in -federation -remote mode, write the traced remote replay's spans (submit/route/probe/admit/decide) as Chrome trace-event JSON to this file")
 
 		ingMode    = flag.Bool("ingest", false, "load-test the batched ingest path instead of the search hot path")
 		clients    = flag.String("clients", "4,16,64", "client fleet sizes (load levels) in -ingest mode")
@@ -133,7 +134,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runFederationBench(outPath("BENCH_federation.json"), shardCounts, *fedJobs, *fedLim, 128, *fedRemote); err != nil {
+		if err := runFederationBench(outPath("BENCH_federation.json"), shardCounts, *fedJobs, *fedLim, 128, *fedRemote, *fedTrace); err != nil {
 			fatal(err)
 		}
 		return

@@ -9,6 +9,7 @@ import (
 	"schedsearch/internal/core"
 	"schedsearch/internal/engine"
 	"schedsearch/internal/federation"
+	"schedsearch/internal/obs"
 	"schedsearch/internal/server"
 )
 
@@ -20,7 +21,14 @@ import (
 // clock: calls resolve synchronously inside timer callbacks, so the
 // replay stays deterministic while the measured wall time includes the
 // full HTTP serialization cost. stop tears the servers down.
-func newRemoteFederation(vc *engine.VirtualClock, capacity, shards, limit int) (*federation.Router, func(), error) {
+//
+// A non-nil tr is shared by the router, every shard server and every
+// shard engine, so one trace follows a job across the wire:
+// submit/route/probe on the router, admit on the receiving shard
+// server (continued from the X-Schedsearch-Trace header), decide on
+// the shard engine. cachedLoads switches placement probing to the
+// rebalance-refreshed load cache (federation.Config.CachedLoads).
+func newRemoteFederation(vc *engine.VirtualClock, capacity, shards, limit int, tr *obs.Tracer, cachedLoads bool) (*federation.Router, func(), error) {
 	caps, err := federation.PartitionCapacity(capacity, shards)
 	if err != nil {
 		return nil, nil, err
@@ -34,9 +42,11 @@ func newRemoteFederation(vc *engine.VirtualClock, capacity, shards, limit int) (
 	clients := make([]engine.Shard, shards)
 	for i := range clients {
 		e, err := engine.New(engine.Config{
-			Capacity: caps[i],
-			Policy:   core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), limit),
-			Clock:    vc,
+			Capacity:   caps[i],
+			Policy:     core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), limit),
+			Clock:      vc,
+			Tracer:     tr,
+			TraceShard: i,
 		})
 		if err != nil {
 			stop()
@@ -47,17 +57,24 @@ func newRemoteFederation(vc *engine.VirtualClock, capacity, shards, limit int) (
 			stop()
 			return nil, nil, fmt.Errorf("federation bench: shard %d listen: %w", i, err)
 		}
-		srv := &http.Server{Handler: server.New(e, nil)}
+		var srvOpts []server.Option
+		if tr != nil {
+			srvOpts = append(srvOpts, server.WithTracer(tr, i))
+		}
+		srv := &http.Server{Handler: server.New(e, nil, srvOpts...)}
 		go srv.Serve(ln)
 		servers = append(servers, srv)
 		clients[i] = federation.NewRemoteShard("http://"+ln.Addr().String(), federation.RemoteShardOptions{
 			Timeout: 30 * time.Second,
 			Sleep:   func(time.Duration) {},
+			Tracer:  tr,
 		})
 	}
 	router, err := federation.NewWithShards(federation.Config{
 		Clock:          vc,
 		RebalanceEvery: 600,
+		Tracer:         tr,
+		CachedLoads:    cachedLoads,
 	}, clients)
 	if err != nil {
 		stop()

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"schedsearch/internal/core"
 	"schedsearch/internal/engine"
 	"schedsearch/internal/job"
 	"schedsearch/internal/oracle"
@@ -474,4 +475,14 @@ func (p *FlakyPolicy) Decide(snap *sim.Snapshot) []int {
 		panic(fmt.Sprintf("chaos: injected policy panic (decision %d)", p.calls))
 	}
 	return p.Inner.Decide(snap)
+}
+
+// LastDecision forwards the inner policy's decision summary so the
+// flight recorder sees through the fault-injection wrapper; a wrapped
+// non-search policy yields the zero summary (generic records).
+func (p *FlakyPolicy) LastDecision() core.DecisionSummary {
+	if ds, ok := p.Inner.(interface{ LastDecision() core.DecisionSummary }); ok {
+		return ds.LastDecision()
+	}
+	return core.DecisionSummary{}
 }

@@ -301,6 +301,12 @@ func (sch *Scheduler) runParallel(snap *sim.Snapshot, workers int) bool {
 				s.ntbCost = im.cost
 				s.ntbSet = true
 				s.nodesToBest = s.nodes + im.nodes
+				if s.recordImprov {
+					// Thread the accepted improvement into the master's log
+					// with its global node position, so the trajectory
+					// matches the sequential run's.
+					s.improv = append(s.improv, improvement{cost: im.cost, nodes: s.nodes + im.nodes})
+				}
 			}
 		}
 		s.nodes += r.nodes

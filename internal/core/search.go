@@ -201,8 +201,9 @@ type Scheduler struct {
 	// SearchStats accumulates effort counters across the run.
 	SearchStats Stats
 
-	lastPlan  []PlannedStart
-	startsBuf []int
+	lastPlan     []PlannedStart
+	lastDecision DecisionSummary
+	startsBuf    []int
 	s         searchState // reusable scratch (sequential search + merge target)
 	warm      warmState   // WarmStart carry + scratch
 	nsPerNode float64     // EWMA of observed search pace (SLO budget)
@@ -278,6 +279,7 @@ func (sch *Scheduler) Decide(snap *sim.Snapshot) []int {
 		sch.s.bestCost = Cost{}
 		sch.s.bestFound = false
 		sch.warm.valid = false
+		sch.lastDecision = DecisionSummary{Trajectory: sch.lastDecision.Trajectory[:0]}
 		return nil
 	}
 	cost := sch.Cost
@@ -295,6 +297,12 @@ func (sch *Scheduler) Decide(snap *sim.Snapshot) []int {
 	if sch.WarmStart {
 		sch.seedWarm(s)
 	}
+	// The incumbent-improvement log feeds LastDecision's cost
+	// trajectory (flight recorder). Recording is strictly passive: leaf
+	// and the parallel merge append to a reused slice exactly at the
+	// improvements they already track, so enabling it unconditionally
+	// cannot perturb the search (the inertness differentials pin this).
+	s.recordImprov = true
 	parallel := false
 	if workers := sch.parallelWorkers(n); workers > 1 {
 		parallel = sch.runParallel(snap, workers)
@@ -338,6 +346,26 @@ func (sch *Scheduler) Decide(snap *sim.Snapshot) []int {
 		sch.carryBest(s)
 	}
 
+	traj := sch.lastDecision.Trajectory[:0]
+	for _, im := range s.improv {
+		traj = append(traj, CostPoint{Nodes: im.nodes, Cost: im.cost})
+	}
+	sch.lastDecision = DecisionSummary{
+		QueueDepth:     n,
+		EffectiveLimit: int64(limit),
+		Nodes:          s.nodes,
+		Leaves:         s.leaves,
+		Pruned:         s.pruned,
+		NodesToBest:    s.nodesToBest,
+		BudgetHit:      s.aborted,
+		WarmSeeded:     s.seedSet,
+		SeedHeld:       s.seedSet && s.bestFound && !s.bestCost.Less(s.seedCost),
+		Parallel:       parallel,
+		BestFound:      s.bestFound,
+		BestCost:       s.bestCost,
+		Trajectory:     traj,
+	}
+
 	starts := sch.startsBuf[:0]
 	sch.lastPlan = sch.lastPlan[:0]
 	for oi, now := range s.bestStartNow {
@@ -374,6 +402,37 @@ func (sch *Scheduler) LastPlan() []PlannedStart { return sch.lastPlan }
 // LastCost returns the objective value of the schedule committed at the
 // most recent decision.
 func (sch *Scheduler) LastCost() Cost { return sch.s.bestCost }
+
+// CostPoint is one incumbent improvement during a decision's search:
+// after Nodes placements the incumbent cost dropped to Cost.
+type CostPoint struct {
+	Nodes int64
+	Cost  Cost
+}
+
+// DecisionSummary describes the most recent Decide call for the
+// observability layer (the engine's decision flight recorder). It is
+// assembled from state the search already tracks; producing it never
+// perturbs a decision.
+type DecisionSummary struct {
+	QueueDepth     int
+	EffectiveLimit int64
+	Nodes          int64
+	Leaves         int64
+	Pruned         int64
+	NodesToBest    int64
+	BudgetHit      bool
+	WarmSeeded     bool
+	SeedHeld       bool
+	Parallel       bool
+	BestFound      bool
+	BestCost       Cost
+	Trajectory     []CostPoint
+}
+
+// LastDecision returns the summary of the most recent decision. The
+// Trajectory slice is reused by the next Decide.
+func (sch *Scheduler) LastDecision() DecisionSummary { return sch.lastDecision }
 
 // searchState holds the per-decision search machinery; it is reused
 // across decisions (and per worker, across iterations) to avoid

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"schedsearch/internal/job"
+	"schedsearch/internal/obs"
 	"schedsearch/internal/sim"
 )
 
@@ -74,6 +75,20 @@ type Config struct {
 	// the tail reaches this many events, so Rebuild cost stays bounded
 	// on long-running daemons.
 	CompactEvery int
+	// Flight, when non-nil, receives a structured record of every
+	// scheduling decision (queue depth, search effort, incumbent-cost
+	// trajectory, committed starts). Capture is strictly passive and
+	// alloc-free once the ring has wrapped: attaching a recorder never
+	// changes a schedule.
+	Flight *obs.FlightRecorder
+	// Tracer, when non-nil, records a "decide" span for every started
+	// job whose submission was traced (the trace context is looked up
+	// in the tracer's job registry, bound at submit). Same inertness
+	// guarantee as Flight.
+	Tracer *obs.Tracer
+	// TraceShard tags this engine's spans with its shard index in a
+	// federation (0 for a standalone engine).
+	TraceShard int
 }
 
 // State is a job's lifecycle position.
@@ -165,6 +180,10 @@ type Engine struct {
 	intStart       job.Time
 	intEnd         job.Time
 	explicitWindow bool
+
+	// flightScratch is the reused record observeDecision assembles
+	// before copying it into the flight recorder's ring.
+	flightScratch obs.DecisionRecord
 }
 
 // New returns a started engine; it begins scheduling as soon as jobs
@@ -428,6 +447,9 @@ func (e *Engine) decideLocked() {
 			e.setFatal(fmt.Errorf("engine: policy %q started nothing on an idle machine with %d queued jobs at t=%d",
 				e.cfg.Policy.Name(), e.l.QueueLen(), now))
 		}
+		if e.cfg.Flight != nil || e.cfg.Tracer != nil {
+			e.observeDecision(now, len(snap.Queue), d, nil)
+		}
 		return
 	}
 	e.noteQueueChange(now)
@@ -445,6 +467,9 @@ func (e *Engine) decideLocked() {
 			Kind: EvStart, At: now, ID: s.Job.ID,
 			NodeIDs: append([]int(nil), s.NodeIDs...),
 		})
+	}
+	if e.cfg.Flight != nil || e.cfg.Tracer != nil {
+		e.observeDecision(now, len(snap.Queue), d, started)
 	}
 }
 

@@ -10,8 +10,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"schedsearch/internal/job"
+	"schedsearch/internal/obs"
 )
 
 // JournalSink persists the engine's committed event journal. The engine
@@ -50,6 +52,14 @@ type StatsReporter interface {
 	Stats() JournalStats
 }
 
+// SyncLatencyReporter is the optional sink extension surfacing the
+// fsync-latency histogram; the engine exposes it in Counters (and the
+// server exports it as a Prometheus histogram) when the sink
+// implements it.
+type SyncLatencyReporter interface {
+	SyncLatency() obs.HistSnapshot
+}
+
 // FileJournal is a durable JournalSink: a JSON-lines file holding an
 // optional leading {"base": ...} snapshot followed by {"ev": ...}
 // events in commit order. Commit fsyncs only once `group` events have
@@ -65,6 +75,7 @@ type FileJournal struct {
 	group   int
 	pending int
 	stats   JournalStats
+	lat     obs.Hist
 }
 
 // OpenFileJournal opens (creating if needed, appending if not) the
@@ -125,12 +136,14 @@ func (fj *FileJournal) syncLocked() error {
 	if fj.f == nil {
 		return errors.New("engine: journal closed")
 	}
+	t0 := time.Now()
 	if err := fj.w.Flush(); err != nil {
 		return fmt.Errorf("engine: journal flush: %w", err)
 	}
 	if err := fj.f.Sync(); err != nil {
 		return fmt.Errorf("engine: journal sync: %w", err)
 	}
+	fj.lat.Observe(time.Since(t0))
 	fj.pending = 0
 	fj.stats.Syncs++
 	return nil
@@ -191,6 +204,14 @@ func (fj *FileJournal) Stats() JournalStats {
 	fj.mu.Lock()
 	defer fj.mu.Unlock()
 	return fj.stats
+}
+
+// SyncLatency implements SyncLatencyReporter: the flush+fsync latency
+// distribution of the group-commit boundaries (Compact's snapshot
+// rewrite is not included — it is a rare maintenance fsync, not a
+// commit-path one).
+func (fj *FileJournal) SyncLatency() obs.HistSnapshot {
+	return fj.lat.Snapshot()
 }
 
 // Close syncs any buffered events and closes the file.

@@ -4,6 +4,7 @@ import (
 	"schedsearch/internal/core"
 	"schedsearch/internal/job"
 	"schedsearch/internal/metrics"
+	"schedsearch/internal/obs"
 	"schedsearch/internal/sim"
 )
 
@@ -50,6 +51,10 @@ type Counters struct {
 	Compactions    int64 `json:"journal_compactions,omitempty"`
 	JournalAppends int64 `json:"journal_appends,omitempty"`
 	JournalSyncs   int64 `json:"journal_syncs,omitempty"`
+	// JournalFsync is the flush+fsync latency distribution of the
+	// journal's group-commit boundaries, present only when the sink
+	// reports it (FileJournal does).
+	JournalFsync *obs.HistSnapshot `json:"journal_fsync,omitempty"`
 }
 
 // JobCounts breaks the admitted jobs down by state.
@@ -142,6 +147,11 @@ func (e *Engine) countersLocked() Counters {
 		st := sr.Stats()
 		c.JournalAppends = st.Appends
 		c.JournalSyncs = st.Syncs
+	}
+	if lr, ok := e.cfg.Journal.(SyncLatencyReporter); ok {
+		if snap := lr.SyncLatency(); snap.Count > 0 {
+			c.JournalFsync = &snap
+		}
 	}
 	if sch, ok := e.cfg.Policy.(*core.Scheduler); ok {
 		c.fillSearch(sch)

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"time"
+
+	"schedsearch/internal/core"
+	"schedsearch/internal/job"
+	"schedsearch/internal/obs"
+	"schedsearch/internal/sim"
+)
+
+// decisionSummarizer is the optional policy surface the flight
+// recorder reads per-decision search detail from. core.Scheduler
+// implements it; chaos.FlakyPolicy forwards it to its inner policy;
+// heuristic baselines simply lack it and get generic records.
+type decisionSummarizer interface {
+	LastDecision() core.DecisionSummary
+}
+
+// observeDecision captures one committed decision into the flight
+// recorder and the tracer. It runs with the engine lock held, after
+// the commit, and only reads state the decision already produced —
+// instrumentation on vs. off is bit-identical (the inertness
+// differentials pin this down).
+func (e *Engine) observeDecision(now job.Time, queueDepth int, wall time.Duration, started []sim.Started) {
+	if f := e.cfg.Flight; f != nil {
+		rec := &e.flightScratch
+		startedBuf := rec.Started[:0]
+		trajBuf := rec.Trajectory[:0]
+		*rec = obs.DecisionRecord{
+			NowS:       int64(now),
+			Policy:     e.cfg.Policy.Name(),
+			QueueDepth: queueDepth,
+			WallUs:     wall.Microseconds(),
+		}
+		for _, s := range started {
+			startedBuf = append(startedBuf, s.Job.ID)
+		}
+		rec.Started = startedBuf
+		if ds, ok := e.cfg.Policy.(decisionSummarizer); ok {
+			sum := ds.LastDecision()
+			rec.EffectiveLimit = sum.EffectiveLimit
+			rec.Nodes = sum.Nodes
+			rec.Leaves = sum.Leaves
+			rec.Pruned = sum.Pruned
+			rec.NodesToBest = sum.NodesToBest
+			rec.BudgetHit = sum.BudgetHit
+			rec.WarmSeeded = sum.WarmSeeded
+			rec.SeedHeld = sum.SeedHeld
+			rec.Parallel = sum.Parallel
+			if sum.BestFound {
+				rec.BestExcess = sum.BestCost[0]
+				rec.BestSlowdown = sum.BestCost[1]
+			}
+			for _, p := range sum.Trajectory {
+				trajBuf = append(trajBuf, obs.TrajectoryPoint{
+					Nodes: p.Nodes, Excess: p.Cost[0], Slowdown: p.Cost[1],
+				})
+			}
+		}
+		rec.Trajectory = trajBuf
+		f.Record(rec)
+	}
+	if tr := e.cfg.Tracer; tr != nil {
+		end := tr.Now()
+		start := end.Add(-wall)
+		for _, s := range started {
+			if tc, ok := tr.Lookup(s.Job.ID); ok {
+				tr.Record("decide", tc, s.Job.ID, e.cfg.TraceShard, start, wall)
+			}
+		}
+	}
+}

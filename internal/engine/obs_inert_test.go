@@ -1,0 +1,152 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"schedsearch/internal/core"
+	"schedsearch/internal/obs"
+	"schedsearch/internal/oracle"
+	"schedsearch/internal/sim"
+	"schedsearch/internal/workload"
+)
+
+// replayInstrumented mirrors replayInput with the full observability
+// stack attached: a decision flight recorder, a tracer whose contexts
+// are minted and bound at submit (as schedd's replay front door does),
+// and the oracle riding along. The returned engine must have committed
+// the exact schedule the bare replay commits.
+func replayInstrumented(t *testing.T, in sim.Input, pol sim.Policy,
+	flight *obs.FlightRecorder, tr *obs.Tracer) *Engine {
+	t.Helper()
+	vc := NewVirtualClock()
+	orc := oracle.New(in.Capacity)
+	measured := func(id int) bool {
+		if in.Measured == nil {
+			return true
+		}
+		return in.Measured[id]
+	}
+	e, err := New(Config{
+		Capacity:     in.Capacity,
+		Policy:       pol,
+		Clock:        vc,
+		Estimator:    in.Estimator,
+		UseRequested: in.UseRequested,
+		Measured:     measured,
+		MeasureStart: in.MeasureStart,
+		MeasureEnd:   in.MeasureEnd,
+		Observer:     orc,
+		Flight:       flight,
+		Tracer:       tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range in.Jobs {
+		j := j
+		vc.AfterFunc(j.Submit, func() {
+			tc := tr.Mint()
+			tr.Bind(j.ID, tc)
+			t0 := tr.Now()
+			if err := e.SubmitJob(j); err != nil {
+				t.Errorf("submit job %d: %v", j.ID, err)
+				return
+			}
+			tr.Record("submit", tc, j.ID, 0, t0, tr.Now().Sub(t0))
+		})
+	}
+	vc.Run()
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := orc.Final(); err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	return e
+}
+
+// TestObservabilityInert is the observability keystone at the engine
+// layer: with the decision flight recorder and tracing both on, every
+// suite month must commit a schedule bit-identical — starts, ends,
+// node IDs, completion order, decision count, whole summary — to the
+// bare engine's, while the instrumentation actually captures every
+// decision and every job. Run under -race this also pins the capture
+// paths as data-race free.
+func TestObservabilityInert(t *testing.T) {
+	suite := workload.NewSuite(workload.Config{Seed: 11, JobScale: 0.025})
+	newPolicy := func() sim.Policy {
+		sch := core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), 64)
+		sch.WarmStart = true
+		return sch
+	}
+	for _, month := range workload.MonthLabels() {
+		month := month
+		t.Run(month, func(t *testing.T) {
+			in, _, err := suite.Input(month, workload.SimOptions{TargetLoad: 0.9})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			bare := replayInput(t, in, newPolicy())
+			flight := obs.NewFlightRecorder(256)
+			tr := obs.NewTracer(obs.TracerOptions{Seed: 1})
+			inst := replayInstrumented(t, in, newPolicy(), flight, tr)
+
+			bareRecs, instRecs := bare.Records(), inst.Records()
+			if len(bareRecs) != len(instRecs) {
+				t.Fatalf("bare completed %d jobs, instrumented %d", len(bareRecs), len(instRecs))
+			}
+			for i := range bareRecs {
+				if bareRecs[i].Job.ID != instRecs[i].Job.ID {
+					t.Fatalf("completion order diverges at %d: bare job %d, instrumented job %d",
+						i, bareRecs[i].Job.ID, instRecs[i].Job.ID)
+				}
+				if recordKey(bareRecs[i]) != recordKey(instRecs[i]) {
+					t.Fatalf("job %d: bare %s, instrumented %s",
+						bareRecs[i].Job.ID, recordKey(bareRecs[i]), recordKey(instRecs[i]))
+				}
+			}
+			bareM, instM := bare.Metrics(), inst.Metrics()
+			if bareM.Engine.Decisions != instM.Engine.Decisions {
+				t.Errorf("bare made %d decisions, instrumented %d",
+					bareM.Engine.Decisions, instM.Engine.Decisions)
+			}
+			if bareM.Summary != instM.Summary {
+				t.Errorf("summaries diverge:\nbare         %+v\ninstrumented %+v",
+					bareM.Summary, instM.Summary)
+			}
+
+			// The instrumentation must have been live, not vacuous.
+			if flight.Total() == 0 {
+				t.Fatal("flight recorder captured no decisions")
+			}
+			for _, rec := range flight.Snapshot() {
+				if rec.Policy != "DDS/lxf/dynB" {
+					t.Fatalf("flight record policy %q", rec.Policy)
+				}
+			}
+			covered, total := tr.JobCoverage("submit", "decide")
+			if total != len(in.Jobs) {
+				t.Errorf("tracer saw %d jobs, workload has %d", total, len(in.Jobs))
+			}
+			if covered != total {
+				t.Errorf("submit+decide span coverage %d/%d jobs", covered, total)
+			}
+			var buf bytes.Buffer
+			if err := tr.WriteTrace(&buf); err != nil {
+				t.Fatal(err)
+			}
+			var doc struct {
+				TraceEvents []map[string]any `json:"traceEvents"`
+			}
+			if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+				t.Fatalf("trace export is not valid trace-event JSON: %v", err)
+			}
+			if len(doc.TraceEvents) == 0 {
+				t.Fatal("trace export is empty")
+			}
+		})
+	}
+}

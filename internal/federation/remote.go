@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"strings"
@@ -15,6 +16,7 @@ import (
 
 	"schedsearch/internal/engine"
 	"schedsearch/internal/job"
+	"schedsearch/internal/obs"
 	"schedsearch/internal/sim"
 	"schedsearch/internal/wire"
 )
@@ -48,6 +50,14 @@ type RemoteShardOptions struct {
 	Sleep func(time.Duration)
 	// Transport replaces the HTTP transport (fault injection).
 	Transport http.RoundTripper
+	// Logger receives structured retry/failure events on the wire paths
+	// (default: discard). Job-scoped events carry the job's trace ID
+	// when a Tracer is attached and the job is bound.
+	Logger *slog.Logger
+	// Tracer, when non-nil, stamps X-Schedsearch-Trace on every
+	// job-scoped request whose job is bound in the tracer's registry,
+	// propagating the trace across the process boundary.
+	Tracer *obs.Tracer
 }
 
 // RemoteShard drives one out-of-process schedd shard through its HTTP
@@ -75,6 +85,8 @@ type RemoteShard struct {
 	retries int
 	backoff time.Duration
 	sleep   func(time.Duration)
+	log     *slog.Logger
+	tracer  *obs.Tracer
 
 	mu sync.Mutex
 	// lastErr is the transport outcome of the most recent attempt (nil
@@ -116,14 +128,33 @@ func NewRemoteShard(baseURL string, opts RemoteShardOptions) *RemoteShard {
 	if tr == nil {
 		tr = http.DefaultTransport
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	base := strings.TrimRight(baseURL, "/")
 	return &RemoteShard{
-		base:    strings.TrimRight(baseURL, "/"),
+		base:    base,
 		hc:      &http.Client{Transport: tr},
 		timeout: opts.Timeout,
 		retries: opts.Retries,
 		backoff: opts.Backoff,
 		sleep:   opts.Sleep,
+		log:     logger.With("shard", base),
+		tracer:  opts.Tracer,
 	}
+}
+
+// logJob returns the logger for a job-scoped wire event, with the
+// job's trace attached when known.
+func (rs *RemoteShard) logJob(id int) *slog.Logger {
+	l := rs.log.With("job", id)
+	if rs.tracer != nil {
+		if tc, ok := rs.tracer.Lookup(id); ok {
+			l = l.With(obs.TraceAttr(tc))
+		}
+	}
+	return l
 }
 
 // Addr returns the shard's base URL.
@@ -181,8 +212,9 @@ const maxResponseBytes = 64 << 20
 
 // once performs a single HTTP attempt. A returned *apiError means the
 // shard answered; any other error is a transport failure. Health is
-// updated either way.
-func (rs *RemoteShard) once(method, path string, reqBody, out any) error {
+// updated either way. jobID, when non-zero, names the job the call is
+// about; a bound trace for it rides along as X-Schedsearch-Trace.
+func (rs *RemoteShard) once(method, path string, reqBody, out any, jobID int) error {
 	var body io.Reader
 	if reqBody != nil {
 		b, err := json.Marshal(reqBody)
@@ -199,6 +231,11 @@ func (rs *RemoteShard) once(method, path string, reqBody, out any) error {
 	}
 	if reqBody != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if jobID != 0 && rs.tracer != nil {
+		if h := rs.tracer.Header(jobID); h != "" {
+			req.Header.Set(obs.TraceHeader, h)
+		}
 	}
 	resp, err := rs.hc.Do(req)
 	if err != nil {
@@ -265,7 +302,7 @@ func (rs *RemoteShard) get(path string, out any) error {
 		if a > 0 {
 			rs.sleep(rs.backoffFor(a))
 		}
-		err := rs.once(http.MethodGet, path, nil, out)
+		err := rs.once(http.MethodGet, path, nil, out, 0)
 		if err == nil {
 			return nil
 		}
@@ -275,6 +312,7 @@ func (rs *RemoteShard) get(path string, out any) error {
 		}
 		lastErr = err
 	}
+	rs.log.Warn("shard unreachable", "path", path, "err", lastErr)
 	return fmt.Errorf("%w: GET %s: %v", ErrUnreachable, path, lastErr)
 }
 
@@ -290,7 +328,7 @@ func (rs *RemoteShard) postJobVerified(path string, reqBody any, id int) error {
 		if a > 0 {
 			rs.sleep(rs.backoffFor(a))
 		}
-		err := rs.once(http.MethodPost, path, reqBody, nil)
+		err := rs.once(http.MethodPost, path, reqBody, nil, id)
 		if err == nil {
 			return nil
 		}
@@ -307,6 +345,7 @@ func (rs *RemoteShard) postJobVerified(path string, reqBody any, id int) error {
 			return mapAPIError(ae)
 		}
 		lastErr = err
+		rs.logJob(id).Debug("job delivery attempt failed", "path", path, "attempt", a+1, "err", err)
 		if !isDialError(err) {
 			uncertain = true
 			// The request may have been processed with the response
@@ -317,8 +356,10 @@ func (rs *RemoteShard) postJobVerified(path string, reqBody any, id int) error {
 		}
 	}
 	if uncertain {
+		rs.logJob(id).Warn("job delivery outcome unknown after retries", "path", path, "err", lastErr)
 		return fmt.Errorf("%w: POST %s job %d: %v", ErrUncertain, path, id, lastErr)
 	}
+	rs.logJob(id).Warn("shard unreachable for job delivery", "path", path, "err", lastErr)
 	return fmt.Errorf("%w: POST %s job %d: %v", ErrUnreachable, path, id, lastErr)
 }
 
@@ -326,7 +367,7 @@ func (rs *RemoteShard) postJobVerified(path string, reqBody any, id int) error {
 // shard answered "no such job".
 func (rs *RemoteShard) lookup(id int) (engine.JobStatus, bool, error) {
 	var jr wire.JobResponse
-	err := rs.once(http.MethodGet, fmt.Sprintf("/v1/jobs/%d", id), nil, &jr)
+	err := rs.once(http.MethodGet, fmt.Sprintf("/v1/jobs/%d", id), nil, &jr, id)
 	if err == nil {
 		return statusFromResponse(jr), true, nil
 	}
@@ -393,7 +434,7 @@ func (rs *RemoteShard) Withdraw(id int) (job.Job, error) {
 			rs.sleep(rs.backoffFor(a))
 		}
 		var resp wire.WithdrawResponse
-		err := rs.once(http.MethodPost, "/v1/shard/withdraw", wire.WithdrawRequest{ID: id}, &resp)
+		err := rs.once(http.MethodPost, "/v1/shard/withdraw", wire.WithdrawRequest{ID: id}, &resp, id)
 		if err == nil {
 			return resp.Job.ToJob(), nil
 		}
@@ -402,13 +443,16 @@ func (rs *RemoteShard) Withdraw(id int) (job.Job, error) {
 			return job.Job{}, mapAPIError(ae)
 		}
 		lastErr = err
+		rs.logJob(id).Debug("withdraw attempt failed", "attempt", a+1, "err", err)
 		if !isDialError(err) {
 			uncertain = true
 		}
 	}
 	if uncertain {
+		rs.logJob(id).Warn("withdraw outcome unknown after retries", "err", lastErr)
 		return job.Job{}, fmt.Errorf("%w: withdraw job %d: %v", ErrUncertain, id, lastErr)
 	}
+	rs.logJob(id).Warn("shard unreachable for withdraw", "err", lastErr)
 	return job.Job{}, fmt.Errorf("%w: withdraw job %d: %v", ErrUnreachable, id, lastErr)
 }
 
@@ -472,7 +516,7 @@ func (rs *RemoteShard) Machine() engine.Machine {
 // cache — while the health mark steers placement away from it.
 func (rs *RemoteShard) Load() engine.Load {
 	var lr wire.LoadResponse
-	if err := rs.once(http.MethodGet, "/v1/shard/load", nil, &lr); err != nil {
+	if err := rs.once(http.MethodGet, "/v1/shard/load", nil, &lr, 0); err != nil {
 		rs.mu.Lock()
 		defer rs.mu.Unlock()
 		return rs.lastLoad
@@ -576,7 +620,7 @@ func (rs *RemoteShard) Checkpoint() engine.Checkpoint {
 // poll would chase a process that has already finished everything it
 // was asked to.
 func (rs *RemoteShard) Drain(ctx context.Context) error {
-	if err := rs.once(http.MethodPost, "/v1/drain", nil, nil); err != nil {
+	if err := rs.once(http.MethodPost, "/v1/drain", nil, nil, 0); err != nil {
 		var ae *apiError
 		if errors.As(err, &ae) {
 			return mapAPIError(ae)
@@ -585,7 +629,7 @@ func (rs *RemoteShard) Drain(ctx context.Context) error {
 	}
 	for {
 		var m engine.Metrics
-		err := rs.once(http.MethodGet, "/v1/metrics", nil, &m)
+		err := rs.once(http.MethodGet, "/v1/metrics", nil, &m, 0)
 		if err == nil {
 			rs.mu.Lock()
 			rs.lastMetrics = m
@@ -614,7 +658,7 @@ func (rs *RemoteShard) Drain(ctx context.Context) error {
 // fetch (live when reachable).
 func (rs *RemoteShard) Draining() bool {
 	var m engine.Metrics
-	if err := rs.once(http.MethodGet, "/v1/metrics", nil, &m); err == nil {
+	if err := rs.once(http.MethodGet, "/v1/metrics", nil, &m, 0); err == nil {
 		rs.mu.Lock()
 		rs.lastDraining = m.Draining
 		rs.mu.Unlock()

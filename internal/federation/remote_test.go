@@ -29,13 +29,13 @@ func noSleep(time.Duration) {}
 // own HTTP server on a real TCP listener, dialed back through a
 // RemoteShard client. Everything a federation router does to it
 // crosses the wire as JSON.
-func startShardProc(t *testing.T, ec engine.Config, opts RemoteShardOptions) (*engine.Engine, *RemoteShard) {
+func startShardProc(t *testing.T, ec engine.Config, opts RemoteShardOptions, srvOpts ...server.Option) (*engine.Engine, *RemoteShard) {
 	t.Helper()
 	e, err := engine.New(ec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(server.New(e, nil))
+	ts := httptest.NewServer(server.New(e, nil, srvOpts...))
 	t.Cleanup(ts.Close)
 	if opts.Sleep == nil {
 		opts.Sleep = noSleep

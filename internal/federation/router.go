@@ -32,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -39,6 +40,7 @@ import (
 	"schedsearch/internal/engine"
 	"schedsearch/internal/job"
 	"schedsearch/internal/metrics"
+	"schedsearch/internal/obs"
 	"schedsearch/internal/sim"
 )
 
@@ -102,6 +104,33 @@ type Config struct {
 	// queued job from the most loaded shard, filling holes the
 	// score-driven rebalance pass is too conservative to fill.
 	WorkStealing bool
+	// CachedLoads makes placement probe the load cache refreshed by the
+	// gossip/rebalance passes instead of issuing N live Load calls per
+	// submission — for remote shards, N HTTP round trips off the submit
+	// path. Opt-in because it changes the placement policy's inputs
+	// (loads up to GossipEvery old): a cached-loads router places
+	// differently than a live-loads one, so differential tests comparing
+	// against a live-probing reference must leave it off. Until the
+	// first gossip/rebalance pass fills the cache, placement probes
+	// live.
+	CachedLoads bool
+	// Tracer, when non-nil, records route/probe/migrate/reconcile spans
+	// for traced jobs, and mints a trace for any job submitted directly
+	// to the router (bypassing a traced front-end server). Router spans
+	// carry shard -1 ("the router's lane"); per-shard spans carry the
+	// shard index. Strictly passive: attaching a tracer never changes a
+	// placement or a schedule.
+	Tracer *obs.Tracer
+	// Flight, when non-nil, is shared by every in-process shard engine:
+	// all shards record their decisions into the one ring (the ring is
+	// internally locked), so the front-end serves a single federation-wide
+	// decision history. Ignored for externally-owned shards
+	// (NewWithShards) — a remote shard daemon owns its own recorder.
+	Flight *obs.FlightRecorder
+	// Logger receives structured routing events — reroutes around dark
+	// shards, parked wire-uncertain steps, reconciliations — with trace
+	// IDs attached when the job is traced (default: discard).
+	Logger *slog.Logger
 }
 
 // Router is the federation front-end. All methods are goroutine-safe.
@@ -130,6 +159,15 @@ type Router struct {
 	polName        string
 	explicitWindow bool
 
+	tracer *obs.Tracer
+	log    *slog.Logger
+	// loadCache is the per-shard load snapshot the gossip/rebalance
+	// passes refresh; with Config.CachedLoads, placement reads it
+	// instead of live-probing every shard (loadCacheOK gates the first
+	// fill).
+	loadCache   []engine.Load
+	loadCacheOK bool
+
 	rebArmed         bool
 	gossipArmed      bool
 	migrations       int64
@@ -139,6 +177,28 @@ type Router struct {
 	reroutes         int64
 	steals           int64
 	gossips          int64
+}
+
+// initObsLocked wires the router's observability hooks from its config
+// (New and NewWithShards both call it during construction).
+func (r *Router) initObsLocked() {
+	r.tracer = r.cfg.Tracer
+	r.log = r.cfg.Logger
+	if r.log == nil {
+		r.log = obs.NopLogger()
+	}
+}
+
+// logJob returns the logger for a job-scoped routing event, with the
+// job's trace attached when known.
+func (r *Router) logJob(id int) *slog.Logger {
+	l := r.log.With("job", id)
+	if r.tracer != nil {
+		if tc, ok := r.tracer.Lookup(id); ok {
+			l = l.With(obs.TraceAttr(tc))
+		}
+	}
+	return l
 }
 
 // healthChecker is the optional shard surface reporting reachability;
@@ -231,6 +291,7 @@ func New(cfg Config) (*Router, error) {
 		nextID: 1,
 	}
 	r.explicitWindow = !(cfg.MeasureStart == 0 && cfg.MeasureEnd == 0)
+	r.initObsLocked()
 	base := 0
 	for i := range caps {
 		r.bases = append(r.bases, base)
@@ -275,6 +336,7 @@ func NewWithShards(cfg Config, shards []engine.Shard) (*Router, error) {
 		remote: true,
 	}
 	r.explicitWindow = !(cfg.MeasureStart == 0 && cfg.MeasureEnd == 0)
+	r.initObsLocked()
 	total := 0
 	for i, s := range r.shards {
 		var ld engine.Load
@@ -313,6 +375,12 @@ func (r *Router) shardConfig(i int) engine.Config {
 		MeasureStart: r.cfg.MeasureStart,
 		MeasureEnd:   r.cfg.MeasureEnd,
 		CompactEvery: r.cfg.CompactEvery,
+		// In-process shards share the router's tracer (and so its job
+		// registry, bound at routing), tagging decide spans per shard,
+		// and the router-wide flight-recorder ring.
+		Tracer:     r.cfg.Tracer,
+		TraceShard: i,
+		Flight:     r.cfg.Flight,
 	}
 	if r.cfg.Journal != nil {
 		ec.Journal = r.cfg.Journal(i)
@@ -386,6 +454,18 @@ func (r *Router) routeLocked(j job.Job) error {
 	if err := j.Validate(r.cfg.Capacity); err != nil {
 		return fmt.Errorf("federation: %w", err)
 	}
+	var tc obs.TraceContext
+	if r.tracer != nil {
+		// A job arriving through a traced front-end server is already
+		// bound; a job submitted directly to the router makes the router
+		// its front door, so the trace roots here.
+		var bound bool
+		if tc, bound = r.tracer.Lookup(j.ID); !bound {
+			tc = r.tracer.Mint()
+			r.tracer.Bind(j.ID, tc)
+			r.tracer.Record("submit", tc, j.ID, -1, r.tracer.Now(), 0)
+		}
+	}
 	t0 := time.Now()
 	cands := r.candidatesLocked(j)
 	if len(cands) == 0 {
@@ -399,8 +479,12 @@ func (r *Router) routeLocked(j job.Job) error {
 			ErrTooWide, j.ID, j.Nodes, widest)
 	}
 	pick := cands[r.place.Pick(j, cands)].Shard
-	r.routingNs += time.Since(t0).Nanoseconds()
+	routeDur := time.Since(t0)
+	r.routingNs += routeDur.Nanoseconds()
 	r.routingDecisions++
+	if r.tracer != nil {
+		r.tracer.Record("route", tc, j.ID, pick, r.tracer.Now().Add(-routeDur), routeDur)
+	}
 	err := r.shards[pick].SubmitJob(j)
 	// Degraded mode: an unreachable shard certainly never saw the job,
 	// so it is safe to route around it. Uncertain failures are the
@@ -415,8 +499,10 @@ func (r *Router) routeLocked(j job.Job) error {
 			}
 		}
 		cands = rest
+		from := pick
 		pick = cands[r.place.Pick(j, cands)].Shard
 		r.reroutes++
+		r.logJob(j.ID).Warn("rerouting around unreachable shard", "from", from, "to", pick)
 		err = r.shards[pick].SubmitJob(j)
 	}
 	if err != nil {
@@ -426,6 +512,7 @@ func (r *Router) routeLocked(j job.Job) error {
 				r.nextID = j.ID + 1
 			}
 			r.pending = append(r.pending, pendingMig{id: j.ID, shard: pick, stage: stageSubmit})
+			r.logJob(j.ID).Warn("parked wire-uncertain submission", "shard", pick)
 			r.armRebalanceLocked()
 			r.armGossipLocked()
 		}
@@ -450,11 +537,27 @@ func (r *Router) routeLocked(j job.Job) error {
 func (r *Router) candidatesLocked(j job.Job) []Candidate {
 	cands := make([]Candidate, 0, len(r.shards))
 	var sick []Candidate
+	cached := r.cfg.CachedLoads && r.loadCacheOK
 	for i, s := range r.shards {
 		if j.Nodes > r.caps[i] {
 			continue
 		}
-		c := Candidate{Shard: i, Load: s.Load()}
+		var ld engine.Load
+		if cached {
+			ld = r.loadCache[i]
+		} else {
+			var p0 time.Time
+			if r.tracer != nil {
+				p0 = r.tracer.Now()
+			}
+			ld = s.Load()
+			if r.tracer != nil {
+				if tc, ok := r.tracer.Lookup(j.ID); ok {
+					r.tracer.Record("probe", tc, j.ID, i, p0, r.tracer.Now().Sub(p0))
+				}
+			}
+		}
+		c := Candidate{Shard: i, Load: ld}
 		if !r.healthyLocked(i) {
 			sick = append(sick, c)
 			continue
@@ -465,6 +568,19 @@ func (r *Router) candidatesLocked(j job.Job) []Candidate {
 		return sick
 	}
 	return cands
+}
+
+// updateLoadCacheLocked refreshes the placement load cache from a
+// pass's freshly polled loads (a no-op unless CachedLoads is on).
+func (r *Router) updateLoadCacheLocked(loads []engine.Load) {
+	if !r.cfg.CachedLoads {
+		return
+	}
+	if len(r.loadCache) != len(loads) {
+		r.loadCache = make([]engine.Load, len(loads))
+	}
+	copy(r.loadCache, loads)
+	r.loadCacheOK = true
 }
 
 // healthyLocked reports shard i's reachability; in-process shards are
@@ -498,6 +614,7 @@ func (r *Router) onRebalance() {
 		loads[i] = s.Load()
 		outstanding += loads[i].Waiting + loads[i].Running
 	}
+	r.updateLoadCacheLocked(loads)
 	if !r.draining {
 		r.rebalances++
 		for n := 0; n < r.cfg.MaxMigrationsPerPass; n++ {
@@ -538,6 +655,7 @@ func (r *Router) onGossip() {
 		loads[i] = s.Load()
 		outstanding += loads[i].Waiting + loads[i].Running
 	}
+	r.updateLoadCacheLocked(loads)
 	if r.cfg.WorkStealing && !r.draining {
 		for n := 0; n < r.cfg.MaxMigrationsPerPass; n++ {
 			if !r.stealOneLocked(loads) {
@@ -613,12 +731,17 @@ func (r *Router) stealOneLocked(loads []engine.Load) bool {
 // the job landed on dst; on false the job is back on src, parked
 // pending, or (certainly) still running on src.
 func (r *Router) moveLocked(id, src, dst int) bool {
+	var t0 time.Time
+	if r.tracer != nil {
+		t0 = r.tracer.Now()
+	}
 	j, err := r.shards[src].Withdraw(id)
 	if err != nil {
 		if errors.Is(err, ErrUncertain) {
 			// The withdraw may have committed with the ack lost; the
 			// source's tombstone will answer the reconciliation retry.
 			r.pending = append(r.pending, pendingMig{id: id, shard: src, stage: stageWithdraw})
+			r.logJob(id).Warn("parked wire-uncertain withdraw", "shard", src)
 		}
 		// ErrUnreachable: certainly still queued on src. ErrNotQueued:
 		// started in the meantime. Either way, nothing moved.
@@ -631,6 +754,7 @@ func (r *Router) moveLocked(id, src, dst int) bool {
 			// the admit once dst answers.
 			r.dir[id] = dst
 			r.pending = append(r.pending, pendingMig{id: id, shard: dst, j: j, stage: stageAdmit})
+			r.logJob(id).Warn("parked wire-uncertain admit", "shard", dst)
 			return false
 		}
 		// Certainly not on dst (unreachable, or a definitive
@@ -646,6 +770,11 @@ func (r *Router) moveLocked(id, src, dst int) bool {
 		return false
 	}
 	r.dir[id] = dst
+	if r.tracer != nil {
+		if tc, ok := r.tracer.Lookup(id); ok {
+			r.tracer.Record("migrate", tc, id, dst, t0, r.tracer.Now().Sub(t0))
+		}
+	}
 	return true
 }
 
@@ -657,6 +786,11 @@ func (r *Router) resolvePendingLocked() {
 	}
 	var still []pendingMig
 	for _, p := range r.pending {
+		var t0 time.Time
+		if r.tracer != nil {
+			t0 = r.tracer.Now()
+		}
+		kept := len(still)
 		switch p.stage {
 		case stageWithdraw:
 			j, err := r.shards[p.shard].Withdraw(p.id)
@@ -707,6 +841,16 @@ func (r *Router) resolvePendingLocked() {
 			if _, present := r.shards[p.shard].Job(p.id); !present {
 				delete(r.dir, p.id)
 			}
+		}
+		if len(still) == kept {
+			// The step left the parked set — resolved one way or the
+			// other (the fail path sets r.failure, which routes report).
+			if r.tracer != nil {
+				if tc, ok := r.tracer.Lookup(p.id); ok {
+					r.tracer.Record("reconcile", tc, p.id, p.shard, t0, r.tracer.Now().Sub(t0))
+				}
+			}
+			r.logJob(p.id).Info("reconciled parked step", "shard", p.shard, "stage", p.stage)
 		}
 	}
 	r.pending = still

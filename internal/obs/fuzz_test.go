@@ -1,0 +1,40 @@
+package obs
+
+import "testing"
+
+// FuzzTraceContext pins the submit-path guarantee: any header —
+// malformed, oversized, adversarial — either parses to a valid
+// context that round-trips byte-identically, or is rejected so the
+// receiver mints a fresh trace. Never a panic, never an error.
+func FuzzTraceContext(f *testing.F) {
+	f.Add("")
+	f.Add("0123456789abcdef-0123456789abcdef")
+	f.Add("0000000000000000-0000000000000000")
+	f.Add("ffffffffffffffff-ffffffffffffffff")
+	f.Add("DEADBEEFCAFEF00D-0123456789abcdef")
+	f.Add("0123456789abcdef_0123456789abcdef")
+	f.Add("0123456789abcdef-0123456789abcde")
+	f.Add("g123456789abcdef-0123456789abcdef")
+	f.Add("0123456789abcdef-0123456789abcdef-0123456789abcdef")
+	f.Fuzz(func(t *testing.T, h string) {
+		tc, ok := ParseTraceContext(h)
+		if !ok {
+			if tc != (TraceContext{}) {
+				t.Fatalf("rejected header %q returned non-zero context %v", h, tc)
+			}
+			// The degrade path: the tracer mints instead of failing.
+			tr := NewTracer(TracerOptions{Seed: 1})
+			minted, parsed := tr.ParseOrMint(h)
+			if parsed || !minted.Valid() {
+				t.Fatalf("ParseOrMint(%q) = %v parsed=%v", h, minted, parsed)
+			}
+			return
+		}
+		if !tc.Valid() {
+			t.Fatalf("accepted header %q with zero trace ID", h)
+		}
+		if got := tc.String(); got != h {
+			t.Fatalf("accepted header %q does not round-trip: %q", h, got)
+		}
+	})
+}

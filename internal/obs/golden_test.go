@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWriteTraceGolden pins the Chrome trace-event byte format against
+// testdata/trace_golden.json: a pinned clock and ID seed make the
+// export fully deterministic, so any change to the on-disk trace
+// schema shows up as a byte diff here before it breaks a Perfetto
+// consumer.
+func TestWriteTraceGolden(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	tr := NewTracer(TracerOptions{Seed: 42, Now: func() time.Time { return base }})
+	tc := tr.Mint()
+	tr.Bind(7, tc)
+	tr.Record("submit", tc, 7, 0, base.Add(3*time.Microsecond), 12*time.Microsecond)
+	tr.Record("route", tc, 7, 0, base.Add(16*time.Microsecond), 40*time.Microsecond)
+	tr.Record("admit", tc, 7, 2, base.Add(31*time.Microsecond), 9*time.Microsecond)
+	tr.Record("decide", tc, 7, 2, base.Add(120*time.Microsecond), 350*time.Microsecond)
+	var sb strings.Builder
+	if err := tr.WriteTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/trace_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); got != string(want) {
+		t.Fatalf("trace-event format drifted from golden.\ngot:  %s\nwant: %s", got, want)
+	}
+}

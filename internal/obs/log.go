@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the repo's standard structured logger: leveled
+// slog text records on w, every record tagged with the component
+// (schedd, router, shard-3, ...).
+func NewLogger(w io.Writer, component string) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, nil)).With("component", component)
+}
+
+// NopLogger returns a logger that discards every record — the default
+// for library types whose caller wired no logger, so logging sites
+// never nil-check.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}
+
+// TraceAttr renders a trace context as the standard "trace" log
+// attribute, so log lines join up with trace spans.
+func TraceAttr(tc TraceContext) slog.Attr {
+	return slog.String("trace", tc.String())
+}

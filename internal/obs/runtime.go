@@ -1,0 +1,32 @@
+package obs
+
+import "runtime"
+
+// RuntimeStats is a point-in-time read of the Go runtime's own health
+// signals, for the Prometheus self-metrics section.
+type RuntimeStats struct {
+	Goroutines     int
+	HeapAllocBytes uint64
+	HeapSysBytes   uint64
+	GCPauseTotalNs uint64
+	LastGCPauseNs  uint64
+	NumGC          uint32
+}
+
+// ReadRuntime samples the runtime. runtime.ReadMemStats stops the
+// world briefly; callers are scrape handlers, not hot paths.
+func ReadRuntime() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rs := RuntimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		GCPauseTotalNs: ms.PauseTotalNs,
+		NumGC:          ms.NumGC,
+	}
+	if ms.NumGC > 0 {
+		rs.LastGCPauseNs = ms.PauseNs[(ms.NumGC+255)%256]
+	}
+	return rs
+}

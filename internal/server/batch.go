@@ -74,7 +74,7 @@ func specFromRequest(req SubmitRequest) job.Job {
 // queue: per-item results, group-committed admission, explicit
 // backpressure. body is the raw request payload (already bounded by
 // MaxBytesReader).
-func (s *Server) submitBatch(w http.ResponseWriter, body []byte) {
+func (s *Server) submitBatch(w http.ResponseWriter, body []byte, st submitTrace) {
 	if s.ingest == nil {
 		writeError(w, http.StatusBadRequest, "batch_unsupported",
 			errors.New("batched submits need the ingest queue (run with -ingest-pending > 0)"))
@@ -142,6 +142,7 @@ func (s *Server) submitBatch(w http.ResponseWriter, body []byte) {
 			}
 			continue
 		}
+		s.bindSubmitTrace(&st, r.ID, k)
 		resp.Items[i] = BatchItemResult{Index: i, ID: r.ID, Status: http.StatusCreated}
 	}
 	for _, it := range resp.Items {

@@ -3,11 +3,13 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 
 	"schedsearch/internal/engine"
 	"schedsearch/internal/ingest"
+	"schedsearch/internal/obs"
 )
 
 // acceptsPromText decides the /v1/metrics representation from the
@@ -58,10 +60,11 @@ func acceptsPromText(accept string) bool {
 const promContentType = "text/plain; version=0.0.4; charset=utf-8"
 
 // writeProm renders the running metrics — and, for a federated backend,
-// the per-shard report, and, with an ingest queue attached, the accept
-// path's counters and latency histogram — in the Prometheus text
-// exposition format.
-func writeProm(w http.ResponseWriter, m engine.Metrics, fed *engine.FederationMetrics, ing *ingest.Stats) {
+// the per-shard report; with an ingest queue attached, the accept
+// path's counters and latency histogram; with a tracer attached, the
+// per-span duration series — in the Prometheus text exposition format.
+// Runtime self-metrics (goroutines, heap, GC) are always included.
+func writeProm(w http.ResponseWriter, m engine.Metrics, fed *engine.FederationMetrics, ing *ingest.Stats, tr *obs.Tracer) {
 	w.Header().Set("Content-Type", promContentType)
 	var b strings.Builder
 
@@ -72,6 +75,15 @@ func writeProm(w http.ResponseWriter, m engine.Metrics, fed *engine.FederationMe
 	counter := func(name, help string, v float64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %s\n",
 			name, help, name, name, promFloat(v))
+	}
+	hist := func(name, help string, h obs.HistSnapshot) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		for i, le := range h.BucketLeUs {
+			fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", name, promFloat(float64(le)/1e6), h.BucketCount[i])
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(&b, "%s_sum %s\n", name, promFloat(h.AvgUs*float64(h.Count)/1e6))
+		fmt.Fprintf(&b, "%s_count %d\n", name, h.Count)
 	}
 
 	gauge("schedsearch_capacity_nodes", "Machine size in nodes.", float64(m.Capacity))
@@ -109,6 +121,9 @@ func writeProm(w http.ResponseWriter, m engine.Metrics, fed *engine.FederationMe
 	counter("schedsearch_journal_compactions_total", "Journal checkpoint compactions.", float64(m.Engine.Compactions))
 	counter("schedsearch_journal_appends_total", "Events appended to the persistent journal.", float64(m.Engine.JournalAppends))
 	counter("schedsearch_journal_syncs_total", "Journal fsync boundaries (group commits).", float64(m.Engine.JournalSyncs))
+	if jf := m.Engine.JournalFsync; jf != nil {
+		hist("schedsearch_journal_fsync_seconds", "Journal group-commit flush+fsync latency.", *jf)
+	}
 
 	gauge("schedsearch_measured_jobs", "Completed measured jobs in the summary.", float64(m.Summary.Jobs))
 	gauge("schedsearch_avg_wait_hours", "Mean wait of measured jobs in hours.", m.Summary.AvgWaitH)
@@ -149,16 +164,36 @@ func writeProm(w http.ResponseWriter, m engine.Metrics, fed *engine.FederationMe
 			gauge("schedsearch_ingest_quota_users", "Live per-user token buckets.", float64(ing.QuotaUsers))
 		}
 		lat := ing.Latency
-		fmt.Fprintf(&b, "# HELP schedsearch_ingest_accept_latency_seconds Accept-to-commit latency.\n# TYPE schedsearch_ingest_accept_latency_seconds histogram\n")
-		for i, le := range lat.BucketLeUs {
-			fmt.Fprintf(&b, "schedsearch_ingest_accept_latency_seconds_bucket{le=\"%s\"} %d\n",
-				promFloat(float64(le)/1e6), lat.BucketCount[i])
-		}
-		fmt.Fprintf(&b, "schedsearch_ingest_accept_latency_seconds_bucket{le=\"+Inf\"} %d\n", lat.Count)
-		fmt.Fprintf(&b, "schedsearch_ingest_accept_latency_seconds_sum %s\n",
-			promFloat(lat.AvgUs*float64(lat.Count)/1e6))
-		fmt.Fprintf(&b, "schedsearch_ingest_accept_latency_seconds_count %d\n", lat.Count)
+		hist("schedsearch_ingest_accept_latency_seconds", "Accept-to-commit latency.", lat)
 	}
+
+	if tr != nil {
+		stats := tr.Stats()
+		names := make([]string, 0, len(stats))
+		for name := range stats {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		if len(names) > 0 {
+			fmt.Fprintf(&b, "# HELP schedsearch_spans_total Trace spans recorded, by span name.\n# TYPE schedsearch_spans_total counter\n")
+			for _, name := range names {
+				fmt.Fprintf(&b, "schedsearch_spans_total{span=%q} %d\n", name, stats[name].Count)
+			}
+			fmt.Fprintf(&b, "# HELP schedsearch_span_seconds_total Wall time inside trace spans, by span name.\n# TYPE schedsearch_span_seconds_total counter\n")
+			for _, name := range names {
+				fmt.Fprintf(&b, "schedsearch_span_seconds_total{span=%q} %s\n", name, promFloat(float64(stats[name].TotalNs)/1e9))
+			}
+		}
+		counter("schedsearch_spans_dropped_total", "Spans dropped after the trace buffer filled (stats above still count them).", float64(tr.Dropped()))
+	}
+
+	rt := obs.ReadRuntime()
+	gauge("schedsearch_goroutines", "Live goroutines.", float64(rt.Goroutines))
+	gauge("schedsearch_heap_alloc_bytes", "Bytes of live heap objects.", float64(rt.HeapAllocBytes))
+	gauge("schedsearch_heap_sys_bytes", "Heap memory obtained from the OS.", float64(rt.HeapSysBytes))
+	counter("schedsearch_gc_cycles_total", "Completed GC cycles.", float64(rt.NumGC))
+	counter("schedsearch_gc_pause_seconds_total", "Cumulative stop-the-world GC pause.", float64(rt.GCPauseTotalNs)/1e9)
+	gauge("schedsearch_gc_last_pause_seconds", "Duration of the most recent GC pause.", float64(rt.LastGCPauseNs)/1e9)
 
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte(b.String()))

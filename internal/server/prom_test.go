@@ -9,6 +9,7 @@ import (
 
 	"schedsearch/internal/engine"
 	"schedsearch/internal/federation"
+	"schedsearch/internal/obs"
 	"schedsearch/internal/policy"
 	"schedsearch/internal/sim"
 )
@@ -164,5 +165,142 @@ func TestServerFederation(t *testing.T) {
 	bare.srv.ServeHTTP(w, httptest.NewRequest("GET", "/v1/federation", nil))
 	if w.Code != http.StatusNotFound {
 		t.Fatalf("bare engine GET /v1/federation: %d, want 404", w.Code)
+	}
+}
+
+// TestPromRuntimeJournalAndSpanSeries pins the observability series of
+// the Prometheus exposition: process runtime gauges (always on), the
+// journal fsync latency histogram (once the journal has synced), and
+// the per-span-name duration counters (when the server carries a
+// tracer).
+func TestPromRuntimeJournalAndSpanSeries(t *testing.T) {
+	vc := engine.NewVirtualClock()
+	fj, err := engine.OpenFileJournal(t.TempDir()+"/j.journal", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fj.Close()
+	tr := obs.NewTracer(obs.TracerOptions{Seed: 7})
+	e, err := engine.New(engine.Config{
+		Capacity: 8, Policy: policy.FCFSBackfill(), Clock: vc,
+		Journal: fj, Tracer: tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(e, nil, WithTracer(tr, 0))
+
+	// One traced submit (continues the wire header: an "admit" span)
+	// and one untraced ("submit" span, minted here).
+	req := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(`{"nodes":2,"runtime_s":600}`))
+	req.Header.Set(obs.TraceHeader, "00000000000000ab-00000000000000cd")
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("traced submit: %d %s", w.Code, w.Body.String())
+	}
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest("POST", "/v1/jobs",
+		strings.NewReader(`{"nodes":1,"runtime_s":600}`)))
+	if w.Code != http.StatusCreated {
+		t.Fatalf("untraced submit: %d %s", w.Code, w.Body.String())
+	}
+
+	promReq := httptest.NewRequest("GET", "/v1/metrics", nil)
+	promReq.Header.Set("Accept", "text/plain")
+	pw := httptest.NewRecorder()
+	srv.ServeHTTP(pw, promReq)
+	body := pw.Body.String()
+	for _, want := range []string{
+		// Runtime self-metrics are unconditional.
+		"# TYPE schedsearch_goroutines gauge",
+		"schedsearch_heap_alloc_bytes ",
+		"schedsearch_gc_cycles_total ",
+		// The group-commit journal (group 1) fsynced both submits.
+		`schedsearch_journal_fsync_seconds_bucket{le="+Inf"} 2`,
+		"schedsearch_journal_fsync_seconds_count 2",
+		"schedsearch_journal_fsync_seconds_sum ",
+		// One continued trace, one minted trace.
+		`schedsearch_spans_total{span="admit"} 1`,
+		`schedsearch_spans_total{span="submit"} 1`,
+		`schedsearch_span_seconds_total{span="admit"} `,
+		"schedsearch_spans_dropped_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("prom body missing %q", want)
+		}
+	}
+
+	// An untraced server must not emit span series, and a journal-less
+	// engine must not emit the fsync histogram.
+	bare := newFixture(t, 8, policy.FCFSBackfill())
+	pw = httptest.NewRecorder()
+	bare.srv.ServeHTTP(pw, promReq)
+	body = pw.Body.String()
+	if strings.Contains(body, "schedsearch_spans_total") {
+		t.Error("untraced exposition leaked span series")
+	}
+	if strings.Contains(body, "schedsearch_journal_fsync_seconds") {
+		t.Error("journal-less exposition leaked the fsync histogram")
+	}
+	if !strings.Contains(body, "schedsearch_goroutines") {
+		t.Error("runtime gauges should be unconditional")
+	}
+}
+
+// TestDebugDecisionsEndpoint drives the decision flight recorder
+// through GET /v1/debug/decisions: records appear after submissions,
+// carry the deciding policy and the started job IDs, and the route is
+// absent entirely on a server wired without a recorder.
+func TestDebugDecisionsEndpoint(t *testing.T) {
+	vc := engine.NewVirtualClock()
+	flight := obs.NewFlightRecorder(16)
+	e, err := engine.New(engine.Config{
+		Capacity: 8, Policy: policy.FCFSBackfill(), Clock: vc, Flight: flight,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(e, nil, WithFlight(flight))
+
+	for i := 0; i < 2; i++ {
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, httptest.NewRequest("POST", "/v1/jobs",
+			strings.NewReader(`{"nodes":2,"runtime_s":600}`)))
+		if w.Code != http.StatusCreated {
+			t.Fatalf("submit %d: %d %s", i, w.Code, w.Body.String())
+		}
+		vc.RunDue() // fire the decision point
+	}
+
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, httptest.NewRequest("GET", "/v1/debug/decisions", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /v1/debug/decisions: %d", w.Code)
+	}
+	var resp DecisionsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decisions body: %v", err)
+	}
+	if resp.Total < 2 || len(resp.Decisions) < 2 {
+		t.Fatalf("want >= 2 decisions, got total %d, %d held", resp.Total, len(resp.Decisions))
+	}
+	started := 0
+	for _, d := range resp.Decisions {
+		if d.Policy != "FCFS-backfill" {
+			t.Errorf("decision policy %q", d.Policy)
+		}
+		started += len(d.Started)
+	}
+	if started != 2 {
+		t.Errorf("decisions started %d jobs in total, want 2", started)
+	}
+
+	// Without WithFlight the route does not exist.
+	bare := newFixture(t, 8, policy.FCFSBackfill())
+	w = httptest.NewRecorder()
+	bare.srv.ServeHTTP(w, httptest.NewRequest("GET", "/v1/debug/decisions", nil))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("bare GET /v1/debug/decisions: %d, want 404", w.Code)
 	}
 }

@@ -43,6 +43,7 @@ import (
 	"schedsearch/internal/engine"
 	"schedsearch/internal/ingest"
 	"schedsearch/internal/job"
+	"schedsearch/internal/obs"
 	"schedsearch/internal/wire"
 )
 
@@ -76,6 +77,14 @@ type Server struct {
 	// per-item results, quotas and backpressure apply, and admissions
 	// are group-committed to the journal.
 	ingest *ingest.Queue
+	// flight, when configured (WithFlight), serves the decision flight
+	// recorder over GET /v1/debug/decisions.
+	flight *obs.FlightRecorder
+	// tracer, when configured (WithTracer), propagates and originates
+	// X-Schedsearch-Trace contexts on the submit paths; traceShard tags
+	// this server's spans.
+	tracer     *obs.Tracer
+	traceShard int
 
 	drainOnce sync.Once
 	// onDrained runs once, after a requested drain completes (the
@@ -110,6 +119,9 @@ func New(e Backend, onDrained func(), opts ...Option) *Server {
 	s.mux.HandleFunc("POST /v1/drain", s.drain)
 	if _, ok := e.(FederationBackend); ok {
 		s.mux.HandleFunc("GET /v1/federation", s.federation)
+	}
+	if s.flight != nil {
+		s.mux.HandleFunc("GET /v1/debug/decisions", s.debugDecisions)
 	}
 	if sb, ok := e.(ShardBackend); ok {
 		// A bare engine can serve as one shard of a distributed
@@ -205,8 +217,9 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_json", err)
 		return
 	}
+	st := s.beginSubmitTrace(r)
 	if firstJSONByte(body) == '[' {
-		s.submitBatch(w, body)
+		s.submitBatch(w, body, st)
 		return
 	}
 	var req SubmitRequest
@@ -261,8 +274,9 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	st, _ := s.e.Job(id)
-	writeJSON(w, http.StatusCreated, s.jobResponse(st))
+	s.bindSubmitTrace(&st, id, 0)
+	js, _ := s.e.Job(id)
+	writeJSON(w, http.StatusCreated, s.jobResponse(js))
 }
 
 // journalSyncer is the optional Backend surface (both *engine.Engine
@@ -324,7 +338,7 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 			f := fb.Federation()
 			fed = &f
 		}
-		writeProm(w, m, fed, ing)
+		writeProm(w, m, fed, ing, s.tracer)
 		return
 	}
 	if ing != nil {

@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"schedsearch/internal/engine"
 	"schedsearch/internal/job"
+	"schedsearch/internal/obs"
 	"schedsearch/internal/sim"
 	"schedsearch/internal/wire"
 )
@@ -130,6 +132,10 @@ func decodeShardBody(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 func (s *Server) shardAdmit(w http.ResponseWriter, r *http.Request, sb ShardBackend) {
+	var t0 time.Time
+	if s.tracer != nil {
+		t0 = s.tracer.Now()
+	}
 	var wj WireJob
 	if !decodeShardBody(w, r, &wj) {
 		return
@@ -151,6 +157,15 @@ func (s *Server) shardAdmit(w http.ResponseWriter, r *http.Request, sb ShardBack
 		if err := js.SyncJournal(); err != nil {
 			writeError(w, http.StatusInternalServerError, "journal", err)
 			return
+		}
+	}
+	if tr := s.tracer; tr != nil {
+		// A shard only continues traces propagated over the federation
+		// wire; it never originates one here (an untraced router stays
+		// untraced end to end).
+		if tc, ok := obs.ParseTraceContext(r.Header.Get(obs.TraceHeader)); ok {
+			tr.Bind(wj.ID, tc)
+			tr.Record("admit", tc, wj.ID, s.traceShard, t0, tr.Now().Sub(t0))
 		}
 	}
 	writeJSON(w, http.StatusCreated, AdmitResponse{ID: wj.ID})
