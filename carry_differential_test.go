@@ -1,0 +1,94 @@
+package schedsearch_test
+
+import (
+	"testing"
+
+	"schedsearch"
+	"schedsearch/internal/core"
+	"schedsearch/internal/metrics"
+	"schedsearch/internal/oracle"
+	"schedsearch/internal/sim"
+)
+
+// runCDDSCarry drives one suite month under CDDS with or without the
+// carried climbing reference, with the schedule oracle riding along so
+// every commit is independently validated (no oversubscription, no
+// preemption, conservation, monotone events).
+func runCDDSCarry(t *testing.T, suite *schedsearch.Suite, month string, carry bool) (*sim.Result, core.Stats) {
+	t.Helper()
+	in, _, err := suite.Input(month, schedsearch.SimOptions{TargetLoad: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orc := oracle.New(in.Capacity)
+	in.Observer = orc
+	sch := core.New(core.CDDS, core.HeuristicLXF, core.DynamicBound(), 24)
+	sch.CarryClimb = carry
+	res, err := sim.Run(in, sch)
+	if err != nil {
+		t.Fatalf("%s carry=%v: %v", month, carry, err)
+	}
+	if err := orc.Final(); err != nil {
+		t.Fatalf("%s carry=%v: oracle: %v", month, carry, err)
+	}
+	return res, sch.SearchStats
+}
+
+// TestCDDSCarrySuiteDifferential is the carry-across-decisions
+// differential: CDDS with CarryClimb is a different search (the
+// reference ordering persists), so its schedules may legitimately
+// diverge from restart-CDDS — but every commit must stay valid under
+// the independent oracle, the run must be bit-reproducible, and the
+// carry must actually engage. The restart twin runs the same months so
+// the test reports the NodesToBest effect the bench note quantifies.
+func TestCDDSCarrySuiteDifferential(t *testing.T) {
+	suite := schedsearch.NewSuite(schedsearch.SuiteConfig{Seed: 6, JobScale: 0.025})
+	var ntbRestart, ntbCarry int64
+	for _, month := range []string{"7/03", "10/03", "1/04"} {
+		restartRes, restartStats := runCDDSCarry(t, suite, month, false)
+		carryRes, carryStats := runCDDSCarry(t, suite, month, true)
+		carryRes2, carryStats2 := runCDDSCarry(t, suite, month, true)
+
+		if carryStats.CarryDecisions == 0 {
+			t.Errorf("%s: carry never engaged", month)
+		}
+		if restartStats.CarryDecisions != 0 {
+			t.Errorf("%s: restart run recorded %d carry decisions", month, restartStats.CarryDecisions)
+		}
+
+		// Determinism: two identical carry runs commit identical
+		// schedules with identical effort.
+		if len(carryRes.Records) != len(carryRes2.Records) {
+			t.Fatalf("%s: carry reruns completed %d vs %d jobs", month, len(carryRes.Records), len(carryRes2.Records))
+		}
+		for i := range carryRes.Records {
+			a, b := carryRes.Records[i], carryRes2.Records[i]
+			if a.Job.ID != b.Job.ID || a.Start != b.Start || a.End != b.End {
+				t.Fatalf("%s: carry rerun diverges at record %d: %+v vs %+v", month, i, a, b)
+			}
+		}
+		if carryStats != carryStats2 {
+			// WallNs differs between runs by nature; compare the
+			// deterministic counters.
+			if carryStats.Nodes != carryStats2.Nodes || carryStats.Leaves != carryStats2.Leaves ||
+				carryStats.NodesToBest != carryStats2.NodesToBest ||
+				carryStats.CarryDecisions != carryStats2.CarryDecisions {
+				t.Fatalf("%s: carry rerun effort diverges: %+v vs %+v", month, carryStats, carryStats2)
+			}
+		}
+
+		// Both variants schedule the same job set to completion.
+		if len(carryRes.Records) != len(restartRes.Records) {
+			t.Fatalf("%s: carry completed %d jobs, restart %d", month, len(carryRes.Records), len(restartRes.Records))
+		}
+
+		carrySum, restartSum := metrics.Summarize(carryRes), metrics.Summarize(restartRes)
+		t.Logf("%s: restart ntb=%d excessless-cost=%.1f | carry ntb=%d cost=%.1f (carried %d/%d decisions)",
+			month, restartStats.NodesToBest, restartSum.AvgBoundedSlowdown,
+			carryStats.NodesToBest, carrySum.AvgBoundedSlowdown,
+			carryStats.CarryDecisions, carryStats.Decisions)
+		ntbRestart += restartStats.NodesToBest
+		ntbCarry += carryStats.NodesToBest
+	}
+	t.Logf("nodes-to-best: restart %d, carry %d", ntbRestart, ntbCarry)
+}

@@ -212,6 +212,9 @@ func main() {
 			sch.WarmStart = *warm
 			sch.SLO = *slo
 		}
+		if mp, ok := pol.(*schedsearch.MetaScheduler); ok {
+			mp.SetSearchOptions(*workers, *warm)
+		}
 		if chaosOn {
 			// The seed varies the injection cadence, so different seeds
 			// exercise different decision points; the oracle rides along

@@ -39,6 +39,7 @@ func main() {
 		nodeLimit = flag.Int("L", 1000, "search node limit per decision")
 		workers   = flag.Int("workers", 1, "parallel search workers for search policies (0 or 1 sequential, -1 one per CPU)")
 		warm      = flag.Bool("warm", false, "warm-start the search from the previous decision's best ordering (search policies)")
+		carry     = flag.Bool("carry", false, "CDDS: carry the climbing reference ordering across decision points")
 		slo       = flag.Duration("slo", 0, "per-decision latency SLO; adapts the node budget to the observed ns/node rate (0 = fixed -L)")
 		load      = flag.Float64("load", 0, "target offered load (0 = original)")
 		seed      = flag.Uint64("seed", 1, "workload generation seed")
@@ -53,7 +54,7 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := searchOpts{nodeLimit: *nodeLimit, workers: *workers, warm: *warm, slo: *slo, flight: *flightN}
+	opts := searchOpts{nodeLimit: *nodeLimit, workers: *workers, warm: *warm, carry: *carry, slo: *slo, flight: *flightN}
 	var err error
 	if *swfIn != "" {
 		err = runSWF(*swfIn, *capacity, *policyArg, opts, *requested, *verbose, *timeline, *jsonOut)
@@ -72,6 +73,7 @@ type searchOpts struct {
 	nodeLimit int
 	workers   int
 	warm      bool
+	carry     bool
 	slo       time.Duration
 	flight    int
 }
@@ -89,6 +91,10 @@ func parsePolicy(policyArg string, o searchOpts) (sim.Policy, *obs.FlightRecorde
 		sch.Workers = o.workers
 		sch.WarmStart = o.warm
 		sch.SLO = o.slo
+		sch.CarryClimb = o.carry
+	}
+	if mp, ok := pol.(*schedsearch.MetaScheduler); ok {
+		mp.SetSearchOptions(o.workers, o.warm)
 	}
 	if o.flight <= 0 {
 		return pol, nil, nil
@@ -127,6 +133,14 @@ func (p *flightPolicy) Decide(snap *sim.Snapshot) []int {
 		startedBuf = append(startedBuf, snap.Queue[qi].Job.ID)
 	}
 	rec.Started = startedBuf
+	if ms, ok := p.inner.(interface {
+		LastMetaDecision() (string, float64, bool)
+	}); ok {
+		if name, regret, ok := ms.LastMetaDecision(); ok {
+			rec.ChosenPolicy = name
+			rec.MetaRegret = regret
+		}
+	}
 	if ds, ok := p.inner.(interface{ LastDecision() core.DecisionSummary }); ok {
 		sum := ds.LastDecision()
 		rec.EffectiveLimit = sum.EffectiveLimit

@@ -87,6 +87,12 @@ type report struct {
 	// replays; the bench aborts if warm start ever commits a schedule
 	// differing from cold at equal effective budget.
 	Warm []warmResult `json:"warm,omitempty"`
+	// CDDSCarry compares CDDS climbing from a restart vs. the carried
+	// reference across month replays.
+	CDDSCarry []carryResult `json:"cdds_carry,omitempty"`
+	// MetaBench compares fixed policies against the adaptive portfolio
+	// (the -meta sweep).
+	MetaBench *metaBenchResult `json:"meta,omitempty"`
 }
 
 func main() {
@@ -100,6 +106,9 @@ func main() {
 
 		warmAlgos = flag.String("warmalgos", "DDS,CDDS", "algorithms for the cold-vs-warm month replays (empty = skip)")
 		warmLimit = flag.Int("warmlimit", 1000, "node budget L for the cold-vs-warm replays")
+		metaMode  = flag.Bool("meta", false, "also sweep the policy-portfolio meta-scheduler against its fixed members (adds the \"meta\" and \"cdds_carry\" report sections)")
+		metaSpecs = flag.String("metaspecs", "DDS/lxf/dynB,LDS/fcfs/dynB", "portfolio member policies for the -meta sweep")
+		metaLimit = flag.Int("metalimit", 300, "node budget L for the -meta sweep and the cdds_carry replays")
 		fedMode   = flag.Bool("federation", false, "benchmark the sharded federation instead of the search hot path")
 		shards    = flag.String("shards", "1,2,4", "shard counts to measure in -federation mode")
 		fedJobs   = flag.Int("fedjobs", 400, "synthetic jobs per federation replay")
@@ -200,6 +209,13 @@ func main() {
 			fatal(err)
 		}
 		rep.Warm = runWarmBench(was, schedsearch.MonthLabels(), *warmLimit)
+	}
+
+	if *metaMode {
+		specs := strings.Split(*metaSpecs, ",")
+		rep.CDDSCarry = runCarryBench(schedsearch.MonthLabels(), *metaLimit)
+		meta := runMetaBench(specs, schedsearch.MonthLabels(), *metaLimit)
+		rep.MetaBench = &meta
 	}
 
 	var w *os.File

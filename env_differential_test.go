@@ -1,0 +1,126 @@
+package schedsearch_test
+
+import (
+	"reflect"
+	"testing"
+
+	"schedsearch"
+	"schedsearch/internal/env"
+	"schedsearch/internal/sim"
+	"schedsearch/internal/workload"
+)
+
+// recordingPolicy wraps a policy and keeps a copy of every decision it
+// commits, so the exact start sequence can be replayed through the
+// environment.
+type recordingPolicy struct {
+	inner     sim.Policy
+	decisions [][]int
+}
+
+func (r *recordingPolicy) Name() string { return r.inner.Name() }
+
+func (r *recordingPolicy) Decide(snap *sim.Snapshot) []int {
+	starts := r.inner.Decide(snap)
+	r.decisions = append(r.decisions, append([]int(nil), starts...))
+	return starts
+}
+
+// TestEnvReplaySuiteDifferential is the environment-export keystone: an
+// agent that feeds the engine's own decisions back through the
+// step/observe/act API must reproduce the native sim.Run schedule
+// bit-identically — once via "start" actions replaying a recorded run,
+// and once via "policy" actions delegating each decision to the same
+// named policy. Run under -race.
+func TestEnvReplaySuiteDifferential(t *testing.T) {
+	const spec = "DDS/lxf/dynB"
+	suite := schedsearch.NewSuite(schedsearch.SuiteConfig{Seed: 6, JobScale: 0.025})
+	opts := workload.SimOptions{TargetLoad: 0.95}
+	for _, month := range []string{"7/03", "10/03", "1/04"} {
+		month := month
+		t.Run(month, func(t *testing.T) {
+			// Native run, recording every committed decision.
+			in, _, err := suite.Input(month, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pol, err := schedsearch.ParsePolicy(spec, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &recordingPolicy{inner: pol}
+			native, err := sim.Run(in, rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(native.Records) == 0 {
+				t.Fatal("native run completed no jobs")
+			}
+
+			check := func(name string, act func(i int, obs *env.Observation) env.Action) {
+				inE, _, err := suite.Input(month, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e, err := env.New(env.Config{
+					Input: inE,
+					Label: rec.Name(),
+					Resolve: func(n string) (sim.Policy, error) {
+						return schedsearch.ParsePolicy(n, 64)
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				obs, err := e.Reset()
+				if err != nil {
+					t.Fatal(err)
+				}
+				steps := 0
+				for obs != nil {
+					next, _, done, err := e.Step(act(steps, obs))
+					if err != nil {
+						t.Fatalf("%s: step %d: %v", name, steps, err)
+					}
+					steps++
+					if done {
+						break
+					}
+					obs = next
+				}
+				if steps != len(rec.decisions) {
+					t.Fatalf("%s: env made %d decisions, native %d", name, steps, len(rec.decisions))
+				}
+				res := e.Result()
+				if res == nil {
+					t.Fatalf("%s: no result after done", name)
+				}
+				if !reflect.DeepEqual(res.Records, native.Records) {
+					t.Fatalf("%s: replayed records diverge from native run", name)
+				}
+				if res.Decisions != native.Decisions ||
+					res.AvgQueueLen != native.AvgQueueLen ||
+					res.MaxQueueLen != native.MaxQueueLen {
+					t.Fatalf("%s: queue statistics diverge: env {%d %v %d} native {%d %v %d}",
+						name, res.Decisions, res.AvgQueueLen, res.MaxQueueLen,
+						native.Decisions, native.AvgQueueLen, native.MaxQueueLen)
+				}
+				if e.TotalReward() >= 0 {
+					t.Errorf("%s: total reward %v, want negative cost", name, e.TotalReward())
+				}
+			}
+
+			// (1) Replay the recorded decisions verbatim as "start" actions.
+			check("start-replay", func(i int, _ *env.Observation) env.Action {
+				if i >= len(rec.decisions) {
+					t.Fatalf("env surfaced more decisions than the native run made")
+				}
+				return env.Action{Kind: "start", Start: rec.decisions[i]}
+			})
+			// (2) Delegate every decision to the same named policy.
+			check("policy-delegate", func(int, *env.Observation) env.Action {
+				return env.Action{Kind: "policy", Policy: spec}
+			})
+		})
+	}
+}

@@ -20,6 +20,11 @@ func FuzzParsePolicy(f *testing.F) {
 		"dds/LXF/DYNB", " FCFS-backfill", "FCFS-backfill ",
 		"CDDS/lxf/dynB", "ADDS/fcfs/dynB", "CDDS/fcfs/fixB=100h",
 		"ADDS/lxf/30m", "cdds/lxf/dynB", "ADDS//dynB",
+		"meta(DDS/lxf/dynB)", "meta(DDS/lxf/dynB,FCFS-backfill)",
+		"meta(DDS/lxf/fixB=100h,LDS/fcfs/dynB,LXF-backfill)",
+		"meta()", "meta(", "meta(DDS/lxf/dynB", "meta(DDS/lxf/dynB,)",
+		"meta(,)", "meta(meta(DDS/lxf/dynB))", "meta(DDS/lxf/dynB))",
+		"META(DDS/lxf/dynB)", "meta (DDS/lxf/dynB)",
 	} {
 		f.Add(seed)
 	}

@@ -15,6 +15,7 @@ var allPolicies = []string{
 	"MultiQueue-backfill",
 	"DDS/lxf/dynB", "DDS/fcfs/dynB", "LDS/lxf/dynB", "DFS/lxf/dynB",
 	"DDS/lxf/50h", "CDDS/lxf/dynB", "ADDS/fcfs/dynB",
+	"meta(DDS/lxf/dynB,FCFS-backfill)",
 }
 
 // TestEveryPolicyCompletesEveryMode drives the full policy set through

@@ -91,13 +91,11 @@ func (s *searchState) runCDDS() {
 	}
 }
 
-// climbToBest re-anchors the search on the incumbent: the free list is
-// relinked into bestPath order (so branch rank 0 now follows the
-// incumbent ordering) and the placement memo is re-recorded from the
-// incumbent's known starts — the new reference path's prefixes are
-// served from the memo without re-running EarliestFit.
-func (s *searchState) climbToBest() {
-	order := s.bestPath
+// relinkOrder rebuilds the (fully linked) free list so it enumerates
+// the ordered indices in the given order: branch rank 0 at every level
+// then follows that ordering. order must cover every ordered index
+// exactly once, and every job must currently be free (no partial path).
+func (s *searchState) relinkOrder(order []int) {
 	n := len(order)
 	for l, oi := range order {
 		if l > 0 {
@@ -112,6 +110,16 @@ func (s *searchState) climbToBest() {
 			s.freeNext[oi] = -1
 		}
 	}
+}
+
+// climbToBest re-anchors the search on the incumbent: the free list is
+// relinked into bestPath order (so branch rank 0 now follows the
+// incumbent ordering) and the placement memo is re-recorded from the
+// incumbent's known starts — the new reference path's prefixes are
+// served from the memo without re-running EarliestFit.
+func (s *searchState) climbToBest() {
+	order := s.bestPath
+	s.relinkOrder(order)
 	s.memoPath = append(s.memoPath[:0], order...)
 	s.memoStart = s.memoStart[:0]
 	for _, oi := range order {

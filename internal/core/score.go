@@ -1,0 +1,121 @@
+package core
+
+import (
+	"schedsearch/internal/cluster"
+	"schedsearch/internal/sim"
+)
+
+// DefaultExcessWeight is the scalarization weight PlanScorer applies to
+// the first-level goal (excess wait seconds) relative to the second
+// (sum of bounded slowdowns). A run's excess is typically orders of
+// magnitude larger than a single job's slowdown, so the weight mostly
+// preserves the lexicographic preference while keeping the second
+// level as a tiebreak between excess-free plans.
+const DefaultExcessWeight = 1000
+
+// PlanScorer scores one decision — a set of jobs started now — on the
+// uniform objective the search policies optimize, independent of which
+// policy (or external agent) produced it. It is the common yardstick
+// the meta-scheduler compares portfolio arms with and the environment
+// export derives rewards from.
+//
+// The score is the hierarchical cost of the induced plan: the started
+// jobs placed at the decision time, every remaining queued job placed
+// greedily at its earliest fit in arrival order (FCFS completion — the
+// neutral continuation, favoring no arm's private ordering). Scoring
+// is passive: it runs on its own profile scratch and never touches the
+// ledger or any policy state.
+type PlanScorer struct {
+	// Bound resolves the target wait bound per decision; zero value
+	// means the paper's dynB.
+	Bound BoundSpec
+	// Cost scores individual placements; nil means HierarchicalCost.
+	Cost CostFn
+	// ExcessWeight scalarizes the two cost levels; 0 means
+	// DefaultExcessWeight.
+	ExcessWeight float64
+
+	prof    *cluster.Profile
+	started []bool
+	undo    []cluster.Placement
+}
+
+// NewPlanScorer returns a scorer with the paper's objective (dynB +
+// hierarchical cost) and the default scalarization.
+func NewPlanScorer() *PlanScorer {
+	return &PlanScorer{Bound: DynamicBound()}
+}
+
+// Score evaluates starting the given QueuePos set at snap.Now and
+// returns the plan's hierarchical cost. starts must be feasible
+// (distinct queue positions whose total width fits the free nodes);
+// infeasibility shows up as a plan whose "started" jobs simply cost
+// their earliest achievable start, not as an error — the ledger, not
+// the scorer, is the feasibility authority.
+func (ps *PlanScorer) Score(snap *sim.Snapshot, starts []int) Cost {
+	costFn := ps.Cost
+	if costFn == nil {
+		costFn = HierarchicalCost
+	}
+	bound := ps.Bound.At(snap)
+
+	if ps.prof == nil {
+		ps.prof = cluster.New(snap.Capacity, snap.Now)
+	} else {
+		ps.prof.Reset(snap.Capacity, snap.Now)
+	}
+	for _, r := range snap.Running {
+		end := r.PredictedEnd
+		if end <= snap.Now {
+			end = snap.Now + 1
+		}
+		ps.prof.Place(snap.Now, r.Nodes, end-snap.Now)
+	}
+
+	n := len(snap.Queue)
+	ps.started = resizeBool(ps.started, n)
+	for _, qi := range starts {
+		if qi >= 0 && qi < n {
+			ps.started[qi] = true
+		}
+	}
+
+	var total Cost
+	undo := ps.undo[:0]
+	place := func(w sim.WaitingJob) {
+		est := w.Estimate
+		if est < 1 {
+			est = 1
+		}
+		start, pl := ps.prof.PlaceEarliest(snap.Now, w.Job.Nodes, est)
+		undo = append(undo, pl)
+		total = total.Add(costFn(w, start, snap.Now, bound))
+	}
+	// Started jobs first: with feasible starts their earliest fit IS
+	// snap.Now, so they are charged their committed start.
+	for qi := 0; qi < n; qi++ {
+		if ps.started[qi] {
+			place(snap.Queue[qi])
+		}
+	}
+	for qi := 0; qi < n; qi++ {
+		if !ps.started[qi] {
+			place(snap.Queue[qi])
+		}
+	}
+	for i := len(undo) - 1; i >= 0; i-- {
+		ps.prof.Undo(undo[i])
+	}
+	ps.undo = undo
+	return total
+}
+
+// Scalar collapses a hierarchical cost into one comparable number
+// (lower is better) using the configured excess weight.
+func (ps *PlanScorer) Scalar(c Cost) float64 {
+	w := ps.ExcessWeight
+	if w == 0 {
+		w = DefaultExcessWeight
+	}
+	return c[0]*w + c[1]
+}

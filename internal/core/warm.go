@@ -32,13 +32,15 @@ type warmState struct {
 	undo []cluster.Placement // scratch: seed evaluation undo stack
 }
 
-// seedWarm builds the warm seed for the current decision from the
-// carried ordering and installs its cost as the initial incumbent. The
-// search state must be freshly reset.
-func (sch *Scheduler) seedWarm(s *searchState) {
+// spliceCarried maps the carried ordering onto the current queue:
+// survivors keep their carried relative order, departed jobs are
+// dropped, and arrivals splice in at their heuristic rank. It returns
+// the result as ordered indices (reusing the warm scratch), or nil
+// when there is no valid carry to splice.
+func (sch *Scheduler) spliceCarried(s *searchState) []int {
 	w := &sch.warm
 	if !w.valid || len(w.order) == 0 {
-		return
+		return nil
 	}
 	n := len(s.ordered)
 	if w.pos == nil {
@@ -74,8 +76,18 @@ func (sch *Scheduler) seedWarm(s *searchState) {
 		seq[at] = oi
 	}
 	w.seq = seq
+	return seq
+}
 
-	cost := s.evalOrder(seq, &w.undo)
+// seedWarm builds the warm seed for the current decision from the
+// carried ordering and installs its cost as the initial incumbent. The
+// search state must be freshly reset.
+func (sch *Scheduler) seedWarm(s *searchState) {
+	seq := sch.spliceCarried(s)
+	if seq == nil {
+		return
+	}
+	cost := s.evalOrder(seq, &sch.warm.undo)
 	s.seedCost = cost
 	s.seedSet = true
 	s.ntbCost = cost
@@ -83,6 +95,24 @@ func (sch *Scheduler) seedWarm(s *searchState) {
 	s.nodesToBest = 0
 	sch.SearchStats.WarmDecisions++
 	sch.SearchStats.WarmSeedNodes += int64(len(seq))
+}
+
+// seedClimbRef re-anchors CDDS's starting reference to the carried
+// ordering (CarryClimb): the free list is relinked so branch rank 0
+// follows the previous decision's climb target instead of restarting
+// from the heuristic order. Unlike the warm seed — pure accounting —
+// this changes which orderings the budget reaches, so the committed
+// schedules legitimately differ from the restart-every-decision CDDS.
+// Iteration 0 then evaluates (and may commit) the carried reference
+// itself, so validity is untouched: commits are still argmin over
+// enumerated, profile-checked leaves.
+func (sch *Scheduler) seedClimbRef(s *searchState) {
+	seq := sch.spliceCarried(s)
+	if len(seq) != len(s.ordered) || len(seq) == 0 {
+		return
+	}
+	s.relinkOrder(seq)
+	sch.SearchStats.CarryDecisions++
 }
 
 // carryBest records the committed ordering for the next decision and

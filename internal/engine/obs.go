@@ -17,6 +17,13 @@ type decisionSummarizer interface {
 	LastDecision() core.DecisionSummary
 }
 
+// metaSummarizer is the optional surface meta-schedulers expose: which
+// portfolio member the last decision committed and its regret estimate.
+// metasched.Meta implements it.
+type metaSummarizer interface {
+	LastMetaDecision() (policy string, regret float64, ok bool)
+}
+
 // observeDecision captures one committed decision into the flight
 // recorder and the tracer. It runs with the engine lock held, after
 // the commit, and only reads state the decision already produced —
@@ -37,6 +44,12 @@ func (e *Engine) observeDecision(now job.Time, queueDepth int, wall time.Duratio
 			startedBuf = append(startedBuf, s.Job.ID)
 		}
 		rec.Started = startedBuf
+		if ms, ok := e.cfg.Policy.(metaSummarizer); ok {
+			if name, regret, ok := ms.LastMetaDecision(); ok {
+				rec.ChosenPolicy = name
+				rec.MetaRegret = regret
+			}
+		}
 		if ds, ok := e.cfg.Policy.(decisionSummarizer); ok {
 			sum := ds.LastDecision()
 			rec.EffectiveLimit = sum.EffectiveLimit

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"schedsearch/internal/core"
+	"schedsearch/internal/metasched"
 	"schedsearch/internal/obs"
 	"schedsearch/internal/oracle"
 	"schedsearch/internal/sim"
@@ -75,13 +76,35 @@ func replayInstrumented(t *testing.T, in sim.Input, pol sim.Policy,
 // decision and every job. Run under -race this also pins the capture
 // paths as data-race free.
 func TestObservabilityInert(t *testing.T) {
-	suite := workload.NewSuite(workload.Config{Seed: 11, JobScale: 0.025})
 	newPolicy := func() sim.Policy {
 		sch := core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), 64)
 		sch.WarmStart = true
 		return sch
 	}
-	for _, month := range workload.MonthLabels() {
+	runObsInert(t, workload.MonthLabels(), newPolicy, "DDS/lxf/dynB", false)
+}
+
+// TestObservabilityInertMeta repeats the inertness keystone with a
+// meta-scheduling portfolio deciding: instrumentation must stay
+// bit-inert while every flight record now also carries the committed
+// member's name and the decision's regret estimate.
+func TestObservabilityInertMeta(t *testing.T) {
+	newPolicy := func() sim.Policy {
+		m, err := metasched.New([]sim.Policy{
+			core.New(core.DDS, core.HeuristicLXF, core.DynamicBound(), 64),
+			core.New(core.LDS, core.HeuristicFCFS, core.DynamicBound(), 64),
+		}, metasched.Config{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	runObsInert(t, []string{"7/03", "1/04"}, newPolicy, "meta(DDS/lxf/dynB,LDS/fcfs/dynB)", true)
+}
+
+func runObsInert(t *testing.T, months []string, newPolicy func() sim.Policy, wantPolicy string, wantMeta bool) {
+	suite := workload.NewSuite(workload.Config{Seed: 11, JobScale: 0.025})
+	for _, month := range months {
 		month := month
 		t.Run(month, func(t *testing.T) {
 			in, _, err := suite.Input(month, workload.SimOptions{TargetLoad: 0.9})
@@ -123,8 +146,14 @@ func TestObservabilityInert(t *testing.T) {
 				t.Fatal("flight recorder captured no decisions")
 			}
 			for _, rec := range flight.Snapshot() {
-				if rec.Policy != "DDS/lxf/dynB" {
-					t.Fatalf("flight record policy %q", rec.Policy)
+				if rec.Policy != wantPolicy {
+					t.Fatalf("flight record policy %q, want %q", rec.Policy, wantPolicy)
+				}
+				if wantMeta && rec.ChosenPolicy == "" {
+					t.Fatalf("meta flight record at t=%d has no chosen policy", rec.NowS)
+				}
+				if !wantMeta && rec.ChosenPolicy != "" {
+					t.Fatalf("fixed-policy flight record claims chosen policy %q", rec.ChosenPolicy)
 				}
 			}
 			covered, total := tr.JobCoverage("submit", "decide")

@@ -1,0 +1,116 @@
+package env
+
+import "schedsearch/internal/metrics"
+
+// SchemaVersion is the version of the wire schema below. The driver
+// announces it in the hello message; clients must check it before
+// interpreting observations. Additive changes (new fields) keep the
+// version; renames, removals or semantic changes bump it.
+const SchemaVersion = 1
+
+// Observation is the feature-vector view of one decision point: the
+// machine, its running jobs and the waiting queue, exactly the state a
+// native policy sees in sim.Snapshot, flattened to stable wire types.
+type Observation struct {
+	// Seq numbers decision points from 1 within an episode.
+	Seq int64 `json:"seq"`
+	// NowS is the decision time in seconds since episode start.
+	NowS int64 `json:"now_s"`
+	// Capacity and FreeNodes describe the machine.
+	Capacity  int `json:"capacity"`
+	FreeNodes int `json:"free_nodes"`
+	// Running lists executing jobs with their predicted remaining
+	// runtimes (policies never see actual ends).
+	Running []RunningFeature `json:"running"`
+	// Queue lists waiting jobs; QueuePos indices are what actions
+	// reference.
+	Queue []QueueFeature `json:"queue"`
+}
+
+// RunningFeature is one executing job.
+type RunningFeature struct {
+	JobID      int   `json:"job_id"`
+	User       int   `json:"user"`
+	Nodes      int   `json:"nodes"`
+	StartS     int64 `json:"start_s"`
+	RemainingS int64 `json:"remaining_s"`
+}
+
+// QueueFeature is one waiting job.
+type QueueFeature struct {
+	QueuePos  int   `json:"queue_pos"`
+	JobID     int   `json:"job_id"`
+	User      int   `json:"user"`
+	Nodes     int   `json:"nodes"`
+	EstimateS int64 `json:"estimate_s"`
+	RequestS  int64 `json:"request_s"`
+	WaitS     int64 `json:"wait_s"`
+}
+
+// Action is one decision fed back into the environment.
+type Action struct {
+	// Kind selects the decision form:
+	//   "start"  — Start lists the QueuePos indices to start now
+	//              (the raw sim.Policy contract);
+	//   "order"  — Order is a full queue permutation; the environment
+	//              places it greedily (earliest fit per job, in order)
+	//              and starts the jobs whose placement lands at now —
+	//              exactly how the search policies commit an ordering;
+	//   "policy" — delegate this decision to the named built-in policy
+	//              (resolved once per episode and kept, so stateful
+	//              policies carry their state across steps).
+	Kind   string `json:"kind"`
+	Start  []int  `json:"start,omitempty"`
+	Order  []int  `json:"order,omitempty"`
+	Policy string `json:"policy,omitempty"`
+}
+
+// Protocol messages for the JSON-lines stdio driver (cmd/schedenv).
+// The driver writes exactly one JSON object per line; clients write
+// Request lines. A session is: hello, then per episode {reset →
+// observe, (act → observe)*, act → done}, any number of episodes,
+// close. Unknown or malformed requests get an error line and the
+// session continues; errors inside the simulator poison the episode
+// (reset starts a fresh one).
+
+// Request is a client → driver line.
+type Request struct {
+	// Type is "reset", "act" or "close".
+	Type string `json:"type"`
+	// Action rides on "act" requests.
+	Action Action `json:"action,omitempty"`
+}
+
+// Hello is the driver's first line.
+type Hello struct {
+	Type          string `json:"type"` // "hello"
+	SchemaVersion int    `json:"schema_version"`
+	Capacity      int    `json:"capacity"`
+	Jobs          int    `json:"jobs"`
+	Label         string `json:"label,omitempty"`
+}
+
+// ObserveMsg carries the next observation plus the reward of the
+// action that produced it (0 on the first observation of an episode).
+type ObserveMsg struct {
+	Type        string      `json:"type"` // "observe"
+	Reward      float64     `json:"reward"`
+	Observation Observation `json:"observation"`
+}
+
+// DoneMsg ends an episode: the final reward, the episode totals and
+// the run's summary measures.
+type DoneMsg struct {
+	Type        string          `json:"type"` // "done"
+	Reward      float64         `json:"reward"`
+	TotalReward float64         `json:"total_reward"`
+	Decisions   int             `json:"decisions"`
+	Jobs        int             `json:"jobs"`
+	Summary     metrics.Summary `json:"summary"`
+}
+
+// ErrorMsg reports a rejected request or a poisoned episode.
+type ErrorMsg struct {
+	Type  string `json:"type"` // "error"
+	Error string `json:"error"`
+}

@@ -47,6 +47,12 @@ type DecisionRecord struct {
 	BestSlowdown float64 `json:"best_bounded_slowdown,omitempty"`
 	// Trajectory is the incumbent-cost improvement sequence.
 	Trajectory []TrajectoryPoint `json:"trajectory,omitempty"`
+	// ChosenPolicy is the portfolio member a meta-scheduler committed
+	// this decision (empty for fixed policies); MetaRegret is its
+	// per-decision regret estimate — the chosen plan's score minus the
+	// best shadow plan's.
+	ChosenPolicy string  `json:"chosen_policy,omitempty"`
+	MetaRegret   float64 `json:"meta_regret,omitempty"`
 	// Started lists the job IDs the decision started, in commit order.
 	Started []int `json:"started,omitempty"`
 	// WallUs is the decision's wall time in microseconds.

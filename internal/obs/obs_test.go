@@ -29,12 +29,12 @@ func TestParseTraceContextRejects(t *testing.T) {
 	bad := []string{
 		"",
 		"xyz",
-		strings.Repeat("0", 33),                                 // no dash
-		"0000000000000000-0000000000000000",                     // zero trace ID
-		"DEADBEEFCAFEF00D-0123456789abcdef",                     // uppercase is not canonical
-		"deadbeefcafef00d-0123456789abcde",                      // short span
-		"deadbeefcafef00d-0123456789abcdef0",                    // long
-		"deadbeefcafef00d_0123456789abcdef",                     // wrong separator
+		strings.Repeat("0", 33),              // no dash
+		"0000000000000000-0000000000000000",  // zero trace ID
+		"DEADBEEFCAFEF00D-0123456789abcdef",  // uppercase is not canonical
+		"deadbeefcafef00d-0123456789abcde",   // short span
+		"deadbeefcafef00d-0123456789abcdef0", // long
+		"deadbeefcafef00d_0123456789abcdef",  // wrong separator
 		strings.Repeat("a", 4096) + "-" + strings.Repeat("b", 4096), // oversized
 	}
 	for _, h := range bad {

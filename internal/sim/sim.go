@@ -147,6 +147,10 @@ type running struct {
 type engine struct {
 	in     Input
 	policy Policy
+	// name labels the run in errors and the Result; it is the policy's
+	// name under Run, or the caller-supplied label under a Stepper
+	// (which has no policy).
+	name string
 
 	clock   job.Time
 	nextIdx int // next arrival in in.Jobs
@@ -186,6 +190,9 @@ func newEngine(in Input, p Policy) (*engine, error) {
 	e.explicitWindow = !(e.intStart == 0 && e.intEnd == 0)
 	if !e.explicitWindow {
 		e.intEnd = job.Time(1) << 59 // integrate everything
+	}
+	if p != nil {
+		e.name = p.Name()
 	}
 	return e, nil
 }
@@ -227,7 +234,34 @@ func (e *engine) advanceQueueIntegral(now job.Time) {
 	e.qlenLast = now
 }
 
+// run drives the step/apply pair with the configured policy — the
+// classic closed-loop simulation. The same two primitives back the
+// step/observe/act export in internal/env, so an external driver that
+// feeds back the policy's own decisions replays this loop bit-
+// identically by construction.
 func (e *engine) run() (*Result, error) {
+	for {
+		snap, err := e.step()
+		if err != nil {
+			return nil, err
+		}
+		if snap == nil {
+			return e.result(), nil
+		}
+		if _, err := e.apply(e.policy.Decide(snap)); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// step advances the simulation to the next decision point: events are
+// consumed in time order (finishes at an instant strictly before that
+// instant's arrivals) until the queue is non-empty, and the policy-
+// visible snapshot is returned. A nil snapshot with a nil error means
+// the episode is complete (every job has finished); call result().
+// Each non-nil snapshot is one decision the caller must commit with
+// apply before stepping again.
+func (e *engine) step() (*Snapshot, error) {
 	for {
 		// Next event time: earliest of next arrival and next finish.
 		var next job.Time
@@ -244,9 +278,9 @@ func (e *engine) run() (*Result, error) {
 			// No more events. Every job must have been started.
 			if e.l.QueueLen() > 0 {
 				return nil, fmt.Errorf("sim: policy %q stalled with %d queued jobs and idle machine",
-					e.policy.Name(), e.l.QueueLen())
+					e.name, e.l.QueueLen())
 			}
-			return e.result(), nil
+			return nil, nil
 		}
 
 		e.advanceQueueIntegral(next)
@@ -276,30 +310,35 @@ func (e *engine) run() (*Result, error) {
 			e.l.Enqueue(j, e.estimate(j))
 		}
 		if e.l.QueueLen() > 0 {
-			if err := e.decide(); err != nil {
-				return nil, err
-			}
-		}
-		if e.l.QueueLen() > e.maxQ && e.clock >= e.intStart && e.clock < e.intEnd {
-			e.maxQ = e.l.QueueLen()
+			e.decisions++
+			return e.l.Snapshot(e.clock), nil
 		}
 	}
 }
 
-func (e *engine) decide() error {
-	snap := e.l.Snapshot(e.clock)
-	e.decisions++
-	starts := e.policy.Decide(snap)
+// apply commits one decision at the current decision point: the starts
+// are the QueuePos indices of the snapshot step returned. An empty
+// decision is legal only while the machine is busy (a policy may wait
+// for nodes to free); on an idle machine it would stall the clock.
+func (e *engine) apply(starts []int) ([]Started, error) {
+	var started []Started
 	if len(starts) == 0 {
 		if e.l.RunningLen() == 0 {
-			return fmt.Errorf("sim: policy %q started nothing on an idle machine with %d queued jobs at t=%d",
-				e.policy.Name(), e.l.QueueLen(), e.clock)
+			return nil, fmt.Errorf("sim: policy %q started nothing on an idle machine with %d queued jobs at t=%d",
+				e.name, e.l.QueueLen(), e.clock)
 		}
-		return nil
+	} else {
+		e.advanceQueueIntegral(e.clock) // queue length changes now (zero dt, keeps bookkeeping exact)
+		var err error
+		started, err = e.l.Start(e.name, e.clock, starts)
+		if err != nil {
+			return nil, err
+		}
 	}
-	e.advanceQueueIntegral(e.clock) // queue length changes now (zero dt, keeps bookkeeping exact)
-	_, err := e.l.Start(e.policy.Name(), e.clock, starts)
-	return err
+	if e.l.QueueLen() > e.maxQ && e.clock >= e.intStart && e.clock < e.intEnd {
+		e.maxQ = e.l.QueueLen()
+	}
+	return started, nil
 }
 
 func (e *engine) result() *Result {
@@ -327,7 +366,7 @@ func (e *engine) result() *Result {
 		measureEnd = e.qlenLast
 	}
 	return &Result{
-		Policy:       e.policy.Name(),
+		Policy:       e.name,
 		Records:      e.records,
 		Decisions:    e.decisions,
 		AvgQueueLen:  avgQ,

@@ -1,0 +1,92 @@
+package sim
+
+import "fmt"
+
+// Stepper is the simulator with control inverted: instead of driving a
+// Policy itself (Run), it hands each decision point to the caller and
+// waits for the decision. It is the seam the step/observe/act
+// environment export (internal/env) is built on — Run is implemented
+// as a thin loop over the very same step/apply primitives, so a caller
+// that feeds back a policy's own decisions reproduces Run's schedule
+// bit-identically by construction.
+//
+// Protocol: Next advances to a decision point and returns the snapshot;
+// the caller must commit exactly one Apply per non-nil snapshot before
+// calling Next again. Next returning (nil, nil) means the episode is
+// complete and Result is available. A Stepper is single-use and not
+// goroutine-safe.
+type Stepper struct {
+	e       *engine
+	pending bool // a snapshot is out, awaiting Apply
+	done    bool
+	res     *Result
+	err     error
+}
+
+// NewStepper prepares a stepped episode over the input. The name labels
+// the run (Result.Policy and error messages), standing in for the
+// policy name Run would use.
+func NewStepper(in Input, name string) (*Stepper, error) {
+	e, err := newEngine(in, nil)
+	if err != nil {
+		return nil, err
+	}
+	e.name = name
+	return &Stepper{e: e}, nil
+}
+
+// Next advances the simulation to the next decision point and returns
+// the policy-visible snapshot. It returns (nil, nil) when the episode
+// is complete. The snapshot must be treated as read-only and is only
+// valid until the following Apply.
+func (st *Stepper) Next() (*Snapshot, error) {
+	if st.err != nil {
+		return nil, st.err
+	}
+	if st.done {
+		return nil, nil
+	}
+	if st.pending {
+		return nil, fmt.Errorf("sim: Stepper.Next with a decision pending (call Apply first)")
+	}
+	snap, err := st.e.step()
+	if err != nil {
+		st.err = err
+		return nil, err
+	}
+	if snap == nil {
+		st.done = true
+		st.res = st.e.result()
+		return nil, nil
+	}
+	st.pending = true
+	return snap, nil
+}
+
+// Apply commits the decision for the snapshot the last Next returned:
+// starts are QueuePos indices into that snapshot's Queue. It returns
+// the jobs started (placement included), exactly as the Ledger
+// committed them. Feasibility is verified; an infeasible set is an
+// error and poisons the episode.
+func (st *Stepper) Apply(starts []int) ([]Started, error) {
+	if st.err != nil {
+		return nil, st.err
+	}
+	if !st.pending {
+		return nil, fmt.Errorf("sim: Stepper.Apply with no decision pending")
+	}
+	st.pending = false
+	started, err := st.e.apply(starts)
+	if err != nil {
+		st.err = err
+		return nil, err
+	}
+	return started, nil
+}
+
+// Result returns the completed episode's result; it is nil until Next
+// has returned (nil, nil).
+func (st *Stepper) Result() *Result { return st.res }
+
+// Decisions returns the number of decision points surfaced so far.
+func (st *Stepper) Decisions() int { return st.e.decisions }

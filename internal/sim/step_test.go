@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"schedsearch/internal/job"
+)
+
+func stepTrace(rng *rand.Rand, capacity, n int) []job.Job {
+	jobs := make([]job.Job, n)
+	at := job.Time(0)
+	for i := range jobs {
+		at += job.Time(rng.Intn(150))
+		rt := job.Duration(rng.Intn(800))
+		jobs[i] = job.Job{
+			ID: i + 1, Submit: at,
+			Nodes:   1 + rng.Intn(capacity),
+			Runtime: rt,
+			Request: rt + job.Duration(rng.Intn(800)),
+		}
+	}
+	return jobs
+}
+
+// TestStepperMatchesRun is the inversion-of-control differential: an
+// external loop that drives a Stepper with a policy's own decisions
+// must reproduce sim.Run exactly — records, decision count, queue
+// statistics, everything in the Result.
+func TestStepperMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 10; trial++ {
+		capacity := 2 + rng.Intn(24)
+		jobs := stepTrace(rng, capacity, 40+rng.Intn(80))
+		in := Input{Capacity: capacity, Jobs: jobs}
+
+		native, err := Run(in, &randomFeasiblePolicy{rng: rand.New(rand.NewSource(int64(trial)))})
+		if err != nil {
+			t.Fatalf("trial %d: native run: %v", trial, err)
+		}
+
+		pol := &randomFeasiblePolicy{rng: rand.New(rand.NewSource(int64(trial)))}
+		st, err := NewStepper(in, pol.Name())
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for {
+			snap, err := st.Next()
+			if err != nil {
+				t.Fatalf("trial %d: Next: %v", trial, err)
+			}
+			if snap == nil {
+				break
+			}
+			if _, err := st.Apply(pol.Decide(snap)); err != nil {
+				t.Fatalf("trial %d: Apply: %v", trial, err)
+			}
+		}
+		stepped := st.Result()
+		if stepped == nil {
+			t.Fatalf("trial %d: no result after completion", trial)
+		}
+
+		if len(stepped.Records) != len(native.Records) {
+			t.Fatalf("trial %d: stepped %d records, native %d", trial, len(stepped.Records), len(native.Records))
+		}
+		for i := range native.Records {
+			a, b := native.Records[i], stepped.Records[i]
+			if a.Job.ID != b.Job.ID || a.Start != b.Start || a.End != b.End {
+				t.Fatalf("trial %d: record %d diverges: native %+v, stepped %+v", trial, i, a, b)
+			}
+			for k := range a.NodeIDs {
+				if a.NodeIDs[k] != b.NodeIDs[k] {
+					t.Fatalf("trial %d: job %d node IDs diverge", trial, a.Job.ID)
+				}
+			}
+		}
+		if stepped.Decisions != native.Decisions ||
+			stepped.AvgQueueLen != native.AvgQueueLen ||
+			stepped.MaxQueueLen != native.MaxQueueLen {
+			t.Fatalf("trial %d: stats diverge: native %+v, stepped %+v", trial, native, stepped)
+		}
+	}
+}
+
+// TestStepperProtocol pins the misuse errors: Apply without a pending
+// decision, Next with one outstanding, and error poisoning.
+func TestStepperProtocol(t *testing.T) {
+	jobs := []job.Job{{ID: 1, Submit: 0, Nodes: 1, Runtime: 10, Request: 10}}
+	st, err := NewStepper(Input{Capacity: 2, Jobs: jobs}, "proto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Apply(nil); err == nil || !strings.Contains(err.Error(), "no decision pending") {
+		t.Fatalf("Apply before Next: %v", err)
+	}
+	snap, err := st.Next()
+	if err != nil || snap == nil {
+		t.Fatalf("Next: %v %v", snap, err)
+	}
+	if _, err := st.Next(); err == nil || !strings.Contains(err.Error(), "decision pending") {
+		t.Fatalf("double Next: %v", err)
+	}
+	// An empty decision on an idle machine is a stall: the error must
+	// stick to the episode.
+	if _, err := st.Apply(nil); err == nil || !strings.Contains(err.Error(), "idle machine") {
+		t.Fatalf("idle stall: %v", err)
+	}
+	if _, err := st.Next(); err == nil {
+		t.Fatal("poisoned stepper kept going")
+	}
+	if st.Result() != nil {
+		t.Fatal("poisoned stepper produced a result")
+	}
+}

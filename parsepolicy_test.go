@@ -109,6 +109,70 @@ func TestParsePolicyRoundTrips(t *testing.T) {
 	}
 }
 
+// TestParsePolicyMeta covers the portfolio grammar through the facade:
+// meta(...) names round-trip, members accept every base spelling, and
+// malformed portfolios are rejected with a meaningful error.
+func TestParsePolicyMeta(t *testing.T) {
+	for _, name := range []string{
+		"meta(DDS/lxf/dynB)",
+		"meta(DDS/lxf/dynB,FCFS-backfill)",
+		"meta(DDS/lxf/fixB=100h,LDS/fcfs/dynB,LXF-backfill)",
+	} {
+		pol, err := schedsearch.ParsePolicy(name, 100)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q) failed: %v", name, err)
+		}
+		if pol.Name() != name {
+			t.Fatalf("round trip %q -> %q", name, pol.Name())
+		}
+		m, ok := pol.(*schedsearch.MetaScheduler)
+		if !ok {
+			t.Fatalf("ParsePolicy(%q) built %T", name, pol)
+		}
+		if len(m.Members()) == 0 {
+			t.Fatalf("ParsePolicy(%q) built an empty portfolio", name)
+		}
+	}
+	// Shorthand bounds canonicalize inside the portfolio name too.
+	pol, err := schedsearch.ParsePolicy("meta(DDS/lxf/100h,FCFS-backfill)", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Name() != "meta(DDS/lxf/fixB=100h,FCFS-backfill)" {
+		t.Fatalf("shorthand member canonicalized to %q", pol.Name())
+	}
+	for _, bad := range []struct {
+		input   string
+		wantSub string
+	}{
+		{"meta()", "at least one member"},
+		{"meta(DDS/lxf/dynB", "parenthesis"},
+		{"meta(DDS/lxf/dynB,)", "empty member"},
+		{"meta(,FCFS-backfill)", "empty member"},
+		{"meta(meta(DDS/lxf/dynB))", "nested"},
+		{"meta(BFS/lxf/dynB)", "unknown search algorithm"},
+		{"meta(DDS/lxf/dynB,EASY-backfill)", "unknown policy"},
+	} {
+		pol, err := schedsearch.ParsePolicy(bad.input, 100)
+		if err == nil {
+			t.Fatalf("ParsePolicy(%q) accepted as %q", bad.input, pol.Name())
+		}
+		if !strings.Contains(err.Error(), bad.wantSub) {
+			t.Fatalf("ParsePolicy(%q) error %q, want mention of %q", bad.input, err, bad.wantSub)
+		}
+	}
+
+	// ParsePolicyMeta threads a custom bandit config into the portfolio.
+	polC, err := schedsearch.ParsePolicyMeta("meta(DDS/lxf/dynB,FCFS-backfill)", 100,
+		schedsearch.MetaConfig{Seed: 9, Kind: schedsearch.EXP3BanditKind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := polC.(*schedsearch.MetaScheduler); !ok {
+		t.Fatalf("ParsePolicyMeta built %T", polC)
+	}
+}
+
 // TestBoundStringLossless: sub-hour fixed bounds must render in a unit
 // that preserves them ("30m", not the truncated "0h").
 func TestBoundStringLossless(t *testing.T) {

@@ -30,6 +30,7 @@ import (
 	"schedsearch/internal/core"
 	"schedsearch/internal/engine"
 	"schedsearch/internal/job"
+	"schedsearch/internal/metasched"
 	"schedsearch/internal/metrics"
 	"schedsearch/internal/policy"
 	"schedsearch/internal/predict"
@@ -216,6 +217,28 @@ func ExcessiveWait(res *Result, thresholdH float64) Excess {
 	return metrics.ExcessiveWait(res, thresholdH)
 }
 
+// MetaScheduler is the online policy-portfolio meta-scheduler: it
+// shadow-simulates every portfolio member at each decision point and
+// lets a seeded bandit commit one (see internal/metasched).
+type MetaScheduler = metasched.Meta
+
+// MetaConfig tunes the meta-scheduler's bandit, seed and shadow
+// budget.
+type MetaConfig = metasched.Config
+
+// Bandit kinds for MetaConfig.Kind.
+const (
+	GreedyBanditKind = metasched.Greedy
+	UCBBanditKind    = metasched.UCB
+	EXP3BanditKind   = metasched.EXP3
+)
+
+// NewMetaScheduler builds a policy-portfolio meta-scheduler over
+// distinct member policy instances.
+func NewMetaScheduler(members []Policy, cfg MetaConfig) (*MetaScheduler, error) {
+	return metasched.New(members, cfg)
+}
+
 // ParsePolicy builds a policy from its report name. Backfill policies
 // are named "FCFS-backfill", "LXF-backfill", "SJF-backfill",
 // "LXFW-backfill", "Selective-backfill", "Relaxed-backfill",
@@ -228,8 +251,29 @@ func ExcessiveWait(res *Result, thresholdH float64) Excess {
 // "Conservative-backfill(FCFS)", "Maui-default-backfill") are accepted
 // as aliases, so ParsePolicy(p.Name()) round-trips for every
 // constructible policy (FuzzParsePolicy pins this).
-// nodeLimit is the search node budget L (ignored for backfill).
+// A portfolio of policies under the online meta-scheduler is spelled
+// "meta(SPEC,SPEC,...)" where each SPEC is any base policy name above
+// ("meta(DDS/lxf/dynB,LDS/fcfs/dynB,FCFS-backfill)"); use
+// ParsePolicyMeta to tune the bandit.
+// nodeLimit is the search node budget L (ignored for backfill; applied
+// to every member of a portfolio).
 func ParsePolicy(name string, nodeLimit int) (Policy, error) {
+	return ParsePolicyMeta(name, nodeLimit, MetaConfig{})
+}
+
+// ParsePolicyMeta is ParsePolicy with an explicit meta-scheduler
+// configuration for meta(...) portfolio specs (ignored for base
+// policies).
+func ParsePolicyMeta(name string, nodeLimit int, cfg MetaConfig) (Policy, error) {
+	if metasched.IsSpec(name) {
+		return metasched.Parse(name, nodeLimit, cfg, parseBasePolicy)
+	}
+	return parseBasePolicy(name, nodeLimit)
+}
+
+// parseBasePolicy parses every non-meta policy name (the portfolio
+// member grammar).
+func parseBasePolicy(name string, nodeLimit int) (Policy, error) {
 	switch name {
 	case "FCFS-backfill":
 		return policy.FCFSBackfill(), nil
